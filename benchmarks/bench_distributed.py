@@ -1,0 +1,76 @@
+"""X2 — Section 4.4 ablation: distributed visualization delay vs drops.
+
+The server displays remote BUFFER samples after the configured delay and
+drops samples that arrive later than their slot.  The trade-off the user
+tunes with the delay widget: a small delay gives a fresher display but
+drops more of a laggy client's data; a large delay keeps everything at
+the cost of display latency.  We sweep the delay against a fixed 60 ms
+transmission latency and report acceptance rates, plus throughput of the
+full decode-buffer-display path.
+"""
+
+from conftest import report
+
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.net import ScopeClient, ScopeServer, memory_pair
+
+LINK_LATENCY_MS = 60.0
+SAMPLE_EVERY_MS = 10.0
+RUN_MS = 5_000.0
+
+
+def run_with_delay(delay_ms: float):
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("remote", period_ms=50, delay_ms=delay_ms)
+    scope.signal_new(buffer_signal("metric"))
+    scope.set_polling_mode(50)
+    scope.start_polling()
+    server = ScopeServer(loop, manager)
+    near, far = memory_pair(loop.clock, latency_ms=LINK_LATENCY_MS)
+    server.add_client(far)
+    client = ScopeClient(near, loop)
+    loop.timeout_add(
+        SAMPLE_EVERY_MS,
+        lambda lost: client.send_sample("metric", loop.clock.now() % 100) or True,
+    )
+    loop.run_until(RUN_MS)
+    totals = server.totals()
+    displayed = len(scope.channel("metric").trace)
+    return totals, displayed
+
+
+def test_delay_vs_drop_tradeoff(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: {d: run_with_delay(d) for d in (20.0, 60.0, 100.0, 200.0)},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Delay below the link latency: everything arrives late and drops.
+    tight_totals, tight_displayed = sweep[20.0]
+    assert tight_totals["dropped_late"] == tight_totals["received"]
+    assert tight_displayed == 0
+    # Delay comfortably above the latency: nothing drops.
+    loose_totals, loose_displayed = sweep[200.0]
+    assert loose_totals["dropped_late"] == 0
+    assert loose_displayed > 400
+    # Monotone: larger delay never drops more.
+    drops = [sweep[d][0]["dropped_late"] for d in (20.0, 60.0, 100.0, 200.0)]
+    assert drops == sorted(drops, reverse=True)
+
+    report(
+        "X2: display delay vs late drops (Section 4.4, 60 ms link)",
+        [
+            (
+                f"delay {d:5.0f} ms",
+                f"received {sweep[d][0]['received']:4d}  "
+                f"dropped {sweep[d][0]['dropped_late']:4d}  "
+                f"displayed {sweep[d][1]:4d}",
+            )
+            for d in (20.0, 60.0, 100.0, 200.0)
+        ]
+        + [("paper rule", "data arriving after the delay is dropped immediately")],
+    )

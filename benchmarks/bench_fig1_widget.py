@@ -1,0 +1,67 @@
+"""F1 — Figure 1: the GtkScope widget.
+
+The paper's Figure 1 is a screenshot of the scope widget displaying two
+signals with zoom/bias/period/delay controls and per-signal rows.  The
+benchmark regenerates that widget headlessly and times a full render
+pass (the cost of one display refresh, which in the C library happens
+on the GTK idle path every polling period).
+"""
+
+import math
+
+from conftest import report
+
+from repro.core.scope import Scope
+from repro.core.signal import Cell, SignalType, func_signal, memory_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.scope_widget import ScopeWidget
+
+
+def build_figure1_scope():
+    loop = MainLoop()
+    scope = Scope("GtkScope", loop, width=512, height=160, period_ms=50)
+    elephants = Cell(8)
+    scope.signal_new(
+        memory_signal(
+            "elephants", elephants, SignalType.INTEGER, min=0, max=40, color="yellow"
+        )
+    )
+    scope.signal_new(
+        func_signal(
+            "CWND",
+            lambda *_: 20 + 15 * math.sin(loop.clock.now() / 400.0),
+            min=0,
+            max=40,
+            color="green",
+        )
+    )
+    scope.channel("CWND").toggle_value_readout()  # the pressed Value button
+    scope.start_polling()
+    loop.run_for(30_000)
+    elephants.value = 16
+    loop.run_for(10_000)
+    return scope
+
+
+def test_fig1_widget_render(benchmark):
+    scope = build_figure1_scope()
+    widget = ScopeWidget(scope)
+
+    canvas = benchmark(widget.render)
+
+    green = canvas.count_pixels((64, 160, 43))
+    yellow = canvas.count_pixels((230, 190, 20))
+    assert green > 100, "CWND trace missing"
+    assert yellow > 100, "elephants trace missing"
+    report(
+        "F1: GtkScope widget (Figure 1)",
+        [
+            ("paper artifact", "screenshot: canvas + zoom/bias/period/delay + signal rows"),
+            ("canvas", f"{canvas.width}x{canvas.height} px"),
+            ("signals shown", ", ".join(scope.signal_names)),
+            ("CWND trace pixels", green),
+            ("elephants trace pixels", yellow),
+            ("value readout", scope.value_of("CWND")),
+            ("polls displayed", scope.polls),
+        ],
+    )

@@ -1,0 +1,93 @@
+"""F4 — Figure 4: TCP behaviour under congestion.
+
+The paper's experiment: mxtraf runs long-lived flows through a DropTail
+bottleneck; the elephant count doubles from 8 to 16 half way through;
+the scope shows the CWND of one arbitrarily chosen flow.  The reported
+shape: "the lowest value of the CWND signal corresponds to a CWND value
+of one ... TCP hits it several times" and the per-flow window shrinks
+when the flow count doubles.
+
+The benchmark regenerates the whole 30-second experiment (simulated
+time) and asserts those shape properties.
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.core.scope import Scope
+from repro.core.signal import SignalType, func_signal, memory_signal
+from repro.eventloop.loop import MainLoop
+from repro.tcpsim import Engine, Mxtraf, MxtrafConfig, Network, NetworkConfig
+
+DURATION_MS = 30_000
+SWITCH_MS = 15_000
+
+
+def run_figure(queue: str, ecn: bool):
+    loop = MainLoop()
+    engine = Engine()
+    network = Network(engine, NetworkConfig(queue=queue, ecn=ecn))
+    mxtraf = Mxtraf(network, MxtrafConfig(elephants=8))
+    watched = mxtraf.watched_flow()
+
+    scope = Scope("figure", loop, width=600, height=150, period_ms=50)
+    scope.signal_new(
+        memory_signal(
+            "elephants", mxtraf.elephants_cell, SignalType.INTEGER, min=0, max=40
+        )
+    )
+    scope.signal_new(func_signal("CWND", watched.get_cwnd, min=0, max=40))
+    scope.set_polling_mode(50)
+    scope.start_polling()
+    loop.timeout_add(50, lambda lost: engine.advance_to(loop.clock.now()) or True)
+    loop.timeout_add(SWITCH_MS, lambda lost: mxtraf.set_elephants(16) and False)
+    loop.run_until(DURATION_MS)
+    return scope, network, watched
+
+
+def shape_stats(scope):
+    trace = scope.channel("CWND").raw_values()
+    half = len(trace) // 2
+    dips = sum(
+        1
+        for i in range(1, len(trace))
+        if trace[i] <= 1.01 and trace[i - 1] > 1.01
+    )
+    return {
+        "min": min(trace),
+        "dips_to_one": dips,
+        "mean_8_flows": statistics.mean(trace[:half]),
+        "mean_16_flows": statistics.mean(trace[half:]),
+    }
+
+
+def test_fig4_tcp_behaviour(benchmark):
+    scope, network, watched = benchmark.pedantic(
+        lambda: run_figure("droptail", ecn=False), rounds=1, iterations=1
+    )
+    stats = shape_stats(scope)
+
+    # Paper shape 1: the TCP trace hits CWND == 1 several times.
+    assert stats["min"] == 1.0
+    assert stats["dips_to_one"] >= 2
+    assert watched.stats.timeouts >= 2
+    # Paper shape 2: doubling the elephants shrinks the per-flow window.
+    assert stats["mean_16_flows"] < stats["mean_8_flows"]
+    # Timeouts are confirmed to be the cause of the CWND=1 dips.
+    assert network.total_timeouts() > 0
+
+    report(
+        "F4: TCP behaviour (Figure 4) — elephants 8 -> 16 at t=15s",
+        [
+            ("paper claim", "TCP CWND hits 1 several times (timeouts)"),
+            ("measured min CWND", stats["min"]),
+            ("dips to CWND=1", stats["dips_to_one"]),
+            ("watched-flow timeouts", watched.stats.timeouts),
+            ("all-flow timeouts", network.total_timeouts()),
+            ("mean CWND @8 flows", f"{stats['mean_8_flows']:.1f}"),
+            ("mean CWND @16 flows", f"{stats['mean_16_flows']:.1f}"),
+            ("fast retransmits", watched.stats.fast_retransmits),
+            ("polls displayed", scope.polls),
+        ],
+    )

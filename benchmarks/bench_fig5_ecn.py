@@ -1,0 +1,47 @@
+"""F5 — Figure 5: ECN behaviour under the identical workload.
+
+Same topology and elephant schedule as Figure 4, but the bottleneck runs
+RED with ECN marking and the flows negotiate ECN.  The paper's claim:
+"The graphs show that while ECN does not hit this value [CWND = 1], TCP
+hits it several times" — i.e. ECN avoids timeouts entirely because
+congestion is signalled by marks, not drops.
+
+This is also the DropTail-vs-RED+ECN ablation called out in DESIGN.md:
+only the queue policy and ECN negotiation differ between F4 and F5.
+"""
+
+from conftest import report
+
+from bench_fig4_tcp import run_figure, shape_stats
+
+
+def test_fig5_ecn_behaviour(benchmark):
+    scope, network, watched = benchmark.pedantic(
+        lambda: run_figure("red", ecn=True), rounds=1, iterations=1
+    )
+    stats = shape_stats(scope)
+
+    # Paper shape 1: the ECN trace never reaches CWND == 1.
+    assert stats["min"] > 1.0
+    assert stats["dips_to_one"] == 0
+    assert watched.stats.timeouts == 0
+    assert network.total_timeouts() == 0
+    # Congestion is handled by mark-driven halvings instead.
+    assert watched.stats.ecn_reductions > 0
+    # Paper shape 2 holds here too: more flows, smaller per-flow window.
+    assert stats["mean_16_flows"] < stats["mean_8_flows"]
+
+    report(
+        "F5: ECN behaviour (Figure 5) — elephants 8 -> 16 at t=15s",
+        [
+            ("paper claim", "ECN never hits CWND=1 (no timeouts)"),
+            ("measured min CWND", stats["min"]),
+            ("dips to CWND=1", stats["dips_to_one"]),
+            ("watched-flow timeouts", watched.stats.timeouts),
+            ("all-flow timeouts", network.total_timeouts()),
+            ("ECN window reductions", watched.stats.ecn_reductions),
+            ("router CE marks", network.queue.stats.marked),
+            ("mean CWND @8 flows", f"{stats['mean_8_flows']:.1f}"),
+            ("mean CWND @16 flows", f"{stats['mean_16_flows']:.1f}"),
+        ],
+    )

@@ -1,0 +1,70 @@
+"""X3 — Section 3.3: playback mode and the pixel-spacing rule.
+
+"If the polling period is 50 ms, then data points in the file that are
+100 ms apart will be displayed 2 pixels apart."  We record a signal at a
+100 ms cadence, replay it at 50 ms and at 100 ms polling periods, and
+measure the on-canvas pixel gaps; the benchmark times a full replay of
+a sizeable recording (the offline-analysis path).
+"""
+
+import io
+import math
+
+from conftest import report
+
+from repro.core.scope import Scope
+from repro.core.tuples import Player, Recorder
+from repro.eventloop.loop import MainLoop
+from repro.gui.scope_widget import ScopeWidget
+
+RECORD_SPACING_MS = 100.0
+POINTS = 2_000
+
+
+def make_recording():
+    sink = io.StringIO()
+    rec = Recorder(sink)
+    rec.comment("playback benchmark recording")
+    for i in range(POINTS):
+        rec.record(i * RECORD_SPACING_MS, 50 + 40 * math.sin(i / 7.0), "wave")
+    return sink.getvalue()
+
+
+def replay(data: str, period_ms: float):
+    loop = MainLoop()
+    scope = Scope("replay", loop, width=400, height=100)
+    scope.set_playback_mode(Player(io.StringIO(data)), period_ms=period_ms)
+    scope.start_polling()
+    loop.run_until(POINTS * RECORD_SPACING_MS + 1000)
+    return scope
+
+
+def pixel_gaps(scope):
+    widget = ScopeWidget(scope)
+    xs = [x for x, _ in widget.trace_pixels(scope.channel("wave"))]
+    return sorted(set(b - a for a, b in zip(xs, xs[1:])))
+
+
+def test_playback_pixel_spacing(benchmark):
+    data = make_recording()
+
+    scope_50 = benchmark.pedantic(
+        lambda: replay(data, 50.0), rounds=1, iterations=1
+    )
+    scope_100 = replay(data, 100.0)
+
+    assert len(scope_50.channel("wave").trace) == POINTS
+    # The Section 3.3 rule: 100 ms apart at 50 ms period = 2 px apart.
+    assert pixel_gaps(scope_50) == [2]
+    # And at the matching period, 1 px apart.
+    assert pixel_gaps(scope_100) == [1]
+
+    report(
+        "X3: playback pixel spacing (Section 3.3)",
+        [
+            ("recording", f"{POINTS} tuples, {RECORD_SPACING_MS:.0f} ms apart"),
+            ("replayed @50ms period", f"pixel gaps {pixel_gaps(scope_50)} (paper: 2)"),
+            ("replayed @100ms period", f"pixel gaps {pixel_gaps(scope_100)} (paper: 1)"),
+            ("points replayed", len(scope_50.channel("wave").trace)),
+        ],
+    )

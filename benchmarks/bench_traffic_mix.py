@@ -1,0 +1,76 @@
+"""X5 — mxtraf's "tunable mix of TCP and UDP traffic" (Section 2).
+
+Mxtraf's stated purpose is saturating a network with a tunable TCP/UDP
+mix for stress testing.  This ablation sweeps the UDP (unresponsive
+CBR) share of a DropTail bottleneck and reports what happens to the
+congestion-controlled TCP flows — the classic starvation curve: TCP
+backs off, UDP does not, so TCP goodput falls faster than linearly as
+the CBR share grows.
+"""
+
+from conftest import report
+
+from repro.tcpsim import Engine, Mxtraf, MxtrafConfig, Network, NetworkConfig
+
+LINK_PKTS_PER_SEC = 500.0
+RUN_MS = 20_000.0
+
+
+def run_mix(udp_rate: float):
+    engine = Engine()
+    network = Network(
+        engine,
+        NetworkConfig(
+            bandwidth_pkts_per_sec=LINK_PKTS_PER_SEC,
+            prop_delay_ms=10.0,
+            ack_delay_ms=10.0,
+            droptail_capacity=15,
+            seed=4,
+        ),
+    )
+    mxtraf = Mxtraf(
+        network, MxtrafConfig(elephants=4, udp_pkts_per_sec=udp_rate or 0.0)
+    )
+    if udp_rate == 0:
+        mxtraf.set_udp_rate(0)
+    engine.advance_to(RUN_MS)
+    seconds = RUN_MS / 1000.0
+    return {
+        "tcp_goodput": network.total_delivered() / seconds,
+        "udp_goodput": network.total_udp_delivered() / seconds,
+        "timeouts": network.total_timeouts(),
+    }
+
+
+def test_udp_share_starves_tcp(benchmark):
+    rates = (0.0, 125.0, 250.0, 375.0)
+    results = benchmark.pedantic(
+        lambda: {r: run_mix(r) for r in rates}, rounds=1, iterations=1
+    )
+
+    tcp = [results[r]["tcp_goodput"] for r in rates]
+    # TCP goodput falls monotonically as the CBR share grows...
+    assert all(a > b for a, b in zip(tcp, tcp[1:]))
+    # ...and at 75 % CBR load, TCP keeps well under half its solo rate.
+    assert tcp[-1] < 0.5 * tcp[0]
+    # The UDP flow is unresponsive: it delivers near its share even when
+    # TCP suffers.
+    assert results[375.0]["udp_goodput"] > 250.0
+    # The link itself stays saturated throughout.
+    for r in rates:
+        total = results[r]["tcp_goodput"] + results[r]["udp_goodput"]
+        assert total > 0.85 * LINK_PKTS_PER_SEC
+
+    report(
+        "X5: TCP/UDP traffic mix (mxtraf's purpose, Section 2)",
+        [
+            (
+                f"UDP {r / LINK_PKTS_PER_SEC:4.0%} of link",
+                f"TCP {results[r]['tcp_goodput']:6.1f} pkt/s   "
+                f"UDP {results[r]['udp_goodput']:6.1f} pkt/s   "
+                f"timeouts {results[r]['timeouts']:3d}",
+            )
+            for r in rates
+        ]
+        + [("shape", "unresponsive CBR squeezes congestion-controlled TCP")],
+    )

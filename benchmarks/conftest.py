@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or evaluation
+number) and prints a paper-vs-measured comparison table.  Shapes are
+asserted; absolute numbers are reported for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list) -> None:
+    """Print a small aligned table under a heading.
+
+    ``rows`` is a list of (label, value) pairs; values are formatted as
+    given so callers control precision.
+    """
+    print(f"\n=== {title} ===")
+    width = max((len(str(label)) for label, _ in rows), default=0)
+    for label, value in rows:
+        print(f"  {str(label):<{width}}  {value}")

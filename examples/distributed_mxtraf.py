@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Distributed visualization: remote clients feeding one scope (§4.4).
+
+"Currently, we use the gscope client-server library in the mxtraf
+network traffic generator.  The gscope client-server library allows
+visualizing and correlating client, server and network behavior
+(connections per second, connection errors per second, network
+throughput, latency, etc.) within a single scope."
+
+Three simulated machines run mxtraf roles and push BUFFER tuples over
+latency-afflicted links to one scope server:
+
+* the traffic *server* host reports throughput (an event-rate quantity),
+* the traffic *client* host reports per-connection latency,
+* the *router* host reports bottleneck queue occupancy.
+
+The scope displays all three with a 150 ms delay; samples older than the
+delay when they arrive are dropped (shown in the drop counters).
+"""
+
+from repro.core.aggregate import AggregateKind
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.render import ascii_render, write_ppm
+from repro.gui.scope_widget import ScopeWidget
+from repro.net import ScopeClient, ScopeServer, memory_pair
+from repro.tcpsim import Engine, Mxtraf, MxtrafConfig, Network, NetworkConfig
+
+DELAY_MS = 150.0
+
+
+def main() -> None:
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new(
+        "mxtraf distributed", width=500, height=140, period_ms=50, delay_ms=DELAY_MS
+    )
+    scope.signal_new(buffer_signal("throughput", min=0, max=1000, color="green"))
+    scope.signal_new(buffer_signal("latency", min=0, max=400, color="red"))
+    scope.signal_new(buffer_signal("queue", min=0, max=50, color="yellow"))
+    scope.set_polling_mode(50)
+    scope.start_polling()
+    server = ScopeServer(loop, manager)
+
+    # Three remote machines, different link latencies to the server.
+    clients = {}
+    for host, latency in (("traffic-server", 30), ("traffic-client", 60), ("router", 5)):
+        near, far = memory_pair(loop.clock, latency_ms=latency, labels=(host, "server"))
+        server.add_client(far)
+        clients[host] = ScopeClient(near, loop)
+
+    # The actual network being monitored.
+    engine = Engine()
+    network = Network(engine, NetworkConfig(queue="droptail"))
+    mxtraf = Mxtraf(network, MxtrafConfig(elephants=8))
+    last_delivered = [0]
+
+    def monitor(_lost) -> bool:
+        engine.advance_to(loop.clock.now())
+        now = loop.clock.now()
+        delivered = network.total_delivered()
+        clients["traffic-server"].send_sample(
+            "throughput", (delivered - last_delivered[0]) * 20.0
+        )  # pkts/s over the 50 ms window
+        last_delivered[0] = delivered
+        watched = mxtraf.watched_flow()
+        rtt = watched.srtt_ms if watched.srtt_ms is not None else 0.0
+        clients["traffic-client"].send_sample("latency", rtt)
+        clients["router"].send_sample("queue", network.queue_occupancy())
+        return True
+
+    loop.timeout_add(50, monitor)
+
+    def more_elephants(_lost) -> bool:
+        mxtraf.set_elephants(16)
+        return False
+
+    loop.timeout_add(10_000, more_elephants)
+
+    loop.run_until(20_000)
+
+    totals = server.totals()
+    print(f"server receive totals: {totals}")
+    print(f"scope buffer: {scope.buffer.stats}")
+    for name in ("throughput", "latency", "queue"):
+        channel = scope.channel(name)
+        values = channel.values()
+        print(f"  {name:10s} points={len(values):4d} last={values[-1]:8.1f}")
+
+    widget = ScopeWidget(scope)
+    canvas = widget.render()
+    print(ascii_render(canvas, max_width=100, max_height=24))
+    write_ppm(canvas, "distributed_mxtraf.ppm")
+    print("wrote distributed_mxtraf.ppm")
+
+
+if __name__ == "__main__":
+    main()

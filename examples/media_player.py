@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Scoping a quality-adaptive streaming player (the paper's media demo).
+
+The signals are the ones Section 1 motivates: "network bandwidth ...
+fill levels of buffers in a pipeline".  The player adapts its encoding
+quality to a fading network; the scope shows bandwidth, the network
+buffer fill level, the chosen quality level, and an event-aggregated
+display miss-rate (the Section 4.2 Events aggregator).  The player's
+adaptation thresholds are exposed as Figure 3-style control parameters
+and tightened mid-run through the parameter window.
+"""
+
+from repro.core.aggregate import AggregateKind
+from repro.core.params import ControlParameter, ParameterStore
+from repro.core.scope import Scope
+from repro.core.signal import SignalSpec, SignalType, func_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.render import ascii_render, write_ppm
+from repro.gui.scope_widget import ScopeWidget
+from repro.gui.windows import ControlParametersWindow
+from repro.media import AdaptivePlayer, PlayerConfig
+
+TICK_MS = 100.0
+
+
+def main() -> None:
+    loop = MainLoop()
+    player = AdaptivePlayer(PlayerConfig())
+
+    scope = Scope("adaptive player", loop, width=500, height=140, period_ms=TICK_MS)
+    scope.signal_new(
+        func_signal("bandwidth", player.get_bandwidth, min=0, max=4000, color="green")
+    )
+    scope.signal_new(
+        func_signal("buffer_fill", player.get_buffer_fill, min=0, max=100, color="red")
+    )
+    scope.signal_new(
+        func_signal("quality", player.get_quality_level, min=0, max=5, color="yellow")
+    )
+    # Event-driven signal: one event per missed display deadline,
+    # aggregated per polling interval with the Events function.
+    scope.signal_new(
+        SignalSpec(
+            name="misses",
+            type=SignalType.FLOAT,
+            aggregate=AggregateKind.EVENTS,
+            min=0,
+            max=10,
+            color="magenta",
+        )
+    )
+    scope.set_polling_mode(TICK_MS)
+    scope.start_polling()
+
+    # Control parameters (Figure 3): the adaptation thresholds.
+    params = ParameterStore()
+    params.add(
+        ControlParameter(
+            "upgrade_fill",
+            getter=lambda: player.config.upgrade_fill,
+            setter=lambda v: setattr(player.config, "upgrade_fill", v),
+            minimum=0,
+            maximum=100,
+        )
+    )
+    params.add(
+        ControlParameter(
+            "downgrade_fill",
+            getter=lambda: player.config.downgrade_fill,
+            setter=lambda v: setattr(player.config, "downgrade_fill", v),
+            minimum=0,
+            maximum=100,
+        )
+    )
+    window = ControlParametersWindow(params, title="player parameters")
+
+    misses_before = [0]
+
+    def player_tick(_lost) -> bool:
+        player.tick(TICK_MS / 1000.0)
+        new_misses = player.pipeline.display_misses - misses_before[0]
+        for _ in range(int(new_misses)):
+            scope.event("misses")
+        misses_before[0] = player.pipeline.display_misses
+        return True
+
+    loop.timeout_add(TICK_MS, player_tick)
+
+    # Mid-run, tighten the adaptation through the parameter window —
+    # "modification of system behavior in real-time".
+    def tighten(_lost) -> bool:
+        window.set("upgrade_fill", 80)
+        window.set("downgrade_fill", 40)
+        return False
+
+    loop.timeout_add(20_000, tighten)
+
+    loop.run_until(40_000)
+
+    stats = player.pipeline.stats()
+    print(f"quality changes: {player.quality_changes}, final level: {player.level}")
+    print(f"displayed: {stats['displayed']:.0f} frames, "
+          f"misses: {stats['display_misses']:.0f}, "
+          f"network drops: {stats['network_drops']:.0f}")
+    print("control parameters now:", window.rows())
+
+    widget = ScopeWidget(scope)
+    canvas = widget.render()
+    print(ascii_render(canvas, max_width=100, max_height=24))
+    write_ppm(canvas, "media_player.ppm")
+    print("wrote media_player.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: a line-for-line port of the paper's Figure 6 program.
+
+The original C fragment::
+
+    scope = gtk_scope_new(name, width, height);
+    gtk_scope_signal_new(scope, elephants_sig);
+    gtk_scope_set_polling_mode(scope, 50);        /* 50 ms */
+    gtk_scope_start_polling(scope);
+    g_io_add_watch(..., G_IO_IN, read_program, fd);
+    gtk_main();                                   /* doesn't return */
+
+``read_program`` runs whenever the control connection has data and
+updates the ``elephants`` variable, which the scope polls every 50 ms.
+Here the "control connection" is an in-memory transport fed by a
+simulated remote controller, and gtk_main is bounded so the script
+terminates.
+"""
+
+from repro.core.capi import (
+    G_IO_IN,
+    g_io_add_watch,
+    g_main_loop,
+    gtk_main_quit,
+    gtk_scope_new,
+    gtk_scope_set_polling_mode,
+    gtk_scope_signal_new,
+    gtk_scope_start_polling,
+)
+from repro.core.signal import Cell, SignalType, memory_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.render import ascii_render, write_ppm
+from repro.gui.scope_widget import ScopeWidget
+from repro.net.transport import memory_pair
+
+
+def main() -> None:
+    loop = g_main_loop(MainLoop())  # fresh default loop (virtual clock)
+
+    # int elephants;  -- the word of memory the scope polls.
+    elephants = Cell(0)
+    elephants_sig = memory_signal(
+        "elephants", elephants, SignalType.INTEGER, min=0, max=40, color="green"
+    )
+
+    scope = gtk_scope_new("mxtraf control", width=400, height=120)
+    gtk_scope_signal_new(scope, elephants_sig)
+    gtk_scope_set_polling_mode(scope, 50)  # sampling period: 50 ms
+    gtk_scope_start_polling(scope)
+
+    # The control channel: a remote peer tells us how many elephants to
+    # run.  fd_client plays the remote end, fd_server is our socket.
+    fd_client, fd_server = memory_pair(loop.clock)
+
+    def read_program(channel, _condition) -> bool:
+        """Figure 6's I/O callback: non-blocking read, update state."""
+        data = channel.recv()
+        for token in data.split():
+            elephants.value = int(token)
+        return True
+
+    g_io_add_watch(fd_server, G_IO_IN, read_program)
+
+    # A simulated remote controller: every 2 s it doubles the flows.
+    schedule = iter([2, 4, 8, 16, 32])
+
+    def controller(_lost) -> bool:
+        try:
+            fd_client.send(f"{next(schedule)} ".encode())
+            return True
+        except StopIteration:
+            gtk_main_quit()
+            return False
+
+    loop.timeout_add(2000, controller)
+
+    # gtk_main(): run until the controller quits us (bounded for CI).
+    loop.run_until(13_000)
+
+    print(f"polls: {scope.polls}, final elephants: {scope.value_of('elephants')}")
+    widget = ScopeWidget(scope)
+    canvas = widget.render()
+    print(ascii_render(canvas, max_width=100, max_height=24))
+    write_ppm(canvas, "quickstart_scope.ppm")
+    print("wrote quickstart_scope.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — a pure-Python reproduction of Gscope.
+
+Gscope (Goel & Walpole, *Gscope: A Visualization Tool for Time-Sensitive
+Software*, USENIX FREENIX 2002) is an oscilloscope-like visualization
+library that applications embed to watch their own time-dependent
+behaviour — network bandwidth, buffer fill levels, congestion windows,
+CPU proportions — live, without the stop-the-world distortion of a
+debugger.
+
+This package rebuilds the whole system headlessly in Python:
+
+* :mod:`repro.core` — the gscope library itself (signals, scopes,
+  polling/playback, aggregation, tuple format, control parameters).
+* :mod:`repro.eventloop` — a glib-style main loop with virtual or real
+  clocks and a kernel-timer-granularity model.
+* :mod:`repro.gui` — a headless widget/canvas layer that renders scope
+  displays to numpy framebuffers, ASCII art and PPM files.
+* :mod:`repro.net` — the distributed client-server visualization library.
+* :mod:`repro.tcpsim` — a TCP/ECN network simulator standing in for the
+  paper's physical testbed (mxtraf + nistnet + Linux TCP).
+* :mod:`repro.sched`, :mod:`repro.control`, :mod:`repro.media` — the
+  demo applications the paper scopes: a proportion-period scheduler, a
+  software phase-lock loop and an adaptive media pipeline.
+* :mod:`repro.workload` — the CPU load measurement harness behind the
+  paper's overhead numbers (Section 4.6).
+
+Quickstart::
+
+    from repro import MainLoop, Scope, Cell, memory_signal
+
+    loop = MainLoop()
+    scope = Scope("demo", loop)
+    elephants = Cell(8)
+    scope.signal_new(memory_signal("elephants", elephants, min=0, max=40))
+    scope.set_polling_mode(50)       # sample every 50 ms
+    scope.start_polling()
+    loop.run_for(1000)               # one second of virtual time
+    print(scope.value_of("elephants"))
+"""
+
+from repro.core import (
+    AcquisitionMode,
+    AggregateKind,
+    Cell,
+    Channel,
+    ControlParameter,
+    LineMode,
+    LowPassFilter,
+    ParameterStore,
+    Player,
+    Recorder,
+    SampleBuffer,
+    Scope,
+    ScopeManager,
+    SignalSpec,
+    SignalType,
+    buffer_signal,
+    func_signal,
+    memory_signal,
+)
+from repro.eventloop import (
+    KernelTimerModel,
+    MainLoop,
+    SystemClock,
+    VirtualClock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcquisitionMode",
+    "AggregateKind",
+    "Cell",
+    "Channel",
+    "ControlParameter",
+    "KernelTimerModel",
+    "LineMode",
+    "LowPassFilter",
+    "MainLoop",
+    "ParameterStore",
+    "Player",
+    "Recorder",
+    "SampleBuffer",
+    "Scope",
+    "ScopeManager",
+    "SignalSpec",
+    "SignalType",
+    "SystemClock",
+    "VirtualClock",
+    "buffer_signal",
+    "func_signal",
+    "memory_signal",
+    "__version__",
+]

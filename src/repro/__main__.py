@@ -1,0 +1,116 @@
+"""Command-line interface: offline operations on recorded tuple files.
+
+The library embeds in applications; the CLI covers the offline half of
+the workflow — inspecting and "printing" recordings made with the
+:class:`~repro.core.tuples.Recorder`:
+
+.. code-block:: console
+
+    python -m repro summary capture.tuples
+    python -m repro print capture.tuples --ppm capture.ppm
+    python -m repro spectrum capture.tuples --signal CWND --period 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.frequency import spectrum as compute_spectrum
+from repro.core.printing import format_summary, print_recording, print_summary
+from repro.core.scope import Scope
+from repro.core.tuples import Player
+from repro.eventloop.loop import MainLoop
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    summaries = print_summary(args.recording, period_ms=args.period)
+    if not summaries:
+        print("(empty recording)")
+        return 1
+    print(format_summary(summaries))
+    return 0
+
+
+def _cmd_print(args: argparse.Namespace) -> int:
+    art = print_recording(
+        args.recording,
+        ppm_path=args.ppm,
+        period_ms=args.period,
+        width=args.width,
+        height=args.height,
+    )
+    print(art)
+    if args.ppm:
+        print(f"wrote {args.ppm}", file=sys.stderr)
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    player = Player(args.recording)
+    loop = MainLoop()
+    scope = Scope("spectrum", loop, period_ms=args.period)
+    scope.set_playback_mode(player, period_ms=args.period)
+    scope.start_polling()
+    loop.run_until(player.start_time_ms + player.duration_ms + 10 * args.period)
+
+    name = args.signal
+    if name is None:
+        names = scope.signal_names
+        if len(names) != 1:
+            print(
+                f"recording holds signals {names}; pick one with --signal",
+                file=sys.stderr,
+            )
+            return 2
+        name = names[0]
+    values = scope.channel(name).values()
+    if len(values) < 2:
+        print(f"signal {name!r} has too few points", file=sys.stderr)
+        return 1
+    spec = compute_spectrum(values, args.period)
+    peak_freq, peak_mag = spec.peak()
+    print(f"{name}: {len(values)} points, sample rate {spec.sample_rate_hz:.1f} Hz")
+    print(f"peak {peak_freq:.3f} Hz (magnitude {peak_mag:.4g}), "
+          f"nyquist {spec.nyquist_hz:.1f} Hz")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Offline tools for gscope tuple recordings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="per-signal statistics")
+    p_summary.add_argument("recording", help="tuple file path")
+    p_summary.add_argument("--period", type=float, default=50.0,
+                           help="replay polling period in ms (default 50)")
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_print = sub.add_parser("print", help="render a recording (Future Work, built)")
+    p_print.add_argument("recording")
+    p_print.add_argument("--period", type=float, default=50.0)
+    p_print.add_argument("--ppm", default=None, help="also write a PPM image")
+    p_print.add_argument("--width", type=int, default=512)
+    p_print.add_argument("--height", type=int, default=160)
+    p_print.set_defaults(fn=_cmd_print)
+
+    p_spec = sub.add_parser("spectrum", help="frequency-domain view of a signal")
+    p_spec.add_argument("recording")
+    p_spec.add_argument("--signal", default=None, help="signal name (if several)")
+    p_spec.add_argument("--period", type=float, default=50.0)
+    p_spec.set_defaults(fn=_cmd_spectrum)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

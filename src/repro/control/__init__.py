@@ -1,0 +1,12 @@
+"""Control algorithms the paper scopes.
+
+Section 1 lists "various control algorithms such as a software
+implementation of a phase-lock loop" among the applications gscope was
+used to visualize and debug.  :mod:`repro.control.pll` provides that
+PLL; its phase error, frequency estimate and lock indicator are natural
+scope signals.
+"""
+
+from repro.control.pll import PhaseLockLoop, PLLConfig
+
+__all__ = ["PLLConfig", "PhaseLockLoop"]

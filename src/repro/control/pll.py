@@ -1,0 +1,122 @@
+"""A software phase-locked loop (second-order, digital).
+
+The classic structure from Franklin/Powell/Workman (the paper's
+reference [9]): a numerically controlled oscillator (NCO) tracks a
+reference oscillator's phase.  Each sample step:
+
+1. phase detector: error = wrapped difference between reference phase
+   and NCO phase,
+2. loop filter (PI): frequency correction = kp * error + ki * ∫error,
+3. NCO: advance local phase by (nominal + correction) * dt.
+
+The loop's interesting signals — the ones you would put on a scope while
+debugging it — are exposed as attributes: phase error, estimated
+frequency, and a lock indicator based on a smoothed error magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+def wrap_phase(phase: float) -> float:
+    """Wrap a phase to (-pi, pi]."""
+    wrapped = math.fmod(phase + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+@dataclass
+class PLLConfig:
+    """Loop parameters.
+
+    ``kp``/``ki`` follow the standard second-order design; the defaults
+    give a loop bandwidth well below the sample rate so the dynamics are
+    visible at scope polling rates.
+    """
+
+    nominal_freq_hz: float = 5.0
+    kp: float = 3.0
+    ki: float = 8.0
+    lock_threshold_rad: float = 0.1
+    lock_smoothing: float = 0.95
+
+
+class PhaseLockLoop:
+    """Tracks a reference sinusoid's phase and frequency."""
+
+    def __init__(self, config: Optional[PLLConfig] = None) -> None:
+        self.config = config if config is not None else PLLConfig()
+        self.local_phase = 0.0
+        self.integrator = 0.0
+        self.phase_error = 0.0
+        self.freq_estimate_hz = self.config.nominal_freq_hz
+        self._error_mag = math.pi  # smoothed |error|, starts unlocked
+        self.steps = 0
+
+    def step(self, reference_phase: float, dt_s: float) -> float:
+        """Advance one sample; returns the phase error (radians).
+
+        ``reference_phase`` is the instantaneous phase of the signal
+        being tracked; ``dt_s`` the sample interval.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive: {dt_s}")
+        cfg = self.config
+        self.phase_error = wrap_phase(reference_phase - self.local_phase)
+        self.integrator += self.phase_error * dt_s
+        correction = cfg.kp * self.phase_error + cfg.ki * self.integrator
+        self.freq_estimate_hz = cfg.nominal_freq_hz + correction / (2.0 * math.pi)
+        self.local_phase += 2.0 * math.pi * self.freq_estimate_hz * dt_s
+        self.local_phase = math.fmod(self.local_phase, 2.0 * math.pi)
+        self._error_mag = (
+            cfg.lock_smoothing * self._error_mag
+            + (1.0 - cfg.lock_smoothing) * abs(self.phase_error)
+        )
+        self.steps += 1
+        return self.phase_error
+
+    @property
+    def locked(self) -> bool:
+        """True once the smoothed error magnitude is inside threshold."""
+        return self._error_mag < self.config.lock_threshold_rad
+
+    # ------------------------------------------------------------------
+    # Scope signal hooks (FUNC-signal friendly)
+    # ------------------------------------------------------------------
+    def get_phase_error(self, *_: object) -> float:
+        return self.phase_error
+
+    def get_freq_estimate(self, *_: object) -> float:
+        return self.freq_estimate_hz
+
+    def get_lock(self, *_: object) -> float:
+        return 1.0 if self.locked else 0.0
+
+
+class ReferenceOscillator:
+    """A frequency-steppable reference for PLL experiments."""
+
+    def __init__(self, freq_hz: float = 5.0, phase: float = 0.0) -> None:
+        if freq_hz <= 0:
+            raise ValueError(f"frequency must be positive: {freq_hz}")
+        self.freq_hz = float(freq_hz)
+        self.phase = float(phase)
+
+    def advance(self, dt_s: float) -> float:
+        """Advance and return the current phase."""
+        if dt_s < 0:
+            raise ValueError(f"dt must be non-negative: {dt_s}")
+        self.phase = math.fmod(
+            self.phase + 2.0 * math.pi * self.freq_hz * dt_s, 2.0 * math.pi
+        )
+        return self.phase
+
+    def set_frequency(self, freq_hz: float) -> None:
+        """Step the reference frequency (the experiment's disturbance)."""
+        if freq_hz <= 0:
+            raise ValueError(f"frequency must be positive: {freq_hz}")
+        self.freq_hz = float(freq_hz)

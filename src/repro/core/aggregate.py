@@ -1,0 +1,165 @@
+"""Event aggregation between polling intervals (Section 4.2).
+
+Gscope's polling is discrete-time, but many software signals are
+event-driven (packet arrivals, context switches, frame decodes).  Rather
+than requiring a poll per event, gscope aggregates the events that arrive
+within each polling interval and displays one aggregate value per poll.
+The paper lists seven aggregation functions, each illustrated with a
+network example:
+
+=============  =====================================================
+Maximum        maximum sample, e.g. latency
+Minimum        minimum sample, e.g. latency
+Sum            sum of sample values, e.g. bytes received
+Rate           sum / polling period, e.g. bandwidth in bytes/second
+Average        sum / number of events, e.g. bytes per packet
+Events         number of events, e.g. number of packets
+AnyEvent       did any event occur, e.g. any packet arrived?
+=============  =====================================================
+
+An aggregator accumulates via :meth:`Aggregator.add` and is drained once
+per poll via :meth:`Aggregator.collect`, which also resets it for the next
+interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+
+class AggregateKind(enum.Enum):
+    """Selector for the seven aggregation functions of Section 4.2."""
+
+    MAXIMUM = "maximum"
+    MINIMUM = "minimum"
+    SUM = "sum"
+    RATE = "rate"
+    AVERAGE = "average"
+    EVENTS = "events"
+    ANY_EVENT = "any_event"
+
+
+class Aggregator:
+    """Base class: accumulate events, emit one value per polling interval.
+
+    ``collect`` returns ``None`` when no event arrived and the aggregate
+    has no natural empty value (max/min/average); the channel then holds
+    the previous displayed value, which matches the sample-and-hold
+    discipline of Section 4.2.
+    """
+
+    kind: AggregateKind
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def add(self, value: float = 1.0) -> None:
+        """Record one event sample."""
+        self._values.append(float(value))
+
+    @property
+    def pending(self) -> int:
+        """Number of events recorded since the last collect."""
+        return len(self._values)
+
+    def collect(self, period_ms: float) -> Optional[float]:
+        """Return the aggregate over the interval and reset for the next."""
+        values, self._values = self._values, []
+        return self._reduce(values, period_ms)
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class Maximum(Aggregator):
+    """Maximum sample within the interval (e.g. max latency)."""
+
+    kind = AggregateKind.MAXIMUM
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        return max(values) if values else None
+
+
+class Minimum(Aggregator):
+    """Minimum sample within the interval (e.g. min latency)."""
+
+    kind = AggregateKind.MINIMUM
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        return min(values) if values else None
+
+
+class Sum(Aggregator):
+    """Sum of samples within the interval (e.g. bytes received)."""
+
+    kind = AggregateKind.SUM
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        return float(sum(values))
+
+
+class Rate(Aggregator):
+    """Sum divided by the polling period (e.g. bytes per second).
+
+    The period is supplied in milliseconds; the rate is reported per
+    second, matching the paper's bandwidth example.
+    """
+
+    kind = AggregateKind.RATE
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        if period_ms <= 0:
+            raise ValueError(f"polling period must be positive: {period_ms}")
+        return float(sum(values)) / (period_ms / 1000.0)
+
+
+class Average(Aggregator):
+    """Sum divided by the event count (e.g. bytes per packet)."""
+
+    kind = AggregateKind.AVERAGE
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        if not values:
+            return None
+        return float(sum(values)) / len(values)
+
+
+class Events(Aggregator):
+    """Number of events in the interval (e.g. number of packets)."""
+
+    kind = AggregateKind.EVENTS
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        return float(len(values))
+
+
+class AnyEvent(Aggregator):
+    """1.0 if any event occurred in the interval, else 0.0."""
+
+    kind = AggregateKind.ANY_EVENT
+
+    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+        return 1.0 if values else 0.0
+
+
+_AGGREGATORS = {
+    AggregateKind.MAXIMUM: Maximum,
+    AggregateKind.MINIMUM: Minimum,
+    AggregateKind.SUM: Sum,
+    AggregateKind.RATE: Rate,
+    AggregateKind.AVERAGE: Average,
+    AggregateKind.EVENTS: Events,
+    AggregateKind.ANY_EVENT: AnyEvent,
+}
+
+
+def make_aggregator(kind: AggregateKind) -> Aggregator:
+    """Instantiate the aggregator for ``kind``."""
+    try:
+        return _AGGREGATORS[kind]()
+    except KeyError:
+        raise ValueError(f"unknown aggregate kind: {kind!r}") from None

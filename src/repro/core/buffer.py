@@ -1,0 +1,140 @@
+"""The scope-wide timestamped sample buffer (Sections 3.1 and 4.4).
+
+Buffered (``BUFFER``-type) signals decouple data *collection* from data
+*display*: the application (or a remote client, via the client-server
+library) enqueues ``(time, value, name)`` samples, and the scope drains
+the buffer on each poll, displaying each sample once the user-specified
+delay has elapsed after the sample's timestamp.
+
+Two rules from the paper govern the buffer:
+
+* **Display delay** — a sample stamped ``t`` becomes displayable at wall
+  time ``t + delay`` (Section 3.1: "gscope displays these samples with a
+  user-specified delay").
+* **Late drop** — "Data arriving at the server after this delay is not
+  buffered but dropped immediately" (Section 4.4): a sample whose display
+  time has already passed when it is pushed is discarded, because the
+  scope has already painted that x position.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Sample:
+    """One timestamped sample of a named signal."""
+
+    time_ms: float
+    seq: int = field(compare=True)
+    name: str = field(compare=False)
+    value: float = field(compare=False)
+
+
+@dataclass
+class BufferStats:
+    """Counters for buffer behaviour, exposed for tests and benchmarks."""
+
+    pushed: int = 0
+    dropped_late: int = 0
+    evicted: int = 0
+    popped: int = 0
+
+    @property
+    def buffered(self) -> int:
+        """Samples currently held (accepted minus drained/evicted)."""
+        return self.pushed - self.dropped_late - self.evicted - self.popped
+
+
+class SampleBuffer:
+    """Min-heap of timestamped samples with delay/late-drop semantics.
+
+    Parameters
+    ----------
+    delay_ms:
+        The user-specified display delay.  Larger delays tolerate more
+        collection/transmission jitter at the cost of display latency.
+    capacity:
+        Optional bound on buffered samples; pushing past it drops the
+        *oldest* buffered sample first (the scope would have displayed it
+        soonest, and fresh data is more valuable on a live display).
+    """
+
+    def __init__(self, delay_ms: float = 0.0, capacity: Optional[int] = None) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative: {delay_ms}")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.delay_ms = float(delay_ms)
+        self.capacity = capacity
+        self._heap: List[Sample] = []
+        self._seq = itertools.count()
+        self.stats = BufferStats()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, name: str, time_ms: float, value: float, now_ms: float) -> bool:
+        """Enqueue a sample; return False if it was dropped as late.
+
+        ``now_ms`` is the current scope clock — the push is late exactly
+        when ``now_ms > time_ms + delay_ms``, i.e. the sample's display
+        slot has already gone by.
+        """
+        self.stats.pushed += 1
+        if now_ms > time_ms + self.delay_ms:
+            self.stats.dropped_late += 1
+            return False
+        if self.capacity is not None and len(self._heap) >= self.capacity:
+            heapq.heappop(self._heap)
+            self.stats.evicted += 1
+        heapq.heappush(
+            self._heap,
+            Sample(time_ms=float(time_ms), seq=next(self._seq), name=name, value=float(value)),
+        )
+        return True
+
+    def pop_due(self, now_ms: float) -> List[Sample]:
+        """Remove and return all samples displayable at ``now_ms``.
+
+        A sample is due when ``time_ms + delay_ms <= now_ms``.  Samples
+        come back in timestamp order (push order breaks ties), which is
+        the order the scope paints them.
+        """
+        due: List[Sample] = []
+        while self._heap and self._heap[0].time_ms + self.delay_ms <= now_ms:
+            due.append(heapq.heappop(self._heap))
+        self.stats.popped += len(due)
+        return due
+
+    def pop_due_by_name(self, now_ms: float) -> Dict[str, List[Sample]]:
+        """Like :meth:`pop_due` but grouped per signal name."""
+        grouped: Dict[str, List[Sample]] = {}
+        for sample in self.pop_due(now_ms):
+            grouped.setdefault(sample.name, []).append(sample)
+        return grouped
+
+    def peek_next(self) -> Optional[Sample]:
+        """The earliest buffered sample, without removing it."""
+        return self._heap[0] if self._heap else None
+
+    def clear(self) -> int:
+        """Drop everything buffered; return how many samples were dropped."""
+        n = len(self._heap)
+        self._heap.clear()
+        self.stats.evicted += n
+        return n
+
+    def set_delay(self, delay_ms: float) -> None:
+        """Adjust the display delay (the scope's delay widget)."""
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative: {delay_ms}")
+        self.delay_ms = float(delay_ms)
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of signals currently holding buffered samples."""
+        return tuple(sorted({s.name for s in self._heap}))

@@ -1,0 +1,84 @@
+"""C-flavoured compatibility shims for the paper's API names.
+
+Figure 6 of the paper shows the canonical gscope program using
+``gtk_scope_new``, ``gtk_scope_signal_new``,
+``gtk_scope_set_polling_mode``, ``gtk_scope_start_polling`` and
+``g_io_add_watch``.  These functions let that program be ported almost
+line-for-line (see ``examples/quickstart.py``); new code should use the
+:class:`~repro.core.scope.Scope` methods directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.channel import Channel
+from repro.core.scope import Scope
+from repro.core.signal import SignalSpec
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import IOCondition, Pollable
+
+_default_loop: Optional[MainLoop] = None
+
+
+def g_main_loop(loop: Optional[MainLoop] = None) -> MainLoop:
+    """Get or set the process-default main loop (like glib's default
+    main context)."""
+    global _default_loop
+    if loop is not None:
+        _default_loop = loop
+    if _default_loop is None:
+        _default_loop = MainLoop()
+    return _default_loop
+
+
+def gtk_scope_new(
+    name: str, width: int = 512, height: int = 256, loop: Optional[MainLoop] = None
+) -> Scope:
+    """``scope = gtk_scope_new(name, width, height);``"""
+    return Scope(name, loop if loop is not None else g_main_loop(), width, height)
+
+
+def gtk_scope_signal_new(scope: Scope, sig: SignalSpec) -> Channel:
+    """``gtk_scope_signal_new(scope, elephants_sig);``"""
+    return scope.signal_new(sig)
+
+
+def gtk_scope_set_polling_mode(scope: Scope, period_ms: float) -> None:
+    """``gtk_scope_set_polling_mode(scope, 50);``"""
+    scope.set_polling_mode(period_ms)
+
+
+def gtk_scope_start_polling(scope: Scope) -> None:
+    """``gtk_scope_start_polling(scope);``"""
+    scope.start_polling()
+
+
+def gtk_scope_stop_polling(scope: Scope) -> None:
+    scope.stop_polling()
+
+
+G_IO_IN = IOCondition.IN
+G_IO_OUT = IOCondition.OUT
+
+
+def g_io_add_watch(
+    channel: Pollable,
+    condition: IOCondition,
+    callback: Callable[..., Any],
+    loop: Optional[MainLoop] = None,
+) -> int:
+    """``g_io_add_watch(..., G_IO_IN, read_program, fd);``"""
+    return (loop if loop is not None else g_main_loop()).io_add_watch(
+        channel, condition, callback
+    )
+
+
+def gtk_main(max_iterations: Optional[int] = None, loop: Optional[MainLoop] = None) -> None:
+    """``gtk_main(); /* doesn't return */`` — here it returns when the
+    loop runs out of sources or hits ``max_iterations``."""
+    (loop if loop is not None else g_main_loop()).run(max_iterations=max_iterations)
+
+
+def gtk_main_quit(loop: Optional[MainLoop] = None) -> None:
+    (loop if loop is not None else g_main_loop()).quit()

@@ -1,0 +1,183 @@
+"""Per-signal runtime state — the library's ``GtkScopeSignal`` object.
+
+For every :class:`~repro.core.signal.SignalSpec` an application registers,
+the scope creates one :class:`Channel` that owns everything the display
+needs:
+
+* the trace: a bounded history of ``(time, displayed value)`` points,
+* the low-pass filter state,
+* the event aggregator (for event-driven signals, Section 4.2),
+* sample-and-hold state (when a poll produces no value, the previous one
+  is held),
+* visibility (left-click toggles display) and the live value readout (the
+  ``Value`` button in Figure 1),
+* per-channel statistics for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.aggregate import Aggregator, make_aggregator
+from repro.core.lowpass import LowPassFilter
+from repro.core.signal import SignalSpec, SignalType
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One displayed point: poll time, raw sample and filtered sample."""
+
+    time_ms: float
+    raw: float
+    value: float  # after low-pass filtering; what the canvas draws
+
+
+class Channel:
+    """Runtime state of one registered signal.
+
+    Parameters
+    ----------
+    spec:
+        The application-provided signal specification.
+    capacity:
+        Maximum retained trace points.  The canvas only needs one point
+        per pixel column; anything older scrolls off the left edge.
+    """
+
+    def __init__(self, spec: SignalSpec, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive: {capacity}")
+        self.spec = spec
+        self.capacity = capacity
+        self.visible = not spec.hidden
+        self.show_value = False  # the `Value` readout button state
+        self.filter = LowPassFilter(spec.filter)
+        self.aggregator: Optional[Aggregator] = (
+            make_aggregator(spec.aggregate) if spec.aggregate is not None else None
+        )
+        self.trace: Deque[TracePoint] = deque(maxlen=capacity)
+        self.held_value: Optional[float] = None
+        self.polls = 0
+        self.samples = 0
+        self.holds = 0
+
+    # ------------------------------------------------------------------
+    # Identity and display state
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def buffered(self) -> bool:
+        return self.spec.type is SignalType.BUFFER
+
+    def toggle_visible(self) -> bool:
+        """Left-click on the signal name (Figure 1): show/hide the trace."""
+        self.visible = not self.visible
+        return self.visible
+
+    def toggle_value_readout(self) -> bool:
+        """The ``Value`` button: continuously display the latest value."""
+        self.show_value = not self.show_value
+        return self.show_value
+
+    @property
+    def last_value(self) -> Optional[float]:
+        """Latest displayed (filtered) value, or None before any sample."""
+        return self.trace[-1].value if self.trace else None
+
+    @property
+    def last_raw(self) -> Optional[float]:
+        return self.trace[-1].raw if self.trace else None
+
+    # ------------------------------------------------------------------
+    # Event reporting (event-driven signals, Section 4.2)
+    # ------------------------------------------------------------------
+    def event(self, value: float = 1.0) -> None:
+        """Report one application event for aggregation at the next poll."""
+        if self.aggregator is None:
+            raise TypeError(
+                f"signal {self.name!r} has no aggregate mode; "
+                "set SignalSpec.aggregate to report events"
+            )
+        self.aggregator.add(value)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _record(self, time_ms: float, raw: float) -> TracePoint:
+        point = TracePoint(time_ms=time_ms, raw=raw, value=self.filter.apply(raw))
+        self.trace.append(point)
+        self.held_value = raw
+        self.samples += 1
+        return point
+
+    def poll(self, time_ms: float, period_ms: float) -> Optional[TracePoint]:
+        """Produce this poll interval's displayed point.
+
+        For aggregated signals the aggregator is drained; an empty
+        interval with no natural aggregate (max/min/average) holds the
+        previous value (sample-and-hold).  For plain polled signals the
+        source is read directly.  Buffered signals are not polled here —
+        the scope feeds them via :meth:`accept_sample`.
+        """
+        if self.buffered:
+            raise TypeError(f"signal {self.name!r} is buffered; cannot poll")
+        self.polls += 1
+        if self.aggregator is not None:
+            raw = self.aggregator.collect(period_ms)
+            if raw is None:
+                if self.held_value is None:
+                    return None  # nothing to display yet
+                self.holds += 1
+                raw = self.held_value
+        else:
+            raw = self.spec.read()
+        return self._record(time_ms, raw)
+
+    def accept_sample(self, time_ms: float, value: float) -> TracePoint:
+        """Accept one due sample from the scope-wide buffer (BUFFER type)."""
+        if not self.buffered:
+            raise TypeError(f"signal {self.name!r} is not buffered")
+        self.samples += 0  # _record increments; kept for symmetry
+        return self._record(time_ms, value)
+
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+    def values(self) -> List[float]:
+        """Displayed (filtered) values, oldest first."""
+        return [p.value for p in self.trace]
+
+    def raw_values(self) -> List[float]:
+        return [p.raw for p in self.trace]
+
+    def times(self) -> List[float]:
+        return [p.time_ms for p in self.trace]
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(time, value) pairs for rendering or analysis."""
+        return [(p.time_ms, p.value) for p in self.trace]
+
+    def window(self, n: int) -> List[TracePoint]:
+        """The most recent ``n`` trace points (fewer if not yet available)."""
+        if n <= 0:
+            return []
+        return list(self.trace)[-n:]
+
+    def clear(self) -> None:
+        """Wipe trace and state (used when acquisition mode changes)."""
+        self.trace.clear()
+        self.filter.reset()
+        if self.aggregator is not None:
+            self.aggregator.reset()
+        self.held_value = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, type={self.spec.type.value}, "
+            f"points={len(self.trace)}, visible={self.visible})"
+        )

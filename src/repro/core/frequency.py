@@ -1,0 +1,113 @@
+"""Frequency-domain signal views.
+
+Section 1 lists "time and frequency representation of signals" among
+gscope's features and Section 3.1 notes that "polled signals can be
+displayed in the time or frequency domain".  The scope samples at a fixed
+polling period, so a trace is a uniformly sampled series and a real FFT
+gives its spectrum directly; the sampling rate is ``1000 / period_ms`` Hz
+and the spectrum extends to the Nyquist frequency, half of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Magnitude spectrum of a scope trace."""
+
+    freqs_hz: np.ndarray
+    magnitudes: np.ndarray
+    sample_rate_hz: float
+
+    @property
+    def nyquist_hz(self) -> float:
+        return self.sample_rate_hz / 2.0
+
+    def peak(self) -> Tuple[float, float]:
+        """(frequency, magnitude) of the strongest non-DC component."""
+        if len(self.freqs_hz) < 2:
+            raise ValueError("spectrum too short to have a non-DC peak")
+        idx = 1 + int(np.argmax(self.magnitudes[1:]))
+        return float(self.freqs_hz[idx]), float(self.magnitudes[idx])
+
+    def dominant_period_ms(self) -> float:
+        """Period of the strongest component, in milliseconds."""
+        freq, _ = self.peak()
+        if freq <= 0:
+            raise ValueError("no oscillating component found")
+        return 1000.0 / freq
+
+
+_WINDOWS = {
+    "rect": lambda n: np.ones(n),
+    "hann": np.hanning,
+    "hamming": np.hamming,
+    "blackman": np.blackman,
+}
+
+
+def spectrum(
+    values: Sequence[float],
+    period_ms: float,
+    window: str = "hann",
+    detrend: bool = True,
+) -> Spectrum:
+    """Compute the magnitude spectrum of a uniformly sampled trace.
+
+    Parameters
+    ----------
+    values:
+        Trace samples, one per polling period.
+    period_ms:
+        The scope polling period (sampling interval) in milliseconds.
+    window:
+        Taper applied before the FFT: ``rect``, ``hann`` (default),
+        ``hamming`` or ``blackman``.  Windowing reduces leakage from the
+        finite, unsynchronised capture a scope trace is.
+    detrend:
+        Remove the mean first so the DC component does not swamp the
+        display scale.
+    """
+    if period_ms <= 0:
+        raise ValueError(f"period must be positive: {period_ms}")
+    if window not in _WINDOWS:
+        raise ValueError(f"unknown window {window!r}; options: {sorted(_WINDOWS)}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two samples for a spectrum")
+    if detrend:
+        data = data - data.mean()
+    taper = _WINDOWS[window](data.size)
+    tapered = data * taper
+    mags = np.abs(np.fft.rfft(tapered))
+    # Normalise so a unit-amplitude sine reports magnitude ~1 regardless
+    # of trace length or window choice.
+    scale = taper.sum() / 2.0
+    if scale > 0:
+        mags = mags / scale
+    sample_rate_hz = 1000.0 / period_ms
+    freqs = np.fft.rfftfreq(data.size, d=period_ms / 1000.0)
+    return Spectrum(freqs_hz=freqs, magnitudes=mags, sample_rate_hz=sample_rate_hz)
+
+
+def band_power(spec: Spectrum, lo_hz: float, hi_hz: float) -> float:
+    """Total squared magnitude within ``[lo_hz, hi_hz]``."""
+    if hi_hz < lo_hz:
+        raise ValueError(f"band is empty: [{lo_hz}, {hi_hz}]")
+    mask = (spec.freqs_hz >= lo_hz) & (spec.freqs_hz <= hi_hz)
+    return float(np.sum(spec.magnitudes[mask] ** 2))
+
+
+def top_components(spec: Spectrum, n: int = 3) -> List[Tuple[float, float]]:
+    """The ``n`` strongest non-DC (frequency, magnitude) components."""
+    if n <= 0:
+        return []
+    order = np.argsort(spec.magnitudes[1:])[::-1][:n]
+    return [
+        (float(spec.freqs_hz[i + 1]), float(spec.magnitudes[i + 1])) for i in order
+    ]

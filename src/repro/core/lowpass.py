@@ -1,0 +1,71 @@
+"""Per-signal low-pass filter (Section 3.1).
+
+The paper specifies a one-pole IIR filter::
+
+    y_i = alpha * y_{i-1} + (1 - alpha) * x_i
+
+with ``alpha`` ranging from 0 (default, unfiltered — the output equals the
+input) to 1.  At ``alpha == 1`` the filter holds its initial output
+forever, so gscope treats it as the heaviest smoothing available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+
+class LowPassFilter:
+    """Stateful one-pole low-pass filter.
+
+    The first sample initialises the state (``y_0 = x_0``), which avoids
+    the startup transient a zero-initialised filter would show — the scope
+    displays the signal's real level from the first poll.
+    """
+
+    def __init__(self, alpha: float = 0.0) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"filter alpha must be in [0, 1]: {alpha}")
+        self.alpha = float(alpha)
+        self._y: Optional[float] = None
+
+    def __call__(self, x: float) -> float:
+        return self.apply(x)
+
+    def apply(self, x: float) -> float:
+        """Filter one sample and return the filtered value."""
+        x = float(x)
+        if not math.isfinite(x):
+            raise ValueError(f"filter input must be finite: {x}")
+        if self._y is None or self.alpha == 0.0:
+            self._y = x
+        else:
+            self._y = self.alpha * self._y + (1.0 - self.alpha) * x
+        return self._y
+
+    def apply_all(self, xs: Iterable[float]) -> List[float]:
+        """Filter a whole sequence, returning the filtered sequence."""
+        return [self.apply(x) for x in xs]
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current filter output (None before the first sample)."""
+        return self._y
+
+    def reset(self) -> None:
+        """Forget all state; the next sample re-initialises the filter."""
+        self._y = None
+
+    def settling_samples(self, fraction: float = 0.01) -> int:
+        """Number of samples for a step input to settle within ``fraction``.
+
+        Useful when choosing ``alpha`` for a given polling period: the
+        filter's step response decays as ``alpha**n``.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1): {fraction}")
+        if self.alpha == 0.0:
+            return 0
+        if self.alpha == 1.0:
+            raise ValueError("alpha == 1 never settles")
+        return max(0, math.ceil(math.log(fraction) / math.log(self.alpha)))

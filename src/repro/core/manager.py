@@ -1,0 +1,85 @@
+"""Multiple scopes on one main loop.
+
+"Support for multiple scopes and signals, dynamic addition and removal of
+scopes and signals" is the first feature Section 1 lists.  The manager is
+a thin registry: it creates scopes bound to a shared main loop, routes
+buffered samples to every scope carrying the named signal (one remote
+stream can feed several displays, Section 4.4) and coordinates start/stop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.scope import Scope, ScopeError
+from repro.eventloop.loop import MainLoop
+
+
+class ScopeManager:
+    """Registry of scopes sharing one :class:`MainLoop`."""
+
+    def __init__(self, loop: Optional[MainLoop] = None) -> None:
+        self.loop = loop if loop is not None else MainLoop()
+        self._scopes: Dict[str, Scope] = {}
+
+    # ------------------------------------------------------------------
+    # Scope lifecycle
+    # ------------------------------------------------------------------
+    def scope_new(self, name: str, **kwargs: object) -> Scope:
+        """Create and register a scope (``gtk_scope_new`` equivalent)."""
+        if name in self._scopes:
+            raise ScopeError(f"duplicate scope name: {name!r}")
+        scope = Scope(name, self.loop, **kwargs)  # type: ignore[arg-type]
+        self._scopes[name] = scope
+        return scope
+
+    def scope_remove(self, name: str) -> None:
+        """Dynamically remove a scope, stopping its polling first."""
+        scope = self.scope(name)
+        scope.stop_polling()
+        del self._scopes[name]
+
+    def scope(self, name: str) -> Scope:
+        try:
+            return self._scopes[name]
+        except KeyError:
+            raise ScopeError(f"unknown scope: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scopes
+
+    def __len__(self) -> int:
+        return len(self._scopes)
+
+    @property
+    def scopes(self) -> List[Scope]:
+        return list(self._scopes.values())
+
+    # ------------------------------------------------------------------
+    # Coordinated control
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        for scope in self._scopes.values():
+            scope.start_polling()
+
+    def stop_all(self) -> None:
+        for scope in self._scopes.values():
+            scope.stop_polling()
+
+    def push_sample(self, name: str, time_ms: float, value: float) -> int:
+        """Deliver a buffered sample to every scope displaying ``name``.
+
+        Returns the number of scopes that accepted the sample.  This is
+        how the server side of the client-server library fans a remote
+        signal out to "one or more scopes" (Section 4.4).
+        """
+        accepted = 0
+        for scope in self._scopes.values():
+            if name in scope and scope.channel(name).buffered:
+                if scope.push_sample(name, time_ms, value):
+                    accepted += 1
+        return accepted
+
+    def run_for(self, duration_ms: float) -> None:
+        """Drive the shared loop for ``duration_ms``."""
+        self.loop.run_for(duration_ms)

@@ -1,0 +1,185 @@
+"""Control parameter interface — the ``GtkScopeParameter`` port (§3.2).
+
+Application or control parameters are application-wide knobs that gscope
+can *read and write* (signals are read-only).  They are "not displayed but
+generally used to modify application behavior": the mxtraf demo uses them
+to change the number of flows and switch TCP variants at run time, and
+Figure 3 shows the window that edits them.
+
+A :class:`ControlParameter` wraps either a :class:`~repro.core.signal.Cell`
+or an explicit getter/setter pair, with optional bounds and step.  A
+:class:`ParameterStore` groups the parameters of one application and
+notifies listeners on every change — that is the hook the GUI window and
+the programmatic interface share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class ParameterError(ValueError):
+    """Raised for unknown parameters or out-of-bounds writes."""
+
+
+class ControlParameter:
+    """One read/write application parameter.
+
+    Parameters
+    ----------
+    name:
+        Parameter name shown in the control window.
+    cell:
+        Shared mutable holder (anything with a ``value`` attribute).
+        Mutually exclusive with ``getter``/``setter``.
+    getter / setter:
+        Explicit accessors for parameters that live inside application
+        state (mirrors the FUNC signal mechanism, but writable).
+    minimum / maximum:
+        Optional bounds enforced on every write.
+    step:
+        Display increment hint for GUI spin buttons; not enforced.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cell: Optional[Any] = None,
+        getter: Optional[Callable[[], float]] = None,
+        setter: Optional[Callable[[float], None]] = None,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+        step: float = 1.0,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise ParameterError("parameter name must be non-empty")
+        if cell is None and (getter is None or setter is None):
+            raise ParameterError(
+                f"parameter {name!r} needs a cell or a getter/setter pair"
+            )
+        if cell is not None and (getter is not None or setter is not None):
+            raise ParameterError(
+                f"parameter {name!r}: cell and getter/setter are mutually exclusive"
+            )
+        if minimum is not None and maximum is not None and maximum < minimum:
+            raise ParameterError(
+                f"parameter {name!r}: maximum {maximum} < minimum {minimum}"
+            )
+        self.name = name
+        self._cell = cell
+        self._getter = getter
+        self._setter = setter
+        self.minimum = minimum
+        self.maximum = maximum
+        self.step = step
+        self.description = description
+
+    def get(self) -> float:
+        """Read the current parameter value."""
+        if self._cell is not None:
+            return float(self._cell.value)
+        assert self._getter is not None
+        return float(self._getter())
+
+    def set(self, value: float) -> float:
+        """Write a new value, enforcing bounds; returns the stored value."""
+        value = float(value)
+        if self.minimum is not None and value < self.minimum:
+            raise ParameterError(
+                f"parameter {self.name!r}: {value} below minimum {self.minimum}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ParameterError(
+                f"parameter {self.name!r}: {value} above maximum {self.maximum}"
+            )
+        if self._cell is not None:
+            self._cell.value = value
+        else:
+            assert self._setter is not None
+            self._setter(value)
+        return value
+
+    def adjust(self, steps: int) -> float:
+        """Move the parameter by ``steps`` increments of :attr:`step`.
+
+        This is what the GUI spin buttons do; clamped to the bounds
+        instead of raising, since a held-down button should stop at the
+        rail rather than error.
+        """
+        target = self.get() + steps * self.step
+        if self.minimum is not None:
+            target = max(self.minimum, target)
+        if self.maximum is not None:
+            target = min(self.maximum, target)
+        return self.set(target)
+
+
+ChangeListener = Callable[[str, float], None]
+
+
+class ParameterStore:
+    """Named collection of control parameters with change notification.
+
+    The store is the model behind Figure 3's control-parameter window:
+    the GUI and the programmatic interface both go through :meth:`set`,
+    and every listener (GUI refresh, recorders, tests) observes the same
+    change stream.
+    """
+
+    def __init__(self) -> None:
+        self._params: Dict[str, ControlParameter] = {}
+        self._listeners: List[ChangeListener] = []
+
+    def add(self, param: ControlParameter) -> ControlParameter:
+        """Register a parameter; duplicate names are an error."""
+        if param.name in self._params:
+            raise ParameterError(f"duplicate parameter name: {param.name!r}")
+        self._params[param.name] = param
+        return param
+
+    def remove(self, name: str) -> None:
+        if name not in self._params:
+            raise ParameterError(f"unknown parameter: {name!r}")
+        del self._params[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def names(self) -> List[str]:
+        return list(self._params)
+
+    def parameter(self, name: str) -> ControlParameter:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise ParameterError(f"unknown parameter: {name!r}") from None
+
+    def get(self, name: str) -> float:
+        return self.parameter(name).get()
+
+    def set(self, name: str, value: float) -> float:
+        """Write a parameter and notify all listeners."""
+        stored = self.parameter(name).set(value)
+        for listener in list(self._listeners):
+            listener(name, stored)
+        return stored
+
+    def adjust(self, name: str, steps: int) -> float:
+        stored = self.parameter(name).adjust(steps)
+        for listener in list(self._listeners):
+            listener(name, stored)
+        return stored
+
+    def snapshot(self) -> Dict[str, float]:
+        """Read every parameter at once (for recording experiment state)."""
+        return {name: p.get() for name, p in self._params.items()}
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        self._listeners.remove(listener)

@@ -1,0 +1,113 @@
+"""Printing of recorded data — another Future Work item, built.
+
+Section 6: "Gscope does not currently support printing of recorded
+data."  Here, printing means turning a recorded tuple file into a
+finished, annotated image offline — no running application, no live
+scope.  :func:`print_recording` replays the file through a scope in
+playback mode, renders the widget, and writes PPM and/or ASCII output;
+:func:`print_summary` produces the per-signal statistics block that a
+printed capture would carry in its margin.
+"""
+
+from __future__ import annotations
+
+import io
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.scope import Scope
+from repro.core.tuples import Player
+from repro.eventloop.loop import MainLoop
+from repro.gui.render import ascii_render, write_ppm
+from repro.gui.scope_widget import ScopeWidget
+
+
+@dataclass(frozen=True)
+class SignalSummary:
+    """Statistics block for one recorded signal."""
+
+    name: str
+    points: int
+    minimum: float
+    maximum: float
+    mean: float
+    first_time_ms: float
+    last_time_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.last_time_ms - self.first_time_ms
+
+
+def _replay(source: Union[str, io.TextIOBase], period_ms: float,
+            width: int, height: int) -> Scope:
+    if isinstance(source, str) and "\n" not in source:
+        player = Player(source)  # a file path
+    elif isinstance(source, str):
+        player = Player(io.StringIO(source))  # inline recorded text
+    else:
+        player = Player(source)
+    loop = MainLoop()
+    scope = Scope("print", loop, width=width, height=height)
+    scope.set_playback_mode(player, period_ms=period_ms)
+    scope.start_polling()
+    loop.run_until(player.start_time_ms + player.duration_ms + 10 * period_ms)
+    return scope
+
+
+def print_summary(source: Union[str, io.TextIOBase],
+                  period_ms: float = 50.0) -> Dict[str, SignalSummary]:
+    """Compute the per-signal statistics block of a recording."""
+    scope = _replay(source, period_ms, width=16, height=16)
+    summaries: Dict[str, SignalSummary] = {}
+    for channel in scope.channels:
+        values = channel.raw_values()
+        times = channel.times()
+        if not values:
+            continue
+        summaries[channel.name] = SignalSummary(
+            name=channel.name,
+            points=len(values),
+            minimum=min(values),
+            maximum=max(values),
+            mean=statistics.mean(values),
+            first_time_ms=times[0],
+            last_time_ms=times[-1],
+        )
+    return summaries
+
+
+def print_recording(
+    source: Union[str, io.TextIOBase],
+    ppm_path: Optional[str] = None,
+    period_ms: float = 50.0,
+    width: int = 512,
+    height: int = 160,
+    ascii_width: int = 100,
+    ascii_height: int = 30,
+) -> str:
+    """Render a recorded tuple file to an image and/or ASCII art.
+
+    Returns the ASCII rendering; writes a PPM when ``ppm_path`` is
+    given.  The display shows the tail of the recording at one pixel
+    per ``period_ms``, exactly as a live scope would have shown it.
+    """
+    scope = _replay(source, period_ms, width, height)
+    widget = ScopeWidget(scope)
+    canvas = widget.render()
+    if ppm_path is not None:
+        write_ppm(canvas, ppm_path)
+    return ascii_render(canvas, max_width=ascii_width, max_height=ascii_height)
+
+
+def format_summary(summaries: Dict[str, SignalSummary]) -> str:
+    """Human-readable margin block for a printed capture."""
+    lines = []
+    for name in sorted(summaries):
+        s = summaries[name]
+        lines.append(
+            f"{s.name}: {s.points} points over {s.duration_ms:.0f} ms, "
+            f"min {s.minimum:g}, max {s.maximum:g}, mean {s.mean:.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Signal specification — the Python port of ``GtkScopeSig``.
+
+Section 3.1 of the paper defines a signal as a name plus a typed data
+source::
+
+    typedef struct {
+        char *name;                /* signal name */
+        GtkScopeSigData signal;    /* signal data */
+        /* color, min, max, line, hidden, filter */
+    } GtkScopeSig;
+
+The signal type is one of ``INTEGER``, ``BOOLEAN``, ``SHORT``, ``FLOAT``,
+``FUNC`` or ``BUFFER``:
+
+* the four scalar types poll a word of application memory — in C a
+  pointer, here a :class:`Cell` (or any object with a ``value``
+  attribute);
+* ``FUNC`` invokes a user function with two user arguments and uses the
+  return value as the sample;
+* ``BUFFER`` marks the signal as buffered: samples are pushed with
+  timestamps into the scope-wide buffer and displayed after a delay.
+
+The optional fields carry the per-signal display parameters: color,
+displayed min/max (for default zoom and bias), line mode, hidden flag and
+the low-pass filter coefficient ``alpha`` in [0, 1] (0 = unfiltered).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.aggregate import AggregateKind
+
+SHORT_MIN = -(2**15)
+SHORT_MAX = 2**15 - 1
+
+
+class SignalType(enum.Enum):
+    """The ``GtkScopeSigData`` union discriminator (Section 3.1)."""
+
+    INTEGER = "integer"
+    BOOLEAN = "boolean"
+    SHORT = "short"
+    FLOAT = "float"
+    FUNC = "func"
+    BUFFER = "buffer"
+
+    @property
+    def buffered(self) -> bool:
+        """Buffered signals read from the scope-wide sample buffer."""
+        return self is SignalType.BUFFER
+
+
+class LineMode(enum.Enum):
+    """How a trace is drawn on the canvas (the spec's ``line`` field)."""
+
+    LINE = "line"  # connect successive samples
+    POINTS = "points"  # one pixel per sample
+    STEP = "step"  # sample-and-hold staircase
+
+
+class Cell:
+    """A mutable word of memory the scope can poll.
+
+    The C library stores ``int *``/``float *`` pointers; Python has no
+    pointers, so applications share a :class:`Cell` with the scope and
+    assign ``cell.value`` whenever the quantity changes.  Any object with
+    a ``value`` attribute works in its place.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Cell({self.value!r})"
+
+
+def _coerce(sig_type: SignalType, raw: Any) -> float:
+    """Coerce a polled value the way the C union field widths would."""
+    if sig_type is SignalType.BOOLEAN:
+        return 1.0 if raw else 0.0
+    if sig_type is SignalType.INTEGER:
+        return float(int(raw))
+    if sig_type is SignalType.SHORT:
+        clipped = max(SHORT_MIN, min(SHORT_MAX, int(raw)))
+        return float(clipped)
+    return float(raw)
+
+
+@dataclass
+class SignalSpec:
+    """Python equivalent of ``GtkScopeSig`` (Section 3.1).
+
+    Only ``name`` and the source description are mandatory; everything
+    else mirrors the struct's optional fields with the paper's defaults
+    (the y ruler runs 0..100, filter defaults to 0 = unfiltered, signals
+    start visible).
+
+    ``aggregate`` selects one of the Section 4.2 event-aggregation
+    functions for event-driven use: the application reports events via
+    :meth:`repro.core.channel.Channel.event` and each poll displays the
+    aggregate over the elapsed interval.
+    """
+
+    name: str
+    type: SignalType = SignalType.FLOAT
+    cell: Optional[Any] = None
+    func: Optional[Callable[[Any, Any], float]] = None
+    arg1: Any = None
+    arg2: Any = None
+    color: Optional[str] = None
+    min: float = 0.0
+    max: float = 100.0
+    line: LineMode = LineMode.LINE
+    hidden: bool = False
+    filter: float = 0.0
+    aggregate: Optional[AggregateKind] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("signal name must be non-empty")
+        if not 0.0 <= self.filter <= 1.0:
+            raise ValueError(f"filter alpha must be in [0, 1]: {self.filter}")
+        if self.max <= self.min:
+            raise ValueError(
+                f"signal {self.name!r}: max ({self.max}) must exceed min ({self.min})"
+            )
+        if self.type is SignalType.FUNC:
+            if self.func is None:
+                raise ValueError(f"signal {self.name!r}: FUNC type requires func")
+        elif self.type is SignalType.BUFFER:
+            pass  # data arrives via the scope-wide buffer
+        elif self.cell is None and self.aggregate is None:
+            raise ValueError(
+                f"signal {self.name!r}: scalar type requires a cell to poll"
+            )
+
+    def read(self) -> float:
+        """Poll the signal source once and return the sample value.
+
+        Valid for unbuffered signals only; ``BUFFER`` signals receive
+        their data through :class:`repro.core.buffer.SampleBuffer`.
+        """
+        if self.type is SignalType.BUFFER:
+            raise TypeError(f"signal {self.name!r} is buffered; push samples instead")
+        if self.type is SignalType.FUNC:
+            assert self.func is not None
+            return float(self.func(self.arg1, self.arg2))
+        if self.cell is None:
+            raise TypeError(f"signal {self.name!r} has no cell to poll")
+        return _coerce(self.type, self.cell.value)
+
+    @property
+    def span(self) -> float:
+        """Displayed value range at default zoom and bias."""
+        return self.max - self.min
+
+
+def memory_signal(
+    name: str,
+    cell: Any,
+    sig_type: SignalType = SignalType.INTEGER,
+    **kwargs: Any,
+) -> SignalSpec:
+    """Build a polled-memory signal (the ``elephants`` example in §3.1)."""
+    if sig_type in (SignalType.FUNC, SignalType.BUFFER):
+        raise ValueError(f"memory signal cannot have type {sig_type}")
+    return SignalSpec(name=name, type=sig_type, cell=cell, **kwargs)
+
+
+def func_signal(
+    name: str,
+    func: Callable[[Any, Any], float],
+    arg1: Any = None,
+    arg2: Any = None,
+    **kwargs: Any,
+) -> SignalSpec:
+    """Build a callback signal (the ``CWND``/``get_cwnd`` example in §3.1)."""
+    return SignalSpec(
+        name=name, type=SignalType.FUNC, func=func, arg1=arg1, arg2=arg2, **kwargs
+    )
+
+
+def buffer_signal(name: str, **kwargs: Any) -> SignalSpec:
+    """Build a buffered signal fed through the scope-wide sample buffer."""
+    return SignalSpec(name=name, type=SignalType.BUFFER, **kwargs)

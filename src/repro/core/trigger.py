@@ -1,0 +1,154 @@
+"""Triggers and waveform envelopes — the paper's Future Work, built.
+
+Section 6: "Gscope currently does not have support for repeating
+waveforms.  Thus, many oscilloscope features such as triggers that
+stabilize repeating waveforms or waveform envelop generation are not
+implemented in gscope."  This module implements both so the reproduction
+covers the paper's stated extensions:
+
+* :class:`Trigger` — level/edge trigger detection over a trace, used to
+  align successive sweeps of a repeating waveform so the display is
+  stable (what the trigger knob on a hardware scope does).
+* :func:`envelope` — per-column min/max envelope across aligned sweeps,
+  showing the variation band of a repeating waveform.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class Edge(enum.Enum):
+    """Which crossing direction arms the trigger."""
+
+    RISING = "rising"
+    FALLING = "falling"
+    EITHER = "either"
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One trigger firing: sample index and the crossing's direction."""
+
+    index: int
+    edge: Edge
+
+
+class Trigger:
+    """Level/edge trigger with hysteresis and holdoff.
+
+    Parameters
+    ----------
+    level:
+        The trigger level in signal units.
+    edge:
+        Crossing direction that fires the trigger.
+    hysteresis:
+        The signal must retreat this far past the level before the
+        trigger re-arms, suppressing noise-induced double triggers.
+    holdoff:
+        Minimum samples between firings, like a scope's holdoff knob.
+    """
+
+    def __init__(
+        self,
+        level: float,
+        edge: Edge = Edge.RISING,
+        hysteresis: float = 0.0,
+        holdoff: int = 0,
+    ) -> None:
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be non-negative: {hysteresis}")
+        if holdoff < 0:
+            raise ValueError(f"holdoff must be non-negative: {holdoff}")
+        self.level = float(level)
+        self.edge = edge
+        self.hysteresis = float(hysteresis)
+        self.holdoff = int(holdoff)
+
+    def _crossings(self, values: Sequence[float]) -> List[TriggerEvent]:
+        events: List[TriggerEvent] = []
+        armed_rising = True
+        armed_falling = True
+        lo = self.level - self.hysteresis
+        hi = self.level + self.hysteresis
+        last_fire = -(self.holdoff + 1)
+        for i in range(1, len(values)):
+            prev, cur = values[i - 1], values[i]
+            if cur <= lo:
+                armed_rising = True
+            if cur >= hi:
+                armed_falling = True
+            fired: Optional[Edge] = None
+            if (
+                self.edge in (Edge.RISING, Edge.EITHER)
+                and armed_rising
+                and prev < self.level <= cur
+            ):
+                fired = Edge.RISING
+                armed_rising = False
+            elif (
+                self.edge in (Edge.FALLING, Edge.EITHER)
+                and armed_falling
+                and prev > self.level >= cur
+            ):
+                fired = Edge.FALLING
+                armed_falling = False
+            if fired is not None and i - last_fire > self.holdoff:
+                events.append(TriggerEvent(index=i, edge=fired))
+                last_fire = i
+        return events
+
+    def find(self, values: Sequence[float]) -> List[TriggerEvent]:
+        """All trigger firings over a trace, oldest first."""
+        return self._crossings(values)
+
+    def sweeps(
+        self, values: Sequence[float], width: int
+    ) -> List[List[float]]:
+        """Cut the trace into trigger-aligned sweeps of ``width`` samples.
+
+        Each sweep starts at a trigger point; sweeps that would run past
+        the end of the trace are discarded (a hardware scope similarly
+        only displays complete sweeps).
+        """
+        if width <= 0:
+            raise ValueError(f"sweep width must be positive: {width}")
+        sweeps: List[List[float]] = []
+        for event in self.find(values):
+            if event.index + width <= len(values):
+                sweeps.append(list(values[event.index : event.index + width]))
+        return sweeps
+
+
+def envelope(sweeps: Sequence[Sequence[float]]) -> Tuple[List[float], List[float]]:
+    """Per-column (min, max) envelope across aligned sweeps.
+
+    All sweeps must share a length.  Returns ``(lower, upper)`` lists of
+    that length.  With a single sweep both envelopes equal the sweep.
+    """
+    if not sweeps:
+        raise ValueError("need at least one sweep for an envelope")
+    width = len(sweeps[0])
+    for i, sweep in enumerate(sweeps):
+        if len(sweep) != width:
+            raise ValueError(
+                f"sweep {i} length {len(sweep)} != expected {width}"
+            )
+    lower = [min(s[i] for s in sweeps) for i in range(width)]
+    upper = [max(s[i] for s in sweeps) for i in range(width)]
+    return lower, upper
+
+
+def stabilised_view(
+    values: Sequence[float], trigger: Trigger, width: int
+) -> Optional[List[float]]:
+    """The most recent complete trigger-aligned sweep, or None.
+
+    This is what a triggered scope actually paints: the latest sweep that
+    starts at a trigger point, so a repeating waveform appears frozen.
+    """
+    sweeps = trigger.sweeps(values, width)
+    return sweeps[-1] if sweeps else None

@@ -1,0 +1,45 @@
+"""Event-loop substrate: a from-scratch replacement for the glib main loop.
+
+Gscope (Goel & Walpole, USENIX FREENIX 2002) sits on the glib main loop:
+its polling is a glib timeout source, its GUI refresh is an idle source and
+its distributed client/server library is driven by I/O watches.  This
+package rebuilds those pieces in pure Python with the same source
+semantics (callbacks return ``True`` to stay installed, ``False`` to be
+removed) plus two additions the reproduction needs:
+
+* a pluggable :class:`~repro.eventloop.clock.Clock` so tests and benchmarks
+  can run on a deterministic :class:`~repro.eventloop.clock.VirtualClock`
+  or on the real :class:`~repro.eventloop.clock.SystemClock`, and
+* a :class:`~repro.eventloop.clock.KernelTimerModel` that reproduces the
+  coarse kernel timer quantisation (10 ms on 2002-era Linux) and the
+  scheduling-latency-induced lost timeouts discussed in Section 4.5 of the
+  paper.
+"""
+
+from repro.eventloop.clock import (
+    Clock,
+    KernelTimerModel,
+    SystemClock,
+    VirtualClock,
+)
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import (
+    IdleSource,
+    IOWatch,
+    Priority,
+    Source,
+    TimeoutSource,
+)
+
+__all__ = [
+    "Clock",
+    "IOWatch",
+    "IdleSource",
+    "KernelTimerModel",
+    "MainLoop",
+    "Priority",
+    "Source",
+    "SystemClock",
+    "TimeoutSource",
+    "VirtualClock",
+]

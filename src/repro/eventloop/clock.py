@@ -1,0 +1,152 @@
+"""Clocks for the event loop.
+
+All times in this package are floating-point **milliseconds**, matching the
+tuple format of the paper (Section 3.3: "its value is in milliseconds").
+
+Three clocks are provided:
+
+* :class:`VirtualClock` — a deterministic clock that only moves when told
+  to.  The main loop advances it to the next timer deadline, so tests and
+  simulations run instantaneously and reproducibly.
+* :class:`SystemClock` — wall-clock time from :func:`time.monotonic`, used
+  by the overhead benchmarks (Section 4.6 of the paper measures real CPU
+  consumption).
+* :class:`KernelTimerModel` — a decorator clock that models the kernel
+  timer interrupt: wakeups are quantised to a tick (10 ms on 2002 Linux,
+  Section 4.5) and an optional scheduling-latency model can delay wakeups
+  further, producing the "lost timeouts" the paper compensates for.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+
+class Clock:
+    """Abstract time source for :class:`~repro.eventloop.loop.MainLoop`.
+
+    Subclasses must implement :meth:`now` and :meth:`wait_until`.
+    """
+
+    def now(self) -> float:
+        """Return the current time in milliseconds."""
+        raise NotImplementedError
+
+    def wait_until(self, deadline_ms: float) -> None:
+        """Block (or jump) until ``deadline_ms``.
+
+        A virtual clock jumps; a system clock sleeps.  Waiting for a
+        deadline in the past is a no-op.
+        """
+        raise NotImplementedError
+
+    def wakeup_time(self, deadline_ms: float) -> float:
+        """Return the time the clock will actually deliver a wakeup
+        requested for ``deadline_ms``.
+
+        The base clocks are ideal (the wakeup lands exactly on the
+        deadline); :class:`KernelTimerModel` overrides this to model tick
+        quantisation and scheduling latency.
+        """
+        return deadline_ms
+
+
+class VirtualClock(Clock):
+    """Deterministic clock under test control.
+
+    Time starts at ``start_ms`` and only moves via :meth:`advance` or
+    :meth:`wait_until`.  Moving backwards raises :class:`ValueError`,
+    guaranteeing monotonicity.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance by negative time: {delta_ms}")
+        self._now += delta_ms
+        return self._now
+
+    def wait_until(self, deadline_ms: float) -> None:
+        if deadline_ms > self._now:
+            self._now = float(deadline_ms)
+
+
+class SystemClock(Clock):
+    """Wall-clock time based on :func:`time.monotonic`.
+
+    The epoch is captured at construction so times start near zero, which
+    keeps recorded tuple files readable.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def wait_until(self, deadline_ms: float) -> None:
+        delay_s = (deadline_ms - self.now()) / 1000.0
+        if delay_s > 0:
+            time.sleep(delay_s)
+
+
+LatencyModel = Callable[[float], float]
+"""Maps a wakeup time (ms) to an added scheduling latency (ms, >= 0)."""
+
+
+class KernelTimerModel(Clock):
+    """Clock decorator reproducing Section 4.5 of the paper.
+
+    The POSIX ``select`` timeout accepts microsecond arguments but the
+    kernel only wakes processes on the timer interrupt, so every wakeup is
+    rounded **up** to the next multiple of ``tick_ms`` (10 ms on the
+    paper's Linux, capping polling at 100 Hz).  Under load, scheduling
+    latency delays wakeups further; pass ``latency`` to model that and
+    exercise gscope's lost-timeout compensation.
+    """
+
+    def __init__(
+        self,
+        base: Clock,
+        tick_ms: float = 10.0,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if tick_ms <= 0:
+            raise ValueError(f"tick must be positive: {tick_ms}")
+        self.base = base
+        self.tick_ms = float(tick_ms)
+        self.latency = latency
+
+    def now(self) -> float:
+        return self.base.now()
+
+    def _quantise(self, deadline_ms: float) -> float:
+        ticks = math.ceil(deadline_ms / self.tick_ms - 1e-9)
+        return ticks * self.tick_ms
+
+    def wakeup_time(self, deadline_ms: float) -> float:
+        woken = self._quantise(deadline_ms)
+        if self.latency is not None:
+            extra = self.latency(woken)
+            if extra < 0:
+                raise ValueError(f"latency model returned negative delay: {extra}")
+            woken += extra
+        return woken
+
+    def wait_until(self, deadline_ms: float) -> None:
+        self.base.wait_until(self.wakeup_time(deadline_ms))
+
+    # Convenience passthrough so tests can drive a wrapped VirtualClock.
+    def advance(self, delta_ms: float) -> float:
+        advance = getattr(self.base, "advance", None)
+        if advance is None:
+            raise TypeError("underlying clock does not support advance()")
+        return advance(delta_ms)

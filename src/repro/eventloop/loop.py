@@ -1,0 +1,232 @@
+"""The main loop: prepare → poll → dispatch, like glib's ``GMainLoop``.
+
+One iteration:
+
+1. collect ready sources (timers past deadline, readable/writable
+   channels),
+2. if none are ready and idle sources exist, dispatch idles,
+3. if still nothing, wait on the clock until the earliest timer deadline
+   (a :class:`~repro.eventloop.clock.VirtualClock` jumps; a
+   :class:`~repro.eventloop.clock.SystemClock` sleeps; a
+   :class:`~repro.eventloop.clock.KernelTimerModel` rounds the wakeup up
+   to the next kernel tick and may add scheduling latency),
+4. dispatch ready sources in priority order; callbacks returning falsy are
+   removed (glib semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.eventloop.clock import Clock, VirtualClock
+from repro.eventloop.sources import (
+    IdleSource,
+    IOCondition,
+    IOWatch,
+    Pollable,
+    Priority,
+    Source,
+    TimeoutSource,
+)
+
+
+class MainLoop:
+    """Event loop multiplexing timeouts, idles and I/O watches.
+
+    Parameters
+    ----------
+    clock:
+        Time source.  Defaults to a fresh :class:`VirtualClock` so unit
+        tests are deterministic; pass :class:`SystemClock` for real-time
+        runs and benchmarks.
+    max_io_poll_ms:
+        When only I/O watches are installed there is no deadline to sleep
+        toward; the loop re-polls channels at this granularity to avoid a
+        busy spin on a system clock.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, max_io_poll_ms: float = 1.0) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.max_io_poll_ms = float(max_io_poll_ms)
+        self._sources: List[Source] = []
+        self._running = False
+        self.iterations = 0
+        self.dispatches = 0
+
+    # ------------------------------------------------------------------
+    # Source management
+    # ------------------------------------------------------------------
+    def attach(self, source: Source) -> int:
+        """Attach a source and return its id."""
+        if source.attached:
+            raise ValueError(f"source {source.id} already attached")
+        source.attached = True
+        source.destroyed = False
+        if isinstance(source, TimeoutSource):
+            source.start(self.clock.now())
+        self._sources.append(source)
+        return source.id
+
+    def remove(self, source_id: int) -> bool:
+        """Detach the source with ``source_id``; True if it was present."""
+        for src in self._sources:
+            if src.id == source_id:
+                src.destroy()
+                src.attached = False
+                self._sources.remove(src)
+                return True
+        return False
+
+    def timeout_add(
+        self,
+        interval_ms: float,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT,
+    ) -> int:
+        """``g_timeout_add``: run ``callback(lost)`` every ``interval_ms``.
+
+        ``lost`` is the number of intervals skipped since the previous
+        dispatch (0 when on schedule) — the hook gscope uses to advance
+        the display after lost timeouts.
+        """
+        return self.attach(TimeoutSource(interval_ms, callback, priority))
+
+    def idle_add(
+        self,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT_IDLE,
+    ) -> int:
+        """``g_idle_add``: run ``callback()`` when the loop is otherwise idle."""
+        return self.attach(IdleSource(callback, priority))
+
+    def io_add_watch(
+        self,
+        channel: Pollable,
+        condition: IOCondition,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT,
+    ) -> int:
+        """``g_io_add_watch``: run ``callback(channel, condition)`` on readiness."""
+        return self.attach(IOWatch(channel, condition, callback, priority))
+
+    @property
+    def sources(self) -> List[Source]:
+        return list(self._sources)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def _ready_sources(self, now: float, include_idle: bool) -> List[Source]:
+        ready = [
+            s
+            for s in self._sources
+            if not isinstance(s, IdleSource) and s.ready(now)
+        ]
+        if not ready and include_idle:
+            ready = [s for s in self._sources if isinstance(s, IdleSource)]
+        return sorted(ready, key=lambda s: (s.priority, s.id))
+
+    def _earliest_deadline(self, now: float) -> Optional[float]:
+        deadlines = [
+            d
+            for s in self._sources
+            if (d := s.next_deadline(now)) is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _dispatch(self, ready: List[Source], now: float) -> int:
+        count = 0
+        for src in ready:
+            if src.destroyed or not src.attached:
+                continue
+            keep = src.dispatch(now)
+            count += 1
+            if (not keep or src.destroyed) and src in self._sources:
+                src.attached = False
+                self._sources.remove(src)
+        self.dispatches += count
+        return count
+
+    def iteration(self, may_block: bool = True) -> bool:
+        """Run one loop iteration; return True if anything was dispatched.
+
+        With ``may_block=False`` the iteration only dispatches work that is
+        already ready (plus idles) and never waits on the clock.
+        """
+        self.iterations += 1
+        now = self.clock.now()
+        ready = self._ready_sources(now, include_idle=True)
+        if ready:
+            return self._dispatch(ready, now) > 0
+        if not may_block:
+            return False
+        deadline = self._earliest_deadline(now)
+        has_io = any(isinstance(s, IOWatch) for s in self._sources)
+        if deadline is None and not has_io:
+            return False  # nothing will ever become ready
+        if deadline is None or (has_io and deadline - now > self.max_io_poll_ms):
+            deadline = now + self.max_io_poll_ms
+        self.clock.wait_until(deadline)
+        now = self.clock.now()
+        ready = self._ready_sources(now, include_idle=False)
+        return self._dispatch(ready, now) > 0
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: Optional[int] = None) -> None:
+        """Run until :meth:`quit` or until no source can ever fire again.
+
+        ``max_iterations`` is a safety valve for tests.
+        """
+        self._running = True
+        done = 0
+        while self._running and self._sources:
+            timed_or_io = [s for s in self._sources if not isinstance(s, IdleSource)]
+            self.iteration(may_block=bool(timed_or_io))
+            done += 1
+            if max_iterations is not None and done >= max_iterations:
+                break
+        self._running = False
+
+    def run_until(self, deadline_ms: float) -> None:
+        """Run iterations until the clock reaches ``deadline_ms``.
+
+        Primarily for :class:`VirtualClock` runs: the loop processes every
+        event with a deadline at or before ``deadline_ms`` and leaves the
+        clock exactly at ``deadline_ms``.
+        """
+        self._running = True
+        while self._running and self.clock.now() < deadline_ms:
+            now = self.clock.now()
+            ready = self._ready_sources(now, include_idle=False)
+            if ready:
+                self._dispatch(ready, now)
+                continue
+            next_deadline = self._earliest_deadline(now)
+            has_io = any(isinstance(s, IOWatch) for s in self._sources)
+            if has_io:
+                step = min(
+                    next_deadline if next_deadline is not None else deadline_ms,
+                    now + self.max_io_poll_ms,
+                    deadline_ms,
+                )
+            elif next_deadline is None or next_deadline > deadline_ms:
+                self.clock.wait_until(deadline_ms)
+                break
+            else:
+                step = next_deadline
+            self.clock.wait_until(max(step, now))
+        self._running = False
+
+    def run_for(self, duration_ms: float) -> None:
+        """Run for ``duration_ms`` from the current clock time."""
+        self.run_until(self.clock.now() + duration_ms)
+
+    def quit(self) -> None:
+        """Stop :meth:`run` / :meth:`run_until` after the current iteration."""
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running

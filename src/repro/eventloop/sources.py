@@ -1,0 +1,186 @@
+"""Event sources, modelled on glib's ``GSource``.
+
+Gscope uses three glib source kinds and so do we:
+
+* :class:`TimeoutSource` — ``g_timeout_add``: fires every ``interval_ms``.
+  Used for scope polling (Section 3.4: ``gtk_scope_set_polling_mode``).
+* :class:`IdleSource` — ``g_idle_add``: fires when nothing else is ready.
+  Used for canvas refresh.
+* :class:`IOWatch` — ``g_io_add_watch``: fires when a channel is readable
+  or writable.  Used by the client-server library (Section 4.4) and by the
+  I/O-driven application style of Figure 6.
+
+All callbacks follow the glib convention: return ``True`` to keep the
+source installed, anything falsy to remove it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+
+class Priority(enum.IntEnum):
+    """Dispatch priority; lower value runs first (glib convention)."""
+
+    HIGH = -100
+    DEFAULT = 0
+    HIGH_IDLE = 100
+    DEFAULT_IDLE = 200
+    LOW = 300
+
+
+_source_ids = itertools.count(1)
+
+
+class Source:
+    """Base class for event sources attached to a main loop."""
+
+    def __init__(self, callback: Callable[..., Any], priority: Priority = Priority.DEFAULT) -> None:
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        self.id = next(_source_ids)
+        self.callback = callback
+        self.priority = priority
+        self.attached = False
+        self.destroyed = False
+
+    def ready(self, now_ms: float) -> bool:
+        """Return True when the source wants to be dispatched at ``now_ms``."""
+        raise NotImplementedError
+
+    def next_deadline(self, now_ms: float) -> Optional[float]:
+        """Earliest time (ms) this source could become ready, or None.
+
+        ``None`` means the source has no time-based readiness (e.g. an I/O
+        watch); the loop must poll it rather than sleep toward it.
+        """
+        return None
+
+    def dispatch(self, now_ms: float) -> bool:
+        """Invoke the callback; return True to keep the source installed."""
+        return bool(self.callback())
+
+    def destroy(self) -> None:
+        """Mark the source for removal regardless of callback returns."""
+        self.destroyed = True
+
+
+class TimeoutSource(Source):
+    """Periodic timer source (``g_timeout_add`` equivalent).
+
+    The first dispatch happens one full interval after attachment.  If
+    dispatching falls behind (coarse ticks, scheduling latency), the
+    deadline advances by whole intervals and :attr:`missed` accumulates the
+    number of skipped firings.  This is the accounting gscope's scope
+    refresh uses to "advance the scope appropriately" (Section 4.5).
+    """
+
+    def __init__(
+        self,
+        interval_ms: float,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT,
+    ) -> None:
+        super().__init__(callback, priority)
+        if interval_ms <= 0:
+            raise ValueError(f"interval must be positive: {interval_ms}")
+        self.interval_ms = float(interval_ms)
+        self.deadline: Optional[float] = None
+        self.missed = 0
+        self.fired = 0
+
+    def start(self, now_ms: float) -> None:
+        self.deadline = now_ms + self.interval_ms
+
+    def ready(self, now_ms: float) -> bool:
+        return self.deadline is not None and now_ms >= self.deadline - 1e-9
+
+    def next_deadline(self, now_ms: float) -> Optional[float]:
+        return self.deadline
+
+    def dispatch(self, now_ms: float) -> bool:
+        assert self.deadline is not None
+        late_by = now_ms - self.deadline
+        lost = int(late_by // self.interval_ms) if late_by > 0 else 0
+        self.missed += lost
+        self.fired += 1
+        # Next deadline stays phase-aligned with the original schedule.
+        self.deadline += (lost + 1) * self.interval_ms
+        return bool(self.callback(lost))
+
+
+class IdleSource(Source):
+    """Source dispatched whenever an iteration finds no timer/IO work."""
+
+    def __init__(
+        self,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT_IDLE,
+    ) -> None:
+        super().__init__(callback, priority)
+
+    def ready(self, now_ms: float) -> bool:
+        return True
+
+    def dispatch(self, now_ms: float) -> bool:
+        return bool(self.callback())
+
+
+@runtime_checkable
+class Pollable(Protocol):
+    """Anything an :class:`IOWatch` can watch.
+
+    Real sockets and in-memory transports both satisfy this by exposing
+    ``readable()`` / ``writable()`` predicates.
+    """
+
+    def readable(self) -> bool: ...
+
+    def writable(self) -> bool: ...
+
+
+class IOCondition(enum.Flag):
+    """Which channel condition the watch waits for (``G_IO_IN``/``OUT``)."""
+
+    IN = enum.auto()
+    OUT = enum.auto()
+
+
+class IOWatch(Source):
+    """Channel readiness source (``g_io_add_watch`` equivalent).
+
+    The callback receives the channel and the condition that fired, like
+    glib's ``GIOFunc(source, condition, data)`` minus the user-data pointer
+    (closures cover that in Python).
+    """
+
+    def __init__(
+        self,
+        channel: Pollable,
+        condition: IOCondition,
+        callback: Callable[..., Any],
+        priority: Priority = Priority.DEFAULT,
+    ) -> None:
+        super().__init__(callback, priority)
+        if not isinstance(channel, Pollable):
+            raise TypeError(
+                f"channel must expose readable()/writable(), got {channel!r}"
+            )
+        self.channel = channel
+        self.condition = condition
+
+    def _fired_condition(self) -> IOCondition:
+        fired = IOCondition(0)
+        if IOCondition.IN in self.condition and self.channel.readable():
+            fired |= IOCondition.IN
+        if IOCondition.OUT in self.condition and self.channel.writable():
+            fired |= IOCondition.OUT
+        return fired
+
+    def ready(self, now_ms: float) -> bool:
+        return bool(self._fired_condition())
+
+    def dispatch(self, now_ms: float) -> bool:
+        return bool(self.callback(self.channel, self._fired_condition()))

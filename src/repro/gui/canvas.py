@@ -1,0 +1,210 @@
+"""A numpy-framebuffer canvas with the primitives the scope needs.
+
+The GTK canvas the paper draws into is replaced by an RGB byte array.
+Primitives: pixels, horizontal/vertical lines, Bresenham segments,
+polylines (for LINE traces), steps (for sample-and-hold STEP traces),
+rulers with ticks, filled rectangles and a 5x7 bitmap-font text blit for
+labels and value readouts.  All drawing clips to the canvas; nothing
+raises on out-of-range coordinates, because a scope trace routinely runs
+off the display edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gui.color import RGB, color_rgb
+from repro.gui.font import glyph_rows
+from repro.gui.geometry import Rect
+
+
+class Canvas:
+    """RGB framebuffer of shape (height, width, 3), dtype uint8."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        background: RGB = (0, 0, 0),
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas size must be positive: {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = background
+        self.pixels = np.zeros((self.height, self.width, 3), dtype=np.uint8)
+        self.clear()
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def clear(self, color: Optional[RGB] = None) -> None:
+        self.pixels[:, :] = color if color is not None else self.background
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def set_pixel(self, x: int, y: int, color: RGB) -> None:
+        if self.in_bounds(x, y):
+            self.pixels[y, x] = color
+
+    def get_pixel(self, x: int, y: int) -> RGB:
+        if not self.in_bounds(x, y):
+            raise IndexError(f"pixel ({x}, {y}) outside {self.width}x{self.height}")
+        r, g, b = self.pixels[y, x]
+        return (int(r), int(g), int(b))
+
+    # ------------------------------------------------------------------
+    # Lines
+    # ------------------------------------------------------------------
+    def hline(self, x0: int, x1: int, y: int, color: RGB) -> None:
+        if not 0 <= y < self.height:
+            return
+        lo, hi = sorted((x0, x1))
+        lo, hi = max(0, lo), min(self.width - 1, hi)
+        if lo <= hi:
+            self.pixels[y, lo : hi + 1] = color
+
+    def vline(self, x: int, y0: int, y1: int, color: RGB) -> None:
+        if not 0 <= x < self.width:
+            return
+        lo, hi = sorted((y0, y1))
+        lo, hi = max(0, lo), min(self.height - 1, hi)
+        if lo <= hi:
+            self.pixels[lo : hi + 1, x] = color
+
+    def line(self, x0: int, y0: int, x1: int, y1: int, color: RGB) -> None:
+        """Bresenham segment, clipped to the canvas."""
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            self.set_pixel(x, y, color)
+            if x == x1 and y == y1:
+                break
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x += sx
+            if e2 <= dx:
+                err += dx
+                y += sy
+
+    def polyline(self, points: Sequence[Tuple[int, int]], color: RGB) -> None:
+        """Connect successive points (LINE trace mode)."""
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            self.line(x0, y0, x1, y1, color)
+
+    def steps(self, points: Sequence[Tuple[int, int]], color: RGB) -> None:
+        """Sample-and-hold staircase (STEP trace mode)."""
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            self.hline(x0, x1, y0, color)  # hold the previous level...
+            self.vline(x1, y0, y1, color)  # ...then jump at the new sample
+        if points:
+            self.set_pixel(points[-1][0], points[-1][1], color)
+
+    def points(self, points: Iterable[Tuple[int, int]], color: RGB) -> None:
+        """One pixel per sample (POINTS trace mode)."""
+        for x, y in points:
+            self.set_pixel(x, y, color)
+
+    # ------------------------------------------------------------------
+    # Areas and rulers
+    # ------------------------------------------------------------------
+    def fill_rect(self, rect: Rect, color: RGB) -> None:
+        x0, y0 = max(0, rect.x), max(0, rect.y)
+        x1, y1 = min(self.width, rect.right), min(self.height, rect.bottom)
+        if x0 < x1 and y0 < y1:
+            self.pixels[y0:y1, x0:x1] = color
+
+    def frame_rect(self, rect: Rect, color: RGB) -> None:
+        self.hline(rect.x, rect.right - 1, rect.y, color)
+        self.hline(rect.x, rect.right - 1, rect.bottom - 1, color)
+        self.vline(rect.x, rect.y, rect.bottom - 1, color)
+        self.vline(rect.right - 1, rect.y, rect.bottom - 1, color)
+
+    def grid(
+        self,
+        rect: Rect,
+        x_step: int,
+        y_step: int,
+        color: RGB = (40, 40, 40),
+    ) -> None:
+        """Graticule lines every ``x_step``/``y_step`` pixels."""
+        if x_step <= 0 or y_step <= 0:
+            raise ValueError("grid steps must be positive")
+        for x in range(rect.x, rect.right, x_step):
+            self.vline(x, rect.y, rect.bottom - 1, color)
+        for y in range(rect.y, rect.bottom, y_step):
+            self.hline(rect.x, rect.right - 1, y, color)
+
+    def ruler_x(
+        self,
+        rect: Rect,
+        tick_every_px: int,
+        color: RGB = (200, 200, 200),
+        tick_len: int = 4,
+    ) -> None:
+        """Bottom-edge tick marks (the x ruler, sized in seconds)."""
+        if tick_every_px <= 0:
+            raise ValueError("tick spacing must be positive")
+        y = rect.bottom - 1
+        for x in range(rect.x, rect.right, tick_every_px):
+            self.vline(x, y - tick_len + 1, y, color)
+
+    def ruler_y(
+        self,
+        rect: Rect,
+        tick_every_px: int,
+        color: RGB = (200, 200, 200),
+        tick_len: int = 4,
+    ) -> None:
+        """Left-edge tick marks (the y ruler, scaled 0 to 100)."""
+        if tick_every_px <= 0:
+            raise ValueError("tick spacing must be positive")
+        for y in range(rect.y, rect.bottom, tick_every_px):
+            self.hline(rect.x, rect.x + tick_len - 1, y, color)
+
+    # ------------------------------------------------------------------
+    # Text
+    # ------------------------------------------------------------------
+    def text(self, x: int, y: int, string: str, color: RGB) -> int:
+        """Blit ``string`` with the 5x7 bitmap font; returns end x."""
+        cx = x
+        for ch in string:
+            rows = glyph_rows(ch)
+            for dy, row in enumerate(rows):
+                for dx in range(5):
+                    if row & (1 << (4 - dx)):
+                        self.set_pixel(cx + dx, y + dy, color)
+            cx += 6  # 5 px glyph + 1 px spacing
+        return cx
+
+    def text_width(self, string: str) -> int:
+        return 6 * len(string)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+    def count_pixels(self, color: RGB) -> int:
+        """How many pixels exactly match ``color``."""
+        target = np.array(color, dtype=np.uint8)
+        return int(np.all(self.pixels == target, axis=-1).sum())
+
+    def column_rows(self, x: int, color: RGB) -> list:
+        """Rows in column ``x`` that match ``color`` (top to bottom)."""
+        if not 0 <= x < self.width:
+            raise IndexError(f"column {x} outside width {self.width}")
+        target = np.array(color, dtype=np.uint8)
+        mask = np.all(self.pixels[:, x] == target, axis=-1)
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+
+def named_color(name: str) -> RGB:
+    """Convenience passthrough so canvas users need one import."""
+    return color_rgb(name)

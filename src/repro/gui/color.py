@@ -1,0 +1,69 @@
+"""Colors for signal traces.
+
+The ``GtkScopeSig`` struct carries an optional color name; unset signals
+get successive colors from a default palette, like the C library cycling
+GDK colors.  Colors are (r, g, b) byte triples for the framebuffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+RGB = Tuple[int, int, int]
+
+_NAMED: Dict[str, RGB] = {
+    "black": (0, 0, 0),
+    "white": (255, 255, 255),
+    "red": (220, 50, 47),
+    "green": (64, 160, 43),
+    "blue": (38, 102, 210),
+    "yellow": (230, 190, 20),
+    "cyan": (42, 161, 152),
+    "magenta": (211, 54, 130),
+    "orange": (203, 95, 22),
+    "violet": (108, 113, 196),
+    "grey": (128, 128, 128),
+    "gray": (128, 128, 128),
+    "darkgrey": (64, 64, 64),
+    "darkgray": (64, 64, 64),
+    "lightgrey": (192, 192, 192),
+    "lightgray": (192, 192, 192),
+}
+
+#: Default trace color rotation for signals with no explicit color.
+PALETTE: Tuple[str, ...] = (
+    "green",
+    "red",
+    "blue",
+    "yellow",
+    "cyan",
+    "magenta",
+    "orange",
+    "violet",
+)
+
+
+def color_rgb(name: str) -> RGB:
+    """Resolve a color name or ``#rrggbb`` hex string to an RGB triple."""
+    key = name.strip().lower()
+    if key in _NAMED:
+        return _NAMED[key]
+    if key.startswith("#") and len(key) == 7:
+        try:
+            return (int(key[1:3], 16), int(key[3:5], 16), int(key[5:7], 16))
+        except ValueError:
+            pass
+    raise ValueError(f"unknown color: {name!r}")
+
+
+def palette_color(index: int) -> RGB:
+    """The ``index``-th default trace color (wraps around)."""
+    return color_rgb(PALETTE[index % len(PALETTE)])
+
+
+def palette_cycle() -> Iterator[RGB]:
+    """Endless iterator over the default palette."""
+    i = 0
+    while True:
+        yield palette_color(i)
+        i += 1

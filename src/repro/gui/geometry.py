@@ -1,0 +1,107 @@
+"""Geometry helpers: rectangles and the zoom/bias transform.
+
+The scope canvas maps signal values to pixel rows through three stages
+(Section 2): the signal's own ``min``/``max`` normalise the value into
+the 0..100 y-ruler range, then the scope-wide *zoom* scales and *bias*
+translates it, then the result lands on the canvas, y inverted because
+framebuffers grow downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Integer pixel rectangle (x, y = top-left corner)."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"rect must have positive size: {self}")
+
+    @property
+    def right(self) -> int:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> int:
+        return self.y + self.height
+
+    def contains(self, px: int, py: int) -> bool:
+        return self.x <= px < self.right and self.y <= py < self.bottom
+
+    def inset(self, margin: int) -> "Rect":
+        """Shrink the rect by ``margin`` on every side."""
+        if 2 * margin >= min(self.width, self.height):
+            raise ValueError(f"margin {margin} swallows rect {self}")
+        return Rect(
+            self.x + margin,
+            self.y + margin,
+            self.width - 2 * margin,
+            self.height - 2 * margin,
+        )
+
+
+@dataclass(frozen=True)
+class ValueTransform:
+    """Signal-value → canvas-row mapping with zoom and bias.
+
+    Parameters
+    ----------
+    vmin, vmax:
+        The signal's displayed range at default zoom/bias (the spec's
+        ``min``/``max``; the y ruler shows this as 0..100).
+    zoom:
+        Vertical scale factor; 1.0 maps [vmin, vmax] onto full height.
+    bias:
+        Vertical translation in percent-of-range units (positive moves
+        the trace up).
+    height:
+        Canvas height in pixels.
+    """
+
+    vmin: float
+    vmax: float
+    zoom: float = 1.0
+    bias: float = 0.0
+    height: int = 256
+
+    def __post_init__(self) -> None:
+        if self.vmax <= self.vmin:
+            raise ValueError(f"vmax must exceed vmin: [{self.vmin}, {self.vmax}]")
+        if self.zoom <= 0:
+            raise ValueError(f"zoom must be positive: {self.zoom}")
+        if self.height <= 0:
+            raise ValueError(f"height must be positive: {self.height}")
+
+    def to_percent(self, value: float) -> float:
+        """Normalise a value into y-ruler percent (0..100), pre-clip."""
+        span = self.vmax - self.vmin
+        norm = (value - self.vmin) / span * 100.0
+        return norm * self.zoom + self.bias
+
+    def to_row(self, value: float) -> int:
+        """Map a value to a framebuffer row (0 = top), clipped in range."""
+        percent = self.to_percent(value)
+        # percent 0 -> bottom row, percent 100 -> top row.
+        row = round((1.0 - percent / 100.0) * (self.height - 1))
+        return max(0, min(self.height - 1, row))
+
+    def from_row(self, row: int) -> float:
+        """Inverse mapping: framebuffer row back to a signal value.
+
+        Used by tests to verify the transform and by cursor readouts.
+        """
+        percent = (1.0 - row / (self.height - 1)) * 100.0
+        norm = (percent - self.bias) / self.zoom
+        return self.vmin + norm / 100.0 * (self.vmax - self.vmin)
+
+    def visible(self, value: float) -> bool:
+        """Whether the value lands inside the canvas without clipping."""
+        return 0.0 <= self.to_percent(value) <= 100.0

@@ -1,0 +1,102 @@
+"""Output backends: ASCII art for terminals, PPM/PGM files for disk.
+
+The paper's figures are X11 screenshots; headlessly we regenerate them
+as portable pixmap files (viewable anywhere, no codec dependencies) and
+as ASCII art (so benchmark harnesses can show the display inline).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Union
+
+import numpy as np
+
+from repro.gui.canvas import Canvas
+
+#: Luminance ramp for ASCII rendering, dark to bright.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(
+    canvas: Canvas,
+    max_width: int = 100,
+    max_height: int = 40,
+) -> str:
+    """Downsample the framebuffer to an ASCII-art string.
+
+    Pixels are grouped into cells and mapped to :data:`_RAMP` characters
+    by mean luminance.  Aspect compensation doubles cell height since
+    terminal glyphs are roughly twice as tall as wide.
+    """
+    if max_width <= 0 or max_height <= 0:
+        raise ValueError("ascii dimensions must be positive")
+    cell_w = max(1, -(-canvas.width // max_width))  # ceil division
+    cell_h = max(1, -(-canvas.height // max_height))
+    cell_h = max(cell_h, 2 * cell_w)  # terminal aspect correction
+    # Luminance (ITU-R 601 weights).
+    lum = (
+        0.299 * canvas.pixels[:, :, 0].astype(float)
+        + 0.587 * canvas.pixels[:, :, 1].astype(float)
+        + 0.114 * canvas.pixels[:, :, 2].astype(float)
+    )
+    rows = []
+    for y0 in range(0, canvas.height, cell_h):
+        row_chars = []
+        for x0 in range(0, canvas.width, cell_w):
+            block = lum[y0 : y0 + cell_h, x0 : x0 + cell_w]
+            # Mean underweights thin 1px traces; bias toward max.
+            level = 0.5 * block.mean() + 0.5 * block.max()
+            idx = min(len(_RAMP) - 1, int(level / 256.0 * len(_RAMP)))
+            row_chars.append(_RAMP[idx])
+        rows.append("".join(row_chars))
+    return "\n".join(rows)
+
+
+def write_ppm(canvas: Canvas, sink: Union[str, IO[bytes]]) -> None:
+    """Write the framebuffer as a binary PPM (P6) image."""
+    header = f"P6\n{canvas.width} {canvas.height}\n255\n".encode("ascii")
+    body = canvas.pixels.astype(np.uint8).tobytes()
+    if isinstance(sink, str):
+        with open(sink, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+    else:
+        sink.write(header)
+        sink.write(body)
+
+
+def write_pgm(canvas: Canvas, sink: Union[str, IO[bytes]]) -> None:
+    """Write the framebuffer as a greyscale PGM (P5) image."""
+    lum = (
+        0.299 * canvas.pixels[:, :, 0].astype(float)
+        + 0.587 * canvas.pixels[:, :, 1].astype(float)
+        + 0.114 * canvas.pixels[:, :, 2].astype(float)
+    ).astype(np.uint8)
+    header = f"P5\n{canvas.width} {canvas.height}\n255\n".encode("ascii")
+    if isinstance(sink, str):
+        with open(sink, "wb") as fh:
+            fh.write(header)
+            fh.write(lum.tobytes())
+    else:
+        sink.write(header)
+        sink.write(lum.tobytes())
+
+
+def read_ppm(source: Union[str, IO[bytes]]) -> Canvas:
+    """Read a binary PPM back into a canvas (round-trip for tests)."""
+    if isinstance(source, str):
+        with open(source, "rb") as fh:
+            data = fh.read()
+    else:
+        data = source.read()
+    parts = data.split(b"\n", 3)
+    if parts[0] != b"P6":
+        raise ValueError(f"not a binary PPM: magic {parts[0]!r}")
+    width, height = (int(v) for v in parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ValueError(f"unsupported maxval: {maxval}")
+    body = parts[3][: width * height * 3]
+    canvas = Canvas(width, height)
+    canvas.pixels = np.frombuffer(body, dtype=np.uint8).reshape(height, width, 3).copy()
+    return canvas

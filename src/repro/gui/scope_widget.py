@@ -1,0 +1,265 @@
+"""The ``GtkScope`` widget: everything Figure 1 shows, headless.
+
+Layout (top to bottom), mirroring the screenshot in the paper:
+
+* title bar with the scope name,
+* the canvas: traces drawn one pixel per polling period at default zoom,
+  graticule grid, x ruler sized in seconds, y ruler scaled 0 to 100,
+* the zoom / bias / sampling-period / delay spin widgets,
+* one row per signal: the signal-name button (left-click toggles the
+  trace, right-click opens the signal-parameters window) and the
+  ``Value`` button that toggles a live value readout.
+
+The widget renders a :class:`~repro.core.scope.Scope` into a
+:class:`~repro.gui.canvas.Canvas`; nothing here mutates acquisition
+state except through the scope's public API, so GUI and programmatic
+control stay equivalent (a design goal the paper states explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.channel import Channel
+from repro.core.scope import AcquisitionMode, Scope
+from repro.core.signal import LineMode
+from repro.gui.canvas import Canvas
+from repro.gui.color import RGB, color_rgb, palette_color
+from repro.gui.geometry import Rect, ValueTransform
+from repro.gui.widget import ClickButton, MouseButton, SpinWidget, Widget
+from repro.gui.windows import SignalParametersWindow
+
+TITLE_H = 12
+CONTROLS_H = 14
+SIGNAL_ROW_H = 12
+RULER_MARGIN = 6
+
+
+class ScopeWidget(Widget):
+    """Renders a scope and routes Figure 1's click interactions."""
+
+    def __init__(self, scope: Scope, px_per_period: int = 1) -> None:
+        if px_per_period <= 0:
+            raise ValueError(f"px_per_period must be positive: {px_per_period}")
+        self.scope = scope
+        self.px_per_period = int(px_per_period)
+        total_h = self._total_height()
+        super().__init__(Rect(0, 0, scope.width, total_h), name=f"scope:{scope.name}")
+        self.canvas_rect = Rect(0, TITLE_H, scope.width, scope.height)
+        self.open_windows: List[SignalParametersWindow] = []
+        self._rebuild_children()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _total_height(self) -> int:
+        return (
+            TITLE_H
+            + self.scope.height
+            + CONTROLS_H
+            + SIGNAL_ROW_H * max(1, len(self.scope.channels))
+        )
+
+    def _rebuild_children(self) -> None:
+        """(Re)create the control and per-signal widgets.
+
+        Called on construction and whenever the signal list changes
+        (signals can be added and removed dynamically).
+        """
+        self.children.clear()
+        scope = self.scope
+        y = TITLE_H + scope.height + 2
+        quarter = scope.width // 4
+        self.zoom_widget = SpinWidget(
+            Rect(0, y, quarter, CONTROLS_H - 2),
+            "zoom",
+            get=lambda: scope.zoom,
+            set_=scope.set_zoom,
+            step=0.25,
+            minimum=0.25,
+        )
+        self.bias_widget = SpinWidget(
+            Rect(quarter, y, quarter, CONTROLS_H - 2),
+            "bias",
+            get=lambda: scope.bias,
+            set_=scope.set_bias,
+            step=5.0,
+        )
+        self.period_widget = SpinWidget(
+            Rect(2 * quarter, y, quarter, CONTROLS_H - 2),
+            "period",
+            get=lambda: scope.period_ms,
+            set_=scope.set_period,
+            step=10.0,
+            minimum=1.0,
+        )
+        self.delay_widget = SpinWidget(
+            Rect(3 * quarter, y, scope.width - 3 * quarter, CONTROLS_H - 2),
+            "delay",
+            get=lambda: scope.buffer.delay_ms,
+            set_=scope.set_delay,
+            step=50.0,
+            minimum=0.0,
+        )
+        for w in (self.zoom_widget, self.bias_widget, self.period_widget, self.delay_widget):
+            self.add(w)
+
+        self._name_buttons: Dict[str, ClickButton] = {}
+        self._value_buttons: Dict[str, ClickButton] = {}
+        row_y = TITLE_H + scope.height + CONTROLS_H
+        for channel in scope.channels:
+            name_rect = Rect(2, row_y + 1, max(6 * len(channel.name) + 6, 20), SIGNAL_ROW_H - 2)
+            value_rect = Rect(name_rect.right + 4, row_y + 1, 42, SIGNAL_ROW_H - 2)
+            name_btn = ClickButton(
+                name_rect,
+                channel.name,
+                on_left=channel.toggle_visible,
+                on_right=lambda ch=channel: self.open_signal_window(ch.name),
+                color=self._channel_color_name(channel),
+            )
+            value_btn = ClickButton(
+                value_rect,
+                "Value",
+                on_left=channel.toggle_value_readout,
+                color="lightgrey",
+            )
+            self._name_buttons[channel.name] = self.add(name_btn)  # type: ignore[assignment]
+            self._value_buttons[channel.name] = self.add(value_btn)  # type: ignore[assignment]
+            row_y += SIGNAL_ROW_H
+
+    def refresh_layout(self) -> None:
+        """Re-sync widget rows after dynamic signal add/remove."""
+        self.rect = Rect(0, 0, self.scope.width, self._total_height())
+        self._rebuild_children()
+
+    # ------------------------------------------------------------------
+    # Colors
+    # ------------------------------------------------------------------
+    def _channel_color_name(self, channel: Channel) -> str:
+        return channel.spec.color if channel.spec.color else "white"
+
+    def channel_color(self, channel: Channel) -> RGB:
+        """Trace color: explicit spec color, else palette by position."""
+        if channel.spec.color:
+            return color_rgb(channel.spec.color)
+        index = [c.name for c in self.scope.channels].index(channel.name)
+        return palette_color(index)
+
+    # ------------------------------------------------------------------
+    # Interactions (Figure 1)
+    # ------------------------------------------------------------------
+    def click_signal_name(self, name: str, button: MouseButton = MouseButton.LEFT) -> None:
+        """Simulate a click on a signal's name label."""
+        btn = self._name_buttons.get(name)
+        if btn is None:
+            raise KeyError(f"no signal row for {name!r}")
+        btn.on_click(button)
+
+    def click_value_button(self, name: str) -> None:
+        btn = self._value_buttons.get(name)
+        if btn is None:
+            raise KeyError(f"no signal row for {name!r}")
+        btn.on_click(MouseButton.LEFT)
+
+    def open_signal_window(self, name: str) -> SignalParametersWindow:
+        """Right-click on the signal name: open its parameters window."""
+        window = SignalParametersWindow(self.scope.channel(name))
+        self.open_windows.append(window)
+        return window
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def transform_for(self, channel: Channel) -> ValueTransform:
+        return ValueTransform(
+            vmin=channel.spec.min,
+            vmax=channel.spec.max,
+            zoom=self.scope.zoom,
+            bias=self.scope.bias,
+            height=self.scope.height,
+        )
+
+    def trace_pixels(self, channel: Channel) -> List[Tuple[int, int]]:
+        """Map a channel's trace to canvas pixels.
+
+        The newest sample sits at the right edge; each polling period is
+        ``px_per_period`` pixels (1 at default zoom), so a tuple file
+        with points 100 ms apart shown at a 50 ms period puts them 2
+        pixels apart — the Section 3.3 rule.
+        """
+        scope = self.scope
+        if not channel.trace:
+            return []
+        transform = self.transform_for(channel)
+        t_ref = self.display_time_ms()
+        right = self.canvas_rect.right - 1
+        pixels: List[Tuple[int, int]] = []
+        for point in channel.trace:
+            periods_ago = (t_ref - point.time_ms) / scope.period_ms
+            x = right - round(periods_ago * self.px_per_period)
+            if x < self.canvas_rect.x:
+                continue
+            y = self.canvas_rect.y + transform.to_row(point.value)
+            pixels.append((x, y))
+        return pixels
+
+    def display_time_ms(self) -> float:
+        """The time of the right edge of the display."""
+        if self.scope.mode is AcquisitionMode.PLAYBACK:
+            return self.scope._playback_time
+        return self.scope.loop.clock.now()
+
+    def render(self, canvas: Optional[Canvas] = None) -> Canvas:
+        """Draw the whole widget and return the canvas."""
+        if canvas is None:
+            canvas = Canvas(self.rect.width, self.rect.height)
+        self.draw(canvas)
+        return canvas
+
+    def draw(self, canvas: Canvas) -> None:
+        scope = self.scope
+        # Title bar.
+        canvas.fill_rect(Rect(0, 0, self.rect.width, TITLE_H), (30, 30, 30))
+        canvas.text(4, 2, scope.name, color_rgb("white"))
+
+        # Canvas background, graticule, rulers.
+        canvas.fill_rect(self.canvas_rect, (0, 0, 0))
+        canvas.grid(self.canvas_rect, x_step=max(10, self.rect.width // 10),
+                    y_step=max(10, scope.height // 10))
+        # One x tick per second of displayed time.
+        px_per_second = max(1, round(1000.0 / scope.period_ms * self.px_per_period))
+        canvas.ruler_x(self.canvas_rect, px_per_second)
+        # y ruler: a tick every 10 "percent" of the 0..100 scale.
+        canvas.ruler_y(self.canvas_rect, max(1, scope.height // 10))
+        canvas.frame_rect(self.canvas_rect, (90, 90, 90))
+
+        # Traces.
+        for channel in scope.channels:
+            if not channel.visible:
+                continue
+            pixels = self.trace_pixels(channel)
+            if not pixels:
+                continue
+            color = self.channel_color(channel)
+            mode = channel.spec.line
+            if mode is LineMode.POINTS:
+                canvas.points(pixels, color)
+            elif mode is LineMode.STEP:
+                canvas.steps(pixels, color)
+            else:
+                canvas.polyline(pixels, color)
+
+        # Controls and signal rows (children draw themselves).
+        for child in self.children:
+            child.draw(canvas)
+
+        # Live value readouts for toggled `Value` buttons.
+        for name, btn in self._value_buttons.items():
+            channel = scope.channel(name)
+            if channel.show_value and channel.last_value is not None:
+                canvas.text(
+                    btn.rect.right + 6,
+                    btn.rect.y + 2,
+                    f"{channel.last_value:g}",
+                    self.channel_color(channel),
+                )

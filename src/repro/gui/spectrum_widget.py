@@ -1,0 +1,124 @@
+"""Frequency-domain display — the scope's other view of a signal.
+
+Section 3.1: "Polled signals can be displayed in the time or frequency
+domain."  The :class:`SpectrumWidget` renders the magnitude spectrum of
+one channel's trace as a bar plot: x is frequency from DC to Nyquist,
+y is normalised magnitude, with a ruler row and the peak frequency
+annotated — the software equivalent of flipping a digital scope into
+FFT mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import Channel
+from repro.core.frequency import Spectrum, spectrum
+from repro.gui.canvas import Canvas
+from repro.gui.color import color_rgb
+from repro.gui.geometry import Rect
+from repro.gui.widget import Widget
+
+TITLE_H = 12
+RULER_H = 10
+
+
+class SpectrumWidget(Widget):
+    """Renders a channel's spectrum to a canvas.
+
+    Parameters
+    ----------
+    channel:
+        The channel whose trace is transformed.
+    period_ms:
+        The scope's polling period (sets the frequency axis).
+    width, height:
+        Plot dimensions in pixels.
+    window:
+        FFT taper passed through to :func:`repro.core.frequency.spectrum`.
+    max_samples:
+        Only the most recent ``max_samples`` trace points are
+        transformed, like a scope's FFT record length.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        period_ms: float,
+        width: int = 256,
+        height: int = 100,
+        window: str = "hann",
+        max_samples: int = 512,
+    ) -> None:
+        if max_samples < 2:
+            raise ValueError(f"need at least 2 samples: {max_samples}")
+        super().__init__(
+            Rect(0, 0, width, TITLE_H + height + RULER_H),
+            name=f"spectrum:{channel.name}",
+        )
+        self.channel = channel
+        self.period_ms = float(period_ms)
+        self.plot_rect = Rect(0, TITLE_H, width, height)
+        self.window = window
+        self.max_samples = int(max_samples)
+        self.last_spectrum: Optional[Spectrum] = None
+
+    def compute(self) -> Optional[Spectrum]:
+        """Transform the current trace; None if it is too short."""
+        values = self.channel.values()[-self.max_samples :]
+        if len(values) < 2:
+            return None
+        self.last_spectrum = spectrum(values, self.period_ms, window=self.window)
+        return self.last_spectrum
+
+    def render(self, canvas: Optional[Canvas] = None) -> Canvas:
+        if canvas is None:
+            canvas = Canvas(self.rect.width, self.rect.height)
+        self.draw(canvas)
+        return canvas
+
+    def draw(self, canvas: Canvas) -> None:
+        spec = self.compute()
+        canvas.fill_rect(Rect(0, 0, self.rect.width, TITLE_H), (30, 30, 30))
+        title = f"{self.channel.name} spectrum"
+        canvas.text(4, 2, title, color_rgb("white"))
+        canvas.fill_rect(self.plot_rect, (0, 0, 0))
+        canvas.frame_rect(self.plot_rect, (90, 90, 90))
+        if spec is None or len(spec.magnitudes) < 2:
+            canvas.text(
+                self.plot_rect.x + 4,
+                self.plot_rect.y + 4,
+                "no data",
+                color_rgb("grey"),
+            )
+            return
+
+        mags = spec.magnitudes
+        peak_mag = float(mags.max()) or 1.0
+        plot = self.plot_rect
+        bins = len(mags)
+        bar_color = color_rgb("green")
+        for px in range(plot.width):
+            # Map pixel column -> frequency bin (nearest).
+            b = min(bins - 1, round(px / max(1, plot.width - 1) * (bins - 1)))
+            h = int(round(mags[b] / peak_mag * (plot.height - 2)))
+            if h > 0:
+                canvas.vline(
+                    plot.x + px, plot.bottom - 1 - h, plot.bottom - 2, bar_color
+                )
+
+        # Ruler: a tick every 10% of Nyquist, peak annotated.
+        ruler_y = plot.bottom + 1
+        for i in range(11):
+            x = plot.x + i * (plot.width - 1) // 10
+            canvas.vline(x, ruler_y, ruler_y + 2, (200, 200, 200))
+        try:
+            peak_freq, _ = spec.peak()
+            canvas.text(
+                plot.x + 4,
+                ruler_y + 2,
+                f"peak {peak_freq:.2f}Hz / ny {spec.nyquist_hz:.1f}Hz",
+                color_rgb("lightgrey"),
+            )
+        except ValueError:
+            pass

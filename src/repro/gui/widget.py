@@ -1,0 +1,202 @@
+"""A minimal widget tree with the interactions Figure 1 shows.
+
+The paper's scope window is a GTK composite: a canvas, zoom/bias spin
+widgets, a sampling-period widget, a delay widget, and a row per signal
+whose *name label* responds to clicks (left toggles display, right opens
+the parameters window) next to a ``Value`` toggle button.
+
+This module provides just enough widget machinery to model that headlessly:
+a tree of rectangles that routes click events to handlers.  Rendering is
+the responsibility of each widget's ``draw(canvas)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.gui.canvas import Canvas
+from repro.gui.color import RGB, color_rgb
+from repro.gui.geometry import Rect
+
+
+class MouseButton(enum.Enum):
+    """Which mouse button a click used (GTK button numbers 1 and 3)."""
+
+    LEFT = 1
+    RIGHT = 3
+
+
+class Widget:
+    """A rectangle in the window that can draw itself and take clicks."""
+
+    def __init__(self, rect: Rect, name: str = "") -> None:
+        self.rect = rect
+        self.name = name
+        self.children: List["Widget"] = []
+        self.visible = True
+
+    def add(self, child: "Widget") -> "Widget":
+        """Attach a child widget; children draw and hit-test after the
+        parent, so they appear on top."""
+        self.children.append(child)
+        return child
+
+    def draw(self, canvas: Canvas) -> None:
+        """Draw this widget; the base class draws children only."""
+        if not self.visible:
+            return
+        for child in self.children:
+            child.draw(canvas)
+
+    def hit(self, x: int, y: int) -> Optional["Widget"]:
+        """Deepest visible widget under (x, y), or None."""
+        if not self.visible or not self.rect.contains(x, y):
+            return None
+        for child in reversed(self.children):
+            found = child.hit(x, y)
+            if found is not None:
+                return found
+        return self
+
+    def click(self, x: int, y: int, button: MouseButton = MouseButton.LEFT) -> bool:
+        """Route a click to the widget under (x, y).
+
+        Returns True when some widget consumed the click.
+        """
+        target = self.hit(x, y)
+        while target is not None:
+            if target.on_click(button):
+                return True
+            target = self._parent_of(target)
+        return False
+
+    def _parent_of(self, widget: "Widget") -> Optional["Widget"]:
+        if widget is self:
+            return None
+        for child in self.children:
+            if child is widget:
+                return self
+            found = child._parent_of(widget)
+            if found is not None:
+                return found
+        return None
+
+    def on_click(self, button: MouseButton) -> bool:
+        """Handle a click; return True when consumed.  Base: ignore."""
+        return False
+
+
+class Label(Widget):
+    """Static or computed text."""
+
+    def __init__(
+        self,
+        rect: Rect,
+        text: str = "",
+        color: str = "white",
+        supplier: Optional[Callable[[], str]] = None,
+    ) -> None:
+        super().__init__(rect, name=f"label:{text}")
+        self.text = text
+        self.color: RGB = color_rgb(color)
+        self.supplier = supplier
+
+    def current_text(self) -> str:
+        return self.supplier() if self.supplier is not None else self.text
+
+    def draw(self, canvas: Canvas) -> None:
+        if not self.visible:
+            return
+        canvas.text(self.rect.x, self.rect.y, self.current_text(), self.color)
+        super().draw(canvas)
+
+
+class ClickButton(Widget):
+    """A labelled region with separate left/right click handlers.
+
+    Models the signal-name label (left toggles display, right opens the
+    parameter window) and the ``Value`` button.
+    """
+
+    def __init__(
+        self,
+        rect: Rect,
+        text: str,
+        on_left: Optional[Callable[[], object]] = None,
+        on_right: Optional[Callable[[], object]] = None,
+        color: str = "white",
+    ) -> None:
+        super().__init__(rect, name=f"button:{text}")
+        self.text = text
+        self.color: RGB = color_rgb(color)
+        self.on_left = on_left
+        self.on_right = on_right
+        self.presses = 0
+
+    def on_click(self, button: MouseButton) -> bool:
+        handler = self.on_left if button is MouseButton.LEFT else self.on_right
+        if handler is None:
+            return False
+        self.presses += 1
+        handler()
+        return True
+
+    def draw(self, canvas: Canvas) -> None:
+        if not self.visible:
+            return
+        canvas.frame_rect(self.rect, self.color)
+        canvas.text(self.rect.x + 2, self.rect.y + 2, self.text, self.color)
+        super().draw(canvas)
+
+
+class SpinWidget(Widget):
+    """Value adjuster modelling the zoom/bias/period/delay widgets.
+
+    Left-click increments, right-click decrements; the programmatic
+    interface is :meth:`spin` and :meth:`set`.
+    """
+
+    def __init__(
+        self,
+        rect: Rect,
+        label: str,
+        get: Callable[[], float],
+        set_: Callable[[float], None],
+        step: float = 1.0,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ) -> None:
+        super().__init__(rect, name=f"spin:{label}")
+        self.label = label
+        self._get = get
+        self._set = set_
+        self.step = step
+        self.minimum = minimum
+        self.maximum = maximum
+
+    @property
+    def value(self) -> float:
+        return self._get()
+
+    def set(self, value: float) -> float:
+        if self.minimum is not None:
+            value = max(self.minimum, value)
+        if self.maximum is not None:
+            value = min(self.maximum, value)
+        self._set(value)
+        return self.value
+
+    def spin(self, steps: int) -> float:
+        return self.set(self.value + steps * self.step)
+
+    def on_click(self, button: MouseButton) -> bool:
+        self.spin(1 if button is MouseButton.LEFT else -1)
+        return True
+
+    def draw(self, canvas: Canvas) -> None:
+        if not self.visible:
+            return
+        text = f"{self.label}: {self.value:g}"
+        canvas.text(self.rect.x, self.rect.y, text, color_rgb("lightgrey"))
+        super().draw(canvas)

@@ -1,0 +1,146 @@
+"""The two parameter windows of Figures 2 and 3, as editable models.
+
+* :class:`SignalParametersWindow` — opened by right-clicking a signal
+  name (Figure 2).  Edits the live per-signal parameters: color, min,
+  max, line mode, hidden flag and filter alpha.  Edits take effect on
+  the channel immediately, exactly like the GTK dialog.
+* :class:`ControlParametersWindow` — the application/control parameter
+  window (Figure 3), backed by a
+  :class:`~repro.core.params.ParameterStore`.  Each row shows a
+  parameter with its value; writes go through the store so listeners
+  (and the application) observe them.
+
+Both windows can render themselves onto a canvas so the reproduction can
+regenerate the paper's screenshots headlessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.core.channel import Channel
+from repro.core.lowpass import LowPassFilter
+from repro.core.params import ParameterStore
+from repro.core.signal import LineMode
+from repro.gui.canvas import Canvas
+from repro.gui.color import color_rgb
+
+ROW_H = 12
+
+
+class SignalParametersWindow:
+    """Figure 2: per-signal parameter editor.
+
+    The window presents the mutable subset of ``GtkScopeSig``.  Setting a
+    field validates it the same way the spec constructor does and applies
+    it to the live channel.
+    """
+
+    FIELDS = ("color", "min", "max", "line", "hidden", "filter")
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.applied: List[str] = []  # audit trail of edited fields
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def values(self) -> Dict[str, object]:
+        spec = self.channel.spec
+        return {
+            "name": spec.name,
+            "color": spec.color,
+            "min": spec.min,
+            "max": spec.max,
+            "line": spec.line.value,
+            "hidden": not self.channel.visible,
+            "filter": spec.filter,
+        }
+
+    # ------------------------------------------------------------------
+    # Edits (validated, applied live)
+    # ------------------------------------------------------------------
+    def set_color(self, color: Optional[str]) -> None:
+        if color is not None:
+            color_rgb(color)  # validate before applying
+        self.channel.spec = replace(self.channel.spec, color=color)
+        self.applied.append("color")
+
+    def set_range(self, minimum: float, maximum: float) -> None:
+        """min and max change together; the pair must stay ordered."""
+        self.channel.spec = replace(self.channel.spec, min=minimum, max=maximum)
+        self.applied.append("range")
+
+    def set_line(self, mode: LineMode) -> None:
+        self.channel.spec = replace(self.channel.spec, line=mode)
+        self.applied.append("line")
+
+    def set_hidden(self, hidden: bool) -> None:
+        self.channel.visible = not hidden
+        self.channel.spec = replace(self.channel.spec, hidden=hidden)
+        self.applied.append("hidden")
+
+    def set_filter(self, alpha: float) -> None:
+        """Changing alpha swaps the channel's filter, preserving its
+        current output so the trace does not jump."""
+        new_filter = LowPassFilter(alpha)  # validates alpha
+        current = self.channel.filter.value
+        if current is not None and alpha > 0.0:
+            new_filter.apply(current)
+        self.channel.spec = replace(self.channel.spec, filter=alpha)
+        self.channel.filter = new_filter
+        self.applied.append("filter")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, width: int = 220) -> Canvas:
+        rows = self.values()
+        canvas = Canvas(width, ROW_H * (len(rows) + 1), background=(24, 24, 24))
+        canvas.text(4, 2, f"signal: {rows['name']}", color_rgb("white"))
+        y = ROW_H
+        for key in self.FIELDS:
+            canvas.text(4, y + 2, f"{key} = {rows[key]}", color_rgb("lightgrey"))
+            y += ROW_H
+        return canvas
+
+
+class ControlParametersWindow:
+    """Figure 3: the application/control parameters window.
+
+    Parameters are displayed with spin-button semantics (step up/down)
+    and direct entry; all writes flow through the backing store.
+    """
+
+    def __init__(self, store: ParameterStore, title: str = "Application Parameters") -> None:
+        self.store = store
+        self.title = title
+
+    def rows(self) -> Dict[str, float]:
+        """Name → current value for every parameter, in store order."""
+        return {name: self.store.get(name) for name in self.store.names()}
+
+    def set(self, name: str, value: float) -> float:
+        """Direct entry into a parameter's field."""
+        return self.store.set(name, value)
+
+    def step_up(self, name: str, steps: int = 1) -> float:
+        return self.store.adjust(name, steps)
+
+    def step_down(self, name: str, steps: int = 1) -> float:
+        return self.store.adjust(name, -steps)
+
+    def render(self, width: int = 260) -> Canvas:
+        rows = self.rows()
+        canvas = Canvas(width, ROW_H * (len(rows) + 1), background=(24, 24, 24))
+        canvas.text(4, 2, self.title, color_rgb("white"))
+        y = ROW_H
+        for name, value in rows.items():
+            param = self.store.parameter(name)
+            bounds = ""
+            if param.minimum is not None or param.maximum is not None:
+                bounds = f" [{param.minimum}, {param.maximum}]"
+            canvas.text(4, y + 2, f"{name} = {value:g}{bounds}", color_rgb("lightgrey"))
+            y += ROW_H
+        return canvas

@@ -1,0 +1,18 @@
+"""Quality-adaptive streaming media player simulation.
+
+The paper motivates gscope with time-sensitive multimedia software and
+names "a quality-adaptive streaming media player" (Krasic et al.) among
+its users, plus "fill levels of buffers in a pipeline" among the
+signals it visualizes.  This package provides that workload:
+
+* :mod:`repro.media.pipeline` — a producer → decoder → renderer
+  pipeline of bounded buffers with fill-level signals.
+* :mod:`repro.media.player` — the adaptive player: a network source
+  with fluctuating bandwidth feeds the pipeline, and a quality
+  controller picks the encoding level that keeps the buffers healthy.
+"""
+
+from repro.media.pipeline import Pipeline, StageBuffer
+from repro.media.player import AdaptivePlayer, PlayerConfig
+
+__all__ = ["AdaptivePlayer", "Pipeline", "PlayerConfig", "StageBuffer"]

@@ -1,0 +1,124 @@
+"""A media pipeline of bounded buffers with fill-level signals.
+
+The canonical gscope workload: data flows producer → decoder → renderer
+through bounded queues, and the interesting live signals are the fill
+levels — precisely what Section 1 cites ("fill levels of buffers in a
+pipeline").  Stages move whole frames; a stage's throughput per tick is
+bounded by its rate and by downstream space (back-pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class StageBuffer:
+    """A bounded FIFO between two pipeline stages (frame-granular)."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.name = name
+        self.capacity = int(capacity)
+        self.frames = 0
+        self.total_in = 0
+        self.total_out = 0
+        self.overflow_drops = 0
+
+    @property
+    def space(self) -> int:
+        return self.capacity - self.frames
+
+    @property
+    def fill_percent(self) -> float:
+        """Fill level 0..100 — the scope signal."""
+        return 100.0 * self.frames / self.capacity
+
+    def offer(self, count: int) -> int:
+        """Push up to ``count`` frames; returns how many were accepted."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        accepted = min(count, self.space)
+        self.frames += accepted
+        self.total_in += accepted
+        self.overflow_drops += count - accepted
+        return accepted
+
+    def take(self, count: int) -> int:
+        """Pop up to ``count`` frames; returns how many came out."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        taken = min(count, self.frames)
+        self.frames -= taken
+        self.total_out += taken
+        return taken
+
+
+class Pipeline:
+    """producer → [network buffer] → decoder → [decoded buffer] → renderer.
+
+    The decoder moves frames between the two buffers at a bounded rate;
+    the renderer consumes at the display rate.  The caller injects
+    arriving frames per tick (the network side) via :meth:`tick`.
+    """
+
+    def __init__(
+        self,
+        network_capacity: int = 60,
+        decoded_capacity: int = 30,
+        decode_rate_fps: float = 60.0,
+        display_rate_fps: float = 30.0,
+    ) -> None:
+        if decode_rate_fps <= 0 or display_rate_fps <= 0:
+            raise ValueError("stage rates must be positive")
+        self.network_buffer = StageBuffer("network", network_capacity)
+        self.decoded_buffer = StageBuffer("decoded", decoded_capacity)
+        self.decode_rate_fps = float(decode_rate_fps)
+        self.display_rate_fps = float(display_rate_fps)
+        self.displayed = 0
+        self.display_misses = 0  # render ticks with an empty buffer
+        self._decode_credit = 0.0
+        self._display_credit = 0.0
+
+    def tick(self, dt_s: float, arriving_frames: int) -> None:
+        """Advance the pipeline by ``dt_s`` with ``arriving_frames`` in."""
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive: {dt_s}")
+        self.network_buffer.offer(arriving_frames)
+
+        # Decoder: bounded by rate, input availability and output space.
+        self._decode_credit += self.decode_rate_fps * dt_s
+        can_decode = int(self._decode_credit)
+        moved = min(
+            can_decode, self.network_buffer.frames, self.decoded_buffer.space
+        )
+        self.network_buffer.take(moved)
+        self.decoded_buffer.offer(moved)
+        self._decode_credit -= moved if moved < can_decode else can_decode
+
+        # Renderer: consumes at the display rate; misses when starved.
+        self._display_credit += self.display_rate_fps * dt_s
+        want = int(self._display_credit)
+        got = self.decoded_buffer.take(want)
+        self.displayed += got
+        self.display_misses += want - got
+        self._display_credit -= want
+
+    # ------------------------------------------------------------------
+    # Scope signal hooks
+    # ------------------------------------------------------------------
+    def get_network_fill(self, *_: object) -> float:
+        return self.network_buffer.fill_percent
+
+    def get_decoded_fill(self, *_: object) -> float:
+        return self.decoded_buffer.fill_percent
+
+    def buffers(self) -> List[StageBuffer]:
+        return [self.network_buffer, self.decoded_buffer]
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "displayed": self.displayed,
+            "display_misses": self.display_misses,
+            "network_drops": self.network_buffer.overflow_drops,
+        }

@@ -1,0 +1,118 @@
+"""The quality-adaptive streaming player.
+
+Models the player of Krasic et al. ("The Case for Streaming Multimedia
+with TCP", the paper's reference [14]): the network delivers a variable
+bandwidth; the player chooses among encoding quality levels (each with a
+bits-per-frame cost) so that the frame rate the network can sustain
+keeps the pipeline buffers near a setpoint.  Dropping quality when the
+network fades and restoring it when bandwidth returns is the adaptation
+the scope makes visible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.media.pipeline import Pipeline
+
+
+@dataclass
+class PlayerConfig:
+    """Adaptation and network-model parameters."""
+
+    quality_levels_kbps: List[float] = field(
+        default_factory=lambda: [200.0, 400.0, 800.0, 1600.0, 3200.0]
+    )
+    display_rate_fps: float = 30.0
+    upgrade_fill: float = 70.0  # buffer % above which quality steps up
+    downgrade_fill: float = 30.0  # buffer % below which quality steps down
+    hold_ticks: int = 10  # minimum ticks between quality changes
+    mean_bandwidth_kbps: float = 1200.0
+    bandwidth_swing: float = 0.6  # relative amplitude of the slow fade
+    fade_period_s: float = 20.0
+    jitter: float = 0.15  # multiplicative noise per tick
+    seed: int = 3
+
+
+class AdaptivePlayer:
+    """Streaming player with buffer-driven quality adaptation."""
+
+    def __init__(self, config: Optional[PlayerConfig] = None) -> None:
+        self.config = config if config is not None else PlayerConfig()
+        if not self.config.quality_levels_kbps:
+            raise ValueError("need at least one quality level")
+        self.pipeline = Pipeline(display_rate_fps=self.config.display_rate_fps)
+        self.level = len(self.config.quality_levels_kbps) // 2
+        self.rng = random.Random(self.config.seed)
+        self.time_s = 0.0
+        self._hold = 0
+        self.quality_changes = 0
+        self._frame_credit = 0.0
+
+    # ------------------------------------------------------------------
+    # Network model
+    # ------------------------------------------------------------------
+    def bandwidth_kbps(self) -> float:
+        """Slowly fading bandwidth with multiplicative jitter."""
+        cfg = self.config
+        fade = 1.0 + cfg.bandwidth_swing * math.sin(
+            2.0 * math.pi * self.time_s / cfg.fade_period_s
+        )
+        noise = 1.0 + cfg.jitter * (2.0 * self.rng.random() - 1.0)
+        return max(50.0, cfg.mean_bandwidth_kbps * fade * noise)
+
+    # ------------------------------------------------------------------
+    # Adaptation
+    # ------------------------------------------------------------------
+    @property
+    def quality_kbps(self) -> float:
+        return self.config.quality_levels_kbps[self.level]
+
+    def _adapt(self) -> None:
+        cfg = self.config
+        if self._hold > 0:
+            self._hold -= 1
+            return
+        fill = self.pipeline.get_network_fill()
+        if fill < cfg.downgrade_fill and self.level > 0:
+            self.level -= 1
+            self.quality_changes += 1
+            self._hold = cfg.hold_ticks
+        elif fill > cfg.upgrade_fill and self.level < len(cfg.quality_levels_kbps) - 1:
+            self.level += 1
+            self.quality_changes += 1
+            self._hold = cfg.hold_ticks
+
+    # ------------------------------------------------------------------
+    # Simulation step
+    # ------------------------------------------------------------------
+    def tick(self, dt_s: float) -> None:
+        """Advance the player by ``dt_s`` seconds."""
+        self.time_s += dt_s
+        bw = self.bandwidth_kbps()
+        bits_per_frame = self.quality_kbps * 1000.0 / self.config.display_rate_fps
+        self._frame_credit += bw * 1000.0 * dt_s / bits_per_frame
+        frames = int(self._frame_credit)
+        self._frame_credit -= frames
+        self.pipeline.tick(dt_s, frames)
+        self._adapt()
+
+    def run(self, duration_s: float, dt_s: float = 0.1) -> None:
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            self.tick(dt_s)
+
+    # ------------------------------------------------------------------
+    # Scope signal hooks
+    # ------------------------------------------------------------------
+    def get_quality_level(self, *_: object) -> float:
+        return float(self.level)
+
+    def get_bandwidth(self, *_: object) -> float:
+        return self.bandwidth_kbps()
+
+    def get_buffer_fill(self, *_: object) -> float:
+        return self.pipeline.get_network_fill()

@@ -1,0 +1,41 @@
+"""Distributed gscope — the single-threaded I/O-driven client/server
+library of Section 4.4.
+
+Clients use :class:`~repro.net.client.ScopeClient` to connect to a
+server built on :class:`~repro.net.server.ScopeServer`.  Clients
+asynchronously send BUFFER signal data in the tuple format (Section 3.3);
+the server receives from one or more clients, buffers the samples and
+displays them on one or more scopes after the user-specified delay.
+Data arriving after its delay slot is dropped immediately — the
+:class:`~repro.core.buffer.SampleBuffer` enforces that rule.
+
+Everything is single-threaded and event-driven: both ends attach
+:class:`~repro.eventloop.sources.IOWatch` sources to the same main-loop
+machinery that drives polling, exactly like the C library rides glib's
+``GIOChannel`` watches.  Two transports are provided: an in-memory pair
+(deterministic, virtual-clock friendly, can model network latency) and a
+real non-blocking socket pair.
+"""
+
+from repro.net.client import ScopeClient
+from repro.net.protocol import decode_lines, encode_sample
+from repro.net.server import ScopeServer
+from repro.net.transport import (
+    LatencyLink,
+    MemoryEndpoint,
+    SocketEndpoint,
+    memory_pair,
+    socket_pair,
+)
+
+__all__ = [
+    "LatencyLink",
+    "MemoryEndpoint",
+    "ScopeClient",
+    "ScopeServer",
+    "SocketEndpoint",
+    "decode_lines",
+    "encode_sample",
+    "memory_pair",
+    "socket_pair",
+]

@@ -1,0 +1,106 @@
+"""The gscope client API (Section 4.4).
+
+"Clients use the gscope client API to connect to a server ... Clients
+asynchronously send BUFFER signal data in tuple format to the server."
+
+A :class:`ScopeClient` wraps an endpoint and timestamps outgoing samples
+with its local clock (remote machines have their own clocks; the
+display-delay mechanism absorbs skew up to the configured delay).  Sends
+are asynchronous: samples queue locally and drain through an I/O watch
+when the transport is writable, keeping the application single-threaded
+and non-blocking, as Section 4.3 prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.eventloop.clock import Clock
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import IOCondition
+from repro.net.protocol import encode_sample
+
+
+class ScopeClient:
+    """Pushes named samples to a remote scope server.
+
+    Parameters
+    ----------
+    endpoint:
+        A connected transport endpoint (memory or socket).
+    loop:
+        The client's main loop; its clock stamps outgoing samples and an
+        I/O watch drains the send queue.
+    max_queue:
+        Bound on locally queued frames.  When the transport back-pressures
+        past this, the *oldest* frames drop — freshest data matters most
+        on a live display, and the server would drop stale frames anyway.
+    """
+
+    def __init__(self, endpoint, loop: MainLoop, max_queue: int = 4096) -> None:
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive: {max_queue}")
+        self.endpoint = endpoint
+        self.loop = loop
+        self.max_queue = max_queue
+        self._pending: Deque[bytes] = deque()
+        self._watch_id: Optional[int] = None
+        self.sent = 0
+        self.dropped = 0
+
+    @property
+    def clock(self) -> Clock:
+        return self.loop.clock
+
+    def send_sample(
+        self, name: str, value: float, time_ms: Optional[float] = None
+    ) -> None:
+        """Queue one sample for asynchronous transmission.
+
+        ``time_ms`` defaults to the client clock's *now*, matching the
+        paper's push-with-timestamp usage.
+        """
+        stamp = self.clock.now() if time_ms is None else float(time_ms)
+        frame = encode_sample(stamp, value, name)
+        if len(self._pending) >= self.max_queue:
+            self._pending.popleft()
+            self.dropped += 1
+        self._pending.append(frame)
+        self._ensure_watch()
+        self._try_flush()
+
+    def _ensure_watch(self) -> None:
+        if self._watch_id is None and self._pending:
+            self._watch_id = self.loop.io_add_watch(
+                self.endpoint, IOCondition.OUT, self._on_writable
+            )
+
+    def _on_writable(self, channel, condition) -> bool:
+        self._try_flush()
+        if not self._pending:
+            self._watch_id = None
+            return False  # drop the watch until there is data again
+        return True
+
+    def _try_flush(self) -> None:
+        while self._pending and self.endpoint.writable():
+            frame = self._pending[0]
+            sent = self.endpoint.send(frame)
+            if sent < len(frame):
+                # Partial write: keep the unsent tail at the queue head.
+                self._pending[0] = frame[sent:]
+                break
+            self._pending.popleft()
+            self.sent += 1
+
+    @property
+    def backlog(self) -> int:
+        """Frames queued locally, waiting for the transport."""
+        return len(self._pending)
+
+    def close(self) -> None:
+        if self._watch_id is not None:
+            self.loop.remove(self._watch_id)
+            self._watch_id = None
+        self.endpoint.close()

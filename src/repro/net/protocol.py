@@ -1,0 +1,57 @@
+"""Wire protocol: newline-delimited tuple lines.
+
+The paper uses the same textual tuple format on the wire as on disk
+(Section 3.3: "signal data is delivered, generated or stored in a textual
+tuple format"), so the protocol layer is a thin framing shim over
+:mod:`repro.core.tuples`: one tuple per ``\\n``-terminated line, UTF-8.
+
+:func:`decode_lines` is incremental — network reads arrive in arbitrary
+chunks, so a stateful decoder carries partial lines between reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.tuples import Tuple3, format_tuple, parse_tuple
+
+
+def encode_sample(time_ms: float, value: float, name: Optional[str] = None) -> bytes:
+    """Encode one sample as a wire frame (tuple line + newline)."""
+    return (format_tuple(time_ms, value, name) + "\n").encode("utf-8")
+
+
+class LineDecoder:
+    """Incremental splitter of byte chunks into complete lines."""
+
+    def __init__(self) -> None:
+        self._partial = b""
+
+    def feed(self, chunk: bytes) -> List[str]:
+        """Add a chunk; return the complete lines it finishes."""
+        data = self._partial + chunk
+        *complete, self._partial = data.split(b"\n")
+        return [line.decode("utf-8", errors="replace") for line in complete]
+
+    @property
+    def pending(self) -> bytes:
+        """Bytes of the current incomplete line."""
+        return self._partial
+
+
+def decode_lines(chunk: bytes, decoder: Optional[LineDecoder] = None) -> Tuple[List[Tuple3], LineDecoder]:
+    """Decode a chunk into parsed tuples, skipping blanks and comments.
+
+    Returns the tuples plus the (possibly fresh) decoder carrying any
+    partial trailing line.  Malformed lines raise
+    :class:`~repro.core.tuples.TupleFormatError` — a misbehaving client
+    should be disconnected, not silently misread.
+    """
+    if decoder is None:
+        decoder = LineDecoder()
+    tuples: List[Tuple3] = []
+    for line in decoder.feed(chunk):
+        parsed = parse_tuple(line)
+        if parsed is not None:
+            tuples.append(parsed)
+    return tuples, decoder

@@ -1,0 +1,143 @@
+"""The gscope server library (Section 4.4).
+
+"The server receives data from one or more clients asynchronously and
+buffers the data.  It then displays these BUFFER signals to one or more
+scopes with a user-specified delay ... Data arriving at the server after
+this delay is not buffered but dropped immediately."
+
+A :class:`ScopeServer` owns a set of client connections (each an I/O
+watch on the shared single-threaded main loop) and forwards decoded
+tuples into a :class:`~repro.core.manager.ScopeManager`, which fans each
+sample out to every scope carrying a BUFFER signal of that name.  The
+late-drop rule lives in :class:`~repro.core.buffer.SampleBuffer`; the
+server just counts what was dropped so experiments can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.manager import ScopeManager
+from repro.core.signal import SignalSpec, SignalType
+from repro.core.tuples import TupleFormatError
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import IOCondition
+from repro.net.protocol import LineDecoder, decode_lines
+
+
+@dataclass
+class ClientState:
+    """Per-connection bookkeeping."""
+
+    endpoint: object
+    decoder: LineDecoder = field(default_factory=LineDecoder)
+    watch_id: Optional[int] = None
+    received: int = 0
+    accepted: int = 0
+    dropped_late: int = 0
+    protocol_errors: int = 0
+    connected: bool = True
+
+
+class ScopeServer:
+    """Receives tuple streams and displays them on registered scopes.
+
+    Parameters
+    ----------
+    loop:
+        The shared single-threaded main loop.
+    manager:
+        Scope registry; samples are fanned out to every scope holding a
+        BUFFER signal with the sample's name.
+    auto_create:
+        When a tuple names a signal no scope carries, create a BUFFER
+        signal for it on the first registered scope — convenient for
+        exploratory monitoring; off by default because the paper's flow
+        registers signals explicitly.
+    """
+
+    def __init__(
+        self,
+        loop: MainLoop,
+        manager: ScopeManager,
+        auto_create: bool = False,
+    ) -> None:
+        self.loop = loop
+        self.manager = manager
+        self.auto_create = auto_create
+        self._clients: List[ClientState] = []
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def add_client(self, endpoint) -> ClientState:
+        """Register a connected client endpoint for asynchronous reads."""
+        state = ClientState(endpoint=endpoint)
+        state.watch_id = self.loop.io_add_watch(
+            endpoint, IOCondition.IN, lambda ch, cond, s=state: self._on_readable(s)
+        )
+        self._clients.append(state)
+        return state
+
+    def disconnect(self, state: ClientState) -> None:
+        if state.watch_id is not None:
+            self.loop.remove(state.watch_id)
+            state.watch_id = None
+        state.connected = False
+        if hasattr(state.endpoint, "close"):
+            state.endpoint.close()
+
+    @property
+    def clients(self) -> List[ClientState]:
+        return list(self._clients)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_readable(self, state: ClientState) -> bool:
+        chunk = state.endpoint.recv()
+        if not chunk:
+            # Peer closed (socket semantics); drop the watch.
+            self.disconnect(state)
+            return False
+        try:
+            tuples, state.decoder = decode_lines(chunk, state.decoder)
+        except TupleFormatError:
+            # A malformed stream is a protocol violation: disconnect
+            # rather than guess at framing.
+            state.protocol_errors += 1
+            self.disconnect(state)
+            return False
+        for tup in tuples:
+            state.received += 1
+            name = tup.name if tup.name is not None else "signal"
+            self._ensure_signal(name)
+            accepted = self.manager.push_sample(name, tup.time_ms, tup.value)
+            if accepted:
+                state.accepted += 1
+            else:
+                state.dropped_late += 1
+        return True
+
+    def _ensure_signal(self, name: str) -> None:
+        if not self.auto_create:
+            return
+        carried = any(name in scope for scope in self.manager.scopes)
+        if not carried and self.manager.scopes:
+            self.manager.scopes[0].signal_new(
+                SignalSpec(name=name, type=SignalType.BUFFER)
+            )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def totals(self) -> Dict[str, int]:
+        """Aggregate receive/accept/drop counters across all clients."""
+        out = {"received": 0, "accepted": 0, "dropped_late": 0, "protocol_errors": 0}
+        for c in self._clients:
+            out["received"] += c.received
+            out["accepted"] += c.accepted
+            out["dropped_late"] += c.dropped_late
+            out["protocol_errors"] += c.protocol_errors
+        return out

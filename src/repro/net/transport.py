@@ -1,0 +1,179 @@
+"""Transports: duplex byte channels the event loop can watch.
+
+Both endpoint kinds satisfy the
+:class:`~repro.eventloop.sources.Pollable` protocol (``readable()`` /
+``writable()``), so either can sit behind an
+:class:`~repro.eventloop.sources.IOWatch`:
+
+* :func:`memory_pair` — two in-process endpoints joined by byte queues.
+  Deterministic, works with a virtual clock, and supports an optional
+  :class:`LatencyLink` that holds bytes for a configurable delay —
+  the stand-in for the paper's wide-area network between mxtraf hosts.
+* :func:`socket_pair` — a real non-blocking ``socket.socketpair``, used
+  by integration tests to prove the code path works on actual sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.eventloop.clock import Clock
+
+
+class TransportClosed(ConnectionError):
+    """Raised when sending on or reading from a closed endpoint."""
+
+
+class LatencyLink:
+    """Byte conduit that delivers chunks after a fixed delay.
+
+    Models transmission latency between a remote client and the scope
+    server.  Bytes become visible to the receiving endpoint only once
+    ``delay_ms`` has elapsed on the shared clock.
+    """
+
+    def __init__(self, clock: Clock, delay_ms: float = 0.0) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative: {delay_ms}")
+        self.clock = clock
+        self.delay_ms = float(delay_ms)
+        self._in_flight: Deque[Tuple[float, bytes]] = deque()
+        self._delivered = b""
+        self.closed = False
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise TransportClosed("link is closed")
+        self._in_flight.append((self.clock.now() + self.delay_ms, data))
+
+    def _settle(self) -> None:
+        now = self.clock.now()
+        while self._in_flight and self._in_flight[0][0] <= now:
+            self._delivered += self._in_flight.popleft()[1]
+
+    def readable(self) -> bool:
+        self._settle()
+        return bool(self._delivered)
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        self._settle()
+        chunk, self._delivered = self._delivered[:max_bytes], self._delivered[max_bytes:]
+        return chunk
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class MemoryEndpoint:
+    """One side of an in-memory duplex channel."""
+
+    def __init__(self, outgoing: LatencyLink, incoming: LatencyLink, label: str = "") -> None:
+        self._out = outgoing
+        self._in = incoming
+        self.label = label
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # Pollable protocol -------------------------------------------------
+    def readable(self) -> bool:
+        return not self.closed and self._in.readable()
+
+    def writable(self) -> bool:
+        return not self.closed and not self._out.closed
+
+    # Byte I/O -----------------------------------------------------------
+    def send(self, data: bytes) -> int:
+        if self.closed:
+            raise TransportClosed(f"endpoint {self.label!r} is closed")
+        self._out.send(data)
+        self.bytes_sent += len(data)
+        return len(data)
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        if self.closed:
+            raise TransportClosed(f"endpoint {self.label!r} is closed")
+        chunk = self._in.recv(max_bytes)
+        self.bytes_received += len(chunk)
+        return chunk
+
+    def close(self) -> None:
+        self.closed = True
+        self._out.close()
+
+    def __repr__(self) -> str:
+        return f"MemoryEndpoint({self.label!r}, closed={self.closed})"
+
+
+def memory_pair(
+    clock: Clock, latency_ms: float = 0.0, labels: Tuple[str, str] = ("client", "server")
+) -> Tuple[MemoryEndpoint, MemoryEndpoint]:
+    """Create two connected in-memory endpoints with symmetric latency."""
+    a_to_b = LatencyLink(clock, latency_ms)
+    b_to_a = LatencyLink(clock, latency_ms)
+    a = MemoryEndpoint(outgoing=a_to_b, incoming=b_to_a, label=labels[0])
+    b = MemoryEndpoint(outgoing=b_to_a, incoming=a_to_b, label=labels[1])
+    return a, b
+
+
+class SocketEndpoint:
+    """Non-blocking wrapper over a real socket.
+
+    ``readable()`` uses a zero-timeout ``select`` so the event loop can
+    poll without blocking — the same pattern glib's ``GIOChannel`` uses
+    underneath.
+    """
+
+    def __init__(self, sock: socket.socket, label: str = "") -> None:
+        sock.setblocking(False)
+        self.sock = sock
+        self.label = label
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def readable(self) -> bool:
+        if self.closed:
+            return False
+        import select
+
+        ready, _, _ = select.select([self.sock], [], [], 0)
+        return bool(ready)
+
+    def writable(self) -> bool:
+        if self.closed:
+            return False
+        import select
+
+        _, ready, _ = select.select([], [self.sock], [], 0)
+        return bool(ready)
+
+    def send(self, data: bytes) -> int:
+        if self.closed:
+            raise TransportClosed(f"socket endpoint {self.label!r} is closed")
+        sent = self.sock.send(data)
+        self.bytes_sent += sent
+        return sent
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        if self.closed:
+            raise TransportClosed(f"socket endpoint {self.label!r} is closed")
+        try:
+            chunk = self.sock.recv(max_bytes)
+        except BlockingIOError:
+            return b""
+        self.bytes_received += len(chunk)
+        return chunk
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.sock.close()
+
+
+def socket_pair(labels: Tuple[str, str] = ("client", "server")) -> Tuple[SocketEndpoint, SocketEndpoint]:
+    """A connected non-blocking ``socketpair`` as two endpoints."""
+    a, b = socket.socketpair()
+    return SocketEndpoint(a, labels[0]), SocketEndpoint(b, labels[1])

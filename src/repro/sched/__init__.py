@@ -1,0 +1,24 @@
+"""Proportion-period CPU scheduler substrate.
+
+The paper repeatedly uses one demo application: "we use gscope to view
+dynamically changing process proportions as assigned by a CPU
+proportion-period scheduler" (Steere et al., OSDI 1999 — the real-rate
+feedback allocator).  Here the scheduler and its workload are simulated:
+
+* :mod:`repro.sched.process` — processes with a *desired progress rate*
+  (e.g. a video decoder that must consume 30 frames/s) that make
+  progress only while allocated CPU.
+* :mod:`repro.sched.allocator` — the feedback-driven proportion
+  allocator: each period it estimates progress pressure per process and
+  reassigns CPU proportions, squeezing them proportionally when demand
+  exceeds 100 %.
+
+The allocator's assigned proportions are the signals the scope displays,
+one per running process — the paper's example of a signal population
+that grows and shrinks dynamically.
+"""
+
+from repro.sched.allocator import ProportionAllocator, SchedulerConfig
+from repro.sched.process import SimProcess
+
+__all__ = ["ProportionAllocator", "SchedulerConfig", "SimProcess"]

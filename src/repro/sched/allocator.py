@@ -1,0 +1,133 @@
+"""The feedback-driven proportion allocator (the real-rate scheduler).
+
+Each scheduling period the allocator:
+
+1. lets every process's producer enqueue one period of work,
+2. reads each process's queue fill level — the real-rate *progress
+   pressure* signal (0.5 = keeping up exactly),
+3. adjusts the process's proportion with a proportional-integral
+   controller pushing the fill level back to the setpoint,
+4. normalises: if total demand exceeds the CPU, proportions are squeezed
+   proportionally (the paper's scheduler guarantees the sum ≤ 1),
+5. runs each process for ``proportion * period`` of simulated CPU.
+
+The assigned proportions are what the paper scopes: "These proportions
+are assigned at the granularity of the process period and we set the
+scope polling period to be same as the process period" (Section 4.2) —
+a periodic signal, held between periods, needing no phase alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sched.process import SimProcess
+
+
+@dataclass
+class SchedulerConfig:
+    """Controller and period parameters."""
+
+    period_ms: float = 50.0
+    setpoint: float = 0.5  # target queue fill
+    kp: float = 0.8  # proportional gain on fill error
+    ki: float = 0.15  # integral gain
+    integral_limit: float = 0.5  # anti-windup clamp on ki * integral
+    min_proportion: float = 0.01
+    max_total: float = 1.0  # the whole CPU
+
+
+class ProportionAllocator:
+    """Assigns CPU proportions to processes by queue-fill feedback."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config if config is not None else SchedulerConfig()
+        self._processes: Dict[str, SimProcess] = {}
+        self._proportions: Dict[str, float] = {}
+        self._integral: Dict[str, float] = {}
+        self._squeezed_last = False
+        self.periods = 0
+        self.squeezes = 0  # periods where demand exceeded the CPU
+
+    # ------------------------------------------------------------------
+    # Process management (dynamic, like the paper's signal population)
+    # ------------------------------------------------------------------
+    def add(self, process: SimProcess, initial_proportion: Optional[float] = None) -> None:
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process name: {process.name!r}")
+        self._processes[process.name] = process
+        start = (
+            initial_proportion
+            if initial_proportion is not None
+            else process.ideal_proportion
+        )
+        self._proportions[process.name] = max(self.config.min_proportion, start)
+        self._integral[process.name] = 0.0
+
+    def remove(self, name: str) -> SimProcess:
+        process = self._processes.pop(name)
+        self._proportions.pop(name)
+        self._integral.pop(name)
+        return process
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        return list(self._processes.values())
+
+    def proportion_of(self, name: str) -> float:
+        """Current assigned proportion (the scope's signal source)."""
+        return self._proportions[name]
+
+    def process(self, name: str) -> SimProcess:
+        return self._processes[name]
+
+    @property
+    def total_assigned(self) -> float:
+        return sum(self._proportions.values())
+
+    # ------------------------------------------------------------------
+    # One scheduling period
+    # ------------------------------------------------------------------
+    def run_period(self) -> Dict[str, float]:
+        """Execute one period; returns the proportions used."""
+        cfg = self.config
+        period_s = cfg.period_ms / 1000.0
+        self.periods += 1
+
+        # 1. producers fill queues.
+        for process in self._processes.values():
+            process.produce(period_s)
+
+        # 2-3. feedback update per process, with anti-windup: while the
+        # CPU is over-committed the integral only unwinds (a positive
+        # fill error cannot be served anyway, so accumulating it would
+        # cause a large overshoot once capacity frees up), and the
+        # integral contribution is clamped.
+        bound = cfg.integral_limit / cfg.ki if cfg.ki > 0 else float("inf")
+        for name, process in self._processes.items():
+            error = process.queue_fill - cfg.setpoint  # >0 ⇒ falling behind
+            if error < 0 or not self._squeezed_last:
+                self._integral[name] += error * period_s
+            self._integral[name] = max(-bound, min(bound, self._integral[name]))
+            adjust = cfg.kp * error + cfg.ki * self._integral[name]
+            target = process.ideal_proportion + adjust
+            self._proportions[name] = max(cfg.min_proportion, target)
+
+        # 4. normalise when over-committed.
+        total = self.total_assigned
+        self._squeezed_last = total > cfg.max_total
+        if self._squeezed_last:
+            self.squeezes += 1
+            scale = cfg.max_total / total
+            for name in self._proportions:
+                self._proportions[name] *= scale
+
+        # 5. dispatch.
+        for name, process in self._processes.items():
+            process.run_for(self._proportions[name] * period_s)
+        return dict(self._proportions)
+
+    def run_periods(self, count: int) -> None:
+        for _ in range(count):
+            self.run_period()

@@ -1,0 +1,111 @@
+"""Simulated processes with real-rate progress semantics.
+
+A real-rate process (a video decoder, an audio mixer, a network pump)
+has a natural *rate* at which it must make progress; the scheduler's job
+is to find the CPU proportion that sustains that rate.  The simulation
+reduces a process to:
+
+* ``desired_rate`` — progress units per second it should achieve,
+* ``work_factor`` — progress units produced per second of CPU,
+* ``progress`` — accumulated work, advanced by :meth:`run_for`,
+* a bounded **queue model** — the real-rate paper infers rates from
+  timestamps queued between producer/consumer pairs; we model the fill
+  level directly: the process's input queue fills at ``desired_rate``
+  and drains as it progresses, so ``queue_fill`` is the observable
+  pressure signal the allocator feeds back on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimProcess:
+    """One schedulable process under the proportion-period scheduler.
+
+    Parameters
+    ----------
+    name:
+        Process name (also the scope signal name).
+    desired_rate:
+        Required progress in units/second (frames, packets, blocks...).
+    work_factor:
+        Units of progress per second of CPU time.  The CPU proportion
+        that exactly sustains ``desired_rate`` is
+        ``desired_rate / work_factor``.
+    queue_capacity:
+        Bound on the input queue (units).  Fill level is normalised to
+        [0, 1] for the controller's setpoint arithmetic.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        desired_rate: float,
+        work_factor: float,
+        queue_capacity: float = 100.0,
+    ) -> None:
+        if desired_rate <= 0:
+            raise ValueError(f"desired_rate must be positive: {desired_rate}")
+        if work_factor <= 0:
+            raise ValueError(f"work_factor must be positive: {work_factor}")
+        if queue_capacity <= 0:
+            raise ValueError(f"queue_capacity must be positive: {queue_capacity}")
+        self.name = name
+        self.desired_rate = float(desired_rate)
+        self.work_factor = float(work_factor)
+        self.queue_capacity = float(queue_capacity)
+        self.queue = queue_capacity / 2.0  # start half full (neutral)
+        self.progress = 0.0
+        self.cpu_ms_used = 0.0
+        self.overflows = 0.0  # units dropped at the full queue
+        self.underflows = 0.0  # units of starvation (queue empty)
+
+    @property
+    def ideal_proportion(self) -> float:
+        """CPU share that exactly sustains the desired rate."""
+        return self.desired_rate / self.work_factor
+
+    @property
+    def queue_fill(self) -> float:
+        """Normalised input-queue fill level in [0, 1].
+
+        0.5 is the controller setpoint: above it the process is falling
+        behind (needs more CPU), below it the process is running ahead.
+        """
+        return self.queue / self.queue_capacity
+
+    def produce(self, period_s: float) -> None:
+        """The upstream producer enqueues ``desired_rate`` worth of work."""
+        incoming = self.desired_rate * period_s
+        space = self.queue_capacity - self.queue
+        if incoming > space:
+            self.overflows += incoming - space
+            incoming = space
+        self.queue += incoming
+
+    def run_for(self, cpu_s: float) -> float:
+        """Consume queue with ``cpu_s`` seconds of CPU; returns progress
+        made this period."""
+        if cpu_s < 0:
+            raise ValueError(f"cpu time must be non-negative: {cpu_s}")
+        capacity = self.work_factor * cpu_s
+        done = min(self.queue, capacity)
+        if capacity > self.queue:
+            self.underflows += capacity - self.queue
+        self.queue -= done
+        self.progress += done
+        self.cpu_ms_used += cpu_s * 1000.0
+        return done
+
+    def rate_change(self, new_rate: float) -> None:
+        """The workload's needs shift (e.g. scene complexity change)."""
+        if new_rate <= 0:
+            raise ValueError(f"desired_rate must be positive: {new_rate}")
+        self.desired_rate = float(new_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimProcess({self.name!r}, rate={self.desired_rate}, "
+            f"fill={self.queue_fill:.2f})"
+        )

@@ -1,0 +1,56 @@
+"""TCP/ECN network simulator — the testbed substitute for Figures 4 & 5.
+
+The paper's headline demo scopes the congestion window of one long-lived
+TCP (Figure 4) or ECN (Figure 5) flow while the mxtraf traffic generator
+varies the number of competing "elephant" flows across an emulated
+wide-area bottleneck (a Linux router running nistnet).  None of that
+hardware exists here, so this package provides a discrete-event network
+simulator with just enough TCP to reproduce the figures' dynamics:
+
+* :mod:`repro.tcpsim.engine` — event queue and simulated clock.
+* :mod:`repro.tcpsim.packet` — segments and ACKs with ECN codepoints.
+* :mod:`repro.tcpsim.queuemgmt` — DropTail and RED (with ECN marking).
+* :mod:`repro.tcpsim.link` — a delay + bandwidth constrained bottleneck
+  (the nistnet role).
+* :mod:`repro.tcpsim.tcp` — TCP Reno senders/receivers: slow start,
+  congestion avoidance, fast retransmit/recovery, RTO with exponential
+  backoff, cwnd collapse to one segment on timeout, and ECN-echo
+  handling per RFC 3168's congestion response.
+* :mod:`repro.tcpsim.network` — topology assembly (servers → router →
+  client).
+* :mod:`repro.tcpsim.mxtraf` — the traffic orchestrator: a tunable
+  population of elephants whose count can change mid-experiment, plus
+  short-lived mice.
+
+The relevant fidelity claim: Figure 4/5's visual difference is *timeout
+behaviour* — DropTail loss bursts drive Reno to RTO (cwnd pinned at 1),
+while RED+ECN marks instead of dropping, so windows halve smoothly and
+never collapse.  Both emerge from this model without tuning constants
+into the result.
+"""
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.link import BottleneckLink
+from repro.tcpsim.mxtraf import Mxtraf, MxtrafConfig
+from repro.tcpsim.network import Network, NetworkConfig
+from repro.tcpsim.packet import ECN, Packet
+from repro.tcpsim.queuemgmt import DropTailQueue, REDQueue
+from repro.tcpsim.tcp import TcpFlow, TcpReceiver
+from repro.tcpsim.udp import UdpFlow, UdpSink
+
+__all__ = [
+    "BottleneckLink",
+    "DropTailQueue",
+    "ECN",
+    "Engine",
+    "Mxtraf",
+    "MxtrafConfig",
+    "Network",
+    "NetworkConfig",
+    "Packet",
+    "REDQueue",
+    "TcpFlow",
+    "TcpReceiver",
+    "UdpFlow",
+    "UdpSink",
+]

@@ -1,0 +1,94 @@
+"""Discrete-event simulation core.
+
+A classic event-queue engine: callbacks scheduled at absolute simulated
+times, executed in time order (FIFO among equal times).  The engine can
+free-run (:meth:`run_until`) or be *stepped in lockstep with an event
+loop* (:meth:`advance_to`), which is how a live scope polls a running
+simulation: each scope poll first advances the simulation to the loop's
+current virtual time, then samples the signals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+EventFn = Callable[[], None]
+
+
+class Engine:
+    """Event queue with a simulated millisecond clock."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+        self._queue: List[Tuple[float, int, EventFn]] = []
+        self._seq = itertools.count()
+        self.executed = 0
+        self.scheduled = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def at(self, time_ms: float, fn: EventFn) -> None:
+        """Schedule ``fn`` at absolute simulated time ``time_ms``."""
+        if time_ms < self._now - 1e-9:
+            raise ValueError(
+                f"cannot schedule in the past: {time_ms} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (float(time_ms), next(self._seq), fn))
+        self.scheduled += 1
+
+    def after(self, delay_ms: float, fn: EventFn) -> None:
+        """Schedule ``fn`` after ``delay_ms`` of simulated time."""
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative: {delay_ms}")
+        self.at(self._now + delay_ms, fn)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the single next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        time_ms, _, fn = heapq.heappop(self._queue)
+        self._now = max(self._now, time_ms)
+        fn()
+        self.executed += 1
+        return True
+
+    def advance_to(self, time_ms: float) -> int:
+        """Execute all events up to and including ``time_ms``.
+
+        Leaves the clock at exactly ``time_ms`` (events may schedule new
+        events inside the window; they execute too).  Returns the number
+        of events executed.  This is the lockstep hook for scope polling.
+        """
+        if time_ms < self._now - 1e-9:
+            raise ValueError(f"cannot advance backwards: {time_ms} < {self._now}")
+        executed = 0
+        while self._queue and self._queue[0][0] <= time_ms + 1e-9:
+            self.step()
+            executed += 1
+        self._now = max(self._now, float(time_ms))
+        return executed
+
+    def run_until(self, time_ms: float) -> int:
+        """Alias of :meth:`advance_to` for free-running simulations."""
+        return self.advance_to(time_ms)
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue and executed < max_events:
+            self.step()
+            executed += 1
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

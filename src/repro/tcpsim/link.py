@@ -1,0 +1,111 @@
+"""The bottleneck link: bandwidth + delay constraints (the nistnet role).
+
+The paper emulates a wide-area path by running nistnet on a Linux router
+"to add delay and bandwidth constraints".  Here that is a single
+server→client bottleneck: arriving packets pass the queue policy
+(DropTail or RED), are serialised at the link bandwidth, then propagate
+for a fixed delay before delivery.  The reverse (ACK) path is modelled
+as delay-only, matching the experiment where only data traffic congests
+the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Union
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.packet import Ack, Packet
+from repro.tcpsim.queuemgmt import DropTailQueue, REDQueue
+
+QueuePolicy = Union[DropTailQueue, REDQueue]
+Deliver = Callable[[Packet], None]
+
+
+class BottleneckLink:
+    """Queue → serialiser → propagation pipe for data packets.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    queue:
+        Queue policy instance (owns admission/mark/drop decisions).
+    bandwidth_pkts_per_sec:
+        Service rate in packets per second (segment-granular model).
+    prop_delay_ms:
+        One-way propagation delay after serialisation.
+    deliver:
+        Callback receiving each packet at the far end.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        queue: QueuePolicy,
+        bandwidth_pkts_per_sec: float,
+        prop_delay_ms: float,
+        deliver: Optional[Deliver] = None,
+    ) -> None:
+        if bandwidth_pkts_per_sec <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_pkts_per_sec}")
+        if prop_delay_ms < 0:
+            raise ValueError(f"propagation delay must be non-negative: {prop_delay_ms}")
+        self.engine = engine
+        self.queue = queue
+        self.service_ms = 1000.0 / bandwidth_pkts_per_sec
+        self.prop_delay_ms = float(prop_delay_ms)
+        self.deliver = deliver
+        self._busy = False
+        self.forwarded = 0
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link; False when the queue dropped it."""
+        admitted = self.queue.enqueue(packet, self.engine.now)
+        if admitted and not self._busy:
+            self._serve_next()
+        return admitted
+
+    def _serve_next(self) -> None:
+        packet = self.queue.dequeue(self.engine.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self.engine.after(self.service_ms, lambda p=packet: self._serialised(p))
+
+    def _serialised(self, packet: Packet) -> None:
+        self.forwarded += 1
+        if self.deliver is not None:
+            self.engine.after(self.prop_delay_ms, lambda p=packet: self.deliver(p))
+        self._serve_next()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def rtt_floor_ms(self) -> float:
+        """Minimum RTT contribution of this link (service + propagation)."""
+        return self.service_ms + self.prop_delay_ms
+
+
+class DelayLine:
+    """Delay-only pipe for the uncongested reverse (ACK) path."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        delay_ms: float,
+        deliver: Optional[Callable[[Ack], None]] = None,
+    ) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative: {delay_ms}")
+        self.engine = engine
+        self.delay_ms = float(delay_ms)
+        self.deliver = deliver
+        self.forwarded = 0
+
+    def send(self, ack: Ack) -> None:
+        self.forwarded += 1
+        if self.deliver is not None:
+            self.engine.after(self.delay_ms, lambda a=ack: self.deliver(a))

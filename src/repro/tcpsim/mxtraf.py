@@ -1,0 +1,199 @@
+"""Mxtraf — the network traffic generator, reimplemented.
+
+"With Mxtraf, a small number of hosts can be used to saturate a network
+with a tunable mix of TCP and UDP traffic" (Section 2).  The reproduction
+covers the part the figures use:
+
+* a population of long-lived **elephant** flows whose count is tunable
+  at run time (the experiment switches 8 → 16 "roughly half way through
+  the x-axis"),
+* optional short-lived **mice** launched at a configurable rate to add
+  burstiness,
+* gscope integration: an ``elephants`` memory cell (exactly the
+  Section 3.1 example), a ``get_cwnd``-style FUNC hook for a chosen
+  flow, and event hooks for connection counts — the signals the paper's
+  client-server demo correlates.
+
+The elephant count is also exposed as a gscope *control parameter*, so
+the Figure 3 window (or any programmatic caller) changes the traffic mix
+live — mxtraf's defining trick.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.params import ControlParameter, ParameterStore
+from repro.core.signal import Cell
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.network import Network
+from repro.tcpsim.tcp import TcpFlow
+from repro.tcpsim.udp import UdpFlow
+
+
+@dataclass
+class MxtrafConfig:
+    """Traffic mix parameters."""
+
+    elephants: int = 8
+    mice_per_sec: float = 0.0  # arrival rate of short flows
+    mouse_segments: int = 20  # size of each short flow
+    udp_pkts_per_sec: float = 0.0  # unresponsive CBR load ("UDP traffic")
+    start_jitter_ms: float = 200.0  # desynchronise elephant starts
+    seed: int = 7
+
+
+class Mxtraf:
+    """Tunable traffic orchestration over a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        config: Optional[MxtrafConfig] = None,
+    ) -> None:
+        self.network = network
+        self.engine: Engine = network.engine
+        self.config = config if config is not None else MxtrafConfig()
+        self.rng = random.Random(self.config.seed)
+        self.elephant_flows: List[TcpFlow] = []
+        self.mice_started = 0
+        #: gscope-visible cell, as in the paper's `elephants` example.
+        self.elephants_cell = Cell(0)
+        self._mice_running = False
+        self.udp_flow: Optional[UdpFlow] = None
+        self.set_elephants(self.config.elephants)
+        if self.config.udp_pkts_per_sec > 0:
+            self.set_udp_rate(self.config.udp_pkts_per_sec)
+
+    # ------------------------------------------------------------------
+    # Elephants (long-lived flows)
+    # ------------------------------------------------------------------
+    @property
+    def elephants(self) -> int:
+        return len(self.elephant_flows)
+
+    def set_elephants(self, count: int) -> None:
+        """Start or stop elephants to match ``count`` (run-time tunable)."""
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"elephant count must be non-negative: {count}")
+        while len(self.elephant_flows) < count:
+            flow = self.network.create_flow(
+                total_segments=None,
+                start_jitter_ms=self.config.start_jitter_ms,
+            )
+            self.elephant_flows.append(flow)
+        while len(self.elephant_flows) > count:
+            flow = self.elephant_flows.pop()
+            self.network.remove_flow(flow)
+        self.elephants_cell.value = len(self.elephant_flows)
+
+    def watched_flow(self, index: int = 0) -> TcpFlow:
+        """An (arbitrarily chosen) elephant whose CWND the scope displays."""
+        if not self.elephant_flows:
+            raise IndexError("no elephants running")
+        return self.elephant_flows[index]
+
+    # ------------------------------------------------------------------
+    # Mice (short-lived flows)
+    # ------------------------------------------------------------------
+    def start_mice(self) -> None:
+        """Begin Poisson arrivals of short flows."""
+        if self.config.mice_per_sec <= 0:
+            raise ValueError("mice_per_sec must be positive to start mice")
+        if not self._mice_running:
+            self._mice_running = True
+            self._schedule_next_mouse()
+
+    def stop_mice(self) -> None:
+        self._mice_running = False
+
+    def _schedule_next_mouse(self) -> None:
+        if not self._mice_running:
+            return
+        gap_ms = self.rng.expovariate(self.config.mice_per_sec) * 1000.0
+        self.engine.after(gap_ms, self._launch_mouse)
+
+    def _launch_mouse(self) -> None:
+        if not self._mice_running:
+            return
+        self.network.create_flow(total_segments=self.config.mouse_segments)
+        self.mice_started += 1
+        self._schedule_next_mouse()
+
+    # ------------------------------------------------------------------
+    # UDP (unresponsive constant-bit-rate load)
+    # ------------------------------------------------------------------
+    @property
+    def udp_rate(self) -> float:
+        return self.udp_flow.rate_pkts_per_sec if self.udp_flow else 0.0
+
+    def set_udp_rate(self, rate_pkts_per_sec: float) -> None:
+        """Tune the UDP half of the traffic mix; 0 tears it down."""
+        if rate_pkts_per_sec < 0:
+            raise ValueError(f"rate must be non-negative: {rate_pkts_per_sec}")
+        self.config.udp_pkts_per_sec = float(rate_pkts_per_sec)
+        if rate_pkts_per_sec == 0:
+            if self.udp_flow is not None:
+                self.network.remove_udp_flow(self.udp_flow)
+                self.udp_flow = None
+            return
+        if self.udp_flow is None:
+            self.udp_flow = self.network.create_udp_flow(rate_pkts_per_sec)
+        else:
+            self.udp_flow.set_rate(rate_pkts_per_sec)
+
+    # ------------------------------------------------------------------
+    # gscope integration
+    # ------------------------------------------------------------------
+    def control_parameters(self) -> ParameterStore:
+        """Expose the traffic mix as a Figure 3 control-parameter window."""
+        store = ParameterStore()
+        store.add(
+            ControlParameter(
+                "elephants",
+                getter=lambda: float(self.elephants),
+                setter=lambda v: self.set_elephants(int(v)),
+                minimum=0,
+                maximum=128,
+                step=1,
+                description="number of long-lived flows",
+            )
+        )
+        store.add(
+            ControlParameter(
+                "mice_per_sec",
+                getter=lambda: self.config.mice_per_sec,
+                setter=self._set_mice_rate,
+                minimum=0,
+                maximum=1000,
+                step=1,
+                description="short-flow arrival rate",
+            )
+        )
+        store.add(
+            ControlParameter(
+                "udp_pkts_per_sec",
+                getter=lambda: self.udp_rate,
+                setter=self.set_udp_rate,
+                minimum=0,
+                maximum=100_000,
+                step=50,
+                description="unresponsive CBR load",
+            )
+        )
+        return store
+
+    def _set_mice_rate(self, rate: float) -> None:
+        self.config.mice_per_sec = float(rate)
+        if rate <= 0:
+            self.stop_mice()
+        elif not self._mice_running:
+            self.start_mice()
+
+    def get_cwnd(self, flow: Optional[TcpFlow] = None, *_: object) -> float:
+        """FUNC-signal hook matching the paper's ``get_cwnd(fd)`` usage."""
+        target = flow if flow is not None else self.watched_flow()
+        return target.cwnd

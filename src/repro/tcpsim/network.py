@@ -1,0 +1,190 @@
+"""Topology assembly: servers → bottleneck router → client.
+
+The experiment's shape (Section 2, "A Gscope Example"): a server machine
+sends long-lived flows to a client through a Linux router whose nistnet
+adds delay and bandwidth constraints.  Here the whole path collapses to:
+
+* per-flow senders (:class:`~repro.tcpsim.tcp.TcpFlow`) feeding
+* one :class:`~repro.tcpsim.link.BottleneckLink` (queue + bandwidth +
+  forward propagation delay), delivering to
+* per-flow receivers whose ACKs return through a
+  :class:`~repro.tcpsim.link.DelayLine` (uncongested reverse path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.link import BottleneckLink, DelayLine
+from repro.tcpsim.packet import Ack, Packet
+from repro.tcpsim.queuemgmt import DropTailQueue, REDQueue
+from repro.tcpsim.tcp import TcpFlow, TcpReceiver
+from repro.tcpsim.udp import UdpFlow, UdpSink
+
+
+@dataclass
+class NetworkConfig:
+    """Parameters of the emulated wide-area path.
+
+    Defaults model a 10 Mbit/s bottleneck (≈ 833 pkt/s at 1500 B) with a
+    100 ms round trip — a plausible 2002 wide-area path and comfortably
+    inside the regime where 8-16 competing elephants produce the
+    Figure 4/5 dynamics.
+    """
+
+    bandwidth_pkts_per_sec: float = 833.0
+    prop_delay_ms: float = 40.0  # forward propagation
+    ack_delay_ms: float = 50.0  # reverse path total
+    queue: str = "droptail"  # "droptail" or "red"
+    droptail_capacity: int = 40
+    red_min_th: float = 8.0
+    red_max_th: float = 24.0
+    red_max_p: float = 0.1
+    red_weight: float = 0.05
+    red_capacity: int = 100
+    ecn: bool = False  # flows negotiate ECN (pairs with queue="red")
+    sack: bool = False  # flows negotiate SACK (fewer multi-loss RTOs)
+    seed: int = 1
+
+
+class Network:
+    """One bottleneck shared by any number of TCP flows."""
+
+    def __init__(self, engine: Engine, config: Optional[NetworkConfig] = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else NetworkConfig()
+        self.rng = random.Random(self.config.seed)
+        self.queue = self._make_queue()
+        self.link = BottleneckLink(
+            engine,
+            self.queue,
+            self.config.bandwidth_pkts_per_sec,
+            self.config.prop_delay_ms,
+            deliver=self._deliver_to_client,
+        )
+        self.ack_path = DelayLine(engine, self.config.ack_delay_ms, deliver=self._deliver_ack)
+        self._flows: Dict[int, TcpFlow] = {}
+        self._receivers: Dict[int, TcpReceiver] = {}
+        self._udp_flows: Dict[int, UdpFlow] = {}
+        self._udp_sinks: Dict[int, UdpSink] = {}
+        self._next_flow_id = 1
+
+    def _make_queue(self) -> Union[DropTailQueue, REDQueue]:
+        cfg = self.config
+        if cfg.queue == "droptail":
+            return DropTailQueue(cfg.droptail_capacity)
+        if cfg.queue == "red":
+            return REDQueue(
+                min_th=cfg.red_min_th,
+                max_th=cfg.red_max_th,
+                max_p=cfg.red_max_p,
+                weight=cfg.red_weight,
+                ecn=cfg.ecn,
+                capacity=cfg.red_capacity,
+                rng=random.Random(cfg.seed),
+            )
+        raise ValueError(f"unknown queue policy: {cfg.queue!r}")
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def create_flow(
+        self,
+        total_segments: Optional[int] = None,
+        start_jitter_ms: float = 0.0,
+    ) -> TcpFlow:
+        """Create, wire and start one flow; returns the sender object."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        flow = TcpFlow(
+            self.engine,
+            flow_id,
+            transmit=self.link.send,
+            ecn=self.config.ecn,
+            total_segments=total_segments,
+            sack=self.config.sack,
+        )
+        self._flows[flow_id] = flow
+        self._receivers[flow_id] = TcpReceiver(flow_id)
+        if start_jitter_ms > 0:
+            self.engine.after(self.rng.uniform(0, start_jitter_ms), flow.start)
+        else:
+            flow.start()
+        return flow
+
+    def remove_flow(self, flow: TcpFlow) -> None:
+        flow.stop()
+        self._flows.pop(flow.flow_id, None)
+        self._receivers.pop(flow.flow_id, None)
+
+    def create_udp_flow(self, rate_pkts_per_sec: float) -> UdpFlow:
+        """Start an unresponsive CBR flow (mxtraf's UDP traffic)."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        flow = UdpFlow(self.engine, flow_id, self.link.send, rate_pkts_per_sec)
+        self._udp_flows[flow_id] = flow
+        self._udp_sinks[flow_id] = UdpSink(flow_id)
+        flow.start()
+        return flow
+
+    def remove_udp_flow(self, flow: UdpFlow) -> None:
+        flow.stop()
+        self._udp_flows.pop(flow.flow_id, None)
+        self._udp_sinks.pop(flow.flow_id, None)
+
+    @property
+    def udp_flows(self) -> Dict[int, UdpFlow]:
+        return dict(self._udp_flows)
+
+    def udp_sink(self, flow_id: int) -> UdpSink:
+        return self._udp_sinks[flow_id]
+
+    def flow(self, flow_id: int) -> TcpFlow:
+        return self._flows[flow_id]
+
+    @property
+    def flows(self) -> Dict[int, TcpFlow]:
+        return dict(self._flows)
+
+    # ------------------------------------------------------------------
+    # Delivery plumbing
+    # ------------------------------------------------------------------
+    def _deliver_to_client(self, packet: Packet) -> None:
+        sink = self._udp_sinks.get(packet.flow_id)
+        if sink is not None:
+            sink.on_packet(packet, self.engine.now)  # UDP: no ACK path
+            return
+        receiver = self._receivers.get(packet.flow_id)
+        if receiver is None:
+            return  # flow torn down while the packet was in flight
+        ack = receiver.on_packet(packet, self.engine.now)
+        self.ack_path.send(ack)
+
+    def _deliver_ack(self, ack: Ack) -> None:
+        flow = self._flows.get(ack.flow_id)
+        if flow is not None:
+            flow.on_ack(ack)
+
+    # ------------------------------------------------------------------
+    # Aggregate observables (scope signal sources)
+    # ------------------------------------------------------------------
+    def total_delivered(self) -> int:
+        return sum(r.delivered for r in self._receivers.values())
+
+    def total_udp_delivered(self) -> int:
+        return sum(s.received for s in self._udp_sinks.values())
+
+    def total_timeouts(self) -> int:
+        return sum(f.stats.timeouts for f in self._flows.values())
+
+    def queue_occupancy(self, *_args: object) -> float:
+        """FUNC-signal hook: instantaneous bottleneck queue length."""
+        return float(self.queue.occupancy)
+
+    @property
+    def rtt_floor_ms(self) -> float:
+        """Unloaded round-trip time of the path."""
+        return self.link.rtt_floor_ms + self.config.ack_delay_ms

@@ -1,0 +1,73 @@
+"""Packets: TCP segments and ACKs with ECN codepoints.
+
+The model is segment-granular: every data packet is one MSS (1500 bytes
+by default) and sequence numbers count segments, not bytes.  That keeps
+window arithmetic transparent while preserving the dynamics the figures
+depend on (cwnd growth/halving/collapse happen in units of segments in
+real stacks too).
+
+ECN follows RFC 3168's shape: ECN-capable packets carry ``ECT``; a
+congested RED queue remarks them ``CE``; the receiver echoes ``CE`` back
+to the sender in the ACK's ``ece`` flag until the sender's window
+reduction is acknowledged (the CWR handshake is abstracted to
+once-per-window semantics inside the sender).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+DEFAULT_MSS_BYTES = 1500
+
+_packet_ids = itertools.count(1)
+
+
+class ECN(enum.Enum):
+    """ECN codepoint carried by a data packet."""
+
+    NOT_ECT = "not-ect"  # sender not ECN-capable (plain TCP)
+    ECT = "ect"  # ECN-capable transport
+    CE = "ce"  # congestion experienced (marked by the router)
+
+
+@dataclass
+class Packet:
+    """One data segment in flight."""
+
+    flow_id: int
+    seq: int  # segment number, 0-based
+    size_bytes: int = DEFAULT_MSS_BYTES
+    ecn: ECN = ECN.NOT_ECT
+    retransmit: bool = False
+    sent_at_ms: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def ecn_capable(self) -> bool:
+        return self.ecn is not ECN.NOT_ECT
+
+    def mark_ce(self) -> None:
+        """Router marks congestion instead of dropping (RFC 3168)."""
+        if not self.ecn_capable:
+            raise ValueError("cannot CE-mark a not-ECT packet; drop it instead")
+        self.ecn = ECN.CE
+
+
+@dataclass
+class Ack:
+    """Cumulative acknowledgement travelling back to the sender.
+
+    ``sacked`` carries the receiver's out-of-order holdings (SACK
+    blocks, flattened to segment numbers and bounded like the 3-block
+    TCP option).  Senders that do not negotiate SACK ignore it.
+    """
+
+    flow_id: int
+    ack_seq: int  # next expected segment number
+    ece: bool = False  # ECN-echo: receiver saw a CE mark
+    sacked: tuple = ()  # out-of-order segments held by the receiver
+    for_retransmit: bool = False
+    sent_at_ms: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))

@@ -1,0 +1,201 @@
+"""Queue management: DropTail and RED with ECN marking.
+
+The bottleneck router's queue policy is the single knob that separates
+Figure 4 from Figure 5:
+
+* **DropTail** — the plain FIFO of the TCP experiment.  When the queue
+  is full, arriving packets drop.  Synchronized drop bursts put multiple
+  losses into one Reno window, which (without SACK) frequently forces an
+  RTO — the repeated cwnd = 1 collapses Figure 4 shows.
+* **RED** (Random Early Detection, Floyd & Jacobson) — the ECN
+  experiment's queue.  RED tracks an EWMA of queue length and, between
+  ``min_th`` and ``max_th``, marks/drops arriving packets with a
+  probability ramp; past ``max_th`` it marks/drops everything.  With
+  ``ecn=True``, ECN-capable packets are *CE-marked instead of dropped*,
+  so senders reduce their windows without losing data — no loss bursts,
+  no timeouts, which is exactly Figure 5's contrast.
+
+The RED implementation follows the 1993 paper's gentle variant:
+EWMA ``avg = (1-w)*avg + w*q`` per arrival, idle-time decay, and the
+count-based probability correction ``p / (1 - count*p)`` that spreads
+marks out evenly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.tcpsim.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters every queue policy maintains."""
+
+    enqueued: int = 0
+    dropped: int = 0
+    marked: int = 0
+
+    @property
+    def arrivals(self) -> int:
+        return self.enqueued + self.dropped
+
+
+class DropTailQueue:
+    """Bounded FIFO; arrivals beyond ``capacity`` packets are dropped."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._queue: Deque[Packet] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, packet: Packet, now_ms: float) -> bool:
+        """Admit or drop ``packet``; True when admitted."""
+        if len(self._queue) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.stats.enqueued += 1
+        return True
+
+    def dequeue(self, now_ms: float) -> Optional[Packet]:
+        return self._queue.popleft() if self._queue else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+
+class REDQueue:
+    """Random Early Detection with optional ECN marking.
+
+    Parameters follow Floyd & Jacobson's notation:
+
+    min_th / max_th:
+        Average-queue thresholds (packets).  Below min_th nothing
+        happens; between them the mark probability ramps 0 → max_p; at or
+        above max_th every arrival is marked (ECN) or dropped.
+    max_p:
+        Peak of the probability ramp.
+    weight:
+        EWMA weight ``w_q`` for the average queue estimate.
+    ecn:
+        When True, ECN-capable packets are CE-marked instead of dropped;
+        not-ECT packets still drop (RFC 3168 behaviour).
+    capacity:
+        Hard physical bound; past it packets drop regardless of ECN.
+    rng:
+        Random source (inject a seeded ``random.Random`` for
+        reproducible experiments).
+    """
+
+    def __init__(
+        self,
+        min_th: float = 5.0,
+        max_th: float = 15.0,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        ecn: bool = False,
+        capacity: int = 60,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0 < min_th < max_th:
+            raise ValueError(f"need 0 < min_th < max_th, got {min_th}, {max_th}")
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0, 1]: {max_p}")
+        if not 0 < weight <= 1:
+            raise ValueError(f"weight must be in (0, 1]: {weight}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.min_th = float(min_th)
+        self.max_th = float(max_th)
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.ecn = ecn
+        self.capacity = int(capacity)
+        self.rng = rng if rng is not None else random.Random(0)
+        self._queue: Deque[Packet] = deque()
+        self.avg = 0.0
+        self._count = -1  # packets since last mark, -1 = ramp inactive
+        self._idle_since: Optional[float] = None
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # RED machinery
+    # ------------------------------------------------------------------
+    def _update_avg(self, now_ms: float) -> None:
+        q = len(self._queue)
+        if q == 0 and self._idle_since is not None:
+            # Decay the average while the queue was idle, as if small
+            # packets had been draining at line rate (approximation:
+            # halve per 10 ms idle).
+            idle_ms = now_ms - self._idle_since
+            self.avg *= 0.5 ** (idle_ms / 10.0)
+            self._idle_since = now_ms
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * q
+
+    def _mark_probability(self) -> float:
+        if self.avg < self.min_th:
+            return 0.0
+        if self.avg >= self.max_th:
+            return 1.0
+        ramp = (self.avg - self.min_th) / (self.max_th - self.min_th)
+        return ramp * self.max_p
+
+    def _should_mark(self) -> bool:
+        p = self._mark_probability()
+        if p <= 0.0:
+            self._count = -1
+            return False
+        if p >= 1.0:
+            self._count = 0
+            return True
+        self._count += 1
+        # Spread marks uniformly: effective p grows with the count of
+        # unmarked arrivals since the last mark.
+        effective = p / max(1e-9, 1.0 - self._count * p) if self._count * p < 1 else 1.0
+        if self.rng.random() < effective:
+            self._count = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queue interface
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now_ms: float) -> bool:
+        """Admit, mark-and-admit, or drop ``packet``."""
+        self._update_avg(now_ms)
+        if len(self._queue) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        if self._should_mark():
+            if self.ecn and packet.ecn_capable:
+                packet.mark_ce()
+                self.stats.marked += 1
+            else:
+                self.stats.dropped += 1
+                return False
+        self._queue.append(packet)
+        self.stats.enqueued += 1
+        return True
+
+    def dequeue(self, now_ms: float) -> Optional[Packet]:
+        pkt = self._queue.popleft() if self._queue else None
+        if not self._queue:
+            self._idle_since = now_ms
+        return pkt

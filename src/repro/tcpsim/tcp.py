@@ -1,0 +1,438 @@
+"""TCP Reno/NewReno senders and receivers, with ECN.
+
+This is the part of the substrate Figure 4 and Figure 5 actually
+exercise: the congestion window trajectory of a long-lived flow.  The
+implementation covers the mechanisms that shape that trajectory:
+
+* slow start and congestion avoidance (cwnd += 1 per ACK below
+  ``ssthresh``, += 1/cwnd above),
+* fast retransmit on three duplicate ACKs, NewReno fast recovery with
+  window inflation and partial-ACK retransmission,
+* retransmission timeout with exponential backoff — on RTO the window
+  collapses to **one segment** ("Both TCP and ECN reduce the congestion
+  window to one upon a timeout", Section 2), which is the signal level
+  the paper reads off the scope,
+* RFC 6298 RTT estimation (SRTT/RTTVAR, Karn's rule on retransmits),
+* ECN (RFC 3168, abstracted): ECN-capable senders mark their packets
+  ECT; a CE-marked packet makes the receiver set the ECN-echo flag on
+  its ACK; the sender halves its window at most once per window of data
+  in response, with no retransmission and no timeout.
+
+Simplifications (documented in DESIGN.md): segment-granular sequence
+space, per-packet ACKs (no delayed ACK), unbounded receiver window, and
+ECE echoed only on the CE packet's own ACK (the CWR handshake collapses
+to once-per-window sender semantics).  None of these change who times
+out and who does not, which is the figure's visual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.packet import Ack, ECN, Packet
+
+INITIAL_CWND = 2.0
+INITIAL_SSTHRESH = 64.0
+MIN_SSTHRESH = 2.0
+INITIAL_RTO_MS = 1000.0
+MIN_RTO_MS = 200.0
+MAX_RTO_MS = 60_000.0
+
+
+@dataclass
+class FlowStats:
+    """Counters a scope (or a test) reads off a flow."""
+
+    packets_sent: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    ecn_reductions: int = 0
+    acked_segments: int = 0
+    cwnd_history: List[float] = field(default_factory=list)
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver with out-of-order buffering."""
+
+    def __init__(self, flow_id: int) -> None:
+        self.flow_id = flow_id
+        self.expected_seq = 0
+        self._buffered: set = set()
+        self.delivered = 0  # in-order segments handed to the application
+        self.dup_receives = 0
+
+    def on_packet(self, packet: Packet, now_ms: float) -> Ack:
+        """Process one arriving segment and produce its ACK."""
+        if packet.flow_id != self.flow_id:
+            raise ValueError(
+                f"receiver {self.flow_id} got packet for flow {packet.flow_id}"
+            )
+        ece = packet.ecn is ECN.CE
+        if packet.seq == self.expected_seq:
+            self.expected_seq += 1
+            self.delivered += 1
+            while self.expected_seq in self._buffered:
+                self._buffered.discard(self.expected_seq)
+                self.expected_seq += 1
+                self.delivered += 1
+        elif packet.seq > self.expected_seq:
+            self._buffered.add(packet.seq)
+        else:
+            self.dup_receives += 1  # spurious retransmit of delivered data
+        # Advertise out-of-order holdings, bounded the way the 3-block
+        # SACK option is in practice (enough blocks to cover ~64 holes).
+        sacked = tuple(sorted(self._buffered))[:64]
+        return Ack(
+            flow_id=self.flow_id,
+            ack_seq=self.expected_seq,
+            ece=ece,
+            sacked=sacked,
+            for_retransmit=packet.retransmit,
+            sent_at_ms=now_ms,
+        )
+
+
+class TcpFlow:
+    """A NewReno sender driving one long-lived (or bounded) transfer.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (time source and timer scheduler).
+    flow_id:
+        Identity carried by every packet.
+    transmit:
+        Callback that puts a packet onto the network (the bottleneck
+        link's ``send``).
+    ecn:
+        Whether this sender negotiates ECN (ECT-marks its data).
+    total_segments:
+        Data bound; ``None`` means an elephant (infinite source).
+    awnd:
+        Receiver's advertised window in segments.  The 2002-era Linux
+        default of 64 KB is about 43 MSS; we default to 64 segments.
+        This caps slow-start overshoot the way a real receiver does.
+    sack:
+        Enable selective acknowledgements.  During fast recovery a SACK
+        sender repairs *every* reported hole (one per arriving ACK)
+        instead of NewReno's one-hole-per-RTT partial-ACK crawl, which
+        is what keeps multi-loss windows from degenerating into RTOs —
+        the paper's Section 2 anecdote about timeouts traced to "an
+        interaction with the SACK implementation" is about exactly this
+        machinery.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        flow_id: int,
+        transmit: Callable[[Packet], None],
+        ecn: bool = False,
+        total_segments: Optional[int] = None,
+        awnd: float = 64.0,
+        sack: bool = False,
+    ) -> None:
+        if awnd < 1:
+            raise ValueError(f"advertised window must be >= 1 segment: {awnd}")
+        self.engine = engine
+        self.flow_id = flow_id
+        self.transmit = transmit
+        self.ecn = ecn
+        self.total_segments = total_segments
+        self.awnd = float(awnd)
+        self.sack = sack
+        self._sacked: set = set()  # receiver-reported out-of-order seqs
+        self._rtx_done: set = set()  # holes already repaired this recovery
+
+        self.cwnd = INITIAL_CWND
+        self.ssthresh = INITIAL_SSTHRESH
+        self.snd_una = 0  # oldest unacknowledged segment
+        self.next_seq = 0  # next segment to (re)send
+        self.high_seq = 0  # highest segment ever sent + 1
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover_seq = 0  # NewReno recovery point
+        self.ece_recover_seq = 0  # once-per-window ECN reduction gate
+        self.stopped = False
+
+        # RFC 6298 estimator state.
+        self.srtt_ms: Optional[float] = None
+        self.rttvar_ms: Optional[float] = None
+        self.rto_ms = INITIAL_RTO_MS
+        self._rtt_seq: Optional[int] = None
+        self._rtt_sent_at = 0.0
+        self._rtt_tainted = False  # Karn: retransmission voids the sample
+
+        self._timer_generation = 0
+        self._timer_armed = False
+        self.stats = FlowStats()
+
+    # ------------------------------------------------------------------
+    # Data availability
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self.next_seq - self.snd_una
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self.total_segments is not None and self.snd_una >= self.total_segments
+        )
+
+    def _has_data(self) -> bool:
+        if self.stopped or self.finished:
+            return False
+        if self.total_segments is None:
+            return True
+        return self.next_seq < self.total_segments
+
+    @property
+    def in_loss_recovery(self) -> bool:
+        """Retransmitting the pre-timeout window (go-back-N phase)."""
+        return self.next_seq < self.high_seq
+
+    def stop(self) -> None:
+        """Tear the flow down (mxtraf removing an elephant)."""
+        self.stopped = True
+        self._cancel_timer()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (call once after wiring the topology)."""
+        self.try_send()
+
+    def _effective_window(self) -> float:
+        # Window inflation during fast recovery is folded into cwnd
+        # directly (cwnd += 1 per extra dupack); the receiver's
+        # advertised window caps the result, as in a real stack.
+        return max(1.0, min(self.cwnd, self.awnd))
+
+    def _send_segment(self, seq: int, retransmit: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            ecn=ECN.ECT if (self.ecn and not retransmit) else ECN.NOT_ECT,
+            retransmit=retransmit,
+            sent_at_ms=self.engine.now,
+        )
+        self.stats.packets_sent += 1
+        if retransmit:
+            self.stats.retransmits += 1
+            self._rtt_tainted = True
+        elif self._rtt_seq is None:
+            self._rtt_seq = seq
+            self._rtt_sent_at = self.engine.now
+            self._rtt_tainted = False
+        self.transmit(packet)
+        self._arm_timer()
+
+    def try_send(self) -> int:
+        """Send as many segments as the window allows; returns count.
+
+        During post-timeout loss recovery ``next_seq`` sits below
+        ``high_seq`` and the segments sent here are go-back-N
+        retransmissions of the lost window; otherwise they are new data.
+        """
+        if self.sack and self.in_recovery:
+            # SACK recovery transmits only hole repairs (driven from the
+            # ACK path); injecting new data on top of an unrepaired loss
+            # window just refills the queue that caused the losses.
+            return 0
+        sent = 0
+        while self._has_data() and self.inflight < self._effective_window():
+            retransmit = self.next_seq < self.high_seq
+            self._send_segment(self.next_seq, retransmit=retransmit)
+            self.next_seq += 1
+            self.high_seq = max(self.high_seq, self.next_seq)
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: Ack) -> None:
+        if self.stopped:
+            return
+        if ack.flow_id != self.flow_id:
+            raise ValueError(f"flow {self.flow_id} got ack for {ack.flow_id}")
+
+        if ack.ece:
+            self._on_ecn_echo()
+        if self.sack:
+            self._sacked = set(ack.sacked)
+
+        if ack.ack_seq > self.snd_una:
+            self._on_new_ack(ack.ack_seq)
+        elif ack.ack_seq == self.snd_una and self.inflight > 0:
+            self._on_dupack()
+        self.try_send()
+
+    def _on_new_ack(self, ack_seq: int) -> None:
+        newly_acked = ack_seq - self.snd_una
+        self.stats.acked_segments += newly_acked
+        self._maybe_sample_rtt(ack_seq)
+        self.snd_una = ack_seq
+        # The receiver may have buffered out-of-order data past our
+        # go-back-N pointer; never retransmit below the cumulative ACK.
+        self.next_seq = max(self.next_seq, self.snd_una)
+        self.dupacks = 0
+
+        if self.in_recovery:
+            if ack_seq >= self.recover_seq:
+                # Full ACK: recovery complete, deflate to ssthresh.
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                self._rtx_done.clear()
+            elif self.sack:
+                # SACK: a partial ACK pins snd_una as a certain hole —
+                # retransmit it now (unless a scoreboard repair already
+                # has it in flight), then let dupack-driven repairs
+                # handle the rest of the scoreboard.
+                if self.snd_una not in self._rtx_done:
+                    self._rtx_done.add(self.snd_una)
+                    self._send_segment(self.snd_una, retransmit=True)
+                else:
+                    self._repair_next_hole()
+                self.cwnd = max(1.0, self.cwnd - newly_acked + 1)
+            else:
+                # Partial ACK (NewReno): the next hole is lost too;
+                # retransmit it immediately and stay in recovery.
+                self._send_segment(self.snd_una, retransmit=True)
+                self.cwnd = max(1.0, self.cwnd - newly_acked + 1)
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+
+        if self.inflight > 0 or self._has_data():
+            self._arm_timer(restart=True)
+        else:
+            self._cancel_timer()
+
+    def _repair_next_hole(self) -> bool:
+        """SACK loss recovery: retransmit the lowest hole the receiver
+        has not reported holding; at most one per incoming ACK, which is
+        the packet-conservation pacing real SACK recovery uses.
+
+        A segment only counts as a hole when SACKed data exists *above*
+        it (the scoreboard rule) — otherwise its ACK may simply still be
+        in flight and retransmitting it would be spurious.
+        """
+        if not self._sacked:
+            return False
+        scan_end = min(self.recover_seq, max(self._sacked), self.snd_una + 256)
+        for seq in range(self.snd_una, scan_end):
+            if seq not in self._sacked and seq not in self._rtx_done:
+                self._rtx_done.add(seq)
+                self._send_segment(seq, retransmit=True)
+                return True
+        return False
+
+    def _on_dupack(self) -> None:
+        self.dupacks += 1
+        if self.in_recovery:
+            if self.sack:
+                # SACK recovery is packet-conserving: each dupack means
+                # one packet left the network, so repair one hole — no
+                # window inflation and no new data (see try_send).
+                self._repair_next_hole()
+            else:
+                self.cwnd += 1.0  # NewReno window inflation per dupack
+        elif self.dupacks == 3 and self.snd_una >= self.recover_seq:
+            # The recover_seq guard stops spurious re-entry while ACKs
+            # from a previous loss event are still draining (NewReno).
+            self.stats.fast_retransmits += 1
+            self.ssthresh = max(self.inflight / 2.0, MIN_SSTHRESH)
+            self.in_recovery = True
+            self.recover_seq = self.high_seq
+            self.cwnd = self.ssthresh + 3.0
+            self._rtx_done = {self.snd_una}
+            self._send_segment(self.snd_una, retransmit=True)
+            # Per RFC 6298 the RTO timer is NOT restarted here: it only
+            # restarts on ACKs of new data.  A recovery that stalls (the
+            # retransmission lost, or dupacks dried up) therefore still
+            # times out — which is precisely the behaviour Figure 4
+            # visualises.
+
+    def _on_ecn_echo(self) -> None:
+        """RFC 3168 congestion response: at most one halving per window."""
+        if self.snd_una < self.ece_recover_seq or self.in_recovery:
+            return
+        self.stats.ecn_reductions += 1
+        self.ssthresh = max(self.cwnd / 2.0, MIN_SSTHRESH)
+        self.cwnd = self.ssthresh
+        self.ece_recover_seq = self.high_seq
+
+    # ------------------------------------------------------------------
+    # RTT estimation (RFC 6298)
+    # ------------------------------------------------------------------
+    def _maybe_sample_rtt(self, ack_seq: int) -> None:
+        if self._rtt_seq is None or ack_seq <= self._rtt_seq:
+            return
+        if not self._rtt_tainted:
+            sample = self.engine.now - self._rtt_sent_at
+            if self.srtt_ms is None:
+                self.srtt_ms = sample
+                self.rttvar_ms = sample / 2.0
+            else:
+                assert self.rttvar_ms is not None
+                self.rttvar_ms = 0.75 * self.rttvar_ms + 0.25 * abs(self.srtt_ms - sample)
+                self.srtt_ms = 0.875 * self.srtt_ms + 0.125 * sample
+            self.rto_ms = min(
+                MAX_RTO_MS,
+                max(MIN_RTO_MS, self.srtt_ms + max(1.0, 4.0 * self.rttvar_ms)),
+            )
+        self._rtt_seq = None
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _arm_timer(self, restart: bool = False) -> None:
+        if self._timer_armed and not restart:
+            return
+        self._timer_generation += 1
+        self._timer_armed = True
+        generation = self._timer_generation
+        self.engine.after(self.rto_ms, lambda: self._on_timer(generation))
+
+    def _cancel_timer(self) -> None:
+        self._timer_generation += 1
+        self._timer_armed = False
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation or self.stopped:
+            return
+        self._timer_armed = False
+        if self.inflight == 0:
+            return
+        # Retransmission timeout: the event the paper's figures hinge on.
+        self.stats.timeouts += 1
+        self.ssthresh = max(self.inflight / 2.0, MIN_SSTHRESH)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover_seq = self.high_seq
+        self.rto_ms = min(MAX_RTO_MS, self.rto_ms * 2.0)  # exponential backoff
+        self._rtt_seq = None  # Karn: no sample across a timeout
+        self._rtx_done.clear()
+        # Go-back-N: rewind the send pointer so the whole lost window is
+        # retransmitted under slow start (what a real stack's
+        # retransmission queue walk amounts to).
+        self.next_seq = self.snd_una
+        self.try_send()
+
+    # ------------------------------------------------------------------
+    # Scope integration
+    # ------------------------------------------------------------------
+    def get_cwnd(self, *_args: object) -> float:
+        """FUNC-signal hook, mirroring the paper's ``get_cwnd(fd)``."""
+        return self.cwnd
+
+    def record_cwnd(self) -> None:
+        self.stats.cwnd_history.append(self.cwnd)

@@ -1,0 +1,97 @@
+"""UDP constant-bit-rate flows.
+
+Mxtraf "can be used to saturate a network with a tunable mix of TCP and
+UDP traffic" (Section 2).  The UDP half of that mix is an unresponsive
+constant-bit-rate source: it transmits at its configured rate no matter
+what the bottleneck does, which is exactly what makes it useful for
+stress testing — it steals bandwidth from congestion-controlled flows
+and keeps the queue pressurised.
+
+A matching :class:`UdpSink` counts deliveries so experiments can report
+UDP loss (the queue drops whatever does not fit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.packet import ECN, Packet
+
+
+class UdpFlow:
+    """Unresponsive constant-bit-rate sender."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        flow_id: int,
+        transmit: Callable[[Packet], bool],
+        rate_pkts_per_sec: float,
+    ) -> None:
+        if rate_pkts_per_sec <= 0:
+            raise ValueError(f"rate must be positive: {rate_pkts_per_sec}")
+        self.engine = engine
+        self.flow_id = flow_id
+        self.transmit = transmit
+        self.rate_pkts_per_sec = float(rate_pkts_per_sec)
+        self.next_seq = 0
+        self.sent = 0
+        self.dropped_at_queue = 0
+        self.stopped = False
+        self._generation = 0
+
+    @property
+    def interval_ms(self) -> float:
+        return 1000.0 / self.rate_pkts_per_sec
+
+    def start(self) -> None:
+        self._schedule()
+
+    def _schedule(self) -> None:
+        generation = self._generation
+        self.engine.after(self.interval_ms, lambda: self._tick(generation))
+
+    def _tick(self, generation: int) -> None:
+        if self.stopped or generation != self._generation:
+            return
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self.next_seq,
+            ecn=ECN.NOT_ECT,
+            sent_at_ms=self.engine.now,
+        )
+        self.next_seq += 1
+        self.sent += 1
+        if not self.transmit(packet):
+            self.dropped_at_queue += 1
+        self._schedule()
+
+    def set_rate(self, rate_pkts_per_sec: float) -> None:
+        """Retune the blast rate live (a control parameter natural)."""
+        if rate_pkts_per_sec <= 0:
+            raise ValueError(f"rate must be positive: {rate_pkts_per_sec}")
+        self.rate_pkts_per_sec = float(rate_pkts_per_sec)
+        self._generation += 1  # cancel the pending tick's cadence
+        self._schedule()
+
+    def stop(self) -> None:
+        self.stopped = True
+        self._generation += 1
+
+
+class UdpSink:
+    """Counts UDP deliveries at the receiver side."""
+
+    def __init__(self, flow_id: int) -> None:
+        self.flow_id = flow_id
+        self.received = 0
+        self.last_seq: Optional[int] = None
+
+    def on_packet(self, packet: Packet, now_ms: float) -> None:
+        if packet.flow_id != self.flow_id:
+            raise ValueError(
+                f"sink {self.flow_id} got packet for flow {packet.flow_id}"
+            )
+        self.received += 1
+        self.last_seq = packet.seq

@@ -1,0 +1,18 @@
+"""The CPU load measurement harness behind Section 4.6.
+
+"To measure overhead, we use a CPU load program that runs in a tight
+loop at a low priority and measures the number of loop iterations it can
+perform at any given period.  The ratio of the iteration count when
+running gscope versus on an idle system gives an estimate of the gscope
+overhead."
+
+:mod:`repro.workload.loadgen` provides that program.  In the
+single-threaded event-driven world the "low priority tight loop" is an
+idle source on the main loop: it burns CPU whenever no timer is due, so
+any cycles the scope's polling machinery consumes show up directly as
+lost loop iterations.
+"""
+
+from repro.workload.loadgen import LoadGenerator, OverheadResult, measure_overhead
+
+__all__ = ["LoadGenerator", "OverheadResult", "measure_overhead"]

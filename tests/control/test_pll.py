@@ -1,0 +1,131 @@
+"""Tests for the software phase-lock loop."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control.pll import (
+    PhaseLockLoop,
+    PLLConfig,
+    ReferenceOscillator,
+    wrap_phase,
+)
+
+DT = 0.01  # 100 Hz sample rate (the paper's polling ceiling)
+
+
+def run_locked(pll, ref, steps):
+    for _ in range(steps):
+        pll.step(ref.advance(DT), DT)
+
+
+class TestWrapPhase:
+    def test_identity_inside_range(self):
+        assert wrap_phase(1.0) == pytest.approx(1.0)
+        assert wrap_phase(-1.0) == pytest.approx(-1.0)
+
+    def test_wraps_large_positive(self):
+        assert wrap_phase(2 * math.pi + 0.5) == pytest.approx(0.5)
+
+    def test_wraps_large_negative(self):
+        assert wrap_phase(-2 * math.pi - 0.5) == pytest.approx(-0.5)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_always_in_half_open_interval(self, phase):
+        wrapped = wrap_phase(phase)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_wrap_preserves_angle_mod_2pi(self, phase):
+        wrapped = wrap_phase(phase)
+        assert math.isclose(
+            math.cos(wrapped), math.cos(phase), abs_tol=1e-9
+        )
+        assert math.isclose(
+            math.sin(wrapped), math.sin(phase), abs_tol=1e-9
+        )
+
+
+class TestOscillator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceOscillator(0)
+        osc = ReferenceOscillator(5.0)
+        with pytest.raises(ValueError):
+            osc.advance(-0.1)
+        with pytest.raises(ValueError):
+            osc.set_frequency(-1)
+
+    def test_advance_rate(self):
+        osc = ReferenceOscillator(1.0)  # one cycle per second
+        osc.advance(0.25)
+        assert osc.phase == pytest.approx(math.pi / 2)
+
+
+class TestAcquisition:
+    def test_locks_onto_nominal_frequency(self):
+        pll = PhaseLockLoop(PLLConfig(nominal_freq_hz=5.0))
+        ref = ReferenceOscillator(5.0)
+        run_locked(pll, ref, 600)
+        assert pll.locked
+        assert pll.freq_estimate_hz == pytest.approx(5.0, abs=0.05)
+        assert abs(pll.phase_error) < 0.05
+
+    def test_locks_despite_frequency_offset(self):
+        pll = PhaseLockLoop(PLLConfig(nominal_freq_hz=5.0))
+        ref = ReferenceOscillator(5.5)
+        run_locked(pll, ref, 1000)
+        assert pll.locked
+        assert pll.freq_estimate_hz == pytest.approx(5.5, abs=0.05)
+
+    def test_starts_unlocked(self):
+        assert not PhaseLockLoop().locked
+
+
+class TestFrequencyStep:
+    def test_reacquires_after_step(self):
+        pll = PhaseLockLoop(PLLConfig(nominal_freq_hz=5.0))
+        ref = ReferenceOscillator(5.0)
+        run_locked(pll, ref, 600)
+        ref.set_frequency(7.0)
+        dropped_lock = False
+        for _ in range(800):
+            pll.step(ref.advance(DT), DT)
+            if not pll.locked:
+                dropped_lock = True
+        assert dropped_lock  # the transient was visible
+        assert pll.locked  # and the loop re-acquired
+        assert pll.freq_estimate_hz == pytest.approx(7.0, abs=0.05)
+
+    def test_phase_error_spikes_on_step(self):
+        pll = PhaseLockLoop(PLLConfig(nominal_freq_hz=5.0))
+        ref = ReferenceOscillator(5.0)
+        run_locked(pll, ref, 600)
+        settled = abs(pll.phase_error)
+        ref.set_frequency(8.0)
+        peak = 0.0
+        for _ in range(200):
+            pll.step(ref.advance(DT), DT)
+            peak = max(peak, abs(pll.phase_error))
+        assert peak > 10 * max(settled, 1e-6)
+
+
+class TestSignalHooks:
+    def test_hooks_mirror_state(self):
+        pll = PhaseLockLoop()
+        ref = ReferenceOscillator(5.0)
+        run_locked(pll, ref, 100)
+        assert pll.get_phase_error() == pll.phase_error
+        assert pll.get_freq_estimate() == pll.freq_estimate_hz
+        assert pll.get_lock() in (0.0, 1.0)
+
+    def test_step_validates_dt(self):
+        with pytest.raises(ValueError):
+            PhaseLockLoop().step(0.0, 0.0)
+
+    def test_steps_counted(self):
+        pll = PhaseLockLoop()
+        ref = ReferenceOscillator(5.0)
+        run_locked(pll, ref, 42)
+        assert pll.steps == 42

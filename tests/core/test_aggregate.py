@@ -1,0 +1,162 @@
+"""Tests for the Section 4.2 event-aggregation functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregate import (
+    AggregateKind,
+    AnyEvent,
+    Average,
+    Events,
+    Maximum,
+    Minimum,
+    Rate,
+    Sum,
+    make_aggregator,
+)
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestFactory:
+    def test_all_seven_kinds_constructible(self):
+        for kind in AggregateKind:
+            agg = make_aggregator(kind)
+            assert agg.kind is kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_aggregator("nope")
+
+
+class TestEmptyIntervals:
+    def test_max_min_average_return_none(self):
+        for cls in (Maximum, Minimum, Average):
+            assert cls().collect(50.0) is None
+
+    def test_sum_rate_events_any_have_empty_values(self):
+        assert Sum().collect(50.0) == 0.0
+        assert Rate().collect(50.0) == 0.0
+        assert Events().collect(50.0) == 0.0
+        assert AnyEvent().collect(50.0) == 0.0
+
+
+class TestPaperExamples:
+    def test_maximum_latency(self):
+        agg = Maximum()
+        for latency in [12.0, 80.0, 30.0]:
+            agg.add(latency)
+        assert agg.collect(50.0) == 80.0
+
+    def test_minimum_latency(self):
+        agg = Minimum()
+        for latency in [12.0, 80.0, 30.0]:
+            agg.add(latency)
+        assert agg.collect(50.0) == 12.0
+
+    def test_sum_bytes_received(self):
+        agg = Sum()
+        for nbytes in [1500, 1500, 576]:
+            agg.add(nbytes)
+        assert agg.collect(50.0) == 3576.0
+
+    def test_rate_is_bytes_per_second(self):
+        """Rate = sum / polling period, e.g. bandwidth in bytes/second."""
+        agg = Rate()
+        for nbytes in [1000, 1000]:
+            agg.add(nbytes)
+        # 2000 bytes in 50 ms = 40_000 bytes/s.
+        assert agg.collect(50.0) == pytest.approx(40_000.0)
+
+    def test_average_bytes_per_packet(self):
+        agg = Average()
+        for nbytes in [1000, 2000, 600]:
+            agg.add(nbytes)
+        assert agg.collect(50.0) == pytest.approx(1200.0)
+
+    def test_events_counts_packets(self):
+        agg = Events()
+        for _ in range(7):
+            agg.add()
+        assert agg.collect(50.0) == 7.0
+
+    def test_any_event_is_boolean(self):
+        agg = AnyEvent()
+        agg.add(123.0)
+        assert agg.collect(50.0) == 1.0
+        assert agg.collect(50.0) == 0.0
+
+
+class TestCollectSemantics:
+    def test_collect_resets_for_next_interval(self):
+        agg = Sum()
+        agg.add(5.0)
+        assert agg.collect(50.0) == 5.0
+        assert agg.collect(50.0) == 0.0
+
+    def test_pending_counter(self):
+        agg = Maximum()
+        assert agg.pending == 0
+        agg.add(1.0)
+        agg.add(2.0)
+        assert agg.pending == 2
+        agg.collect(50.0)
+        assert agg.pending == 0
+
+    def test_reset_discards_events(self):
+        agg = Sum()
+        agg.add(5.0)
+        agg.reset()
+        assert agg.collect(50.0) == 0.0
+
+    def test_rate_rejects_bad_period(self):
+        agg = Rate()
+        agg.add(1.0)
+        with pytest.raises(ValueError):
+            agg.collect(0.0)
+
+
+class TestAlgebraicIdentities:
+    @given(values, st.floats(min_value=1.0, max_value=10_000.0))
+    def test_sum_equals_average_times_events(self, xs, period):
+        s, a, e = Sum(), Average(), Events()
+        for x in xs:
+            s.add(x)
+            a.add(x)
+            e.add(x)
+        total = s.collect(period)
+        mean = a.collect(period)
+        count = e.collect(period)
+        assert total == pytest.approx(mean * count, rel=1e-9, abs=1e-6)
+
+    @given(values, st.floats(min_value=1.0, max_value=10_000.0))
+    def test_rate_equals_sum_over_period_seconds(self, xs, period):
+        s, r = Sum(), Rate()
+        for x in xs:
+            s.add(x)
+            r.add(x)
+        assert r.collect(period) == pytest.approx(
+            s.collect(period) / (period / 1000.0), rel=1e-9, abs=1e-6
+        )
+
+    @given(values)
+    def test_min_le_average_le_max(self, xs):
+        mx, mn, avg = Maximum(), Minimum(), Average()
+        for x in xs:
+            mx.add(x)
+            mn.add(x)
+            avg.add(x)
+        lo = mn.collect(50.0)
+        hi = mx.collect(50.0)
+        mid = avg.collect(50.0)
+        assert lo - 1e-6 <= mid <= hi + 1e-6
+
+    @given(values)
+    def test_any_event_iff_events_positive(self, xs):
+        e, any_ = Events(), AnyEvent()
+        for x in xs:
+            e.add(x)
+            any_.add(x)
+        assert (e.collect(50.0) > 0) == (any_.collect(50.0) == 1.0)

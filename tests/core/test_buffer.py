@@ -1,0 +1,176 @@
+"""Tests for the scope-wide sample buffer (delay + late-drop rules)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer import SampleBuffer
+
+
+class TestValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(delay_ms=-1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(capacity=0)
+
+    def test_set_delay_validates(self):
+        buf = SampleBuffer()
+        with pytest.raises(ValueError):
+            buf.set_delay(-5)
+
+
+class TestDelaySemantics:
+    def test_sample_not_due_before_delay(self):
+        buf = SampleBuffer(delay_ms=100)
+        buf.push("s", time_ms=50, value=1.0, now_ms=50)
+        assert buf.pop_due(now_ms=149) == []
+
+    def test_sample_due_at_time_plus_delay(self):
+        buf = SampleBuffer(delay_ms=100)
+        buf.push("s", time_ms=50, value=1.0, now_ms=50)
+        due = buf.pop_due(now_ms=150)
+        assert len(due) == 1
+        assert due[0].value == 1.0
+
+    def test_zero_delay_is_immediately_due(self):
+        buf = SampleBuffer(delay_ms=0)
+        buf.push("s", time_ms=10, value=1.0, now_ms=10)
+        assert len(buf.pop_due(now_ms=10)) == 1
+
+    def test_pop_is_destructive(self):
+        buf = SampleBuffer()
+        buf.push("s", 0, 1.0, 0)
+        buf.pop_due(10)
+        assert buf.pop_due(10) == []
+
+
+class TestLateDrop:
+    def test_late_sample_dropped(self):
+        """Section 4.4: data arriving after the delay is dropped."""
+        buf = SampleBuffer(delay_ms=100)
+        accepted = buf.push("s", time_ms=0, value=1.0, now_ms=101)
+        assert accepted is False
+        assert buf.stats.dropped_late == 1
+        assert len(buf) == 0
+
+    def test_exactly_on_time_accepted(self):
+        buf = SampleBuffer(delay_ms=100)
+        assert buf.push("s", time_ms=0, value=1.0, now_ms=100) is True
+
+    def test_larger_delay_tolerates_more_lag(self):
+        tight = SampleBuffer(delay_ms=10)
+        loose = SampleBuffer(delay_ms=500)
+        assert tight.push("s", 0, 1.0, now_ms=100) is False
+        assert loose.push("s", 0, 1.0, now_ms=100) is True
+
+
+class TestOrdering:
+    def test_pop_returns_time_order(self):
+        buf = SampleBuffer()
+        buf.push("a", 30, 3.0, 0)
+        buf.push("a", 10, 1.0, 0)
+        buf.push("a", 20, 2.0, 0)
+        assert [s.value for s in buf.pop_due(100)] == [1.0, 2.0, 3.0]
+
+    def test_equal_times_keep_push_order(self):
+        buf = SampleBuffer()
+        buf.push("a", 10, 1.0, 0)
+        buf.push("a", 10, 2.0, 0)
+        assert [s.value for s in buf.pop_due(100)] == [1.0, 2.0]
+
+    def test_grouped_by_name(self):
+        buf = SampleBuffer()
+        buf.push("x", 10, 1.0, 0)
+        buf.push("y", 20, 2.0, 0)
+        buf.push("x", 30, 3.0, 0)
+        grouped = buf.pop_due_by_name(100)
+        assert [s.value for s in grouped["x"]] == [1.0, 3.0]
+        assert [s.value for s in grouped["y"]] == [2.0]
+
+    def test_partial_pop_leaves_rest(self):
+        buf = SampleBuffer(delay_ms=0)
+        buf.push("a", 10, 1.0, 0)
+        buf.push("a", 200, 2.0, 0)
+        assert len(buf.pop_due(50)) == 1
+        assert len(buf) == 1
+
+
+class TestCapacity:
+    def test_capacity_evicts_oldest(self):
+        buf = SampleBuffer(capacity=2)
+        buf.push("a", 10, 1.0, 0)
+        buf.push("a", 20, 2.0, 0)
+        buf.push("a", 30, 3.0, 0)
+        assert buf.stats.evicted == 1
+        assert [s.value for s in buf.pop_due(100)] == [2.0, 3.0]
+
+
+class TestIntrospection:
+    def test_peek_next(self):
+        buf = SampleBuffer()
+        assert buf.peek_next() is None
+        buf.push("a", 20, 2.0, 0)
+        buf.push("a", 10, 1.0, 0)
+        assert buf.peek_next().time_ms == 10
+
+    def test_names_sorted_unique(self):
+        buf = SampleBuffer()
+        buf.push("b", 1, 0, 0)
+        buf.push("a", 2, 0, 0)
+        buf.push("b", 3, 0, 0)
+        assert buf.names() == ("a", "b")
+
+    def test_clear(self):
+        buf = SampleBuffer()
+        buf.push("a", 1, 0, 0)
+        buf.push("a", 2, 0, 0)
+        assert buf.clear() == 2
+        assert len(buf) == 0
+
+    def test_stats_buffered_occupancy(self):
+        buf = SampleBuffer(delay_ms=50)
+        buf.push("a", 0, 1.0, 0)
+        buf.push("a", 10, 1.0, 0)
+        buf.push("a", 0, 1.0, now_ms=200)  # late
+        assert buf.stats.buffered == 2
+        buf.pop_due(100)
+        assert buf.stats.buffered == 0
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4),  # timestamp
+                st.floats(min_value=-1e3, max_value=1e3),  # value
+            ),
+            max_size=60,
+        ),
+        st.floats(min_value=0, max_value=500),  # delay
+        st.floats(min_value=0, max_value=2e4),  # pop time
+    )
+    def test_every_sample_dropped_buffered_or_popped(self, samples, delay, pop_at):
+        buf = SampleBuffer(delay_ms=delay)
+        for t, v in samples:
+            buf.push("s", t, v, now_ms=50.0)  # some pushes will be late
+        due = buf.pop_due(max(pop_at, 50.0))
+        stats = buf.stats
+        assert stats.pushed == len(samples)
+        assert stats.dropped_late + len(due) + len(buf) == len(samples)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=60),
+        st.floats(min_value=0, max_value=2e4),
+    )
+    def test_popped_samples_are_sorted_and_due(self, times, pop_at):
+        buf = SampleBuffer(delay_ms=0)
+        for t in times:
+            buf.push("s", t, 0.0, now_ms=0)
+        due = buf.pop_due(pop_at)
+        popped_times = [s.time_ms for s in due]
+        assert popped_times == sorted(popped_times)
+        assert all(t <= pop_at for t in popped_times)
+        remaining = buf.pop_due(1e9)
+        assert all(s.time_ms > pop_at for s in remaining)

@@ -1,0 +1,74 @@
+"""Tests for the Figure 6 C-API compatibility shims."""
+
+from repro.core.capi import (
+    G_IO_IN,
+    g_io_add_watch,
+    g_main_loop,
+    gtk_main,
+    gtk_main_quit,
+    gtk_scope_new,
+    gtk_scope_set_polling_mode,
+    gtk_scope_signal_new,
+    gtk_scope_start_polling,
+    gtk_scope_stop_polling,
+)
+from repro.core.signal import Cell, SignalType, memory_signal
+from repro.eventloop.loop import MainLoop
+from repro.net.transport import memory_pair
+
+
+class TestShims:
+    def test_default_loop_is_sticky(self):
+        loop = MainLoop()
+        assert g_main_loop(loop) is loop
+        assert g_main_loop() is loop
+
+    def test_scope_new_uses_default_loop(self):
+        loop = g_main_loop(MainLoop())
+        scope = gtk_scope_new("s", 100, 50)
+        assert scope.loop is loop
+        assert (scope.width, scope.height) == (100, 50)
+
+    def test_figure6_program_shape(self):
+        """The paper's Figure 6 program, ported line for line."""
+        loop = g_main_loop(MainLoop())
+
+        elephants = Cell(0)
+        elephants_sig = memory_signal(
+            "elephants", elephants, SignalType.INTEGER, min=0, max=40
+        )
+
+        scope = gtk_scope_new("mxtraf", 200, 100)
+        gtk_scope_signal_new(scope, elephants_sig)
+        gtk_scope_set_polling_mode(scope, 50)  # sampling period is 50 ms
+        gtk_scope_start_polling(scope)
+
+        fd_remote, fd_local = memory_pair(loop.clock)
+
+        def read_program(channel, _cond) -> bool:
+            control_info = channel.recv()
+            if control_info:
+                elephants.value = int(control_info.strip())
+            return True
+
+        g_io_add_watch(fd_local, G_IO_IN, read_program)
+
+        # Remote controller sets 16 elephants at t=200ms, then quits us.
+        def control(_lost) -> bool:
+            fd_remote.send(b"16")
+            return False
+
+        loop.timeout_add(200, control)
+        loop.timeout_add(800, lambda lost: gtk_main_quit() or False)
+
+        gtk_main(max_iterations=500)
+
+        assert scope.value_of("elephants") == 16.0
+        assert scope.polls > 0
+
+    def test_stop_polling_shim(self):
+        g_main_loop(MainLoop())
+        scope = gtk_scope_new("s")
+        gtk_scope_start_polling(scope)
+        gtk_scope_stop_polling(scope)
+        assert not scope.polling

@@ -1,0 +1,183 @@
+"""Tests for repro.core.channel (per-signal runtime state)."""
+
+import pytest
+
+from repro.core.aggregate import AggregateKind
+from repro.core.channel import Channel
+from repro.core.signal import (
+    Cell,
+    SignalSpec,
+    SignalType,
+    buffer_signal,
+    func_signal,
+    memory_signal,
+)
+
+
+def polled_channel(value=0.0, **kwargs):
+    cell = Cell(value)
+    return Channel(memory_signal("sig", cell, SignalType.FLOAT, **kwargs)), cell
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Channel(buffer_signal("x"), capacity=0)
+
+    def test_name_comes_from_spec(self):
+        channel, _ = polled_channel()
+        assert channel.name == "sig"
+
+    def test_hidden_spec_starts_invisible(self):
+        channel = Channel(memory_signal("x", Cell(), hidden=True))
+        assert not channel.visible
+
+    def test_toggle_visible(self):
+        channel, _ = polled_channel()
+        assert channel.toggle_visible() is False
+        assert channel.toggle_visible() is True
+
+    def test_toggle_value_readout(self):
+        channel, _ = polled_channel()
+        assert channel.toggle_value_readout() is True
+        assert channel.show_value
+
+
+class TestPolling:
+    def test_poll_reads_source(self):
+        channel, cell = polled_channel(5.0)
+        point = channel.poll(time_ms=50, period_ms=50)
+        assert point.raw == 5.0
+        assert channel.last_value == 5.0
+
+    def test_poll_tracks_changes(self):
+        channel, cell = polled_channel(1.0)
+        channel.poll(50, 50)
+        cell.value = 9.0
+        channel.poll(100, 50)
+        assert channel.values() == [1.0, 9.0]
+        assert channel.times() == [50, 100]
+
+    def test_filter_applied_to_displayed_value(self):
+        cell = Cell(0.0)
+        channel = Channel(memory_signal("x", cell, SignalType.FLOAT, filter=0.5))
+        channel.poll(50, 50)
+        cell.value = 10.0
+        point = channel.poll(100, 50)
+        assert point.raw == 10.0
+        assert point.value == 5.0  # 0.5*0 + 0.5*10
+
+    def test_trace_capacity_bounds_history(self):
+        channel = Channel(memory_signal("x", Cell(1)), capacity=3)
+        for i in range(10):
+            channel.poll(i * 50, 50)
+        assert len(channel.trace) == 3
+
+    def test_buffered_channel_cannot_poll(self):
+        channel = Channel(buffer_signal("x"))
+        with pytest.raises(TypeError):
+            channel.poll(0, 50)
+
+    def test_poll_counts(self):
+        channel, _ = polled_channel()
+        channel.poll(50, 50)
+        channel.poll(100, 50)
+        assert channel.polls == 2
+        assert channel.samples == 2
+
+
+class TestEventAggregation:
+    def aggregated(self, kind):
+        return Channel(
+            SignalSpec(name="ev", type=SignalType.FLOAT, aggregate=kind)
+        )
+
+    def test_events_are_aggregated_per_poll(self):
+        channel = self.aggregated(AggregateKind.SUM)
+        channel.event(10.0)
+        channel.event(5.0)
+        point = channel.poll(50, 50)
+        assert point.raw == 15.0
+
+    def test_empty_interval_holds_previous_value(self):
+        """Sample-and-hold (Section 4.2): between events, the held state
+        is displayed."""
+        channel = self.aggregated(AggregateKind.MAXIMUM)
+        channel.event(30.0)
+        channel.poll(50, 50)
+        point = channel.poll(100, 50)  # no events this interval
+        assert point.raw == 30.0
+        assert channel.holds == 1
+
+    def test_empty_interval_before_any_event_displays_nothing(self):
+        channel = self.aggregated(AggregateKind.MAXIMUM)
+        assert channel.poll(50, 50) is None
+
+    def test_event_on_non_aggregated_channel_rejected(self):
+        channel, _ = polled_channel()
+        with pytest.raises(TypeError):
+            channel.event(1.0)
+
+    def test_rate_uses_poll_period(self):
+        channel = self.aggregated(AggregateKind.RATE)
+        channel.event(100.0)
+        point = channel.poll(50, period_ms=50)
+        assert point.raw == pytest.approx(2000.0)  # 100 per 50 ms
+
+
+class TestBufferedSamples:
+    def test_accept_sample(self):
+        channel = Channel(buffer_signal("x"))
+        point = channel.accept_sample(123.0, 7.0)
+        assert point.time_ms == 123.0
+        assert channel.last_value == 7.0
+
+    def test_unbuffered_rejects_accept(self):
+        channel, _ = polled_channel()
+        with pytest.raises(TypeError):
+            channel.accept_sample(0, 0)
+
+    def test_filter_applies_to_buffered_samples_too(self):
+        channel = Channel(buffer_signal("x", filter=0.5))
+        channel.accept_sample(0, 0.0)
+        point = channel.accept_sample(50, 10.0)
+        assert point.value == 5.0
+
+
+class TestTraceAccess:
+    def test_points_pairs(self):
+        channel, cell = polled_channel(3.0)
+        channel.poll(50, 50)
+        assert channel.points() == [(50, 3.0)]
+
+    def test_window_returns_most_recent(self):
+        channel, cell = polled_channel(0.0)
+        for i in range(5):
+            cell.value = float(i)
+            channel.poll(i * 50, 50)
+        recent = channel.window(2)
+        assert [p.raw for p in recent] == [3.0, 4.0]
+
+    def test_window_zero_or_negative(self):
+        channel, _ = polled_channel()
+        assert channel.window(0) == []
+        assert channel.window(-3) == []
+
+    def test_clear_resets_everything(self):
+        cell = Cell(5.0)
+        channel = Channel(memory_signal("x", cell, SignalType.FLOAT, filter=0.9))
+        channel.poll(50, 50)
+        channel.clear()
+        assert channel.trace == channel.trace.__class__(maxlen=channel.trace.maxlen)
+        assert channel.last_value is None
+        assert channel.filter.value is None
+        assert channel.held_value is None
+
+    def test_raw_vs_filtered_values(self):
+        cell = Cell(0.0)
+        channel = Channel(memory_signal("x", cell, SignalType.FLOAT, filter=0.5))
+        channel.poll(50, 50)
+        cell.value = 10.0
+        channel.poll(100, 50)
+        assert channel.raw_values() == [0.0, 10.0]
+        assert channel.values() == [0.0, 5.0]

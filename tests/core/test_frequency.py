@@ -1,0 +1,101 @@
+"""Tests for the frequency-domain view."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import band_power, spectrum, top_components
+
+
+def sine(freq_hz, period_ms, n, amplitude=1.0, offset=0.0):
+    dt = period_ms / 1000.0
+    return [offset + amplitude * math.sin(2 * math.pi * freq_hz * i * dt) for i in range(n)]
+
+
+class TestValidation:
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            spectrum([1.0], 50)
+
+    def test_positive_period(self):
+        with pytest.raises(ValueError):
+            spectrum([1, 2, 3], 0)
+
+    def test_unknown_window(self):
+        with pytest.raises(ValueError):
+            spectrum([1, 2, 3], 50, window="kaiser")
+
+
+class TestSpectrum:
+    def test_sample_rate_and_nyquist(self):
+        spec = spectrum([0, 1] * 64, period_ms=10)
+        assert spec.sample_rate_hz == 100.0
+        assert spec.nyquist_hz == 50.0
+
+    def test_peak_finds_sine_frequency(self):
+        # 5 Hz sine sampled at 100 Hz (10 ms period, paper's fastest).
+        spec = spectrum(sine(5.0, 10, 512), period_ms=10)
+        freq, mag = spec.peak()
+        assert freq == pytest.approx(5.0, abs=0.2)
+        assert mag == pytest.approx(1.0, rel=0.1)
+
+    def test_peak_amplitude_scales(self):
+        spec = spectrum(sine(5.0, 10, 512, amplitude=3.0), period_ms=10)
+        _, mag = spec.peak()
+        assert mag == pytest.approx(3.0, rel=0.1)
+
+    def test_dominant_period(self):
+        spec = spectrum(sine(4.0, 10, 512), period_ms=10)
+        assert spec.dominant_period_ms() == pytest.approx(250.0, rel=0.05)
+
+    def test_detrend_removes_dc(self):
+        # Not exactly zero: window leakage from the tone reaches bin 0,
+        # but the 50-unit offset itself must be gone.
+        spec = spectrum(sine(5.0, 10, 512, offset=50.0), period_ms=10)
+        assert spec.magnitudes[0] < 0.05
+
+    def test_no_detrend_keeps_dc(self):
+        spec = spectrum([10.0] * 64, period_ms=10, detrend=False, window="rect")
+        assert spec.magnitudes[0] > 1.0
+
+    def test_all_windows_find_same_peak(self):
+        for window in ("rect", "hann", "hamming", "blackman"):
+            spec = spectrum(sine(8.0, 10, 512), period_ms=10, window=window)
+            assert spec.peak()[0] == pytest.approx(8.0, abs=0.3)
+
+    def test_two_tone_separation(self):
+        data = np.array(sine(5.0, 10, 1024)) + np.array(sine(20.0, 10, 1024, amplitude=0.5))
+        spec = spectrum(data, period_ms=10)
+        # Leakage bins cluster around each tone, so look for both tones
+        # among the top few components rather than exactly the top two.
+        freqs = [f for f, _ in top_components(spec, 5)]
+        assert any(abs(f - 5.0) < 0.3 for f in freqs)
+        assert any(abs(f - 20.0) < 0.3 for f in freqs)
+        # And the stronger tone carries more band power than the weaker.
+        assert band_power(spec, 4, 6) > band_power(spec, 19, 21)
+
+
+class TestBandPower:
+    def test_power_concentrates_at_tone(self):
+        spec = spectrum(sine(10.0, 10, 1024), period_ms=10)
+        in_band = band_power(spec, 8, 12)
+        out_band = band_power(spec, 20, 40)
+        assert in_band > 100 * out_band
+
+    def test_empty_band_rejected(self):
+        spec = spectrum(sine(10.0, 10, 64), period_ms=10)
+        with pytest.raises(ValueError):
+            band_power(spec, 10, 5)
+
+
+class TestTopComponents:
+    def test_zero_request(self):
+        spec = spectrum(sine(10.0, 10, 64), period_ms=10)
+        assert top_components(spec, 0) == []
+
+    def test_sorted_by_magnitude(self):
+        spec = spectrum(sine(10.0, 10, 512), period_ms=10)
+        tops = top_components(spec, 3)
+        mags = [m for _, m in tops]
+        assert mags == sorted(mags, reverse=True)

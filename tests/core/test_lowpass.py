@@ -1,0 +1,131 @@
+"""Tests for the Section 3.1 low-pass filter."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.lowpass import LowPassFilter
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            LowPassFilter(-0.01)
+        with pytest.raises(ValueError):
+            LowPassFilter(1.01)
+
+    def test_non_finite_input_rejected(self):
+        f = LowPassFilter(0.5)
+        with pytest.raises(ValueError):
+            f.apply(math.nan)
+        with pytest.raises(ValueError):
+            f.apply(math.inf)
+
+
+class TestBehaviour:
+    def test_alpha_zero_is_identity(self):
+        f = LowPassFilter(0.0)
+        assert f.apply(5.0) == 5.0
+        assert f.apply(-3.0) == -3.0
+
+    def test_first_sample_initialises_state(self):
+        f = LowPassFilter(0.9)
+        assert f.apply(10.0) == 10.0  # no startup transient from zero
+
+    def test_recurrence_matches_paper_equation(self):
+        """y_i = alpha*y_{i-1} + (1-alpha)*x_i (Section 3.1)."""
+        alpha = 0.8
+        f = LowPassFilter(alpha)
+        y = f.apply(10.0)
+        for x in [0.0, 4.0, -2.0, 100.0]:
+            expected = alpha * y + (1 - alpha) * x
+            y = f.apply(x)
+            assert y == pytest.approx(expected)
+
+    def test_alpha_one_holds_first_value(self):
+        f = LowPassFilter(1.0)
+        f.apply(7.0)
+        for x in [0.0, 100.0, -5.0]:
+            assert f.apply(x) == 7.0
+
+    def test_reset_forgets_state(self):
+        f = LowPassFilter(0.9)
+        f.apply(100.0)
+        f.reset()
+        assert f.value is None
+        assert f.apply(1.0) == 1.0
+
+    def test_value_before_any_sample_is_none(self):
+        assert LowPassFilter(0.5).value is None
+
+    def test_callable_alias(self):
+        f = LowPassFilter(0.0)
+        assert f(3.0) == 3.0
+
+    def test_apply_all(self):
+        f = LowPassFilter(0.0)
+        assert f.apply_all([1, 2, 3]) == [1.0, 2.0, 3.0]
+
+    def test_step_response_converges(self):
+        f = LowPassFilter(0.9)
+        f.apply(0.0)
+        out = 0.0
+        for _ in range(300):
+            out = f.apply(1.0)
+        assert out == pytest.approx(1.0, abs=1e-10)
+
+
+class TestSettling:
+    def test_settling_samples_alpha_zero(self):
+        assert LowPassFilter(0.0).settling_samples() == 0
+
+    def test_settling_samples_alpha_one_never(self):
+        with pytest.raises(ValueError):
+            LowPassFilter(1.0).settling_samples()
+
+    def test_settling_estimate_is_sound(self):
+        f = LowPassFilter(0.9)
+        n = f.settling_samples(fraction=0.01)
+        f.apply(0.0)
+        out = 0.0
+        for _ in range(n):
+            out = f.apply(1.0)
+        assert abs(1.0 - out) <= 0.011
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            LowPassFilter(0.5).settling_samples(fraction=0.0)
+        with pytest.raises(ValueError):
+            LowPassFilter(0.5).settling_samples(fraction=1.0)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.lists(finite_floats, min_size=1, max_size=100),
+    )
+    def test_output_bounded_by_input_range(self, alpha, xs):
+        """A convex-combination filter can never overshoot its inputs."""
+        f = LowPassFilter(alpha)
+        outs = f.apply_all(xs)
+        lo, hi = min(xs), max(xs)
+        for y in outs:
+            assert lo - 1e-6 <= y <= hi + 1e-6
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_alpha_zero_reproduces_input(self, xs):
+        f = LowPassFilter(0.0)
+        assert f.apply_all(xs) == [float(x) for x in xs]
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        finite_floats,
+    )
+    def test_constant_input_is_fixed_point(self, alpha, c):
+        f = LowPassFilter(alpha)
+        for _ in range(10):
+            out = f.apply(c)
+        assert out == pytest.approx(c, rel=1e-9, abs=1e-9)

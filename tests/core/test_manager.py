@@ -1,0 +1,81 @@
+"""Tests for ScopeManager (multiple scopes on one loop)."""
+
+import pytest
+
+from repro.core.manager import ScopeManager
+from repro.core.scope import ScopeError
+from repro.core.signal import Cell, buffer_signal, memory_signal
+from repro.eventloop.loop import MainLoop
+
+
+class TestRegistry:
+    def test_create_and_lookup(self):
+        mgr = ScopeManager()
+        scope = mgr.scope_new("a", width=100, height=50)
+        assert mgr.scope("a") is scope
+        assert "a" in mgr
+        assert len(mgr) == 1
+
+    def test_duplicate_name_rejected(self):
+        mgr = ScopeManager()
+        mgr.scope_new("a")
+        with pytest.raises(ScopeError):
+            mgr.scope_new("a")
+
+    def test_unknown_scope(self):
+        with pytest.raises(ScopeError):
+            ScopeManager().scope("nope")
+
+    def test_remove_stops_polling(self):
+        mgr = ScopeManager()
+        scope = mgr.scope_new("a")
+        scope.start_polling()
+        mgr.scope_remove("a")
+        assert "a" not in mgr
+        assert not scope.polling
+        assert mgr.loop.sources == []
+
+    def test_shared_loop(self):
+        loop = MainLoop()
+        mgr = ScopeManager(loop)
+        a = mgr.scope_new("a")
+        b = mgr.scope_new("b")
+        assert a.loop is loop and b.loop is loop
+
+
+class TestCoordination:
+    def test_start_stop_all(self):
+        mgr = ScopeManager()
+        scopes = [mgr.scope_new(n) for n in "abc"]
+        mgr.start_all()
+        assert all(s.polling for s in scopes)
+        mgr.stop_all()
+        assert not any(s.polling for s in scopes)
+
+    def test_push_fans_out_to_carrying_scopes(self):
+        """One remote stream feeds several displays (Section 4.4)."""
+        mgr = ScopeManager()
+        a = mgr.scope_new("a")
+        b = mgr.scope_new("b")
+        c = mgr.scope_new("c")
+        a.signal_new(buffer_signal("latency"))
+        b.signal_new(buffer_signal("latency"))
+        c.signal_new(memory_signal("latency", Cell()))  # unbuffered: skipped
+        accepted = mgr.push_sample("latency", time_ms=0.0, value=5.0)
+        assert accepted == 2
+        assert len(a.buffer) == 1 and len(b.buffer) == 1 and len(c.buffer) == 0
+
+    def test_push_unknown_signal_accepted_nowhere(self):
+        mgr = ScopeManager()
+        mgr.scope_new("a")
+        assert mgr.push_sample("ghost", 0, 1.0) == 0
+
+    def test_run_for_drives_all_scopes(self):
+        mgr = ScopeManager()
+        a = mgr.scope_new("a", period_ms=50)
+        b = mgr.scope_new("b", period_ms=100)
+        a.signal_new(memory_signal("x", Cell(1)))
+        b.signal_new(memory_signal("y", Cell(2)))
+        mgr.start_all()
+        mgr.run_for(1000)
+        assert a.polls > b.polls > 0

@@ -1,0 +1,126 @@
+"""Tests for the Section 3.2 control-parameter interface."""
+
+import pytest
+
+from repro.core.params import ControlParameter, ParameterError, ParameterStore
+from repro.core.signal import Cell
+
+
+class TestControlParameter:
+    def test_requires_accessor(self):
+        with pytest.raises(ParameterError):
+            ControlParameter("p")
+
+    def test_cell_and_accessors_mutually_exclusive(self):
+        with pytest.raises(ParameterError):
+            ControlParameter(
+                "p", cell=Cell(), getter=lambda: 0.0, setter=lambda v: None
+            )
+
+    def test_getter_without_setter_rejected(self):
+        with pytest.raises(ParameterError):
+            ControlParameter("p", getter=lambda: 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            ControlParameter("", cell=Cell())
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ParameterError):
+            ControlParameter("p", cell=Cell(), minimum=10, maximum=5)
+
+    def test_cell_read_write(self):
+        cell = Cell(5)
+        param = ControlParameter("p", cell=cell)
+        assert param.get() == 5.0
+        param.set(9)
+        assert cell.value == 9.0
+
+    def test_getter_setter_read_write(self):
+        state = {"v": 1.0}
+        param = ControlParameter(
+            "p", getter=lambda: state["v"], setter=lambda v: state.update(v=v)
+        )
+        param.set(4.0)
+        assert state["v"] == 4.0
+        assert param.get() == 4.0
+
+    def test_bounds_enforced_on_set(self):
+        param = ControlParameter("p", cell=Cell(5), minimum=0, maximum=10)
+        with pytest.raises(ParameterError):
+            param.set(11)
+        with pytest.raises(ParameterError):
+            param.set(-1)
+
+    def test_adjust_steps_and_clamps(self):
+        param = ControlParameter("p", cell=Cell(5), minimum=0, maximum=10, step=2)
+        assert param.adjust(2) == 9.0
+        assert param.adjust(5) == 10.0  # clamped at the rail, no raise
+        assert param.adjust(-100) == 0.0
+
+
+class TestParameterStore:
+    def make_store(self):
+        store = ParameterStore()
+        store.add(ControlParameter("a", cell=Cell(1)))
+        store.add(ControlParameter("b", cell=Cell(2)))
+        return store
+
+    def test_add_and_read(self):
+        store = self.make_store()
+        assert store.get("a") == 1.0
+        assert store.names() == ["a", "b"]
+        assert len(store) == 2
+        assert "a" in store
+
+    def test_duplicate_rejected(self):
+        store = self.make_store()
+        with pytest.raises(ParameterError):
+            store.add(ControlParameter("a", cell=Cell()))
+
+    def test_unknown_name(self):
+        store = self.make_store()
+        with pytest.raises(ParameterError):
+            store.get("zzz")
+        with pytest.raises(ParameterError):
+            store.remove("zzz")
+
+    def test_remove(self):
+        store = self.make_store()
+        store.remove("a")
+        assert "a" not in store
+
+    def test_set_notifies_listeners(self):
+        store = self.make_store()
+        seen = []
+        store.add_listener(lambda name, value: seen.append((name, value)))
+        store.set("a", 7.0)
+        assert seen == [("a", 7.0)]
+
+    def test_adjust_notifies_listeners(self):
+        store = self.make_store()
+        seen = []
+        store.add_listener(lambda name, value: seen.append((name, value)))
+        store.adjust("b", 3)
+        assert seen == [("b", 5.0)]
+
+    def test_remove_listener(self):
+        store = self.make_store()
+        seen = []
+        listener = lambda name, value: seen.append(name)
+        store.add_listener(listener)
+        store.remove_listener(listener)
+        store.set("a", 3.0)
+        assert seen == []
+
+    def test_snapshot(self):
+        store = self.make_store()
+        assert store.snapshot() == {"a": 1.0, "b": 2.0}
+
+    def test_application_behaviour_changes_through_store(self):
+        """The point of the interface: writes reach application state."""
+        app_state = Cell(8)
+        store = ParameterStore()
+        store.add(ControlParameter("elephants", cell=app_state, minimum=0, maximum=40))
+        store.set("elephants", 16)
+        assert app_state.value == 16.0

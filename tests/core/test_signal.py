@@ -1,0 +1,164 @@
+"""Tests for repro.core.signal (the GtkScopeSig port)."""
+
+import pytest
+
+from repro.core.aggregate import AggregateKind
+from repro.core.signal import (
+    SHORT_MAX,
+    SHORT_MIN,
+    Cell,
+    LineMode,
+    SignalSpec,
+    SignalType,
+    buffer_signal,
+    func_signal,
+    memory_signal,
+)
+
+
+class TestCell:
+    def test_default_value(self):
+        assert Cell().value == 0
+
+    def test_holds_value(self):
+        cell = Cell(42)
+        cell.value = 7
+        assert cell.value == 7
+
+    def test_repr(self):
+        assert "42" in repr(Cell(42))
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="", cell=Cell())
+
+    def test_filter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="x", cell=Cell(), filter=1.5)
+        with pytest.raises(ValueError):
+            SignalSpec(name="x", cell=Cell(), filter=-0.1)
+
+    def test_filter_bounds_accepted(self):
+        SignalSpec(name="x", cell=Cell(), filter=0.0)
+        SignalSpec(name="x", cell=Cell(), filter=1.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="x", cell=Cell(), min=10, max=10)
+
+    def test_func_type_requires_func(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="x", type=SignalType.FUNC)
+
+    def test_scalar_type_requires_cell(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="x", type=SignalType.INTEGER)
+
+    def test_scalar_with_aggregate_needs_no_cell(self):
+        spec = SignalSpec(
+            name="x", type=SignalType.FLOAT, aggregate=AggregateKind.SUM
+        )
+        assert spec.aggregate is AggregateKind.SUM
+
+    def test_span(self):
+        assert SignalSpec(name="x", cell=Cell(), min=10, max=40).span == 30
+
+
+class TestReading:
+    def test_integer_truncates(self):
+        cell = Cell(7.9)
+        spec = memory_signal("x", cell, SignalType.INTEGER)
+        assert spec.read() == 7.0
+
+    def test_boolean_maps_to_zero_one(self):
+        cell = Cell(True)
+        spec = memory_signal("x", cell, SignalType.BOOLEAN)
+        assert spec.read() == 1.0
+        cell.value = 0
+        assert spec.read() == 0.0
+        cell.value = "non-empty"  # any truthy value
+        assert spec.read() == 1.0
+
+    def test_short_clips_to_int16(self):
+        cell = Cell(100_000)
+        spec = memory_signal("x", cell, SignalType.SHORT)
+        assert spec.read() == SHORT_MAX
+        cell.value = -100_000
+        assert spec.read() == SHORT_MIN
+
+    def test_float_passthrough(self):
+        spec = memory_signal("x", Cell(3.25), SignalType.FLOAT)
+        assert spec.read() == 3.25
+
+    def test_func_invoked_with_two_args(self):
+        seen = []
+
+        def fn(a, b):
+            seen.append((a, b))
+            return 9.0
+
+        spec = func_signal("x", fn, arg1="one", arg2=2)
+        assert spec.read() == 9.0
+        assert seen == [("one", 2)]
+
+    def test_live_cell_updates_visible(self):
+        """The paper's core trick: the scope polls application memory."""
+        cell = Cell(8)
+        spec = memory_signal("elephants", cell, SignalType.INTEGER)
+        assert spec.read() == 8.0
+        cell.value = 16
+        assert spec.read() == 16.0
+
+    def test_buffer_signal_cannot_be_read(self):
+        with pytest.raises(TypeError):
+            buffer_signal("x").read()
+
+
+class TestConstructors:
+    def test_memory_signal_rejects_func_type(self):
+        with pytest.raises(ValueError):
+            memory_signal("x", Cell(), SignalType.FUNC)
+
+    def test_memory_signal_rejects_buffer_type(self):
+        with pytest.raises(ValueError):
+            memory_signal("x", Cell(), SignalType.BUFFER)
+
+    def test_buffer_signal_type(self):
+        assert buffer_signal("x").type is SignalType.BUFFER
+        assert buffer_signal("x").type.buffered
+
+    def test_unbuffered_types(self):
+        for t in (SignalType.INTEGER, SignalType.FLOAT, SignalType.FUNC):
+            assert not t.buffered
+
+    def test_kwargs_passthrough(self):
+        spec = memory_signal(
+            "x", Cell(), min=5, max=50, color="red", line=LineMode.STEP, hidden=True
+        )
+        assert (spec.min, spec.max, spec.color) == (5, 50, "red")
+        assert spec.line is LineMode.STEP
+        assert spec.hidden
+
+    def test_paper_example_elephants(self):
+        """The exact GtkScopeSig from Section 3.1."""
+        elephants = Cell(0)
+        spec = SignalSpec(
+            name="elephants",
+            type=SignalType.INTEGER,
+            cell=elephants,
+            min=0,
+            max=40,
+        )
+        assert spec.read() == 0.0
+
+    def test_paper_example_cwnd(self):
+        """The FUNC signal from Section 3.1: get_cwnd(fd)."""
+        fd = 3
+
+        def get_cwnd(sock_fd, _unused):
+            return 17.0 if sock_fd == 3 else 0.0
+
+        spec = func_signal("Cwnd", get_cwnd, arg1=fd)
+        assert spec.read() == 17.0

@@ -1,0 +1,132 @@
+"""Tests for triggers and waveform envelopes (the built Future Work)."""
+
+import math
+
+import pytest
+
+from repro.core.trigger import Edge, Trigger, envelope, stabilised_view
+
+
+def square_wave(period=10, cycles=5, lo=0.0, hi=10.0):
+    out = []
+    for _ in range(cycles):
+        out.extend([lo] * (period // 2))
+        out.extend([hi] * (period // 2))
+    return out
+
+
+class TestValidation:
+    def test_negative_hysteresis(self):
+        with pytest.raises(ValueError):
+            Trigger(5.0, hysteresis=-1)
+
+    def test_negative_holdoff(self):
+        with pytest.raises(ValueError):
+            Trigger(5.0, holdoff=-1)
+
+    def test_sweep_width_positive(self):
+        with pytest.raises(ValueError):
+            Trigger(5.0).sweeps([1, 2, 3], width=0)
+
+
+class TestEdgeDetection:
+    def test_rising_edges_found(self):
+        wave = square_wave(period=10, cycles=3)
+        events = Trigger(5.0, Edge.RISING).find(wave)
+        assert len(events) == 3
+        assert all(e.edge is Edge.RISING for e in events)
+        # Rising crossings happen where lo->hi transitions: every 10.
+        assert [e.index for e in events] == [5, 15, 25]
+
+    def test_falling_edges_found(self):
+        wave = square_wave(period=10, cycles=3)
+        events = Trigger(5.0, Edge.FALLING).find(wave)
+        assert [e.index for e in events] == [10, 20]
+
+    def test_either_edge(self):
+        wave = square_wave(period=10, cycles=2)
+        events = Trigger(5.0, Edge.EITHER).find(wave)
+        kinds = [e.edge for e in events]
+        assert Edge.RISING in kinds and Edge.FALLING in kinds
+
+    def test_flat_signal_never_triggers(self):
+        assert Trigger(5.0).find([3.0] * 50) == []
+
+    def test_sine_triggers_once_per_cycle(self):
+        n = 400
+        wave = [math.sin(2 * math.pi * i / 40) for i in range(n)]
+        events = Trigger(0.0, Edge.RISING, hysteresis=0.1).find(wave)
+        assert len(events) == pytest.approx(n / 40, abs=1)
+
+
+class TestHysteresisAndHoldoff:
+    def test_hysteresis_suppresses_chatter(self):
+        # Noise oscillating right at the level: 5 +/- 0.2.
+        noisy = [5.2 if i % 2 else 4.8 for i in range(100)]
+        chatty = Trigger(5.0, Edge.RISING).find(noisy)
+        quiet = Trigger(5.0, Edge.RISING, hysteresis=0.5).find(noisy)
+        assert len(quiet) < len(chatty)
+        assert len(quiet) <= 1
+
+    def test_holdoff_enforces_spacing(self):
+        wave = square_wave(period=10, cycles=6)
+        events = Trigger(5.0, Edge.RISING, holdoff=15).find(wave)
+        gaps = [b.index - a.index for a, b in zip(events, events[1:])]
+        assert all(g > 15 for g in gaps)
+
+
+class TestSweeps:
+    def test_sweeps_are_aligned(self):
+        wave = square_wave(period=10, cycles=5)
+        sweeps = Trigger(5.0, Edge.RISING).sweeps(wave, width=10)
+        assert len(sweeps) >= 3
+        # All sweeps identical because the waveform repeats exactly.
+        for sweep in sweeps[1:]:
+            assert sweep == sweeps[0]
+
+    def test_incomplete_sweep_discarded(self):
+        wave = square_wave(period=10, cycles=1)
+        sweeps = Trigger(5.0, Edge.RISING).sweeps(wave, width=50)
+        assert sweeps == []
+
+    def test_stabilised_view_returns_latest(self):
+        wave = square_wave(period=10, cycles=4)
+        view = stabilised_view(wave, Trigger(5.0, Edge.RISING), width=8)
+        assert view is not None
+        assert len(view) == 8
+
+    def test_stabilised_view_none_without_trigger(self):
+        assert stabilised_view([1.0] * 20, Trigger(5.0), width=5) is None
+
+
+class TestEnvelope:
+    def test_envelope_bounds_sweeps(self):
+        sweeps = [[1, 2, 3], [3, 2, 1], [2, 2, 2]]
+        lower, upper = envelope(sweeps)
+        assert lower == [1, 2, 1]
+        assert upper == [3, 2, 3]
+
+    def test_single_sweep_envelope_is_itself(self):
+        lower, upper = envelope([[4, 5, 6]])
+        assert lower == upper == [4, 5, 6]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            envelope([])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            envelope([[1, 2], [1, 2, 3]])
+
+    def test_noisy_waveform_envelope_contains_all_sweeps(self):
+        import random
+
+        rng = random.Random(1)
+        sweeps = [
+            [math.sin(2 * math.pi * i / 20) + rng.uniform(-0.1, 0.1) for i in range(20)]
+            for _ in range(10)
+        ]
+        lower, upper = envelope(sweeps)
+        for sweep in sweeps:
+            for i, v in enumerate(sweep):
+                assert lower[i] <= v <= upper[i]

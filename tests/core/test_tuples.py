@@ -1,0 +1,204 @@
+"""Tests for the Section 3.3 tuple format, Recorder and Player."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tuples import (
+    Player,
+    Recorder,
+    Tuple3,
+    TupleFormatError,
+    format_tuple,
+    parse_stream,
+    parse_tuple,
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-"),
+    min_size=1,
+    max_size=12,
+)
+times = st.floats(min_value=0, max_value=1e9, allow_nan=False)
+vals = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestFormat:
+    def test_three_field_tuple(self):
+        assert format_tuple(100, 42, "CWND") == "100 42 CWND"
+
+    def test_two_field_tuple_single_signal(self):
+        """Special case: a single signal may omit the name (§3.3)."""
+        assert format_tuple(100, 42) == "100 42"
+
+    def test_floats_preserved(self):
+        line = format_tuple(10.5, -3.25, "x")
+        parsed = parse_tuple(line)
+        assert parsed.time_ms == 10.5
+        assert parsed.value == -3.25
+
+    def test_whitespace_in_name_rejected(self):
+        with pytest.raises(TupleFormatError):
+            format_tuple(0, 0, "two words")
+
+
+class TestParse:
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_tuple("") is None
+        assert parse_tuple("   ") is None
+        assert parse_tuple("# header") is None
+
+    def test_bad_field_count(self):
+        with pytest.raises(TupleFormatError):
+            parse_tuple("1 2 3 4")
+        with pytest.raises(TupleFormatError):
+            parse_tuple("1")
+
+    def test_non_numeric_fields(self):
+        with pytest.raises(TupleFormatError):
+            parse_tuple("abc 2 sig")
+        with pytest.raises(TupleFormatError):
+            parse_tuple("1 xyz sig")
+
+    def test_stream_enforces_time_order(self):
+        """Successive tuple times must be non-decreasing (§3.3)."""
+        lines = ["10 1 a", "20 2 a", "15 3 a"]
+        with pytest.raises(TupleFormatError):
+            list(parse_stream(lines))
+
+    def test_stream_allows_equal_times(self):
+        lines = ["10 1 a", "10 2 b"]
+        assert len(list(parse_stream(lines))) == 2
+
+    def test_stream_skips_comments_between_tuples(self):
+        lines = ["10 1 a", "# note", "", "20 2 a"]
+        assert len(list(parse_stream(lines))) == 2
+
+    @given(times, vals, names)
+    def test_roundtrip_three_fields(self, t, v, name):
+        parsed = parse_tuple(format_tuple(t, v, name))
+        assert parsed == Tuple3(time_ms=t, value=v, name=name)
+
+    @given(times, vals)
+    def test_roundtrip_two_fields(self, t, v):
+        parsed = parse_tuple(format_tuple(t, v))
+        assert parsed == Tuple3(time_ms=t, value=v, name=None)
+
+
+class TestRecorder:
+    def test_records_tuples(self):
+        sink = io.StringIO()
+        rec = Recorder(sink)
+        rec.record(10, 1.0, "a")
+        rec.record(20, 2.0, "b")
+        assert sink.getvalue() == "10 1 a\n20 2 b\n"
+        assert rec.count == 2
+
+    def test_rejects_time_regression(self):
+        rec = Recorder(io.StringIO())
+        rec.record(100, 1.0, "a")
+        with pytest.raises(TupleFormatError):
+            rec.record(50, 2.0, "a")
+
+    def test_multi_signal_requires_name(self):
+        rec = Recorder(io.StringIO())
+        with pytest.raises(TupleFormatError):
+            rec.record(10, 1.0)
+
+    def test_single_signal_mode_omits_name(self):
+        sink = io.StringIO()
+        rec = Recorder(sink, single_signal=True)
+        rec.record(10, 1.0, "ignored")
+        assert sink.getvalue() == "10 1\n"
+
+    def test_comment_lines(self):
+        sink = io.StringIO()
+        rec = Recorder(sink)
+        rec.comment("two\nlines")
+        assert sink.getvalue() == "# two\n# lines\n"
+
+    def test_file_sink_and_context_manager(self, tmp_path):
+        path = str(tmp_path / "rec.tuples")
+        with Recorder(path) as rec:
+            rec.record(1, 2.0, "s")
+        with open(path) as fh:
+            assert fh.read() == "1 2 s\n"
+
+
+class TestPlayer:
+    def make(self, text, **kwargs):
+        return Player(io.StringIO(text), **kwargs)
+
+    def test_loads_tuples(self):
+        player = self.make("10 1 a\n20 2 b\n")
+        assert len(player) == 2
+        assert player.names == ["a", "b"]
+
+    def test_advance_to_plays_in_order(self):
+        player = self.make("10 1 a\n20 2 a\n30 3 a\n")
+        batch = player.advance_to(20)
+        assert [t.value for t in batch] == [1.0, 2.0]
+        batch = player.advance_to(100)
+        assert [t.value for t in batch] == [3.0]
+        assert player.exhausted
+
+    def test_advance_is_monotone_consumer(self):
+        player = self.make("10 1 a\n20 2 a\n")
+        player.advance_to(100)
+        assert player.advance_to(200) == []
+
+    def test_default_name_for_two_field_tuples(self):
+        player = self.make("10 1\n20 2\n", default_name="solo")
+        assert player.names == ["solo"]
+        batch = player.advance_to(100)
+        assert all(t.name == "solo" for t in batch)
+
+    def test_duration_and_start(self):
+        player = self.make("100 1 a\n400 2 a\n")
+        assert player.start_time_ms == 100
+        assert player.duration_ms == 300
+
+    def test_empty_recording(self):
+        player = self.make("# only comments\n")
+        assert len(player) == 0
+        assert player.duration_ms == 0.0
+        assert player.exhausted
+
+    def test_rewind(self):
+        player = self.make("10 1 a\n")
+        player.advance_to(100)
+        player.rewind()
+        assert not player.exhausted
+        assert len(player.advance_to(100)) == 1
+
+    def test_rejects_out_of_order_file(self):
+        with pytest.raises(TupleFormatError):
+            self.make("20 1 a\n10 2 a\n")
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "data.tuples"
+        path.write_text("10 5 x\n")
+        player = Player(str(path))
+        assert len(player) == 1
+
+
+class TestRecordReplayRoundtrip:
+    @given(
+        st.lists(
+            st.tuples(times, vals, names),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_what_is_recorded_replays_identically(self, raw):
+        ordered = sorted(raw, key=lambda r: r[0])
+        sink = io.StringIO()
+        rec = Recorder(sink)
+        for t, v, name in ordered:
+            rec.record(t, v, name)
+        player = Player(io.StringIO(sink.getvalue()))
+        replayed = player.advance_to(float("inf"))
+        assert [(p.time_ms, p.value, p.name) for p in replayed] == [
+            (float(t), float(v), n) for t, v, n in ordered
+        ]

@@ -1,0 +1,138 @@
+"""Tests for repro.eventloop.clock."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eventloop.clock import KernelTimerModel, SystemClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start_ms=150.0).now() == 150.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock(5.0)
+        assert clock.advance(10.0) == 15.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_wait_until_jumps_forward(self):
+        clock = VirtualClock()
+        clock.wait_until(42.0)
+        assert clock.now() == 42.0
+
+    def test_wait_until_past_is_noop(self):
+        clock = VirtualClock(100.0)
+        clock.wait_until(50.0)
+        assert clock.now() == 100.0
+
+    def test_ideal_wakeup_time(self):
+        assert VirtualClock().wakeup_time(33.3) == 33.3
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_monotonic_under_any_advances(self, deltas):
+        clock = VirtualClock()
+        previous = clock.now()
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now() >= previous
+            previous = clock.now()
+
+
+class TestSystemClock:
+    def test_starts_near_zero(self):
+        assert SystemClock().now() < 1000.0
+
+    def test_advances_with_real_time(self):
+        clock = SystemClock()
+        t0 = clock.now()
+        clock.wait_until(t0 + 5.0)
+        assert clock.now() >= t0 + 5.0
+
+    def test_wait_until_past_returns_immediately(self):
+        clock = SystemClock()
+        clock.wait_until(clock.now() - 1000.0)  # must not hang
+
+
+class TestKernelTimerModel:
+    def test_quantises_up_to_tick(self):
+        model = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        assert model.wakeup_time(1.0) == 10.0
+        assert model.wakeup_time(10.0) == 10.0
+        assert model.wakeup_time(10.1) == 20.0
+
+    def test_exact_multiples_not_rounded_up(self):
+        model = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        assert model.wakeup_time(50.0) == 50.0
+
+    def test_wait_until_lands_on_tick(self):
+        base = VirtualClock()
+        model = KernelTimerModel(base, tick_ms=10.0)
+        model.wait_until(23.0)
+        assert base.now() == 30.0
+
+    def test_latency_model_applied(self):
+        model = KernelTimerModel(VirtualClock(), tick_ms=10.0, latency=lambda t: 3.0)
+        assert model.wakeup_time(15.0) == 23.0
+
+    def test_negative_latency_rejected(self):
+        model = KernelTimerModel(VirtualClock(), tick_ms=10.0, latency=lambda t: -1.0)
+        with pytest.raises(ValueError):
+            model.wakeup_time(5.0)
+
+    def test_zero_tick_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTimerModel(VirtualClock(), tick_ms=0.0)
+
+    def test_now_passthrough(self):
+        base = VirtualClock(77.0)
+        assert KernelTimerModel(base).now() == 77.0
+
+    def test_advance_passthrough(self):
+        base = VirtualClock()
+        model = KernelTimerModel(base)
+        model.advance(5.0)
+        assert base.now() == 5.0
+
+    def test_advance_requires_virtual_base(self):
+        model = KernelTimerModel(SystemClock())
+        with pytest.raises(TypeError):
+            model.advance(5.0)
+
+    def test_max_polling_frequency_is_100hz_at_10ms_tick(self):
+        """Section 4.5: a 10 ms timer interrupt caps polling at 100 Hz."""
+        model = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        wakeups = set()
+        for req_ms in [1, 2, 3, 5, 7, 9, 9.99]:
+            wakeups.add(model.wakeup_time(req_ms))
+        assert wakeups == {10.0}  # all sub-tick requests collapse to one tick
+
+    @given(
+        st.floats(min_value=0.001, max_value=1e5),
+        st.floats(min_value=0.1, max_value=1000),
+    )
+    def test_wakeup_never_early(self, deadline, tick):
+        model = KernelTimerModel(VirtualClock(), tick_ms=tick)
+        woken = model.wakeup_time(deadline)
+        assert woken >= deadline - 1e-6
+
+    @given(
+        st.floats(min_value=0.001, max_value=1e5),
+        st.floats(min_value=0.1, max_value=1000),
+    )
+    def test_wakeup_within_one_tick(self, deadline, tick):
+        model = KernelTimerModel(VirtualClock(), tick_ms=tick)
+        woken = model.wakeup_time(deadline)
+        assert woken - deadline <= tick + 1e-6

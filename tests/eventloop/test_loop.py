@@ -1,0 +1,209 @@
+"""Tests for repro.eventloop.loop.MainLoop."""
+
+import pytest
+
+from repro.eventloop.clock import KernelTimerModel, VirtualClock
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import IOCondition, Priority, TimeoutSource
+
+
+class FakeChannel:
+    def __init__(self):
+        self.data = b""
+
+    def readable(self):
+        return bool(self.data)
+
+    def writable(self):
+        return True
+
+
+class TestSourceManagement:
+    def test_attach_returns_id(self):
+        loop = MainLoop()
+        sid = loop.timeout_add(50, lambda lost: True)
+        assert isinstance(sid, int)
+
+    def test_double_attach_rejected(self):
+        loop = MainLoop()
+        src = TimeoutSource(50, lambda lost: True)
+        loop.attach(src)
+        with pytest.raises(ValueError):
+            loop.attach(src)
+
+    def test_remove_known_source(self):
+        loop = MainLoop()
+        sid = loop.timeout_add(50, lambda lost: True)
+        assert loop.remove(sid) is True
+        assert loop.sources == []
+
+    def test_remove_unknown_source(self):
+        assert MainLoop().remove(12345) is False
+
+
+class TestTimeoutDispatch:
+    def test_periodic_callback_fires_per_interval(self):
+        loop = MainLoop()
+        fired = []
+        loop.timeout_add(50, lambda lost: fired.append(loop.clock.now()) or True)
+        loop.run_until(500)
+        assert fired == [50.0 * i for i in range(1, 10)]
+
+    def test_callback_false_removes_source(self):
+        loop = MainLoop()
+        fired = []
+        loop.timeout_add(50, lambda lost: fired.append(1) and False)
+        loop.run_until(500)
+        assert fired == [1]
+        assert loop.sources == []
+
+    def test_two_timers_interleave_in_time_order(self):
+        loop = MainLoop()
+        order = []
+        loop.timeout_add(30, lambda lost: order.append(("a", loop.clock.now())) or True)
+        loop.timeout_add(50, lambda lost: order.append(("b", loop.clock.now())) or True)
+        loop.run_until(100)
+        assert order == [("a", 30.0), ("b", 50.0), ("a", 60.0), ("a", 90.0)]
+
+    def test_simultaneous_timers_dispatch_by_priority(self):
+        loop = MainLoop()
+        order = []
+        loop.timeout_add(50, lambda lost: order.append("low") or True, Priority.LOW)
+        loop.timeout_add(50, lambda lost: order.append("high") or True, Priority.HIGH)
+        loop.run_until(60)
+        assert order == ["high", "low"]
+
+    def test_run_until_leaves_clock_at_deadline(self):
+        loop = MainLoop()
+        loop.timeout_add(30, lambda lost: True)
+        loop.run_until(100)
+        assert loop.clock.now() == 100.0
+
+    def test_run_for_relative(self):
+        loop = MainLoop()
+        loop.timeout_add(10, lambda lost: True)
+        loop.run_for(100)
+        loop.run_for(100)
+        assert loop.clock.now() == 200.0
+
+
+class TestIdleDispatch:
+    def test_idle_runs_when_no_timer_ready(self):
+        loop = MainLoop()
+        count = []
+        loop.idle_add(lambda: count.append(1) or (len(count) < 5))
+        loop.run()
+        assert len(count) == 5
+
+    def test_idle_does_not_preempt_ready_timer(self):
+        loop = MainLoop()
+        order = []
+        loop.clock.advance(60)  # timer attached below will already be late
+        loop.timeout_add(50, lambda lost: order.append("timer") or False)
+        loop.idle_add(lambda: order.append("idle") or False)
+        loop.clock.advance(60)
+        loop.iteration(may_block=False)
+        assert order[0] == "timer"
+
+
+class TestIOWatchDispatch:
+    def test_watch_fires_when_channel_readable(self):
+        loop = MainLoop()
+        chan = FakeChannel()
+        seen = []
+
+        def reader(ch, cond):
+            seen.append(ch.data)
+            ch.data = b""
+            return True
+
+        loop.io_add_watch(chan, IOCondition.IN, reader)
+        loop.iteration(may_block=False)
+        assert seen == []
+        chan.data = b"x"
+        loop.iteration(may_block=False)
+        assert seen == [b"x"]
+
+    def test_io_and_timer_coexist(self):
+        loop = MainLoop()
+        chan = FakeChannel()
+        events = []
+
+        def reader(ch, cond):
+            events.append(("io", loop.clock.now()))
+            ch.data = b""
+            return True
+
+        loop.io_add_watch(chan, IOCondition.IN, reader)
+        loop.timeout_add(50, lambda lost: events.append(("timer", loop.clock.now())) or True)
+
+        def feeder(lost):
+            chan.data = b"x"
+            return True
+
+        loop.timeout_add(30, feeder)
+        loop.run_until(100)
+        assert ("timer", 50.0) in events
+        assert any(kind == "io" for kind, _ in events)
+
+
+class TestLostTimeouts:
+    def test_kernel_latency_produces_lost_intervals(self):
+        """Section 4.5: under scheduling latency, timeouts are lost and
+        the callback learns how many."""
+        # 10 ms timer quantisation plus a brutal 120 ms latency spike on
+        # the first wakeup only.
+        spikes = {10.0: 120.0}
+        clock = KernelTimerModel(
+            VirtualClock(), tick_ms=10.0, latency=lambda t: spikes.pop(t, 0.0)
+        )
+        loop = MainLoop(clock=clock)
+        lost_seen = []
+        loop.timeout_add(10, lambda lost: lost_seen.append(lost) or True)
+        loop.run_until(200)
+        assert lost_seen[0] > 0  # the spike swallowed whole intervals
+        assert sum(lost_seen) >= 10
+
+    def test_no_latency_means_no_lost(self):
+        clock = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        loop = MainLoop(clock=clock)
+        lost_seen = []
+        loop.timeout_add(50, lambda lost: lost_seen.append(lost) or True)
+        loop.run_until(500)
+        assert all(lost == 0 for lost in lost_seen)
+
+    def test_quantised_period_still_counts_cleanly(self):
+        """A 25 ms request on a 10 ms tick wakes at 30, 60, 90..."""
+        clock = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        loop = MainLoop(clock=clock)
+        times = []
+        loop.timeout_add(25, lambda lost: times.append(loop.clock.now()) or True)
+        loop.run_until(200)
+        assert times[0] == 30.0  # 25 rounded up to the tick
+
+
+class TestRunControl:
+    def test_quit_stops_run(self):
+        loop = MainLoop()
+        count = []
+
+        def cb(lost):
+            count.append(1)
+            if len(count) >= 3:
+                loop.quit()
+            return True
+
+        loop.timeout_add(10, cb)
+        loop.run()
+        assert len(count) == 3
+
+    def test_run_exits_when_no_sources_remain(self):
+        loop = MainLoop()
+        loop.timeout_add(10, lambda lost: False)
+        loop.run()  # must terminate
+
+    def test_run_max_iterations(self):
+        loop = MainLoop()
+        loop.timeout_add(10, lambda lost: True)
+        loop.run(max_iterations=7)
+        assert loop.iterations >= 7

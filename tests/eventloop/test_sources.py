@@ -1,0 +1,159 @@
+"""Tests for repro.eventloop.sources."""
+
+import pytest
+
+from repro.eventloop.sources import (
+    IdleSource,
+    IOCondition,
+    IOWatch,
+    Priority,
+    Source,
+    TimeoutSource,
+)
+
+
+class FakeChannel:
+    """Minimal Pollable for IOWatch tests."""
+
+    def __init__(self, can_read=False, can_write=False):
+        self.can_read = can_read
+        self.can_write = can_write
+
+    def readable(self):
+        return self.can_read
+
+    def writable(self):
+        return self.can_write
+
+
+class TestSourceBasics:
+    def test_ids_are_unique(self):
+        a = IdleSource(lambda: True)
+        b = IdleSource(lambda: True)
+        assert a.id != b.id
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            IdleSource("not callable")
+
+    def test_destroy_marks_source(self):
+        src = IdleSource(lambda: True)
+        src.destroy()
+        assert src.destroyed
+
+
+class TestTimeoutSource:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            TimeoutSource(0, lambda lost: True)
+        with pytest.raises(ValueError):
+            TimeoutSource(-5, lambda lost: True)
+
+    def test_not_ready_before_start(self):
+        src = TimeoutSource(50, lambda lost: True)
+        assert not src.ready(1000.0)
+
+    def test_first_deadline_one_interval_after_start(self):
+        src = TimeoutSource(50, lambda lost: True)
+        src.start(100.0)
+        assert src.deadline == 150.0
+        assert not src.ready(149.0)
+        assert src.ready(150.0)
+
+    def test_dispatch_advances_deadline(self):
+        src = TimeoutSource(50, lambda lost: True)
+        src.start(0.0)
+        src.dispatch(50.0)
+        assert src.deadline == 100.0
+
+    def test_on_time_dispatch_reports_zero_lost(self):
+        seen = []
+        src = TimeoutSource(50, lambda lost: seen.append(lost) or True)
+        src.start(0.0)
+        src.dispatch(50.0)
+        assert seen == [0]
+
+    def test_late_dispatch_counts_missed_intervals(self):
+        """Section 4.5: lost timeouts are tracked and reported."""
+        seen = []
+        src = TimeoutSource(50, lambda lost: seen.append(lost) or True)
+        src.start(0.0)
+        src.dispatch(175.0)  # deadline was 50; intervals 100 and 150 lost
+        assert seen == [2]
+        assert src.missed == 2
+        assert src.deadline == 200.0  # stays phase-aligned
+
+    def test_slightly_late_dispatch_loses_nothing(self):
+        seen = []
+        src = TimeoutSource(50, lambda lost: seen.append(lost) or True)
+        src.start(0.0)
+        src.dispatch(99.0)
+        assert seen == [0]
+        assert src.deadline == 100.0
+
+    def test_fired_counter(self):
+        src = TimeoutSource(50, lambda lost: True)
+        src.start(0.0)
+        src.dispatch(50.0)
+        src.dispatch(100.0)
+        assert src.fired == 2
+
+    def test_callback_false_means_remove(self):
+        src = TimeoutSource(50, lambda lost: False)
+        src.start(0.0)
+        assert src.dispatch(50.0) is False
+
+
+class TestIdleSource:
+    def test_always_ready(self):
+        assert IdleSource(lambda: True).ready(0.0)
+        assert IdleSource(lambda: True).ready(1e9)
+
+    def test_default_priority_is_idle(self):
+        assert IdleSource(lambda: True).priority == Priority.DEFAULT_IDLE
+
+    def test_no_deadline(self):
+        assert IdleSource(lambda: True).next_deadline(0.0) is None
+
+
+class TestIOWatch:
+    def test_requires_pollable(self):
+        with pytest.raises(TypeError):
+            IOWatch(object(), IOCondition.IN, lambda ch, cond: True)
+
+    def test_ready_tracks_readability(self):
+        chan = FakeChannel(can_read=False)
+        watch = IOWatch(chan, IOCondition.IN, lambda ch, cond: True)
+        assert not watch.ready(0.0)
+        chan.can_read = True
+        assert watch.ready(0.0)
+
+    def test_out_condition(self):
+        chan = FakeChannel(can_write=True)
+        watch = IOWatch(chan, IOCondition.OUT, lambda ch, cond: True)
+        assert watch.ready(0.0)
+
+    def test_in_watch_ignores_writability(self):
+        chan = FakeChannel(can_read=False, can_write=True)
+        watch = IOWatch(chan, IOCondition.IN, lambda ch, cond: True)
+        assert not watch.ready(0.0)
+
+    def test_callback_receives_channel_and_condition(self):
+        chan = FakeChannel(can_read=True)
+        seen = []
+        watch = IOWatch(
+            chan, IOCondition.IN, lambda ch, cond: seen.append((ch, cond)) or True
+        )
+        watch.dispatch(0.0)
+        assert seen == [(chan, IOCondition.IN)]
+
+    def test_combined_condition_reports_fired_subset(self):
+        chan = FakeChannel(can_read=True, can_write=False)
+        seen = []
+        watch = IOWatch(
+            chan,
+            IOCondition.IN | IOCondition.OUT,
+            lambda ch, cond: seen.append(cond) or True,
+        )
+        watch.dispatch(0.0)
+        assert seen == [IOCondition.IN]

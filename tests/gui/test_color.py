@@ -1,0 +1,45 @@
+"""Tests for color resolution and the default palette."""
+
+import itertools
+
+import pytest
+
+from repro.gui.color import PALETTE, color_rgb, palette_color, palette_cycle
+
+
+class TestColorResolution:
+    def test_all_palette_names_resolve(self):
+        for name in PALETTE:
+            r, g, b = color_rgb(name)
+            assert all(0 <= c <= 255 for c in (r, g, b))
+
+    def test_case_and_whitespace_insensitive(self):
+        assert color_rgb("  Red ") == color_rgb("red")
+
+    def test_grey_gray_aliases(self):
+        assert color_rgb("grey") == color_rgb("gray")
+        assert color_rgb("lightgrey") == color_rgb("lightgray")
+
+    def test_hex_uppercase(self):
+        assert color_rgb("#FF00aa") == (255, 0, 170)
+
+    def test_malformed_hex(self):
+        with pytest.raises(ValueError):
+            color_rgb("#GGGGGG")
+        with pytest.raises(ValueError):
+            color_rgb("#abcd")
+
+
+class TestPalette:
+    def test_cycle_matches_indexing(self):
+        cycle = palette_cycle()
+        for i, color in zip(range(2 * len(PALETTE) + 3), cycle):
+            assert color == palette_color(i)
+
+    def test_adjacent_palette_colors_differ(self):
+        for i in range(len(PALETTE)):
+            assert palette_color(i) != palette_color(i + 1)
+
+    def test_cycle_is_infinite(self):
+        taken = list(itertools.islice(palette_cycle(), 50))
+        assert len(taken) == 50

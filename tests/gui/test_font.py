@@ -1,0 +1,47 @@
+"""Tests for the 5x7 bitmap font."""
+
+import pytest
+
+from repro.gui.font import UNKNOWN, glyph_rows, known_characters
+
+
+class TestGlyphs:
+    def test_every_known_glyph_has_seven_rows_of_five_bits(self):
+        for ch in known_characters():
+            rows = glyph_rows(ch)
+            assert len(rows) == 7
+            for row in rows:
+                assert 0 <= row < 32  # 5 bits
+
+    def test_digits_and_uppercase_covered(self):
+        known = known_characters()
+        for ch in "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ":
+            assert ch in known
+
+    def test_lowercase_maps_to_uppercase(self):
+        assert glyph_rows("a") == glyph_rows("A")
+        assert glyph_rows("z") == glyph_rows("Z")
+
+    def test_unknown_renders_box(self):
+        assert glyph_rows("é") == UNKNOWN
+        assert glyph_rows("~") == UNKNOWN
+
+    def test_space_is_blank(self):
+        assert all(row == 0 for row in glyph_rows(" "))
+
+    def test_multichar_rejected(self):
+        with pytest.raises(ValueError):
+            glyph_rows("ab")
+        with pytest.raises(ValueError):
+            glyph_rows("")
+
+    def test_distinct_letters_have_distinct_shapes(self):
+        shapes = {glyph_rows(c) for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"}
+        assert len(shapes) == 26
+
+    def test_signal_name_characters_covered(self):
+        """Characters appearing in the paper's signal names and labels."""
+        known = known_characters()
+        for ch in "CWND elephants_0.5:%()=-+/[]":
+            if ch != " ":
+                assert ch in known or ch.upper() in known

@@ -1,0 +1,105 @@
+"""Tests for rects and the zoom/bias value transform."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gui.geometry import Rect, ValueTransform
+
+
+class TestRect:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 10, -1)
+
+    def test_edges(self):
+        r = Rect(10, 20, 30, 40)
+        assert r.right == 40
+        assert r.bottom == 60
+
+    def test_contains_half_open(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(0, 0)
+        assert r.contains(9, 9)
+        assert not r.contains(10, 9)
+        assert not r.contains(-1, 5)
+
+    def test_inset(self):
+        r = Rect(0, 0, 10, 10).inset(2)
+        assert (r.x, r.y, r.width, r.height) == (2, 2, 6, 6)
+
+    def test_inset_too_large(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 10, 10).inset(5)
+
+
+class TestValueTransform:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueTransform(vmin=10, vmax=10)
+        with pytest.raises(ValueError):
+            ValueTransform(vmin=0, vmax=100, zoom=0)
+        with pytest.raises(ValueError):
+            ValueTransform(vmin=0, vmax=100, height=0)
+
+    def test_default_mapping_endpoints(self):
+        t = ValueTransform(vmin=0, vmax=100, height=100)
+        assert t.to_row(0) == 99  # bottom
+        assert t.to_row(100) == 0  # top
+
+    def test_midpoint(self):
+        t = ValueTransform(vmin=0, vmax=100, height=101)
+        assert t.to_row(50) == 50
+
+    def test_signal_min_max_normalisation(self):
+        """The spec's min/max map the signal onto the 0..100 y ruler."""
+        t = ValueTransform(vmin=0, vmax=40, height=100)
+        assert t.to_percent(0) == 0.0
+        assert t.to_percent(40) == 100.0
+        assert t.to_percent(20) == 50.0
+
+    def test_zoom_scales(self):
+        t = ValueTransform(vmin=0, vmax=100, zoom=2.0, height=100)
+        assert t.to_percent(25) == 50.0  # 25% * 2
+
+    def test_bias_translates(self):
+        t = ValueTransform(vmin=0, vmax=100, bias=10.0, height=100)
+        assert t.to_percent(0) == 10.0
+
+    def test_rows_clip_to_canvas(self):
+        t = ValueTransform(vmin=0, vmax=100, zoom=4.0, height=100)
+        assert t.to_row(100) == 0  # 400% clips to the top row
+        assert t.to_row(-100) == 99
+
+    def test_visible_predicate(self):
+        t = ValueTransform(vmin=0, vmax=100, zoom=2.0, height=100)
+        assert t.visible(50)
+        assert not t.visible(60)  # 120% off the top
+
+    @given(
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.floats(min_value=0.25, max_value=8),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_row_roundtrip_inverts(self, value, zoom, bias):
+        t = ValueTransform(vmin=-1e3, vmax=1e3, zoom=zoom, bias=bias, height=2000)
+        row = t.to_row(value)
+        if 0 < row < t.height - 1:  # interior rows invert within a pixel
+            recovered = t.from_row(row)
+            pixel_value = (t.vmax - t.vmin) / (t.height - 1) / zoom
+            assert abs(recovered - value) <= pixel_value
+
+    @given(st.floats(min_value=-1e4, max_value=1e4))
+    def test_rows_always_in_canvas(self, value):
+        t = ValueTransform(vmin=0, vmax=100, height=256)
+        assert 0 <= t.to_row(value) <= 255
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_order_preserving(self, a, b):
+        t = ValueTransform(vmin=0, vmax=100, height=256)
+        if a < b:
+            assert t.to_row(a) >= t.to_row(b)  # bigger value, higher (smaller row)

@@ -1,0 +1,82 @@
+"""Tests for ASCII and PPM/PGM output backends."""
+
+import io
+
+import pytest
+
+from repro.gui.canvas import Canvas
+from repro.gui.render import ascii_render, read_ppm, write_pgm, write_ppm
+
+
+class TestAscii:
+    def test_black_canvas_is_spaces(self):
+        art = ascii_render(Canvas(50, 20))
+        assert set(art) <= {" ", "\n"}
+
+    def test_white_canvas_is_bright(self):
+        canvas = Canvas(50, 20, background=(255, 255, 255))
+        art = ascii_render(canvas)
+        assert "@" in art
+
+    def test_trace_appears(self):
+        canvas = Canvas(100, 40)
+        canvas.hline(0, 99, 20, (255, 255, 255))
+        art = ascii_render(canvas, max_width=50, max_height=20)
+        assert any(ch not in " \n" for ch in art)
+
+    def test_dimensions_bounded(self):
+        canvas = Canvas(500, 300)
+        art = ascii_render(canvas, max_width=80, max_height=24)
+        lines = art.splitlines()
+        assert len(lines) <= 40  # aspect-corrected but bounded-ish
+        assert all(len(line) <= 81 for line in lines)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ascii_render(Canvas(10, 10), max_width=0)
+
+
+class TestPPM:
+    def test_header_and_size(self):
+        canvas = Canvas(7, 5)
+        buf = io.BytesIO()
+        write_ppm(canvas, buf)
+        data = buf.getvalue()
+        assert data.startswith(b"P6\n7 5\n255\n")
+        assert len(data) == len(b"P6\n7 5\n255\n") + 7 * 5 * 3
+
+    def test_roundtrip(self):
+        canvas = Canvas(9, 6, background=(10, 20, 30))
+        canvas.set_pixel(3, 2, (200, 100, 50))
+        buf = io.BytesIO()
+        write_ppm(canvas, buf)
+        buf.seek(0)
+        restored = read_ppm(buf)
+        assert restored.get_pixel(3, 2) == (200, 100, 50)
+        assert restored.get_pixel(0, 0) == (10, 20, 30)
+
+    def test_file_path_sink(self, tmp_path):
+        path = str(tmp_path / "img.ppm")
+        write_ppm(Canvas(4, 4), path)
+        restored = read_ppm(path)
+        assert (restored.width, restored.height) == (4, 4)
+
+    def test_read_rejects_non_ppm(self):
+        with pytest.raises(ValueError):
+            read_ppm(io.BytesIO(b"P5\n1 1\n255\n\x00"))
+
+
+class TestPGM:
+    def test_header_and_size(self):
+        buf = io.BytesIO()
+        write_pgm(Canvas(8, 4), buf)
+        data = buf.getvalue()
+        assert data.startswith(b"P5\n8 4\n255\n")
+        assert len(data) == len(b"P5\n8 4\n255\n") + 8 * 4
+
+    def test_luminance_weighting(self):
+        canvas = Canvas(1, 1, background=(0, 255, 0))  # green is bright
+        buf = io.BytesIO()
+        write_pgm(canvas, buf)
+        grey = buf.getvalue()[-1]
+        assert grey == int(0.587 * 255)

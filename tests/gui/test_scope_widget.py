@@ -1,0 +1,207 @@
+"""Tests for the composite ScopeWidget (Figure 1)."""
+
+import io
+
+import pytest
+
+from repro.core.scope import Scope
+from repro.core.signal import Cell, LineMode, buffer_signal, memory_signal
+from repro.core.tuples import Player
+from repro.eventloop.loop import MainLoop
+from repro.gui.scope_widget import ScopeWidget
+from repro.gui.widget import MouseButton
+
+
+def make(period_ms=50, **signal_kwargs):
+    loop = MainLoop()
+    scope = Scope("test", loop, width=200, height=100, period_ms=period_ms)
+    cell = Cell(50.0)
+    scope.signal_new(memory_signal("sig", cell, min=0, max=100, **signal_kwargs))
+    return scope, loop, cell
+
+
+class TestLayoutAndRender:
+    def test_render_produces_canvas_of_declared_size(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        canvas = widget.render()
+        assert canvas.width == scope.width
+        assert canvas.height == widget.rect.height
+
+    def test_render_with_no_signals(self):
+        loop = MainLoop()
+        scope = Scope("empty", loop, width=100, height=50)
+        ScopeWidget(scope).render()  # must not raise
+
+    def test_px_per_period_validation(self):
+        scope, _, _ = make()
+        with pytest.raises(ValueError):
+            ScopeWidget(scope, px_per_period=0)
+
+    def test_refresh_layout_tracks_signal_count(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        before = widget.rect.height
+        scope.signal_new(memory_signal("extra", Cell(1)))
+        widget.refresh_layout()
+        assert widget.rect.height > before
+
+
+class TestTracePixels:
+    def test_one_pixel_per_polling_period(self):
+        """Section 3.1: data is displayed one pixel apart per period."""
+        scope, loop, _ = make(period_ms=50)
+        scope.start_polling()
+        loop.run_for(500)
+        widget = ScopeWidget(scope)
+        xs = [x for x, _ in widget.trace_pixels(scope.channel("sig"))]
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert all(gap == 1 for gap in gaps)
+        assert xs[-1] >= scope.width - 2  # newest sample at the right edge
+
+    def test_playback_spacing_rule(self):
+        """Section 3.3: 100 ms file data at a 50 ms period = 2 px apart."""
+        data = "".join(f"{t} {v}\n" for t, v in [(0, 10), (100, 20), (200, 30)])
+        loop = MainLoop()
+        scope = Scope("playback", loop, width=200, height=100)
+        scope.set_playback_mode(Player(io.StringIO(data)), period_ms=50)
+        scope.start_polling()
+        loop.run_for(1000)
+        widget = ScopeWidget(scope)
+        xs = [x for x, _ in widget.trace_pixels(scope.channel("signal"))]
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert gaps == [2, 2]
+
+    def test_replay_at_matching_period_is_one_px(self):
+        data = "".join(f"{t} {v}\n" for t, v in [(0, 10), (100, 20), (200, 30)])
+        loop = MainLoop()
+        scope = Scope("playback", loop, width=200, height=100)
+        scope.set_playback_mode(Player(io.StringIO(data)), period_ms=100)
+        scope.start_polling()
+        loop.run_for(1000)
+        widget = ScopeWidget(scope)
+        xs = [x for x, _ in widget.trace_pixels(scope.channel("signal"))]
+        assert [b - a for a, b in zip(xs, xs[1:])] == [1, 1]
+
+    def test_old_samples_scroll_off_left_edge(self):
+        scope, loop, _ = make(period_ms=50)
+        scope.start_polling()
+        loop.run_for(50 * 500)  # 500 polls >> 200 px width
+        widget = ScopeWidget(scope)
+        pixels = widget.trace_pixels(scope.channel("sig"))
+        assert len(pixels) <= scope.width
+        assert all(0 <= x < scope.width for x, _ in pixels)
+
+    def test_value_maps_to_height(self):
+        scope, loop, cell = make()
+        cell.value = 100.0  # top of range
+        scope.tick()
+        widget = ScopeWidget(scope)
+        _, y = widget.trace_pixels(scope.channel("sig"))[-1]
+        assert y == widget.canvas_rect.y  # top row of the plot area
+
+    def test_zoom_moves_pixels(self):
+        scope, loop, cell = make()
+        cell.value = 40.0
+        scope.tick()
+        widget = ScopeWidget(scope)
+        _, y1 = widget.trace_pixels(scope.channel("sig"))[-1]
+        scope.set_zoom(2.0)
+        _, y2 = widget.trace_pixels(scope.channel("sig"))[-1]
+        assert y2 < y1  # 40% * 2 = 80%: higher on screen
+
+
+class TestInteractions:
+    def test_left_click_toggles_trace(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.click_signal_name("sig", MouseButton.LEFT)
+        assert not scope.channel("sig").visible
+        widget.click_signal_name("sig", MouseButton.LEFT)
+        assert scope.channel("sig").visible
+
+    def test_hidden_trace_not_drawn(self):
+        scope, loop, cell = make(color="red")
+        scope.start_polling()
+        loop.run_for(1000)  # enough points for a drawable trace
+        widget = ScopeWidget(scope)
+        visible = widget.render().count_pixels((220, 50, 47))
+        widget.click_signal_name("sig", MouseButton.LEFT)
+        hidden_count = widget.render().count_pixels((220, 50, 47))
+        assert visible > hidden_count  # trace gone; button frame remains
+
+    def test_right_click_opens_parameter_window(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.click_signal_name("sig", MouseButton.RIGHT)
+        assert len(widget.open_windows) == 1
+        assert widget.open_windows[0].channel is scope.channel("sig")
+
+    def test_value_button_toggles_readout(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.click_value_button("sig")
+        assert scope.channel("sig").show_value
+
+    def test_value_readout_rendered_when_enabled(self):
+        scope, loop, cell = make(color="green")
+        cell.value = 77.0
+        scope.tick()
+        widget = ScopeWidget(scope)
+        base = widget.render().count_pixels((64, 160, 43))
+        widget.click_value_button("sig")
+        with_readout = widget.render().count_pixels((64, 160, 43))
+        assert with_readout > base  # the "77" text appears in trace color
+
+    def test_unknown_signal_click(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        with pytest.raises(KeyError):
+            widget.click_signal_name("nope")
+        with pytest.raises(KeyError):
+            widget.click_value_button("nope")
+
+
+class TestControlWidgets:
+    def test_zoom_spin_wired_to_scope(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.zoom_widget.spin(2)
+        assert scope.zoom == 1.5  # 2 steps of 0.25
+
+    def test_bias_spin(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.bias_widget.spin(-2)
+        assert scope.bias == -10.0
+
+    def test_period_spin_restarts_polling(self):
+        scope, loop, _ = make()
+        scope.start_polling()
+        widget = ScopeWidget(scope)
+        widget.period_widget.spin(1)
+        assert scope.period_ms == 60.0
+        assert scope.polling
+
+    def test_delay_spin(self):
+        scope, loop, _ = make()
+        widget = ScopeWidget(scope)
+        widget.delay_widget.spin(2)
+        assert scope.buffer.delay_ms == 100.0
+
+
+class TestLineModes:
+    def test_all_line_modes_render(self):
+        for mode in LineMode:
+            loop = MainLoop()
+            scope = Scope("m", loop, width=100, height=60)
+            cell = Cell(10.0)
+            scope.signal_new(
+                memory_signal("s", cell, min=0, max=100, line=mode, color="red")
+            )
+            scope.start_polling()
+            for i in range(20):
+                cell.value = (i * 13) % 90
+                loop.run_for(50)
+            widget = ScopeWidget(scope)
+            assert widget.render().count_pixels((220, 50, 47)) > 0

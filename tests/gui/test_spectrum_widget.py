@@ -1,0 +1,92 @@
+"""Tests for the frequency-domain display widget."""
+
+import math
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.scope import Scope
+from repro.core.signal import buffer_signal, func_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.spectrum_widget import SpectrumWidget
+
+
+def tone_channel(freq_hz=8.0, period_ms=10.0, n=512):
+    channel = Channel(buffer_signal("tone"))
+    for i in range(n):
+        t = i * period_ms
+        channel.accept_sample(t, math.sin(2 * math.pi * freq_hz * t / 1000.0))
+    return channel
+
+
+class TestCompute:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectrumWidget(tone_channel(), 10.0, max_samples=1)
+
+    def test_spectrum_peak_matches_tone(self):
+        widget = SpectrumWidget(tone_channel(freq_hz=8.0), period_ms=10.0)
+        spec = widget.compute()
+        assert spec is not None
+        assert spec.peak()[0] == pytest.approx(8.0, abs=0.3)
+
+    def test_empty_channel_returns_none(self):
+        widget = SpectrumWidget(Channel(buffer_signal("x")), 10.0)
+        assert widget.compute() is None
+
+    def test_record_length_bounded(self):
+        channel = tone_channel(n=2000)
+        widget = SpectrumWidget(channel, 10.0, max_samples=128)
+        widget.compute()
+        assert len(widget.last_spectrum.magnitudes) <= 128 // 2 + 1
+
+
+class TestRender:
+    def test_renders_bars_and_annotation(self):
+        widget = SpectrumWidget(tone_channel(), period_ms=10.0)
+        canvas = widget.render()
+        assert canvas.count_pixels((64, 160, 43)) > 20  # green bars
+        assert canvas.count_pixels((255, 255, 255)) > 0  # title text
+
+    def test_renders_no_data_placeholder(self):
+        widget = SpectrumWidget(Channel(buffer_signal("x")), 10.0)
+        canvas = widget.render()  # must not raise
+        assert canvas.width == widget.rect.width
+
+    def test_bar_heights_follow_magnitude(self):
+        """The peak bin's column must be the tallest bar."""
+        widget = SpectrumWidget(tone_channel(freq_hz=8.0), period_ms=10.0)
+        canvas = widget.render()
+        plot = widget.plot_rect
+        heights = []
+        for x in range(plot.x, plot.right):
+            rows = canvas.column_rows(x, (64, 160, 43))
+            heights.append(len(rows))
+        spec = widget.last_spectrum
+        peak_bin = int(spec.magnitudes.argmax())
+        peak_px = round(
+            peak_bin / (len(spec.magnitudes) - 1) * (plot.width - 1)
+        )
+        window = heights[max(0, peak_px - 2) : peak_px + 3]
+        assert max(window) == max(heights)
+
+
+class TestEndToEnd:
+    def test_scope_trace_through_widget(self):
+        """Time-domain scope -> frequency view, like toggling FFT mode."""
+        loop = MainLoop()
+        scope = Scope("fft", loop, period_ms=10)
+        scope.signal_new(
+            func_signal(
+                "sig",
+                lambda *_: math.sin(2 * math.pi * 12.0 * loop.clock.now() / 1000.0),
+                min=-1,
+                max=1,
+            )
+        )
+        scope.start_polling()
+        loop.run_for(6000)
+        widget = SpectrumWidget(scope.channel("sig"), scope.period_ms)
+        spec = widget.compute()
+        assert spec.peak()[0] == pytest.approx(12.0, abs=0.4)
+        assert spec.nyquist_hz == pytest.approx(50.0)

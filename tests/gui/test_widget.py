@@ -1,0 +1,129 @@
+"""Tests for the widget tree and click routing."""
+
+import pytest
+
+from repro.gui.canvas import Canvas
+from repro.gui.geometry import Rect
+from repro.gui.widget import ClickButton, Label, MouseButton, SpinWidget, Widget
+
+
+class TestHitTesting:
+    def test_hit_finds_deepest_child(self):
+        root = Widget(Rect(0, 0, 100, 100))
+        panel = root.add(Widget(Rect(10, 10, 50, 50)))
+        button = panel.add(Widget(Rect(20, 20, 10, 10)))
+        assert root.hit(25, 25) is button
+        assert root.hit(12, 12) is panel
+        assert root.hit(90, 90) is root
+        assert root.hit(200, 200) is None
+
+    def test_invisible_widgets_not_hit(self):
+        root = Widget(Rect(0, 0, 100, 100))
+        child = root.add(Widget(Rect(0, 0, 50, 50)))
+        child.visible = False
+        assert root.hit(25, 25) is root
+
+    def test_later_children_on_top(self):
+        root = Widget(Rect(0, 0, 100, 100))
+        below = root.add(Widget(Rect(0, 0, 50, 50)))
+        above = root.add(Widget(Rect(0, 0, 50, 50)))
+        assert root.hit(10, 10) is above
+
+
+class TestClickRouting:
+    def test_click_reaches_handler(self):
+        root = Widget(Rect(0, 0, 100, 100))
+        pressed = []
+        root.add(
+            ClickButton(Rect(10, 10, 20, 10), "ok", on_left=lambda: pressed.append(1))
+        )
+        assert root.click(15, 15) is True
+        assert pressed == [1]
+
+    def test_unhandled_click_bubbles_to_parent(self):
+        pressed = []
+        root = ClickButton(
+            Rect(0, 0, 100, 100), "root", on_left=lambda: pressed.append("root")
+        )
+        root.add(Widget(Rect(10, 10, 20, 20)))  # inert child
+        assert root.click(15, 15) is True
+        assert pressed == ["root"]
+
+    def test_click_outside_everything(self):
+        root = Widget(Rect(0, 0, 100, 100))
+        assert root.click(500, 500) is False
+
+    def test_left_and_right_handlers_distinct(self):
+        """The Figure 1 interaction: left toggles, right opens params."""
+        events = []
+        btn = ClickButton(
+            Rect(0, 0, 10, 10),
+            "sig",
+            on_left=lambda: events.append("left"),
+            on_right=lambda: events.append("right"),
+        )
+        btn.on_click(MouseButton.LEFT)
+        btn.on_click(MouseButton.RIGHT)
+        assert events == ["left", "right"]
+        assert btn.presses == 2
+
+    def test_missing_handler_not_consumed(self):
+        btn = ClickButton(Rect(0, 0, 10, 10), "x", on_left=lambda: None)
+        assert btn.on_click(MouseButton.RIGHT) is False
+
+
+class TestLabel:
+    def test_static_text(self):
+        label = Label(Rect(0, 0, 50, 10), "hello")
+        assert label.current_text() == "hello"
+
+    def test_supplier_text(self):
+        state = {"v": 1}
+        label = Label(Rect(0, 0, 50, 10), supplier=lambda: f"v={state['v']}")
+        assert label.current_text() == "v=1"
+        state["v"] = 2
+        assert label.current_text() == "v=2"
+
+    def test_draw_blits_text(self):
+        canvas = Canvas(60, 12)
+        Label(Rect(0, 0, 50, 10), "HI", color="white").draw(canvas)
+        assert canvas.count_pixels((255, 255, 255)) > 5
+
+
+class TestSpinWidget:
+    def make(self, **kwargs):
+        state = {"v": 10.0}
+        spin = SpinWidget(
+            Rect(0, 0, 40, 10),
+            "zoom",
+            get=lambda: state["v"],
+            set_=lambda v: state.update(v=v),
+            **kwargs,
+        )
+        return spin, state
+
+    def test_spin_steps(self):
+        spin, state = self.make(step=2.0)
+        spin.spin(3)
+        assert state["v"] == 16.0
+        spin.spin(-1)
+        assert state["v"] == 14.0
+
+    def test_bounds_clamp(self):
+        spin, state = self.make(step=5.0, minimum=0.0, maximum=20.0)
+        spin.spin(10)
+        assert state["v"] == 20.0
+        spin.spin(-100)
+        assert state["v"] == 0.0
+
+    def test_click_maps_to_spin(self):
+        spin, state = self.make(step=1.0)
+        spin.on_click(MouseButton.LEFT)
+        assert state["v"] == 11.0
+        spin.on_click(MouseButton.RIGHT)
+        assert state["v"] == 10.0
+
+    def test_set_direct(self):
+        spin, state = self.make(minimum=0.0, maximum=100.0)
+        assert spin.set(55.0) == 55.0
+        assert spin.value == 55.0

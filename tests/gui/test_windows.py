@@ -1,0 +1,122 @@
+"""Tests for the Figure 2/3 parameter windows."""
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.params import ControlParameter, ParameterError, ParameterStore
+from repro.core.signal import Cell, LineMode, memory_signal
+from repro.gui.windows import ControlParametersWindow, SignalParametersWindow
+
+
+def make_channel(**kwargs):
+    return Channel(memory_signal("CWND", Cell(5.0), min=0, max=40, **kwargs))
+
+
+class TestSignalParametersWindow:
+    def test_values_reflect_spec(self):
+        window = SignalParametersWindow(make_channel(color="green", filter=0.5))
+        values = window.values()
+        assert values["name"] == "CWND"
+        assert values["color"] == "green"
+        assert (values["min"], values["max"]) == (0, 40)
+        assert values["filter"] == 0.5
+        assert values["hidden"] is False
+
+    def test_set_color_validates(self):
+        window = SignalParametersWindow(make_channel())
+        window.set_color("red")
+        assert window.channel.spec.color == "red"
+        with pytest.raises(ValueError):
+            window.set_color("not-a-color")
+
+    def test_set_color_none_resets_to_palette(self):
+        window = SignalParametersWindow(make_channel(color="red"))
+        window.set_color(None)
+        assert window.channel.spec.color is None
+
+    def test_set_range_validates_order(self):
+        window = SignalParametersWindow(make_channel())
+        window.set_range(10, 90)
+        assert (window.channel.spec.min, window.channel.spec.max) == (10, 90)
+        with pytest.raises(ValueError):
+            window.set_range(50, 50)
+
+    def test_set_line_mode(self):
+        window = SignalParametersWindow(make_channel())
+        window.set_line(LineMode.STEP)
+        assert window.channel.spec.line is LineMode.STEP
+
+    def test_set_hidden_affects_channel_visibility(self):
+        window = SignalParametersWindow(make_channel())
+        window.set_hidden(True)
+        assert not window.channel.visible
+        window.set_hidden(False)
+        assert window.channel.visible
+
+    def test_set_filter_swaps_filter_preserving_output(self):
+        channel = make_channel()
+        channel.poll(50, 50)  # filter state = 5.0
+        window = SignalParametersWindow(channel)
+        window.set_filter(0.9)
+        assert channel.spec.filter == 0.9
+        # Next sample filters from the preserved value, no jump to x.
+        point = channel.poll(100, 50)
+        assert point.value == pytest.approx(0.9 * 5.0 + 0.1 * 5.0)
+
+    def test_set_filter_validates(self):
+        window = SignalParametersWindow(make_channel())
+        with pytest.raises(ValueError):
+            window.set_filter(2.0)
+
+    def test_audit_trail(self):
+        window = SignalParametersWindow(make_channel())
+        window.set_color("blue")
+        window.set_hidden(True)
+        assert window.applied == ["color", "hidden"]
+
+    def test_render_shows_fields(self):
+        canvas = SignalParametersWindow(make_channel()).render()
+        assert canvas.height >= 7 * 12  # one row per field + title
+        assert canvas.count_pixels((255, 255, 255)) > 0
+
+
+class TestControlParametersWindow:
+    def make_store(self):
+        store = ParameterStore()
+        store.add(ControlParameter("elephants", cell=Cell(8), minimum=0, maximum=40))
+        store.add(ControlParameter("mice", cell=Cell(0), minimum=0, maximum=100))
+        return store
+
+    def test_rows(self):
+        window = ControlParametersWindow(self.make_store())
+        assert window.rows() == {"elephants": 8.0, "mice": 0.0}
+
+    def test_set_writes_through_store(self):
+        store = self.make_store()
+        window = ControlParametersWindow(store)
+        window.set("elephants", 16)
+        assert store.get("elephants") == 16.0
+
+    def test_bounds_still_enforced(self):
+        window = ControlParametersWindow(self.make_store())
+        with pytest.raises(ParameterError):
+            window.set("elephants", 1000)
+
+    def test_step_buttons(self):
+        window = ControlParametersWindow(self.make_store())
+        window.step_up("elephants", 3)
+        assert window.rows()["elephants"] == 11.0
+        window.step_down("elephants")
+        assert window.rows()["elephants"] == 10.0
+
+    def test_listeners_see_window_edits(self):
+        store = self.make_store()
+        seen = []
+        store.add_listener(lambda name, value: seen.append((name, value)))
+        ControlParametersWindow(store).set("mice", 5)
+        assert seen == [("mice", 5.0)]
+
+    def test_render(self):
+        canvas = ControlParametersWindow(self.make_store()).render()
+        assert canvas.height == 12 * 3  # title + two rows
+        assert canvas.count_pixels((255, 255, 255)) > 0

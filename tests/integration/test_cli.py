@@ -1,0 +1,77 @@
+"""Tests for the `python -m repro` CLI."""
+
+import io
+import math
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.tuples import Recorder
+
+
+@pytest.fixture()
+def recording(tmp_path):
+    path = tmp_path / "capture.tuples"
+    with Recorder(str(path)) as rec:
+        rec.comment("CLI test capture")
+        for i in range(200):
+            t = i * 50.0
+            rec.record(t, 50 + 40 * math.sin(2 * math.pi * 2.0 * t / 1000.0), "tone")
+            rec.record(t, float(i % 4), "saw")
+    return str(path)
+
+
+class TestSummary:
+    def test_prints_per_signal_stats(self, recording, capsys):
+        assert main(["summary", recording]) == 0
+        out = capsys.readouterr().out
+        assert "tone:" in out and "saw:" in out
+        assert "200 points" in out
+
+    def test_empty_recording_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.tuples"
+        empty.write_text("# nothing here\n")
+        assert main(["summary", str(empty)]) == 1
+
+
+class TestPrint:
+    def test_ascii_to_stdout(self, recording, capsys):
+        assert main(["print", recording]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 10
+
+    def test_ppm_written(self, recording, tmp_path, capsys):
+        ppm = str(tmp_path / "out.ppm")
+        assert main(["print", recording, "--ppm", ppm]) == 0
+        from repro.gui.render import read_ppm
+
+        assert read_ppm(ppm).width == 512
+
+    def test_custom_dimensions(self, recording, tmp_path):
+        ppm = str(tmp_path / "small.ppm")
+        assert main(
+            ["print", recording, "--ppm", ppm, "--width", "128", "--height", "64"]
+        ) == 0
+        from repro.gui.render import read_ppm
+
+        assert read_ppm(ppm).width == 128
+
+
+class TestSpectrum:
+    def test_named_signal_peak(self, recording, capsys):
+        assert main(["spectrum", recording, "--signal", "tone"]) == 0
+        out = capsys.readouterr().out
+        # 2 Hz tone sampled at 20 Hz.
+        assert "peak 2." in out
+
+    def test_ambiguous_signal_requires_flag(self, recording, capsys):
+        assert main(["spectrum", recording]) == 2
+        assert "--signal" in capsys.readouterr().err
+
+    def test_single_signal_auto_selected(self, tmp_path, capsys):
+        path = tmp_path / "solo.tuples"
+        with Recorder(str(path), single_signal=True) as rec:
+            for i in range(100):
+                rec.record(i * 50.0, math.sin(i / 3.0), "x")
+        assert main(["spectrum", str(path)]) == 0
+        assert "signal:" in capsys.readouterr().out

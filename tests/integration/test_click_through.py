@@ -1,0 +1,78 @@
+"""Click-through integration: rendered coordinates drive real behaviour.
+
+The Figure 1 interactions are wired through the widget tree's hit
+testing, so clicking *pixel coordinates* on the composite widget must
+reach the same state changes as the programmatic API — the paper's
+GUI/API equivalence, verified from the pixel side.
+"""
+
+import pytest
+
+from repro.core.scope import Scope
+from repro.core.signal import Cell, memory_signal
+from repro.eventloop.loop import MainLoop
+from repro.gui.scope_widget import ScopeWidget
+from repro.gui.widget import MouseButton
+
+
+@pytest.fixture()
+def world():
+    loop = MainLoop()
+    scope = Scope("clicky", loop, width=300, height=80, period_ms=50)
+    scope.signal_new(memory_signal("alpha", Cell(10), min=0, max=100))
+    scope.signal_new(memory_signal("beta", Cell(20), min=0, max=100))
+    scope.start_polling()
+    loop.run_for(500)
+    widget = ScopeWidget(scope)
+    return loop, scope, widget
+
+
+def center(rect):
+    return rect.x + rect.width // 2, rect.y + rect.height // 2
+
+
+class TestClickThroughCoordinates:
+    def test_left_click_on_name_button_hides_trace(self, world):
+        loop, scope, widget = world
+        x, y = center(widget._name_buttons["alpha"].rect)
+        assert widget.click(x, y, MouseButton.LEFT)
+        assert not scope.channel("alpha").visible
+        assert scope.channel("beta").visible  # neighbours untouched
+
+    def test_right_click_on_name_button_opens_window(self, world):
+        loop, scope, widget = world
+        x, y = center(widget._name_buttons["beta"].rect)
+        assert widget.click(x, y, MouseButton.RIGHT)
+        assert len(widget.open_windows) == 1
+        assert widget.open_windows[0].channel.name == "beta"
+
+    def test_click_on_value_button(self, world):
+        loop, scope, widget = world
+        x, y = center(widget._value_buttons["alpha"].rect)
+        assert widget.click(x, y, MouseButton.LEFT)
+        assert scope.channel("alpha").show_value
+
+    def test_click_on_zoom_widget_changes_scope_zoom(self, world):
+        loop, scope, widget = world
+        x, y = center(widget.zoom_widget.rect)
+        widget.click(x, y, MouseButton.LEFT)
+        assert scope.zoom == 1.25
+        widget.click(x, y, MouseButton.RIGHT)
+        assert scope.zoom == 1.0
+
+    def test_click_on_empty_canvas_is_unconsumed(self, world):
+        loop, scope, widget = world
+        # Middle of the trace canvas: no interactive widget lives there.
+        x = widget.canvas_rect.x + widget.canvas_rect.width // 2
+        y = widget.canvas_rect.y + widget.canvas_rect.height // 2
+        assert widget.click(x, y, MouseButton.LEFT) is False
+
+    def test_window_edits_after_click_open_affect_live_channel(self, world):
+        loop, scope, widget = world
+        x, y = center(widget._name_buttons["alpha"].rect)
+        widget.click(x, y, MouseButton.RIGHT)
+        window = widget.open_windows[0]
+        window.set_filter(0.8)
+        assert scope.channel("alpha").filter.alpha == 0.8
+        loop.run_for(500)  # polling continues through the new filter
+        assert scope.channel("alpha").last_value is not None

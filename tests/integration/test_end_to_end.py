@@ -1,0 +1,181 @@
+"""Cross-module integration scenarios.
+
+These tests exercise whole slices of the system the way the paper's
+users did: application + scope + loop, remote clients + server + scope,
+record on one scope and replay on another, and the full
+mxtraf-under-observation pipeline feeding a rendered figure.
+"""
+
+import io
+
+import pytest
+
+from repro.core.manager import ScopeManager
+from repro.core.scope import Scope
+from repro.core.signal import (
+    Cell,
+    SignalType,
+    buffer_signal,
+    func_signal,
+    memory_signal,
+)
+from repro.core.tuples import Player, Recorder
+from repro.eventloop.clock import KernelTimerModel, VirtualClock
+from repro.eventloop.loop import MainLoop
+from repro.gui.render import ascii_render
+from repro.gui.scope_widget import ScopeWidget
+from repro.net import ScopeClient, ScopeServer, memory_pair
+from repro.tcpsim import Engine, Mxtraf, MxtrafConfig, Network, NetworkConfig
+
+
+class TestScopeOnCoarseKernel:
+    def test_scope_under_10ms_kernel_still_advances_correctly(self):
+        """Polling at 25 ms on a 10 ms kernel tick: wakeups land on 30,
+        60, 90...; lost-timeout compensation keeps column = time/period."""
+        clock = KernelTimerModel(VirtualClock(), tick_ms=10.0)
+        loop = MainLoop(clock=clock)
+        scope = Scope("coarse", loop, period_ms=25)
+        scope.signal_new(memory_signal("x", Cell(1)))
+        scope.start_polling()
+        loop.run_until(10_000)
+        expected_columns = 10_000 / 25
+        assert scope.column == pytest.approx(expected_columns, abs=2)
+
+
+class TestTwoScopesOneApplication:
+    def test_same_cell_on_two_scopes_with_different_periods(self):
+        loop = MainLoop()
+        mgr = ScopeManager(loop)
+        fast = mgr.scope_new("fast", period_ms=10)
+        slow = mgr.scope_new("slow", period_ms=100)
+        shared = Cell(0.0)
+        fast.signal_new(memory_signal("v", shared, SignalType.FLOAT))
+        slow.signal_new(memory_signal("v", shared, SignalType.FLOAT))
+        mgr.start_all()
+
+        def ramp(lost):
+            shared.value += 1.0
+            return True
+
+        loop.timeout_add(10, ramp)
+        loop.run_for(2000)
+        assert len(fast.channel("v").trace) > 8 * len(slow.channel("v").trace)
+        assert fast.value_of("v") == pytest.approx(slow.value_of("v"), abs=11)
+
+
+class TestDistributedRoundTrip:
+    def test_remote_samples_survive_recording_and_replay(self):
+        # Live distributed capture...
+        loop = MainLoop()
+        mgr = ScopeManager(loop)
+        scope = mgr.scope_new("live", period_ms=50, delay_ms=100)
+        scope.signal_new(buffer_signal("rtt"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        sink = io.StringIO()
+        scope.record_to(Recorder(sink))
+        server = ScopeServer(loop, mgr)
+        near, far = memory_pair(loop.clock, latency_ms=20)
+        server.add_client(far)
+        client = ScopeClient(near, loop)
+        loop.timeout_add(
+            25, lambda lost: client.send_sample("rtt", loop.clock.now() % 90) or True
+        )
+        loop.run_for(3000)
+        scope.record_to(None)
+        live_values = scope.channel("rtt").raw_values()
+        assert len(live_values) > 30
+
+        # ...then offline replay reproduces the displayed data.
+        replay_loop = MainLoop()
+        replay = Scope("replay", replay_loop, period_ms=50)
+        replay.set_playback_mode(Player(io.StringIO(sink.getvalue())))
+        replay.start_polling()
+        replay_loop.run_for(5000)
+        assert replay.channel("rtt").raw_values() == live_values
+
+
+class TestMxtrafFigurePipeline:
+    def test_full_figure_pipeline_renders(self):
+        """Engine + mxtraf + scope + widget: the Figure 4 pipeline in
+        miniature, asserting on the rendered canvas itself."""
+        loop = MainLoop()
+        engine = Engine()
+        net = Network(
+            engine,
+            NetworkConfig(
+                queue="droptail",
+                bandwidth_pkts_per_sec=500,
+                prop_delay_ms=10,
+                ack_delay_ms=10,
+                droptail_capacity=10,
+            ),
+        )
+        mx = Mxtraf(net, MxtrafConfig(elephants=6))
+        scope = Scope("fig", loop, width=300, height=80, period_ms=50)
+        scope.signal_new(
+            memory_signal(
+                "elephants", mx.elephants_cell, SignalType.INTEGER,
+                min=0, max=40, color="yellow",
+            )
+        )
+        scope.signal_new(
+            func_signal("CWND", mx.watched_flow().get_cwnd, min=0, max=40,
+                        color="green")
+        )
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        loop.timeout_add(50, lambda lost: engine.advance_to(loop.clock.now()) or True)
+        loop.timeout_add(5000, lambda lost: mx.set_elephants(12) and False)
+        loop.run_until(10_000)
+
+        widget = ScopeWidget(scope)
+        canvas = widget.render()
+        # Both traces must have painted pixels in their configured colors.
+        assert canvas.count_pixels((64, 160, 43)) > 50  # green CWND
+        assert canvas.count_pixels((230, 190, 20)) > 50  # yellow elephants
+        art = ascii_render(canvas, max_width=80, max_height=20)
+        assert art.strip()
+
+    def test_elephants_signal_steps_when_mix_changes(self):
+        loop = MainLoop()
+        engine = Engine()
+        net = Network(engine, NetworkConfig(bandwidth_pkts_per_sec=500))
+        mx = Mxtraf(net, MxtrafConfig(elephants=8))
+        scope = Scope("s", loop, period_ms=50)
+        scope.signal_new(
+            memory_signal("elephants", mx.elephants_cell, SignalType.INTEGER)
+        )
+        scope.start_polling()
+        loop.timeout_add(50, lambda lost: engine.advance_to(loop.clock.now()) or True)
+        loop.run_for(1000)
+        mx.set_elephants(16)
+        loop.run_for(1000)
+        values = scope.channel("elephants").raw_values()
+        assert 8.0 in values and 16.0 in values
+        switch = values.index(16.0)
+        assert all(v == 8.0 for v in values[:switch])
+        assert all(v == 16.0 for v in values[switch:])
+
+
+class TestFrequencyViewIntegration:
+    def test_scope_trace_feeds_spectrum(self):
+        import math
+
+        from repro.core.frequency import spectrum
+
+        loop = MainLoop()
+        scope = Scope("spec", loop, period_ms=10)
+        scope.signal_new(
+            func_signal(
+                "tone",
+                lambda *_: math.sin(2 * math.pi * 8.0 * loop.clock.now() / 1000.0),
+                min=-1,
+                max=1,
+            )
+        )
+        scope.start_polling()
+        loop.run_for(6000)
+        spec = spectrum(scope.channel("tone").values(), period_ms=10)
+        freq, _ = spec.peak()
+        assert freq == pytest.approx(8.0, abs=0.3)

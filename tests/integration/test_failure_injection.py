@@ -1,0 +1,143 @@
+"""Failure injection: the system must degrade, not crash.
+
+A live visualization tool meets misbehaving inputs constantly — clients
+vanish mid-line, signals are removed while data is in flight, recordings
+are truncated, remote streams stall.  These tests inject those faults
+and assert the documented degraded behaviour.
+"""
+
+import io
+
+import pytest
+
+from repro.core.manager import ScopeManager
+from repro.core.scope import Scope
+from repro.core.signal import Cell, buffer_signal, func_signal, memory_signal
+from repro.core.tuples import Player, TupleFormatError
+from repro.eventloop.loop import MainLoop
+from repro.net import ScopeClient, ScopeServer, memory_pair
+
+
+def make_world(delay_ms=100.0):
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("s", period_ms=50, delay_ms=delay_ms)
+    scope.signal_new(buffer_signal("m"))
+    scope.set_polling_mode(50)
+    scope.start_polling()
+    server = ScopeServer(loop, manager)
+    near, far = memory_pair(loop.clock)
+    server.add_client(far)
+    client = ScopeClient(near, loop)
+    return loop, scope, server, client
+
+
+class TestNetworkFaults:
+    def test_client_vanishes_mid_line(self):
+        """A partial tuple followed by a close must not corrupt earlier
+        data or take the server down."""
+        loop, scope, server, client = make_world()
+        client.send_sample("m", 1.0)
+        loop.run_for(200)
+        client.endpoint.send(b"123 4")  # half a tuple...
+        client.endpoint.close()  # ...then gone
+        loop.run_for(300)
+        assert scope.value_of("m") == 1.0  # the complete sample survived
+        totals = server.totals()
+        assert totals["accepted"] == 1
+
+    def test_interleaved_garbage_only_kills_that_client(self):
+        loop, scope, server, client = make_world()
+        near2, far2 = memory_pair(loop.clock)
+        server.add_client(far2)
+        client2 = ScopeClient(near2, loop)
+
+        client.endpoint.send(b"complete garbage\n")
+        client2.send_sample("m", 7.0)
+        loop.run_for(300)
+        states = server.clients
+        assert not states[0].connected  # the offender is gone
+        assert states[1].connected  # the good client keeps flowing
+        assert scope.value_of("m") == 7.0
+
+    def test_stalled_client_resumes(self):
+        """Silence is not an error: a stream may stall for seconds and
+        resume; only late samples are dropped."""
+        loop, scope, server, client = make_world(delay_ms=100)
+        client.send_sample("m", 1.0)
+        loop.run_for(2000)  # long stall
+        client.send_sample("m", 2.0)
+        loop.run_for(300)
+        assert scope.value_of("m") == 2.0
+        assert server.totals()["dropped_late"] == 0
+
+
+class TestScopeFaults:
+    def test_signal_removed_with_data_in_flight(self):
+        loop, scope, server, client = make_world()
+        client.send_sample("m", 3.0)
+        scope.signal_remove("m")
+        loop.run_for(300)  # the buffered sample finds no channel: dropped
+
+    def test_failing_func_signal_propagates_cleanly(self):
+        """A FUNC callback that raises is an application bug; the error
+        must surface (not be swallowed into a corrupt display)."""
+        loop = MainLoop()
+        scope = Scope("s", loop, period_ms=50)
+
+        def bad(*_):
+            raise RuntimeError("sensor exploded")
+
+        scope.signal_new(func_signal("bad", bad))
+        scope.start_polling()
+        with pytest.raises(RuntimeError, match="sensor exploded"):
+            loop.run_for(100)
+
+    def test_zero_size_recording_plays_back_as_empty(self):
+        loop = MainLoop()
+        scope = Scope("s", loop)
+        scope.set_playback_mode(Player(io.StringIO("")))
+        scope.start_polling()
+        loop.run_for(500)
+        assert scope.channels == []
+
+    def test_truncated_recording_rejected_at_load(self):
+        with pytest.raises(TupleFormatError):
+            Player(io.StringIO("100 1 a\n50 2 a\n"))  # time goes backwards
+
+
+class TestDynamicReconfiguration:
+    def test_period_change_mid_run_keeps_trace_consistent(self):
+        loop = MainLoop()
+        scope = Scope("s", loop, period_ms=50)
+        cell = Cell(1.0)
+        scope.signal_new(memory_signal("x", cell))
+        scope.start_polling()
+        loop.run_for(1000)
+        scope.set_period(10)
+        loop.run_for(1000)
+        times = scope.channel("x").times()
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= 10 - 1e-9
+
+    def test_delay_shrink_drops_now_late_pushes(self):
+        loop, scope, server, client = make_world(delay_ms=500)
+        loop.run_for(1000)
+        scope.set_delay(10)  # tighten the window drastically
+        client.send_sample("m", 5.0, time_ms=loop.clock.now() - 100)
+        loop.run_for(300)
+        assert scope.buffer.stats.dropped_late >= 1
+
+    def test_remove_and_readd_signal(self):
+        loop = MainLoop()
+        scope = Scope("s", loop, period_ms=50)
+        scope.signal_new(memory_signal("x", Cell(1)))
+        scope.start_polling()
+        loop.run_for(500)
+        scope.signal_remove("x")
+        scope.signal_new(memory_signal("x", Cell(99)))
+        loop.run_for(500)
+        assert scope.value_of("x") == 99.0
+        # The new channel starts a fresh trace.
+        assert all(v == 99.0 for v in scope.channel("x").raw_values())

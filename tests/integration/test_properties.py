@@ -1,0 +1,121 @@
+"""System-level property tests (hypothesis) on cross-module invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scope import Scope
+from repro.core.signal import Cell, memory_signal
+from repro.core.trigger import Edge, Trigger
+from repro.eventloop.clock import KernelTimerModel, VirtualClock
+from repro.eventloop.loop import MainLoop
+
+
+class TestScopePollingInvariants:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(min_value=1.0, max_value=200.0),  # period
+        st.floats(min_value=100.0, max_value=5000.0),  # run duration
+    )
+    def test_poll_count_matches_elapsed_time(self, period, duration):
+        loop = MainLoop()
+        scope = Scope("s", loop, period_ms=period)
+        scope.signal_new(memory_signal("x", Cell(1)))
+        scope.start_polling()
+        loop.run_until(duration)
+        expected = duration / period
+        # Half-open window semantics allow the boundary poll to defer.
+        assert abs(scope.polls - expected) <= 1.0 + 1e-6
+        times = scope.channel("x").times()
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)  # strictly increasing
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(min_value=1.0, max_value=50.0),  # requested period
+        st.floats(min_value=1.0, max_value=25.0),  # kernel tick
+    )
+    def test_column_accounting_is_truthful_under_any_tick(self, period, tick):
+        """polls + lost == elapsed/period whatever the kernel tick does
+        to the wakeups (the Section 4.5 compensation invariant)."""
+        clock = KernelTimerModel(VirtualClock(), tick_ms=tick)
+        loop = MainLoop(clock=clock)
+        scope = Scope("s", loop, period_ms=period)
+        scope.signal_new(memory_signal("x", Cell(1)))
+        scope.start_polling()
+        duration = 2000.0
+        loop.run_until(duration)
+        expected_columns = duration / period
+        assert scope.column == scope.polls + scope.lost_timeouts
+        # The final wakeup of the half-open run window may not have
+        # fired yet; it would have advanced up to tick/period columns.
+        slack = tick / period + 2.0
+        assert abs(scope.column - expected_columns) <= slack
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=40))
+    def test_displayed_values_equal_application_values(self, values):
+        """What the application wrote is exactly what the scope shows
+        (no filter, no aggregation — the identity path)."""
+        from repro.core.signal import SignalType
+
+        loop = MainLoop()
+        scope = Scope("s", loop, period_ms=50)
+        cell = Cell(values[0])
+        scope.signal_new(memory_signal("x", cell, SignalType.FLOAT))
+        scope.start_polling()
+        for v in values:
+            cell.value = v
+            loop.run_for(50)
+        raw = scope.channel("x").raw_values()
+        # Half-open run windows: the poll at t = 50*i fires at the start
+        # of window i+1, after values[i] was written — so the displayed
+        # sequence is exactly values[1:] (the final boundary poll never
+        # fires inside the loop).
+        assert raw == [float(v) for v in values[1:]]
+
+
+class TestTriggerProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=200),
+        st.floats(min_value=-5, max_value=5),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_firings_strictly_increase_and_respect_holdoff(self, values, level, holdoff):
+        trigger = Trigger(level, Edge.EITHER, holdoff=holdoff)
+        events = trigger.find(values)
+        indices = [e.index for e in events]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        gaps = [b - a for a, b in zip(indices, indices[1:])]
+        assert all(g > holdoff for g in gaps)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=200),
+        st.floats(min_value=-5, max_value=5),
+    )
+    def test_rising_firings_actually_cross_the_level(self, values, level):
+        trigger = Trigger(level, Edge.RISING)
+        for event in trigger.find(values):
+            assert values[event.index] >= level
+            assert values[event.index - 1] < level
+
+
+class TestClockComposition:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.floats(min_value=0.1, max_value=100),
+        st.floats(min_value=0.1, max_value=100),
+        st.floats(min_value=0, max_value=10_000),
+    )
+    def test_stacked_timer_models_quantise_to_coarsest(self, tick_a, tick_b, deadline):
+        """A timer model wrapping another never wakes earlier than
+        either quantisation alone."""
+        inner = KernelTimerModel(VirtualClock(), tick_ms=tick_a)
+        outer = KernelTimerModel(inner, tick_ms=tick_b)
+        woken = outer.wakeup_time(deadline)
+        assert woken >= deadline - 1e-6
+        assert woken >= outer._quantise(deadline) - 1e-6

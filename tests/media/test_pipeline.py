@@ -1,0 +1,109 @@
+"""Tests for the media pipeline and its fill-level signals."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media.pipeline import Pipeline, StageBuffer
+
+
+class TestStageBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageBuffer("b", 0)
+        buf = StageBuffer("b", 10)
+        with pytest.raises(ValueError):
+            buf.offer(-1)
+        with pytest.raises(ValueError):
+            buf.take(-1)
+
+    def test_offer_take(self):
+        buf = StageBuffer("b", 10)
+        assert buf.offer(4) == 4
+        assert buf.frames == 4
+        assert buf.take(2) == 2
+        assert buf.frames == 2
+
+    def test_offer_beyond_capacity_drops(self):
+        buf = StageBuffer("b", 5)
+        assert buf.offer(8) == 5
+        assert buf.overflow_drops == 3
+
+    def test_take_beyond_contents(self):
+        buf = StageBuffer("b", 5)
+        buf.offer(2)
+        assert buf.take(10) == 2
+
+    def test_fill_percent(self):
+        buf = StageBuffer("b", 20)
+        buf.offer(5)
+        assert buf.fill_percent == 25.0
+
+    def test_conservation_counters(self):
+        buf = StageBuffer("b", 10)
+        buf.offer(7)
+        buf.take(3)
+        assert buf.total_in - buf.total_out == buf.frames
+
+
+class TestPipeline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pipeline(decode_rate_fps=0)
+        p = Pipeline()
+        with pytest.raises(ValueError):
+            p.tick(0, 1)
+
+    def test_frames_flow_through(self):
+        p = Pipeline(decode_rate_fps=60, display_rate_fps=30)
+        for _ in range(30):
+            p.tick(0.1, arriving_frames=3)  # 30 fps arrival
+        assert p.displayed > 0
+        assert p.network_buffer.total_out > 0
+
+    def test_starved_display_misses(self):
+        p = Pipeline()
+        for _ in range(20):
+            p.tick(0.1, arriving_frames=0)
+        assert p.display_misses > 0
+        assert p.displayed == 0
+
+    def test_oversupplied_network_buffer_drops(self):
+        p = Pipeline(network_capacity=10)
+        for _ in range(20):
+            p.tick(0.1, arriving_frames=50)
+        assert p.network_buffer.overflow_drops > 0
+
+    def test_decoder_respects_downstream_space(self):
+        p = Pipeline(decoded_capacity=5, display_rate_fps=1, decode_rate_fps=1000)
+        for _ in range(10):
+            p.tick(0.1, arriving_frames=20)
+        assert p.decoded_buffer.frames <= 5
+
+    def test_signal_hooks_in_percent(self):
+        p = Pipeline()
+        p.tick(0.1, arriving_frames=10)
+        assert 0.0 <= p.get_network_fill() <= 100.0
+        assert 0.0 <= p.get_decoded_fill() <= 100.0
+
+    def test_stats_keys(self):
+        p = Pipeline()
+        p.tick(0.1, 1)
+        assert set(p.stats()) == {"displayed", "display_misses", "network_drops"}
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=80)
+    )
+    def test_frame_conservation(self, arrivals):
+        """Frames in = frames displayed + buffered + dropped, always."""
+        p = Pipeline()
+        for n in arrivals:
+            p.tick(0.1, n)
+        offered = sum(arrivals)
+        accounted = (
+            p.displayed
+            + p.network_buffer.frames
+            + p.decoded_buffer.frames
+            + p.network_buffer.overflow_drops
+        )
+        assert accounted == offered

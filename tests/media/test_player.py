@@ -1,0 +1,91 @@
+"""Tests for the quality-adaptive streaming player."""
+
+import pytest
+
+from repro.media.player import AdaptivePlayer, PlayerConfig
+
+
+class TestBasics:
+    def test_needs_quality_levels(self):
+        with pytest.raises(ValueError):
+            AdaptivePlayer(PlayerConfig(quality_levels_kbps=[]))
+
+    def test_starts_mid_ladder(self):
+        player = AdaptivePlayer()
+        ladder = player.config.quality_levels_kbps
+        assert player.level == len(ladder) // 2
+
+    def test_bandwidth_positive_and_varies(self):
+        player = AdaptivePlayer()
+        samples = []
+        for _ in range(300):
+            player.tick(0.1)
+            samples.append(player.bandwidth_kbps())
+        assert min(samples) > 0
+        assert max(samples) > 1.2 * min(samples)  # the fade is visible
+
+
+class TestAdaptation:
+    def test_rich_network_raises_quality(self):
+        cfg = PlayerConfig(
+            mean_bandwidth_kbps=8000, bandwidth_swing=0.0, jitter=0.0, hold_ticks=2
+        )
+        player = AdaptivePlayer(cfg)
+        player.run(30, dt_s=0.1)
+        assert player.level == len(cfg.quality_levels_kbps) - 1
+
+    def test_poor_network_lowers_quality(self):
+        cfg = PlayerConfig(
+            mean_bandwidth_kbps=100, bandwidth_swing=0.0, jitter=0.0, hold_ticks=2
+        )
+        player = AdaptivePlayer(cfg)
+        player.run(30, dt_s=0.1)
+        assert player.level == 0
+
+    def test_fading_network_changes_quality_both_ways(self):
+        player = AdaptivePlayer(PlayerConfig(hold_ticks=5))
+        levels = set()
+        for _ in range(1200):
+            player.tick(0.1)
+            levels.add(player.level)
+        assert len(levels) >= 2
+        assert player.quality_changes >= 2
+
+    def test_hold_limits_flapping(self):
+        flappy = AdaptivePlayer(PlayerConfig(hold_ticks=0, seed=9))
+        calm = AdaptivePlayer(PlayerConfig(hold_ticks=30, seed=9))
+        for _ in range(600):
+            flappy.tick(0.1)
+            calm.tick(0.1)
+        assert calm.quality_changes <= flappy.quality_changes
+
+    def test_quality_matched_to_bandwidth_plays_cleanly(self):
+        """When the ladder matches the pipe, few or no display misses
+        after the startup transient."""
+        cfg = PlayerConfig(
+            mean_bandwidth_kbps=1600, bandwidth_swing=0.0, jitter=0.0
+        )
+        player = AdaptivePlayer(cfg)
+        player.run(10, dt_s=0.1)  # warm up
+        misses_before = player.pipeline.display_misses
+        player.run(30, dt_s=0.1)
+        assert player.pipeline.display_misses - misses_before < 60
+
+
+class TestSignalHooks:
+    def test_hooks_return_floats_in_range(self):
+        player = AdaptivePlayer()
+        player.run(5, dt_s=0.1)
+        assert 0.0 <= player.get_quality_level() < len(
+            player.config.quality_levels_kbps
+        )
+        assert player.get_bandwidth() > 0
+        assert 0.0 <= player.get_buffer_fill() <= 100.0
+
+    def test_deterministic_with_seed(self):
+        a = AdaptivePlayer(PlayerConfig(seed=4))
+        b = AdaptivePlayer(PlayerConfig(seed=4))
+        a.run(20, dt_s=0.1)
+        b.run(20, dt_s=0.1)
+        assert a.level == b.level
+        assert a.pipeline.displayed == b.pipeline.displayed

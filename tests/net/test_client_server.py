@@ -1,0 +1,177 @@
+"""End-to-end tests for the distributed client/server library (§4.4)."""
+
+import pytest
+
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.net import ScopeClient, ScopeServer, memory_pair, socket_pair
+
+
+def make_world(delay_ms=100.0, latency_ms=0.0, auto_create=False):
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("remote", period_ms=50, delay_ms=delay_ms)
+    scope.signal_new(buffer_signal("metric"))
+    scope.set_polling_mode(50)
+    scope.start_polling()
+    server = ScopeServer(loop, manager, auto_create=auto_create)
+    near, far = memory_pair(loop.clock, latency_ms=latency_ms)
+    server.add_client(far)
+    client = ScopeClient(near, loop)
+    return loop, scope, server, client
+
+
+class TestHappyPath:
+    def test_sample_travels_to_scope(self):
+        loop, scope, server, client = make_world()
+        client.send_sample("metric", 42.0)
+        loop.run_for(300)
+        assert scope.value_of("metric") == 42.0
+        assert server.totals()["accepted"] == 1
+
+    def test_stream_of_samples(self):
+        loop, scope, server, client = make_world()
+        loop.timeout_add(
+            10, lambda lost: client.send_sample("metric", loop.clock.now()) or True
+        )
+        loop.run_for(2000)
+        channel = scope.channel("metric")
+        assert len(channel.trace) > 150
+        times = channel.times()
+        assert times == sorted(times)
+
+    def test_link_latency_tolerated_within_delay(self):
+        """Samples older than the delay on arrival are kept as long as
+        transmission latency < display delay."""
+        loop, scope, server, client = make_world(delay_ms=100, latency_ms=60)
+        client.send_sample("metric", 7.0)
+        loop.run_for(400)
+        assert scope.value_of("metric") == 7.0
+        assert server.totals()["dropped_late"] == 0
+
+    def test_multiple_clients_one_scope(self):
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100)
+        scope.signal_new(buffer_signal("a"))
+        scope.signal_new(buffer_signal("b"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        clients = []
+        for _ in range(2):
+            near, far = memory_pair(loop.clock)
+            server.add_client(near_id := far)
+            clients.append(ScopeClient(near, loop))
+        clients[0].send_sample("a", 1.0)
+        clients[1].send_sample("b", 2.0)
+        loop.run_for(300)
+        assert scope.value_of("a") == 1.0
+        assert scope.value_of("b") == 2.0
+
+
+class TestLateDrop:
+    def test_latency_beyond_delay_drops(self):
+        """Section 4.4: data arriving after the delay is dropped."""
+        loop, scope, server, client = make_world(delay_ms=20, latency_ms=80)
+        client.send_sample("metric", 9.0)
+        loop.run_for(500)
+        assert scope.value_of("metric") is None
+        assert server.totals()["dropped_late"] == 1
+
+    def test_larger_delay_rescues_slow_links(self):
+        loop, scope, server, client = make_world(delay_ms=200, latency_ms=80)
+        client.send_sample("metric", 9.0)
+        loop.run_for(500)
+        assert scope.value_of("metric") == 9.0
+
+
+class TestProtocolErrors:
+    def test_malformed_stream_disconnects_client(self):
+        loop, scope, server, client = make_world()
+        client.endpoint.send(b"garbage line\n")
+        loop.run_for(200)
+        state = server.clients[0]
+        assert not state.connected
+        assert state.protocol_errors == 1
+
+    def test_unknown_signal_counted_not_crashed(self):
+        loop, scope, server, client = make_world()
+        client.send_sample("ghost", 1.0)
+        loop.run_for(200)
+        totals = server.totals()
+        assert totals["received"] == 1
+        assert totals["accepted"] == 0
+
+    def test_auto_create_registers_signal(self):
+        loop, scope, server, client = make_world(auto_create=True)
+        client.send_sample("surprise", 3.0)
+        loop.run_for(300)
+        assert "surprise" in scope
+        assert scope.value_of("surprise") == 3.0
+
+
+class TestClientBehaviour:
+    def test_backlog_drains(self):
+        loop, scope, server, client = make_world()
+        for i in range(50):
+            client.send_sample("metric", float(i))
+        loop.run_for(500)
+        assert client.backlog == 0
+        assert client.sent == 50
+
+    def test_queue_bound_drops_oldest(self):
+        loop = MainLoop()
+        near, _far = memory_pair(loop.clock)
+        near.closed = False
+
+        class NeverWritable:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def writable(self):
+                return False
+
+            def readable(self):
+                return False
+
+            def send(self, data):
+                raise AssertionError("should not send")
+
+            def close(self):
+                pass
+
+        client = ScopeClient(NeverWritable(near), loop, max_queue=5)
+        for i in range(8):
+            client.send_sample("m", float(i))
+        assert client.backlog == 5
+        assert client.dropped == 3
+
+    def test_close_removes_watch(self):
+        loop, scope, server, client = make_world()
+        client.send_sample("metric", 1.0)
+        client.close()
+        # Any watches the client registered must be gone or inert.
+        loop.run_for(200)
+
+
+class TestSocketTransport:
+    def test_end_to_end_over_real_sockets(self):
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100)
+        scope.signal_new(buffer_signal("metric"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        client_end, server_end = socket_pair()
+        try:
+            server.add_client(server_end)
+            client = ScopeClient(client_end, loop)
+            client.send_sample("metric", 13.0, time_ms=loop.clock.now())
+            loop.run_for(300)
+            assert scope.value_of("metric") == 13.0
+        finally:
+            client_end.close()
+            server_end.close()

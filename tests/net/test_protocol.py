@@ -1,0 +1,82 @@
+"""Tests for the wire protocol (tuple lines over byte chunks)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tuples import TupleFormatError
+from repro.net.protocol import LineDecoder, decode_lines, encode_sample
+
+
+class TestEncode:
+    def test_frame_shape(self):
+        assert encode_sample(100, 42, "CWND") == b"100 42 CWND\n"
+
+    def test_unnamed_sample(self):
+        assert encode_sample(100, 42) == b"100 42\n"
+
+
+class TestLineDecoder:
+    def test_complete_lines(self):
+        dec = LineDecoder()
+        assert dec.feed(b"a\nb\n") == ["a", "b"]
+        assert dec.pending == b""
+
+    def test_partial_line_carried(self):
+        dec = LineDecoder()
+        assert dec.feed(b"hel") == []
+        assert dec.pending == b"hel"
+        assert dec.feed(b"lo\n") == ["hello"]
+
+    def test_multiple_partials(self):
+        dec = LineDecoder()
+        out = []
+        for chunk in (b"1 2", b" a\n3 ", b"4 b", b"\n"):
+            out.extend(dec.feed(chunk))
+        assert out == ["1 2 a", "3 4 b"]
+
+
+class TestDecodeLines:
+    def test_tuples_parsed(self):
+        tuples, dec = decode_lines(b"10 1 x\n20 2 y\n")
+        assert [(t.time_ms, t.value, t.name) for t in tuples] == [
+            (10.0, 1.0, "x"),
+            (20.0, 2.0, "y"),
+        ]
+
+    def test_comments_skipped(self):
+        tuples, _ = decode_lines(b"# hello\n10 1 x\n\n")
+        assert len(tuples) == 1
+
+    def test_partial_tuple_not_emitted_early(self):
+        tuples, dec = decode_lines(b"10 1 x\n20 2")
+        assert len(tuples) == 1
+        tuples, dec = decode_lines(b" y\n", dec)
+        assert [(t.time_ms, t.name) for t in tuples] == [(20.0, "y")]
+
+    def test_malformed_raises(self):
+        with pytest.raises(TupleFormatError):
+            decode_lines(b"not a tuple at all\n")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_arbitrary_chunking_preserves_stream(self, samples, chunk_size):
+        """However the network fragments the stream, the decoded tuples
+        are exactly the encoded ones, in order."""
+        wire = b"".join(encode_sample(t, v, "s") for t, v in samples)
+        decoder = LineDecoder()
+        out = []
+        for i in range(0, len(wire), chunk_size):
+            tuples, decoder = decode_lines(wire[i : i + chunk_size], decoder)
+            out.extend(tuples)
+        assert [(t.time_ms, t.value) for t in out] == [
+            (float(t), float(v)) for t, v in samples
+        ]

@@ -1,0 +1,118 @@
+"""Tests for the feedback-driven proportion allocator."""
+
+import pytest
+
+from repro.sched import ProportionAllocator, SchedulerConfig, SimProcess
+
+
+def converge(allocator, periods=400):
+    allocator.run_periods(periods)
+
+
+class TestManagement:
+    def test_add_and_lookup(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 30, 100))
+        assert alloc.process("a").name == "a"
+        assert len(alloc.processes) == 1
+
+    def test_duplicate_rejected(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 30, 100))
+        with pytest.raises(ValueError):
+            alloc.add(SimProcess("a", 10, 100))
+
+    def test_remove(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 30, 100))
+        removed = alloc.remove("a")
+        assert removed.name == "a"
+        assert alloc.processes == []
+
+    def test_initial_proportion_defaults_to_ideal(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 30, 100))
+        assert alloc.proportion_of("a") == pytest.approx(0.3)
+
+
+class TestFeedbackConvergence:
+    def test_single_process_converges_to_ideal(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 30, 100), initial_proportion=0.05)
+        converge(alloc)
+        assert alloc.proportion_of("a") == pytest.approx(0.3, abs=0.05)
+        assert alloc.process("a").queue_fill == pytest.approx(0.5, abs=0.1)
+
+    def test_multiple_processes_each_converge(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("video", 30, 100), initial_proportion=0.1)
+        alloc.add(SimProcess("audio", 50, 400), initial_proportion=0.5)
+        converge(alloc)
+        assert alloc.proportion_of("video") == pytest.approx(0.30, abs=0.05)
+        assert alloc.proportion_of("audio") == pytest.approx(0.125, abs=0.05)
+
+    def test_rate_change_tracked(self):
+        """The paper's 'dynamically changing process proportions'."""
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("video", 30, 100))
+        converge(alloc)
+        alloc.process("video").rate_change(60)
+        converge(alloc)
+        assert alloc.proportion_of("video") == pytest.approx(0.6, abs=0.08)
+
+    def test_progress_keeps_up_when_feasible(self):
+        cfg = SchedulerConfig(period_ms=50)
+        alloc = ProportionAllocator(cfg)
+        process = SimProcess("a", desired_rate=30, work_factor=100)
+        alloc.add(process)
+        converge(alloc, periods=600)
+        elapsed_s = alloc.periods * cfg.period_ms / 1000.0
+        assert process.progress == pytest.approx(30 * elapsed_s, rel=0.1)
+
+
+class TestOvercommit:
+    def test_squeeze_keeps_total_at_one(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 70, 100))  # wants 0.7
+        alloc.add(SimProcess("b", 60, 100))  # wants 0.6 — total 1.3
+        converge(alloc)
+        assert alloc.total_assigned <= 1.0 + 1e-9
+        assert alloc.squeezes > 0
+
+    def test_squeeze_is_proportional(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 80, 100))
+        alloc.add(SimProcess("b", 40, 100))
+        converge(alloc)
+        ratio = alloc.proportion_of("a") / alloc.proportion_of("b")
+        assert ratio == pytest.approx(2.0, rel=0.35)
+
+    def test_feasible_load_not_squeezed_at_steady_state(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 20, 100))
+        alloc.add(SimProcess("b", 30, 100))
+        converge(alloc)
+        before = alloc.squeezes
+        alloc.run_periods(100)
+        assert alloc.squeezes == before
+
+
+class TestDynamicPopulation:
+    def test_arrival_of_new_process_rebalances(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 50, 100))
+        converge(alloc)
+        alloc.add(SimProcess("b", 50, 100))
+        converge(alloc)
+        assert alloc.proportion_of("a") == pytest.approx(0.5, abs=0.1)
+        assert alloc.proportion_of("b") == pytest.approx(0.5, abs=0.1)
+
+    def test_departure_frees_capacity(self):
+        alloc = ProportionAllocator()
+        alloc.add(SimProcess("a", 70, 100))
+        alloc.add(SimProcess("b", 70, 100))
+        converge(alloc)
+        alloc.remove("b")
+        converge(alloc)
+        assert alloc.proportion_of("a") == pytest.approx(0.7, abs=0.08)
+        assert alloc.process("a").queue_fill == pytest.approx(0.5, abs=0.15)

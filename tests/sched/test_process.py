@@ -1,0 +1,84 @@
+"""Tests for the simulated real-rate processes."""
+
+import pytest
+
+from repro.sched.process import SimProcess
+
+
+class TestValidation:
+    def test_positive_rate_required(self):
+        with pytest.raises(ValueError):
+            SimProcess("p", desired_rate=0, work_factor=10)
+
+    def test_positive_work_factor_required(self):
+        with pytest.raises(ValueError):
+            SimProcess("p", desired_rate=10, work_factor=-1)
+
+    def test_positive_queue_capacity(self):
+        with pytest.raises(ValueError):
+            SimProcess("p", 10, 10, queue_capacity=0)
+
+    def test_negative_cpu_rejected(self):
+        p = SimProcess("p", 10, 10)
+        with pytest.raises(ValueError):
+            p.run_for(-0.1)
+
+
+class TestProgressModel:
+    def test_ideal_proportion(self):
+        p = SimProcess("video", desired_rate=30, work_factor=100)
+        assert p.ideal_proportion == pytest.approx(0.3)
+
+    def test_starts_at_setpoint_fill(self):
+        p = SimProcess("p", 10, 10)
+        assert p.queue_fill == pytest.approx(0.5)
+
+    def test_produce_fills_queue(self):
+        p = SimProcess("p", desired_rate=10, work_factor=10, queue_capacity=100)
+        p.produce(1.0)  # one second of work arrives
+        assert p.queue == pytest.approx(60.0)  # 50 + 10
+
+    def test_run_drains_queue_and_makes_progress(self):
+        p = SimProcess("p", desired_rate=10, work_factor=20, queue_capacity=100)
+        done = p.run_for(1.0)  # capacity 20 units, queue has 50
+        assert done == pytest.approx(20.0)
+        assert p.progress == pytest.approx(20.0)
+        assert p.queue == pytest.approx(30.0)
+
+    def test_exact_proportion_holds_fill_steady(self):
+        p = SimProcess("p", desired_rate=30, work_factor=100)
+        for _ in range(100):
+            p.produce(0.05)
+            p.run_for(p.ideal_proportion * 0.05)
+        assert p.queue_fill == pytest.approx(0.5, abs=0.01)
+
+    def test_underallocation_fills_queue(self):
+        p = SimProcess("p", desired_rate=30, work_factor=100)
+        for _ in range(50):
+            p.produce(0.05)
+            p.run_for(0.1 * 0.05)  # only a third of the need
+        assert p.queue_fill > 0.5
+
+    def test_overflow_accounted(self):
+        p = SimProcess("p", desired_rate=1000, work_factor=10, queue_capacity=10)
+        p.produce(1.0)
+        assert p.queue == 10.0
+        assert p.overflows == pytest.approx(995.0)
+
+    def test_underflow_accounted(self):
+        p = SimProcess("p", desired_rate=1, work_factor=1000, queue_capacity=10)
+        p.run_for(1.0)  # capacity 1000 against a queue of 5
+        assert p.underflows > 0
+        assert p.queue == 0.0
+
+    def test_rate_change(self):
+        p = SimProcess("p", 30, 100)
+        p.rate_change(60)
+        assert p.ideal_proportion == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            p.rate_change(0)
+
+    def test_cpu_accounting(self):
+        p = SimProcess("p", 10, 10)
+        p.run_for(0.25)
+        assert p.cpu_ms_used == pytest.approx(250.0)

@@ -1,0 +1,111 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcpsim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.at(30, lambda: order.append("c"))
+        eng.at(10, lambda: order.append("a"))
+        eng.at(20, lambda: order.append("b"))
+        eng.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        eng = Engine()
+        order = []
+        eng.at(10, lambda: order.append(1))
+        eng.at(10, lambda: order.append(2))
+        eng.run_all()
+        assert order == [1, 2]
+
+    def test_after_is_relative(self):
+        eng = Engine(start_ms=100)
+        times = []
+        eng.after(25, lambda: times.append(eng.now))
+        eng.run_all()
+        assert times == [125.0]
+
+    def test_past_scheduling_rejected(self):
+        eng = Engine(start_ms=100)
+        with pytest.raises(ValueError):
+            eng.at(50, lambda: None)
+        with pytest.raises(ValueError):
+            eng.after(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        eng = Engine()
+        hits = []
+
+        def chain(n):
+            hits.append(eng.now)
+            if n > 0:
+                eng.after(10, lambda: chain(n - 1))
+
+        eng.after(10, lambda: chain(3))
+        eng.run_all()
+        assert hits == [10.0, 20.0, 30.0, 40.0]
+
+
+class TestAdvanceTo:
+    def test_advances_clock_exactly(self):
+        eng = Engine()
+        eng.advance_to(123.5)
+        assert eng.now == 123.5
+
+    def test_runs_only_due_events(self):
+        eng = Engine()
+        ran = []
+        eng.at(10, lambda: ran.append(10))
+        eng.at(50, lambda: ran.append(50))
+        executed = eng.advance_to(30)
+        assert ran == [10]
+        assert executed == 1
+        assert eng.pending == 1
+
+    def test_inclusive_boundary(self):
+        eng = Engine()
+        ran = []
+        eng.at(30, lambda: ran.append(1))
+        eng.advance_to(30)
+        assert ran == [1]
+
+    def test_cascading_events_inside_window(self):
+        eng = Engine()
+        ran = []
+
+        def first():
+            ran.append("first")
+            eng.after(5, lambda: ran.append("second"))
+
+        eng.at(10, first)
+        eng.advance_to(20)
+        assert ran == ["first", "second"]
+
+    def test_backwards_rejected(self):
+        eng = Engine()
+        eng.advance_to(100)
+        with pytest.raises(ValueError):
+            eng.advance_to(50)
+
+    def test_counters(self):
+        eng = Engine()
+        eng.at(1, lambda: None)
+        eng.at(2, lambda: None)
+        eng.run_all()
+        assert eng.scheduled == 2
+        assert eng.executed == 2
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), max_size=50))
+    def test_now_is_monotone_under_any_schedule(self, times):
+        eng = Engine()
+        observed = []
+        for t in times:
+            eng.at(t, lambda: observed.append(eng.now))
+        eng.run_all()
+        assert observed == sorted(observed)

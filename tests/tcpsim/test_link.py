@@ -1,0 +1,102 @@
+"""Tests for the bottleneck link and the ACK delay line."""
+
+import pytest
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.link import BottleneckLink, DelayLine
+from repro.tcpsim.packet import Ack, Packet
+from repro.tcpsim.queuemgmt import DropTailQueue
+
+
+def pkt(seq=0):
+    return Packet(flow_id=1, seq=seq)
+
+
+class TestBottleneckLink:
+    def test_validation(self):
+        eng = Engine()
+        q = DropTailQueue(10)
+        with pytest.raises(ValueError):
+            BottleneckLink(eng, q, 0, 10)
+        with pytest.raises(ValueError):
+            BottleneckLink(eng, q, 100, -1)
+
+    def test_delivery_after_service_plus_propagation(self):
+        eng = Engine()
+        arrivals = []
+        link = BottleneckLink(
+            eng, DropTailQueue(10), bandwidth_pkts_per_sec=1000,  # 1 ms/pkt
+            prop_delay_ms=40, deliver=lambda p: arrivals.append((eng.now, p.seq)),
+        )
+        link.send(pkt(seq=5))
+        eng.run_all()
+        assert arrivals == [(41.0, 5)]
+
+    def test_serialisation_spaces_back_to_back_packets(self):
+        eng = Engine()
+        arrivals = []
+        link = BottleneckLink(
+            eng, DropTailQueue(10), 1000, 0,
+            deliver=lambda p: arrivals.append(eng.now),
+        )
+        for i in range(3):
+            link.send(pkt(seq=i))
+        eng.run_all()
+        assert arrivals == [1.0, 2.0, 3.0]  # one per service time
+
+    def test_bandwidth_sets_service_rate(self):
+        eng = Engine()
+        n = 50
+        done = []
+        link = BottleneckLink(
+            eng, DropTailQueue(100), bandwidth_pkts_per_sec=500,  # 2 ms/pkt
+            prop_delay_ms=0, deliver=lambda p: done.append(eng.now),
+        )
+        for i in range(n):
+            link.send(pkt(seq=i))
+        eng.run_all()
+        assert done[-1] == pytest.approx(n * 2.0)
+
+    def test_queue_overflow_drops(self):
+        eng = Engine()
+        link = BottleneckLink(eng, DropTailQueue(5), 1000, 0)
+        results = [link.send(pkt(seq=i)) for i in range(10)]
+        # First packet enters service immediately, queue holds 5 more.
+        assert results.count(True) >= 5
+        assert results.count(False) >= 1
+
+    def test_idle_link_goes_quiet(self):
+        eng = Engine()
+        link = BottleneckLink(eng, DropTailQueue(5), 1000, 0)
+        link.send(pkt())
+        eng.run_all()
+        assert not link.busy
+        assert link.forwarded == 1
+
+    def test_rtt_floor(self):
+        eng = Engine()
+        link = BottleneckLink(eng, DropTailQueue(5), 1000, 40)
+        assert link.rtt_floor_ms == pytest.approx(41.0)
+
+
+class TestDelayLine:
+    def test_pure_delay(self):
+        eng = Engine()
+        got = []
+        line = DelayLine(eng, 50, deliver=lambda a: got.append(eng.now))
+        line.send(Ack(flow_id=1, ack_seq=3))
+        eng.run_all()
+        assert got == [50.0]
+
+    def test_no_reordering(self):
+        eng = Engine()
+        got = []
+        line = DelayLine(eng, 50, deliver=lambda a: got.append(a.ack_seq))
+        line.send(Ack(flow_id=1, ack_seq=1))
+        eng.after(1, lambda: line.send(Ack(flow_id=1, ack_seq=2)))
+        eng.run_all()
+        assert got == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLine(Engine(), -1)

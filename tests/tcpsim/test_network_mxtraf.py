@@ -1,0 +1,215 @@
+"""Tests for topology assembly and the mxtraf orchestrator."""
+
+import pytest
+
+from repro.tcpsim import (
+    Engine,
+    Mxtraf,
+    MxtrafConfig,
+    Network,
+    NetworkConfig,
+)
+from repro.tcpsim.queuemgmt import DropTailQueue, REDQueue
+
+
+def fast_config(**kwargs):
+    """A small/fast path so tests run in milliseconds of wall time."""
+    defaults = dict(
+        bandwidth_pkts_per_sec=500.0,
+        prop_delay_ms=10.0,
+        ack_delay_ms=10.0,
+        droptail_capacity=15,
+    )
+    defaults.update(kwargs)
+    return NetworkConfig(**defaults)
+
+
+class TestNetwork:
+    def test_queue_policy_selection(self):
+        eng = Engine()
+        assert isinstance(Network(eng, fast_config(queue="droptail")).queue, DropTailQueue)
+        assert isinstance(Network(Engine(), fast_config(queue="red")).queue, REDQueue)
+        with pytest.raises(ValueError):
+            Network(Engine(), fast_config(queue="codel"))
+
+    def test_single_flow_transfers_data(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        net.create_flow()
+        eng.advance_to(5000)
+        assert net.total_delivered() > 100
+
+    def test_single_flow_saturates_link(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        net.create_flow()
+        eng.advance_to(20_000)
+        # 500 pkt/s for 20 s = 10_000 packets; expect most of it.
+        assert net.total_delivered() > 7000
+
+    def test_bounded_flow_completes_and_stops(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        flow = net.create_flow(total_segments=50)
+        eng.advance_to(10_000)
+        assert flow.finished
+        assert net.total_delivered() == 50
+
+    def test_remove_flow_stops_traffic(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        flow = net.create_flow()
+        eng.advance_to(1000)
+        net.remove_flow(flow)
+        delivered = net.total_delivered()
+        eng.advance_to(3000)
+        # In-flight stragglers may land, nothing more.
+        assert net.total_delivered() == delivered
+
+    def test_two_flows_share_the_link(self):
+        eng = Engine()
+        net = Network(eng, fast_config(seed=5))
+        f1 = net.create_flow(start_jitter_ms=50)
+        f2 = net.create_flow(start_jitter_ms=50)
+        eng.advance_to(30_000)
+        a = f1.stats.acked_segments
+        b = f2.stats.acked_segments
+        assert a > 0 and b > 0
+        assert min(a, b) / max(a, b) > 0.1  # no total starvation
+
+    def test_queue_occupancy_signal(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        net.create_flow()
+        eng.advance_to(3000)
+        occ = net.queue_occupancy()
+        assert 0 <= occ <= net.config.droptail_capacity
+
+    def test_rtt_floor(self):
+        net = Network(Engine(), fast_config())
+        assert net.rtt_floor_ms == pytest.approx(10 + 10 + 2.0)
+
+
+class TestMxtraf:
+    def test_initial_elephants(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        mx = Mxtraf(net, MxtrafConfig(elephants=4))
+        assert mx.elephants == 4
+        assert mx.elephants_cell.value == 4
+
+    def test_set_elephants_up_and_down(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        mx = Mxtraf(net, MxtrafConfig(elephants=4))
+        eng.advance_to(1000)
+        mx.set_elephants(8)
+        assert mx.elephants == 8
+        mx.set_elephants(2)
+        assert mx.elephants == 2
+        assert mx.elephants_cell.value == 2
+        assert len(net.flows) == 2
+
+    def test_negative_count_rejected(self):
+        mx = Mxtraf(Network(Engine(), fast_config()), MxtrafConfig(elephants=1))
+        with pytest.raises(ValueError):
+            mx.set_elephants(-1)
+
+    def test_watched_flow(self):
+        mx = Mxtraf(Network(Engine(), fast_config()), MxtrafConfig(elephants=3))
+        assert mx.watched_flow() is mx.elephant_flows[0]
+        assert mx.watched_flow(2) is mx.elephant_flows[2]
+
+    def test_watched_flow_empty(self):
+        mx = Mxtraf(Network(Engine(), fast_config()), MxtrafConfig(elephants=0))
+        with pytest.raises(IndexError):
+            mx.watched_flow()
+
+    def test_get_cwnd_hook(self):
+        mx = Mxtraf(Network(Engine(), fast_config()), MxtrafConfig(elephants=1))
+        assert mx.get_cwnd() == mx.watched_flow().cwnd
+
+    def test_mice_launch_at_rate(self):
+        eng = Engine()
+        net = Network(eng, fast_config())
+        mx = Mxtraf(
+            net, MxtrafConfig(elephants=0, mice_per_sec=10.0, mouse_segments=5)
+        )
+        mx.start_mice()
+        eng.advance_to(5000)
+        assert mx.mice_started == pytest.approx(50, rel=0.5)
+        mx.stop_mice()
+        started = mx.mice_started
+        eng.advance_to(10_000)
+        assert mx.mice_started == started
+
+    def test_mice_require_positive_rate(self):
+        mx = Mxtraf(Network(Engine(), fast_config()), MxtrafConfig(elephants=0))
+        with pytest.raises(ValueError):
+            mx.start_mice()
+
+    def test_control_parameters_drive_traffic(self):
+        """The Figure 3 window can retune the mix live."""
+        eng = Engine()
+        net = Network(eng, fast_config())
+        mx = Mxtraf(net, MxtrafConfig(elephants=4))
+        store = mx.control_parameters()
+        store.set("elephants", 10)
+        assert mx.elephants == 10
+        store.set("mice_per_sec", 5.0)
+        assert mx.config.mice_per_sec == 5.0
+        eng.advance_to(2000)
+        assert mx.mice_started > 0
+        store.set("mice_per_sec", 0.0)
+
+
+class TestFigureDynamics:
+    """Scaled-down versions of the Figure 4/5 headline behaviour."""
+
+    def run(self, queue, ecn, seconds=20):
+        eng = Engine()
+        # Harsh contention (10 flows, 8-packet buffer) so DropTail loss
+        # bursts reliably force timeouts within a short test run.
+        net = Network(
+            eng, fast_config(queue=queue, ecn=ecn, seed=2, droptail_capacity=8)
+        )
+        mx = Mxtraf(net, MxtrafConfig(elephants=10))
+        watched = mx.watched_flow()
+        t = 0.0
+        while t < seconds * 1000:
+            t += 50
+            eng.advance_to(t)
+            watched.record_cwnd()
+        return net, watched
+
+    def test_droptail_tcp_times_out(self):
+        net, watched = self.run("droptail", ecn=False)
+        assert net.total_timeouts() > 0
+        assert min(watched.stats.cwnd_history) == 1.0
+
+    def test_red_ecn_avoids_timeouts(self):
+        net, watched = self.run("red", ecn=True)
+        assert watched.stats.timeouts == 0
+        assert min(watched.stats.cwnd_history) > 1.0
+        assert watched.stats.ecn_reductions > 0
+
+    def test_doubling_elephants_halves_per_flow_share(self):
+        eng = Engine()
+        net = Network(eng, fast_config(queue="red", ecn=True, seed=2))
+        mx = Mxtraf(net, MxtrafConfig(elephants=4))
+        watched = mx.watched_flow()
+        samples_before, samples_after = [], []
+        t = 0.0
+        while t < 40_000:
+            t += 50
+            eng.advance_to(t)
+            if 10_000 < t <= 20_000:
+                samples_before.append(watched.cwnd)
+            elif t > 30_000:
+                samples_after.append(watched.cwnd)
+            if t == 20_000:
+                mx.set_elephants(8)
+        mean_before = sum(samples_before) / len(samples_before)
+        mean_after = sum(samples_after) / len(samples_after)
+        assert mean_after < mean_before
+        assert mean_after / mean_before == pytest.approx(0.5, abs=0.3)

@@ -1,0 +1,148 @@
+"""Tests for DropTail and RED queue policies."""
+
+import random
+
+import pytest
+
+from repro.tcpsim.packet import ECN, Packet
+from repro.tcpsim.queuemgmt import DropTailQueue, REDQueue
+
+
+def pkt(ecn=ECN.NOT_ECT, seq=0):
+    return Packet(flow_id=1, seq=seq, ecn=ecn)
+
+
+class TestDropTail:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_fifo_order(self):
+        q = DropTailQueue(10)
+        q.enqueue(pkt(seq=1), 0)
+        q.enqueue(pkt(seq=2), 0)
+        assert q.dequeue(0).seq == 1
+        assert q.dequeue(0).seq == 2
+        assert q.dequeue(0) is None
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(2)
+        assert q.enqueue(pkt(), 0)
+        assert q.enqueue(pkt(), 0)
+        assert not q.enqueue(pkt(), 0)
+        assert q.stats.dropped == 1
+        assert q.stats.enqueued == 2
+        assert len(q) == 2
+
+    def test_never_marks(self):
+        q = DropTailQueue(5)
+        for i in range(10):
+            q.enqueue(pkt(ecn=ECN.ECT, seq=i), 0)
+        assert q.stats.marked == 0
+
+
+class TestREDValidation:
+    def test_threshold_order(self):
+        with pytest.raises(ValueError):
+            REDQueue(min_th=10, max_th=5)
+
+    def test_max_p_range(self):
+        with pytest.raises(ValueError):
+            REDQueue(max_p=0)
+        with pytest.raises(ValueError):
+            REDQueue(max_p=1.5)
+
+    def test_weight_range(self):
+        with pytest.raises(ValueError):
+            REDQueue(weight=0)
+
+
+class TestREDBehaviour:
+    def test_below_min_th_never_marks(self):
+        q = REDQueue(min_th=5, max_th=15, ecn=True, rng=random.Random(0))
+        for i in range(4):
+            assert q.enqueue(pkt(ecn=ECN.ECT, seq=i), float(i))
+        assert q.stats.marked == 0
+        assert q.stats.dropped == 0
+
+    def _drive_to_congestion(self, q, n=500, ecn_capable=True):
+        """Enqueue/dequeue keeping the queue long so avg rises."""
+        admitted = 0
+        for i in range(n):
+            p = pkt(ecn=ECN.ECT if ecn_capable else ECN.NOT_ECT, seq=i)
+            if q.enqueue(p, float(i)):
+                admitted += 1
+            if len(q) > 20:  # drain slowly: queue stays congested
+                q.dequeue(float(i))
+        return admitted
+
+    def test_congestion_marks_ecn_capable(self):
+        q = REDQueue(
+            min_th=5, max_th=15, max_p=0.2, weight=0.2, ecn=True,
+            capacity=60, rng=random.Random(1),
+        )
+        self._drive_to_congestion(q)
+        assert q.stats.marked > 0
+        assert q.stats.dropped == 0  # ECN-capable packets never dropped by RED
+
+    def test_congestion_drops_not_ect(self):
+        """RFC 3168: not-ECT packets are dropped, not marked."""
+        q = REDQueue(
+            min_th=5, max_th=15, max_p=0.2, weight=0.2, ecn=True,
+            capacity=60, rng=random.Random(1),
+        )
+        self._drive_to_congestion(q, ecn_capable=False)
+        assert q.stats.marked == 0
+        assert q.stats.dropped > 0
+
+    def test_ecn_disabled_drops_everything(self):
+        q = REDQueue(
+            min_th=5, max_th=15, max_p=0.2, weight=0.2, ecn=False,
+            capacity=60, rng=random.Random(1),
+        )
+        self._drive_to_congestion(q)
+        assert q.stats.marked == 0
+        assert q.stats.dropped > 0
+
+    def test_hard_capacity_always_drops(self):
+        q = REDQueue(min_th=50, max_th=100, capacity=3, ecn=True,
+                     rng=random.Random(0))
+        results = [q.enqueue(pkt(ecn=ECN.ECT, seq=i), 0.0) for i in range(5)]
+        assert results == [True, True, True, False, False]
+
+    def test_marked_packets_carry_ce(self):
+        q = REDQueue(
+            min_th=2, max_th=6, max_p=1.0, weight=1.0, ecn=True,
+            capacity=60, rng=random.Random(0),
+        )
+        # Fill past max_th with instantaneous avg (weight=1): marks all.
+        ce_seen = 0
+        for i in range(12):
+            p = pkt(ecn=ECN.ECT, seq=i)
+            q.enqueue(p, 0.0)
+            if p.ecn is ECN.CE:
+                ce_seen += 1
+        assert ce_seen > 0
+
+    def test_avg_decays_when_idle(self):
+        q = REDQueue(min_th=5, max_th=15, weight=0.5, rng=random.Random(0))
+        for i in range(10):
+            q.enqueue(pkt(seq=i), 0.0)
+        high = q.avg
+        while q.dequeue(0.0) is not None:
+            pass
+        q.enqueue(pkt(), 1000.0)  # long idle before this arrival
+        assert q.avg < high
+
+
+class TestPacketECN:
+    def test_mark_ce_requires_ect(self):
+        p = pkt(ecn=ECN.NOT_ECT)
+        with pytest.raises(ValueError):
+            p.mark_ce()
+
+    def test_mark_ce_transitions(self):
+        p = pkt(ecn=ECN.ECT)
+        p.mark_ce()
+        assert p.ecn is ECN.CE
+        assert p.ecn_capable

@@ -1,0 +1,301 @@
+"""Tests for the TCP Reno/NewReno sender and receiver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tcpsim.engine import Engine
+from repro.tcpsim.packet import Ack, ECN, Packet
+from repro.tcpsim.tcp import (
+    INITIAL_CWND,
+    MIN_RTO_MS,
+    TcpFlow,
+    TcpReceiver,
+)
+
+
+class Harness:
+    """A sender wired to a perfect (or lossy) one-packet-at-a-time pipe."""
+
+    def __init__(self, ecn=False, total=None, awnd=64.0):
+        self.engine = Engine()
+        self.sent = []
+        self.flow = TcpFlow(
+            self.engine, 1, transmit=self.sent.append, ecn=ecn,
+            total_segments=total, awnd=awnd,
+        )
+        self.receiver = TcpReceiver(1)
+
+    def deliver_all(self, rtt_ms=100.0, drop_seqs=(), mark_seqs=()):
+        """Deliver pending packets, produce ACKs, deliver them after rtt."""
+        packets, self.sent[:] = list(self.sent), []
+        acks = []
+        for p in packets:
+            if p.seq in drop_seqs and not p.retransmit:
+                continue
+            if p.seq in mark_seqs and p.ecn_capable:
+                p.mark_ce()
+            acks.append(self.receiver.on_packet(p, self.engine.now))
+        self.engine.advance_to(self.engine.now + rtt_ms)
+        for a in acks:
+            self.flow.on_ack(a)
+
+
+class TestReceiver:
+    def test_in_order_delivery(self):
+        r = TcpReceiver(1)
+        ack = r.on_packet(Packet(flow_id=1, seq=0), 0)
+        assert ack.ack_seq == 1
+        assert r.delivered == 1
+
+    def test_out_of_order_buffered(self):
+        r = TcpReceiver(1)
+        ack = r.on_packet(Packet(flow_id=1, seq=2), 0)
+        assert ack.ack_seq == 0  # dupack for the hole
+        ack = r.on_packet(Packet(flow_id=1, seq=0), 0)
+        assert ack.ack_seq == 1
+        ack = r.on_packet(Packet(flow_id=1, seq=1), 0)
+        assert ack.ack_seq == 3  # cumulative jump over buffered seq 2
+
+    def test_duplicate_receive_counted(self):
+        r = TcpReceiver(1)
+        r.on_packet(Packet(flow_id=1, seq=0), 0)
+        r.on_packet(Packet(flow_id=1, seq=0), 0)
+        assert r.dup_receives == 1
+
+    def test_ce_mark_echoed(self):
+        r = TcpReceiver(1)
+        p = Packet(flow_id=1, seq=0, ecn=ECN.ECT)
+        p.mark_ce()
+        ack = r.on_packet(p, 0)
+        assert ack.ece is True
+
+    def test_wrong_flow_rejected(self):
+        r = TcpReceiver(1)
+        with pytest.raises(ValueError):
+            r.on_packet(Packet(flow_id=2, seq=0), 0)
+
+
+class TestSlowStartAndCA:
+    def test_initial_window(self):
+        h = Harness()
+        h.flow.start()
+        assert len(h.sent) == int(INITIAL_CWND)
+
+    def test_slow_start_doubles_per_rtt(self):
+        h = Harness()
+        h.flow.start()
+        h.deliver_all()
+        assert h.flow.cwnd == pytest.approx(4.0)
+        h.deliver_all()
+        assert h.flow.cwnd == pytest.approx(8.0)
+
+    def test_congestion_avoidance_linear(self):
+        h = Harness()
+        h.flow.ssthresh = 4.0
+        h.flow.start()
+        while h.flow.cwnd < 4.0:
+            h.deliver_all()
+        before = h.flow.cwnd
+        h.deliver_all()
+        # += newly/cwnd per ack batch → roughly +1 per RTT.
+        assert before < h.flow.cwnd <= before + 1.01
+
+    def test_awnd_caps_window(self):
+        h = Harness(awnd=8.0)
+        h.flow.start()
+        for _ in range(10):
+            h.deliver_all()
+        assert h.flow.inflight <= 8
+
+    def test_bounded_transfer_finishes(self):
+        h = Harness(total=20)
+        h.flow.start()
+        for _ in range(20):
+            h.deliver_all()
+            if h.flow.finished:
+                break
+        assert h.flow.finished
+        assert h.receiver.delivered == 20
+
+
+class TestFastRetransmit:
+    def test_three_dupacks_trigger_fast_retransmit(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(3):
+            h.deliver_all()  # cwnd comfortably > 4
+        lost = h.flow.snd_una  # drop the next head-of-window packet
+        h.deliver_all(drop_seqs={lost})
+        assert h.flow.stats.fast_retransmits == 1
+        assert h.flow.in_recovery
+        # The retransmitted packet is at the head of the pipe.
+        retx = [p for p in h.sent if p.retransmit]
+        assert any(p.seq == lost for p in retx)
+
+    def test_recovery_halves_window(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(3):
+            h.deliver_all()
+        cwnd_before = h.flow.cwnd
+        lost = h.flow.snd_una
+        h.deliver_all(drop_seqs={lost})
+        h.deliver_all()  # retransmit acked; recovery exits
+        assert not h.flow.in_recovery
+        assert h.flow.cwnd <= cwnd_before * 0.75
+        assert h.flow.cwnd >= 2.0
+
+    def test_no_timeout_during_successful_fast_recovery(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(3):
+            h.deliver_all()
+        lost = h.flow.snd_una
+        h.deliver_all(drop_seqs={lost})
+        h.deliver_all()
+        assert h.flow.stats.timeouts == 0
+
+
+class TestTimeout:
+    def test_silence_fires_rto_and_cwnd_collapses_to_one(self):
+        """Section 2: 'Both TCP and ECN reduce the congestion window to
+        one upon a timeout.'"""
+        h = Harness()
+        h.flow.start()
+        h.deliver_all()
+        assert h.flow.cwnd > 1.0
+        h.sent.clear()  # everything in flight is lost; no acks ever come
+        h.engine.advance_to(h.engine.now + 120_000)
+        assert h.flow.stats.timeouts >= 1
+        assert min(h.flow.stats.cwnd_history, default=h.flow.cwnd) >= 0
+        # cwnd collapsed to 1 at the timeout (before regrowth attempts).
+        assert h.flow.cwnd <= 2.0  # still tiny: nothing was ever acked
+
+    def test_rto_backoff_doubles(self):
+        h = Harness()
+        h.flow.start()
+        rto0 = h.flow.rto_ms
+        h.sent.clear()
+        h.engine.advance_to(h.engine.now + rto0 + 1)
+        rto1 = h.flow.rto_ms
+        assert rto1 == pytest.approx(rto0 * 2)
+
+    def test_go_back_n_retransmits_lost_window(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(3):
+            h.deliver_all()
+        inflight = h.flow.inflight
+        assert inflight >= 4
+        h.sent.clear()  # lose the entire window
+        h.engine.advance_to(h.engine.now + h.flow.rto_ms + 1)
+        # Recovery proceeds in slow start from the bottom: eventually the
+        # receiver gets everything with no further loss.
+        for _ in range(30):
+            h.deliver_all()
+        assert h.flow.snd_una >= inflight  # the hole is fully repaired
+        assert h.flow.stats.timeouts == 1
+
+    def test_recovery_after_timeout_resumes_growth(self):
+        h = Harness()
+        h.flow.start()
+        h.deliver_all()
+        h.sent.clear()
+        h.engine.advance_to(h.engine.now + h.flow.rto_ms + 1)
+        for _ in range(6):
+            h.deliver_all()
+        assert h.flow.cwnd > 2.0  # regrew past the collapse
+
+
+class TestECN:
+    def test_ece_halves_window_without_retransmit(self):
+        h = Harness(ecn=True)
+        h.flow.start()
+        for _ in range(4):
+            h.deliver_all()
+        cwnd_before = h.flow.cwnd
+        h.deliver_all(mark_seqs={h.flow.snd_una})
+        assert h.flow.stats.ecn_reductions == 1
+        assert h.flow.cwnd == pytest.approx(max(cwnd_before / 2, 2.0), rel=0.3)
+        assert h.flow.stats.retransmits == 0
+        assert h.flow.stats.timeouts == 0
+
+    def test_at_most_one_reduction_per_window(self):
+        h = Harness(ecn=True)
+        h.flow.start()
+        for _ in range(4):
+            h.deliver_all()
+        marked = set(range(h.flow.snd_una, h.flow.snd_una + 4))
+        h.deliver_all(mark_seqs=marked)
+        assert h.flow.stats.ecn_reductions == 1
+
+    def test_non_ecn_flow_sends_not_ect(self):
+        h = Harness(ecn=False)
+        h.flow.start()
+        assert all(p.ecn is ECN.NOT_ECT for p in h.sent)
+
+    def test_ecn_flow_sends_ect(self):
+        h = Harness(ecn=True)
+        h.flow.start()
+        assert all(p.ecn is ECN.ECT for p in h.sent)
+
+
+class TestRTTEstimation:
+    def test_srtt_tracks_path_rtt(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(6):
+            h.deliver_all(rtt_ms=100.0)
+        assert h.flow.srtt_ms == pytest.approx(100.0, rel=0.05)
+        assert h.flow.rto_ms >= MIN_RTO_MS
+
+    def test_rto_floor(self):
+        h = Harness()
+        h.flow.start()
+        for _ in range(10):
+            h.deliver_all(rtt_ms=1.0)
+        assert h.flow.rto_ms >= MIN_RTO_MS
+
+
+class TestLifecycle:
+    def test_stop_silences_flow(self):
+        h = Harness()
+        h.flow.start()
+        h.flow.stop()
+        h.sent.clear()
+        h.engine.advance_to(h.engine.now + 60_000)
+        assert h.sent == []
+        assert h.flow.stats.timeouts == 0
+
+    def test_get_cwnd_signal_hook(self):
+        h = Harness()
+        assert h.flow.get_cwnd() == h.flow.cwnd
+        assert h.flow.get_cwnd("ignored", "args") == h.flow.cwnd
+
+    def test_wrong_flow_ack_rejected(self):
+        h = Harness()
+        with pytest.raises(ValueError):
+            h.flow.on_ack(Ack(flow_id=9, ack_seq=0))
+
+
+class TestInvariants:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=200), max_size=40),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_loss_pattern_never_breaks_invariants(self, drops, rounds):
+        """Whatever single-drop pattern the network applies, the sender
+        keeps cwnd >= 1 and never delivers data out of order."""
+        h = Harness()
+        h.flow.start()
+        for _ in range(rounds):
+            h.deliver_all(drop_seqs=drops)
+            assert h.flow.cwnd >= 1.0
+            assert h.flow.snd_una <= h.flow.next_seq <= h.flow.high_seq
+            assert h.receiver.expected_seq >= h.flow.snd_una - h.flow.inflight - 1
+        # Let timers repair anything outstanding, then finish cleanly.
+        for _ in range(8):
+            h.engine.advance_to(h.engine.now + h.flow.rto_ms + 1)
+            h.deliver_all()
+        assert h.receiver.delivered == h.receiver.expected_seq

@@ -1,0 +1,151 @@
+"""Tests for UDP CBR flows and their place in the mxtraf mix."""
+
+import pytest
+
+from repro.tcpsim import Engine, Mxtraf, MxtrafConfig, Network, NetworkConfig
+from repro.tcpsim.packet import Packet
+from repro.tcpsim.udp import UdpFlow, UdpSink
+
+
+def net(**kwargs):
+    defaults = dict(
+        bandwidth_pkts_per_sec=500.0,
+        prop_delay_ms=10.0,
+        ack_delay_ms=10.0,
+        droptail_capacity=15,
+    )
+    defaults.update(kwargs)
+    eng = Engine()
+    return eng, Network(eng, NetworkConfig(**defaults))
+
+
+class TestUdpFlow:
+    def test_rate_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            UdpFlow(eng, 1, lambda p: True, 0)
+
+    def test_sends_at_configured_rate(self):
+        eng = Engine()
+        sent = []
+        flow = UdpFlow(eng, 1, lambda p: sent.append(p) or True, 100.0)
+        flow.start()
+        eng.advance_to(1000)
+        assert len(sent) == pytest.approx(100, abs=1)
+        assert [p.seq for p in sent] == list(range(len(sent)))
+
+    def test_unresponsive_to_drops(self):
+        """The defining property: drops do not slow a CBR source."""
+        eng = Engine()
+        flow = UdpFlow(eng, 1, lambda p: False, 100.0)  # everything drops
+        flow.start()
+        eng.advance_to(1000)
+        assert flow.sent == pytest.approx(100, abs=1)
+        assert flow.dropped_at_queue == flow.sent
+
+    def test_set_rate_live(self):
+        eng = Engine()
+        sent = []
+        flow = UdpFlow(eng, 1, lambda p: sent.append(p) or True, 10.0)
+        flow.start()
+        eng.advance_to(1000)
+        slow = len(sent)
+        flow.set_rate(100.0)
+        eng.advance_to(2000)
+        assert len(sent) - slow == pytest.approx(100, abs=2)
+
+    def test_stop(self):
+        eng = Engine()
+        sent = []
+        flow = UdpFlow(eng, 1, lambda p: sent.append(p) or True, 100.0)
+        flow.start()
+        eng.advance_to(500)
+        flow.stop()
+        frozen = len(sent)
+        eng.advance_to(2000)
+        assert len(sent) == frozen
+
+
+class TestUdpSink:
+    def test_counts_deliveries(self):
+        sink = UdpSink(7)
+        sink.on_packet(Packet(flow_id=7, seq=0), 0.0)
+        sink.on_packet(Packet(flow_id=7, seq=1), 1.0)
+        assert sink.received == 2
+        assert sink.last_seq == 1
+
+    def test_wrong_flow_rejected(self):
+        with pytest.raises(ValueError):
+            UdpSink(7).on_packet(Packet(flow_id=8, seq=0), 0.0)
+
+
+class TestNetworkIntegration:
+    def test_udp_delivers_through_bottleneck(self):
+        eng, network = net()
+        network.create_udp_flow(100.0)
+        eng.advance_to(5000)
+        assert network.total_udp_delivered() > 400
+
+    def test_udp_loss_when_overdriven(self):
+        eng, network = net()
+        flow = network.create_udp_flow(2000.0)  # 4x the link rate
+        eng.advance_to(5000)
+        delivered = network.total_udp_delivered()
+        assert delivered < flow.sent
+        # The link can only carry ~500 pkt/s.
+        assert delivered <= 500 * 5 + 50
+
+    def test_udp_steals_bandwidth_from_tcp(self):
+        """The stress-testing role: CBR load squeezes TCP goodput."""
+        eng_a, quiet = net(seed=3)
+        quiet.create_flow()
+        eng_a.advance_to(20_000)
+        tcp_alone = quiet.total_delivered()
+
+        eng_b, contended = net(seed=3)
+        contended.create_flow()
+        contended.create_udp_flow(300.0)  # 60 % of the link
+        eng_b.advance_to(20_000)
+        tcp_squeezed = contended.total_delivered()
+
+        assert tcp_squeezed < 0.75 * tcp_alone
+        assert contended.total_udp_delivered() > 0
+
+    def test_remove_udp_flow(self):
+        eng, network = net()
+        flow = network.create_udp_flow(100.0)
+        eng.advance_to(1000)
+        network.remove_udp_flow(flow)
+        count = network.total_udp_delivered()
+        eng.advance_to(3000)
+        # Stragglers in flight may land; no new traffic.
+        assert network.total_udp_delivered() <= count + 5
+
+
+class TestMxtrafMix:
+    def test_udp_knob(self):
+        eng, network = net()
+        mx = Mxtraf(network, MxtrafConfig(elephants=2, udp_pkts_per_sec=100.0))
+        assert mx.udp_rate == 100.0
+        eng.advance_to(2000)
+        assert network.total_udp_delivered() > 100
+        mx.set_udp_rate(0)
+        assert mx.udp_flow is None
+
+    def test_udp_control_parameter(self):
+        eng, network = net()
+        mx = Mxtraf(network, MxtrafConfig(elephants=2))
+        store = mx.control_parameters()
+        assert store.get("udp_pkts_per_sec") == 0.0
+        store.set("udp_pkts_per_sec", 200.0)
+        assert mx.udp_rate == 200.0
+        eng.advance_to(1000)
+        assert network.total_udp_delivered() > 0
+        store.set("udp_pkts_per_sec", 0.0)
+        assert mx.udp_flow is None
+
+    def test_negative_rate_rejected(self):
+        eng, network = net()
+        mx = Mxtraf(network, MxtrafConfig(elephants=1))
+        with pytest.raises(ValueError):
+            mx.set_udp_rate(-1)

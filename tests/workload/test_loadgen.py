@@ -1,0 +1,76 @@
+"""Tests for the Section 4.6 overhead measurement harness."""
+
+import pytest
+
+from repro.core.scope import Scope
+from repro.core.signal import Cell, memory_signal
+from repro.workload.loadgen import LoadGenerator, OverheadResult, measure_overhead
+
+
+class TestLoadGenerator:
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(0)
+
+    def test_counts_iterations(self):
+        load = LoadGenerator(chunk_iterations=100)
+        load.run_chunk()
+        load.run_chunk()
+        assert load.iterations == 200
+
+    def test_callback_keeps_source_installed(self):
+        assert LoadGenerator().run_chunk() is True
+
+    def test_reset(self):
+        load = LoadGenerator(100)
+        load.run_chunk()
+        load.reset()
+        assert load.iterations == 0
+
+
+class TestOverheadResult:
+    def test_overhead_fraction(self):
+        result = OverheadResult(
+            idle_iterations=1000, loaded_iterations=980, duration_ms=100
+        )
+        assert result.overhead_fraction == pytest.approx(0.02)
+        assert result.overhead_percent == pytest.approx(2.0)
+
+    def test_zero_baseline_rejected(self):
+        result = OverheadResult(0, 0, 100)
+        with pytest.raises(ValueError):
+            result.overhead_fraction
+
+
+class TestMeasurement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_overhead(lambda loop: None, duration_ms=0)
+        with pytest.raises(ValueError):
+            measure_overhead(lambda loop: None, repeats=0)
+
+    def test_empty_setup_has_negligible_overhead(self):
+        result = measure_overhead(
+            lambda loop: None, duration_ms=120, repeats=2
+        )
+        assert result.idle_iterations > 0
+        assert abs(result.overhead_percent) < 10.0  # noise band only
+
+    def test_scope_polling_costs_something_measurable(self):
+        """A 1 ms period scope must cost more than a 100 ms one; the
+        real calibrated run lives in benchmarks/bench_overhead.py."""
+
+        def setup(period_ms):
+            def attach(loop):
+                scope = Scope("bench", loop, period_ms=period_ms)
+                for i in range(8):
+                    scope.signal_new(memory_signal(f"s{i}", Cell(i)))
+                scope.start_polling()
+
+            return attach
+
+        fast = measure_overhead(setup(1.0), duration_ms=150, repeats=2)
+        slow = measure_overhead(setup(100.0), duration_ms=150, repeats=2)
+        assert fast.loaded_iterations < fast.idle_iterations
+        # Allow measurement noise, but the ordering must hold.
+        assert fast.overhead_fraction > slow.overhead_fraction - 0.02
