@@ -1,0 +1,235 @@
+"""X8 — hot-path throughput: columnar pipeline vs the seed object path.
+
+The paper's Section 5 is an overhead evaluation: gscope must stay out of
+the way of the software it visualizes.  This benchmark measures the
+acquisition hot path in samples/second — buffer ingest, buffer drain,
+event aggregation and trace append — comparing the columnar
+struct-of-arrays pipeline against the seed's per-object implementation
+(heap of frozen dataclasses, list-append aggregators, deque of
+TracePoints), reproduced verbatim below as the baseline.
+
+Acceptance: >= 5x samples/sec on the 1M-sample ingest+drain run.
+"""
+
+import heapq
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.core.aggregate import AggregateKind, make_aggregator
+from repro.core.buffer import SampleBuffer
+from repro.core.channel import Channel
+from repro.core.signal import buffer_signal
+
+N = 1_000_000
+BATCH = 65_536
+
+
+# ----------------------------------------------------------------------
+# The seed per-object implementations, kept verbatim as the baseline.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, order=True)
+class _SeedSample:
+    time_ms: float
+    seq: int = field(compare=True)
+    name: str = field(compare=False)
+    value: float = field(compare=False)
+
+
+class _SeedBuffer:
+    """The seed SampleBuffer: a heap of frozen dataclass samples."""
+
+    def __init__(self, delay_ms=0.0):
+        self.delay_ms = delay_ms
+        self._heap = []
+        self._seq = itertools.count()
+
+    def push(self, name, time_ms, value, now_ms):
+        if now_ms > time_ms + self.delay_ms:
+            return False
+        heapq.heappush(
+            self._heap,
+            _SeedSample(time_ms=float(time_ms), seq=next(self._seq), name=name, value=float(value)),
+        )
+        return True
+
+    def pop_due(self, now_ms):
+        due = []
+        while self._heap and self._heap[0].time_ms + self.delay_ms <= now_ms:
+            due.append(heapq.heappop(self._heap))
+        return due
+
+
+class _SeedAggregator:
+    """The seed list-append accumulator (Sum shape)."""
+
+    def __init__(self):
+        self._values = []
+
+    def add(self, value=1.0):
+        self._values.append(float(value))
+
+    def collect(self, period_ms):
+        values, self._values = self._values, []
+        return float(sum(values))
+
+
+@dataclass(frozen=True)
+class _SeedTracePoint:
+    time_ms: float
+    raw: float
+    value: float
+
+
+def _rate(n, seconds):
+    return f"{n / seconds / 1e6:.2f} M samples/s ({seconds:.3f} s)"
+
+
+def test_ingest_drain_1m():
+    """1M-sample ingest+drain: columnar bulk path vs seed heap path."""
+    times = np.arange(N, dtype=np.float64) * 0.01
+    values = np.sin(times)
+
+    t0 = time.perf_counter()
+    seed_buf = _SeedBuffer(delay_ms=0.0)
+    tl, vl = times.tolist(), values.tolist()
+    for i in range(N):
+        seed_buf.push("sig", tl[i], vl[i], 0.0)
+    seed_popped = 0
+    while True:
+        due = seed_buf.pop_due(1e18)
+        seed_popped += len(due)
+        if not due:
+            break
+    seed_s = time.perf_counter() - t0
+    assert seed_popped == N
+
+    t0 = time.perf_counter()
+    col_buf = SampleBuffer(delay_ms=0.0)
+    for i in range(0, N, BATCH):
+        col_buf.push_many("sig", times[i : i + BATCH], values[i : i + BATCH], 0.0)
+    col_popped = 0
+    while len(col_buf):
+        t, v, ids = col_buf.pop_due_arrays(1e18)
+        col_popped += t.shape[0]
+    col_s = time.perf_counter() - t0
+    assert col_popped == N
+    assert col_buf.stats.pushed == N and col_buf.stats.popped == N
+
+    speedup = seed_s / col_s
+    report(
+        "X8a: 1M-sample buffer ingest+drain",
+        [
+            ("seed per-object path", _rate(N, seed_s)),
+            ("columnar batch path", _rate(N, col_s)),
+            ("speedup", f"{speedup:.1f}x (acceptance: >= 5x)"),
+        ],
+    )
+    assert speedup >= 5.0, f"columnar path only {speedup:.1f}x faster"
+
+
+def test_aggregation_1m_events():
+    """1M event adds: O(1) scalar accumulators and vectorised add_many."""
+    events = np.abs(np.sin(np.arange(N))) * 1500.0
+    events_list = events.tolist()
+
+    t0 = time.perf_counter()
+    seed_agg = _SeedAggregator()
+    add = seed_agg.add
+    for v in events_list:
+        add(v)
+    seed_total = seed_agg.collect(50.0)
+    seed_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar_agg = make_aggregator(AggregateKind.SUM)
+    add = scalar_agg.add
+    for v in events_list:
+        add(v)
+    scalar_total = scalar_agg.collect(50.0)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batch_agg = make_aggregator(AggregateKind.SUM)
+    for i in range(0, N, BATCH):
+        batch_agg.add_many(events[i : i + BATCH])
+    batch_total = batch_agg.collect(50.0)
+    batch_s = time.perf_counter() - t0
+
+    assert scalar_total == seed_total
+    assert batch_total == pytest.approx(seed_total, rel=1e-9)
+    report(
+        "X8b: 1M event aggregation (SUM)",
+        [
+            ("seed list-append", _rate(N, seed_s)),
+            ("scalar accumulators", _rate(N, scalar_s)),
+            ("vectorised add_many", _rate(N, batch_s)),
+            ("add_many speedup", f"{seed_s / batch_s:.1f}x"),
+        ],
+    )
+    assert batch_s < seed_s
+
+
+def test_trace_append_1m():
+    """1M trace appends: deque-of-objects vs TraceRing batch extend."""
+    times = np.arange(N, dtype=np.float64)
+    values = np.cos(times * 0.001)
+    tl, vl = times.tolist(), values.tolist()
+
+    t0 = time.perf_counter()
+    seed_trace = deque(maxlen=4096)
+    for i in range(N):
+        seed_trace.append(_SeedTracePoint(time_ms=tl[i], raw=vl[i], value=vl[i]))
+    seed_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    channel = Channel(buffer_signal("sig"), capacity=4096)
+    for i in range(0, N, BATCH):
+        channel.accept_samples(times[i : i + BATCH], values[i : i + BATCH])
+    col_s = time.perf_counter() - t0
+
+    assert len(channel.trace) == 4096
+    assert channel.trace.last_raw() == seed_trace[-1].raw
+    report(
+        "X8c: 1M trace appends (capacity 4096)",
+        [
+            ("seed deque of TracePoints", _rate(N, seed_s)),
+            ("TraceRing batch extend", _rate(N, col_s)),
+            ("speedup", f"{seed_s / col_s:.1f}x"),
+        ],
+    )
+    assert col_s < seed_s
+
+
+def test_scope_pipeline_drain():
+    """End-to-end: push_samples -> pop_due_grouped -> accept_samples."""
+    n = 500_000
+    times = np.arange(n, dtype=np.float64) * 0.01
+    values = np.sin(times)
+
+    t0 = time.perf_counter()
+    buf = SampleBuffer(delay_ms=0.0)
+    channel = Channel(buffer_signal("sig"), capacity=8192)
+    for i in range(0, n, BATCH):
+        buf.push_many("sig", times[i : i + BATCH], values[i : i + BATCH], 0.0)
+    drained = 0
+    while len(buf):
+        for name, (t, v) in buf.pop_due_grouped(1e18).items():
+            channel.accept_samples(t, v)
+            drained += t.shape[0]
+    col_s = time.perf_counter() - t0
+
+    assert drained == n
+    assert channel.samples == n
+    report(
+        "X8d: end-to-end columnar pipeline (push -> drain -> trace)",
+        [
+            ("samples", n),
+            ("throughput", _rate(n, col_s)),
+        ],
+    )

@@ -17,15 +17,27 @@ Events         number of events, e.g. number of packets
 AnyEvent       did any event occur, e.g. any packet arrived?
 =============  =====================================================
 
-An aggregator accumulates via :meth:`Aggregator.add` and is drained once
-per poll via :meth:`Aggregator.collect`, which also resets it for the next
-interval.
+An aggregator accumulates via :meth:`Aggregator.add` (or the vectorised
+:meth:`Aggregator.add_many`) and is drained once per poll via
+:meth:`Aggregator.collect`, which also resets it for the next interval.
+
+All seven functions are expressible over four running scalars — count,
+sum, min, max — so the accumulator is allocation-free: adding an event
+updates four floats in place instead of appending to a list, which keeps
+the per-event overhead flat no matter how many events land in an
+interval (the paper's Section 5 low-overhead claim lives or dies on this
+path).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
 
 
 class AggregateKind(enum.Enum):
@@ -49,101 +61,183 @@ class Aggregator:
     discipline of Section 4.2.
     """
 
+    __slots__ = ("_count", "_sum", "_min", "_max")
+
     kind: AggregateKind
 
     def __init__(self) -> None:
-        self._values: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def add(self, value: float = 1.0) -> None:
-        """Record one event sample."""
-        self._values.append(float(value))
+        """Record one event sample — O(1), zero allocation.
+
+        NaN events poison the running min/max (``v != v`` branch), so a
+        corrupt value surfaces at collect time instead of being silently
+        ignored by the comparisons.
+        """
+        v = float(value)
+        self._count += 1
+        self._sum += v
+        if v < self._min or v != v:
+            self._min = v
+        if v > self._max or v != v:
+            self._max = v
+
+    def add_many(self, values: ArrayLike) -> None:
+        """Record a batch of event samples with one vectorised pass."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"add_many expects a 1-D batch, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            return
+        self._count += arr.shape[0]
+        self._sum += float(arr.sum())
+        lo = float(arr.min())  # ndarray.min/max propagate NaN
+        hi = float(arr.max())
+        if lo < self._min or lo != lo:
+            self._min = lo
+        if hi > self._max or hi != hi:
+            self._max = hi
 
     @property
     def pending(self) -> int:
         """Number of events recorded since the last collect."""
-        return len(self._values)
+        return self._count
 
     def collect(self, period_ms: float) -> Optional[float]:
         """Return the aggregate over the interval and reset for the next."""
-        values, self._values = self._values, []
-        return self._reduce(values, period_ms)
+        count, total = self._count, self._sum
+        lo, hi = self._min, self._max
+        self.reset()
+        return self._emit(count, total, lo, hi, period_ms)
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+    def _emit(
+        self, count: int, total: float, lo: float, hi: float, period_ms: float
+    ) -> Optional[float]:
         raise NotImplementedError
 
     def reset(self) -> None:
-        self._values.clear()
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+
+class _SumCountAggregator(Aggregator):
+    """Specialised base for kinds that only need count and sum.
+
+    Skipping the min/max updates keeps the per-event cost below the
+    seed's ``list.append`` while staying allocation-free.
+    """
+
+    __slots__ = ()
+
+    def add(self, value: float = 1.0) -> None:
+        self._count += 1
+        self._sum += float(value)
+
+    def add_many(self, values: ArrayLike) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"add_many expects a 1-D batch, got shape {arr.shape}")
+        self._count += arr.shape[0]
+        self._sum += float(arr.sum())
+
+
+class _CountAggregator(Aggregator):
+    """Specialised base for kinds that only need the event count."""
+
+    __slots__ = ()
+
+    def add(self, value: float = 1.0) -> None:
+        self._count += 1
+
+    def add_many(self, values: ArrayLike) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"add_many expects a 1-D batch, got shape {arr.shape}")
+        self._count += arr.shape[0]
 
 
 class Maximum(Aggregator):
     """Maximum sample within the interval (e.g. max latency)."""
 
+    __slots__ = ()
     kind = AggregateKind.MAXIMUM
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        return max(values) if values else None
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        return hi if count else None
 
 
 class Minimum(Aggregator):
     """Minimum sample within the interval (e.g. min latency)."""
 
+    __slots__ = ()
     kind = AggregateKind.MINIMUM
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        return min(values) if values else None
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        return lo if count else None
 
 
-class Sum(Aggregator):
+class Sum(_SumCountAggregator):
     """Sum of samples within the interval (e.g. bytes received)."""
 
+    __slots__ = ()
     kind = AggregateKind.SUM
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        return float(sum(values))
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        return total
 
 
-class Rate(Aggregator):
+class Rate(_SumCountAggregator):
     """Sum divided by the polling period (e.g. bytes per second).
 
     The period is supplied in milliseconds; the rate is reported per
     second, matching the paper's bandwidth example.
     """
 
+    __slots__ = ()
     kind = AggregateKind.RATE
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
         if period_ms <= 0:
             raise ValueError(f"polling period must be positive: {period_ms}")
-        return float(sum(values)) / (period_ms / 1000.0)
+        return total / (period_ms / 1000.0)
 
 
-class Average(Aggregator):
+class Average(_SumCountAggregator):
     """Sum divided by the event count (e.g. bytes per packet)."""
 
+    __slots__ = ()
     kind = AggregateKind.AVERAGE
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        if not values:
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        if not count:
             return None
-        return float(sum(values)) / len(values)
+        return total / count
 
 
-class Events(Aggregator):
+class Events(_CountAggregator):
     """Number of events in the interval (e.g. number of packets)."""
 
+    __slots__ = ()
     kind = AggregateKind.EVENTS
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        return float(len(values))
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        return float(count)
 
 
-class AnyEvent(Aggregator):
+class AnyEvent(_CountAggregator):
     """1.0 if any event occurred in the interval, else 0.0."""
 
+    __slots__ = ()
     kind = AggregateKind.ANY_EVENT
 
-    def _reduce(self, values: List[float], period_ms: float) -> Optional[float]:
-        return 1.0 if values else 0.0
+    def _emit(self, count, total, lo, hi, period_ms) -> Optional[float]:
+        return 1.0 if count else 0.0
 
 
 _AGGREGATORS = {

@@ -15,14 +15,38 @@ Two rules from the paper govern the buffer:
   buffered but dropped immediately" (Section 4.4): a sample whose display
   time has already passed when it is pushed is discarded, because the
   scope has already painted that x position.
+
+Columnar layout
+---------------
+
+The buffer is a struct-of-arrays store, not a heap of objects: parallel
+``float64`` columns for time and value, an ``int64`` sequence column (the
+push-order tie-break) and an interned name-id column.  The active region
+``[head, tail)`` of the columns is split into a sorted run
+``[head, sorted_end)`` (ordered by ``(time, seq)``) and an unsorted
+append tail ``[sorted_end, tail)``.  Producers that push in time order —
+the overwhelmingly common case — extend the sorted run directly, so both
+:meth:`SampleBuffer.push_many` and :meth:`SampleBuffer.pop_due_arrays`
+are O(1) amortised per sample with no per-sample Python objects.
+Out-of-order arrivals land in the append tail and are merged with one
+vectorised ``lexsort`` at the next pop/peek/evict.
+
+The scalar :meth:`push` / :meth:`pop_due` API is a thin wrapper over the
+bulk path and preserves the seed semantics exactly: the same late-drop
+comparison (``now > time + delay``), the same oldest-first capacity
+eviction, and the same ``(time, seq)`` pop order.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+_MIN_ALLOC = 16
 
 
 @dataclass(frozen=True, order=True)
@@ -51,7 +75,7 @@ class BufferStats:
 
 
 class SampleBuffer:
-    """Min-heap of timestamped samples with delay/late-drop semantics.
+    """Columnar sample store with delay/late-drop semantics.
 
     Parameters
     ----------
@@ -71,13 +95,112 @@ class SampleBuffer:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.delay_ms = float(delay_ms)
         self.capacity = capacity
-        self._heap: List[Sample] = []
-        self._seq = itertools.count()
+        alloc = _MIN_ALLOC if capacity is None else min(max(capacity, _MIN_ALLOC), 4096)
+        self._times = np.empty(alloc, dtype=np.float64)
+        self._values = np.empty(alloc, dtype=np.float64)
+        self._seqs = np.empty(alloc, dtype=np.int64)
+        self._ids = np.empty(alloc, dtype=np.int64)
+        self._head = 0  # start of the active region
+        self._sorted_end = 0  # [head, sorted_end) is sorted by (time, seq)
+        self._tail = 0  # end of the active region
+        self._next_seq = 0
+        self._id_of_name: Dict[str, int] = {}
+        self._name_of_id: List[str] = []
+        self._count_of_id = np.zeros(0, dtype=np.int64)  # buffered per name
         self.stats = BufferStats()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._tail - self._head
 
+    # ------------------------------------------------------------------
+    # Column plumbing
+    # ------------------------------------------------------------------
+    def _intern(self, name: str) -> int:
+        """Map a signal name to its stable small-integer id."""
+        name_id = self._id_of_name.get(name)
+        if name_id is None:
+            name_id = len(self._name_of_id)
+            self._id_of_name[name] = name_id
+            self._name_of_id.append(name)
+            self._count_of_id = np.append(self._count_of_id, 0)
+        return name_id
+
+    def _ensure_tail_room(self, n: int) -> None:
+        """Make room for ``n`` appends, compacting or growing the columns."""
+        alloc = self._times.shape[0]
+        if self._tail + n <= alloc:
+            return
+        active = self._tail - self._head
+        if active + n <= alloc and self._head >= alloc // 2:
+            new_times, new_values = self._times, self._values
+            new_seqs, new_ids = self._seqs, self._ids
+        else:
+            new_alloc = max(2 * alloc, active + n, _MIN_ALLOC)
+            new_times = np.empty(new_alloc, dtype=np.float64)
+            new_values = np.empty(new_alloc, dtype=np.float64)
+            new_seqs = np.empty(new_alloc, dtype=np.int64)
+            new_ids = np.empty(new_alloc, dtype=np.int64)
+        sl = slice(self._head, self._tail)
+        new_times[:active] = self._times[sl]
+        new_values[:active] = self._values[sl]
+        new_seqs[:active] = self._seqs[sl]
+        new_ids[:active] = self._ids[sl]
+        self._times, self._values = new_times, new_values
+        self._seqs, self._ids = new_seqs, new_ids
+        self._sorted_end -= self._head
+        self._head, self._tail = 0, active
+
+    def _consolidate(self) -> None:
+        """Merge the unsorted append tail into the sorted run."""
+        if self._sorted_end == self._tail:
+            return
+        sl = slice(self._head, self._tail)
+        order = np.lexsort((self._seqs[sl], self._times[sl])) + self._head
+        self._times[sl] = self._times[order]
+        self._values[sl] = self._values[order]
+        self._seqs[sl] = self._seqs[order]
+        self._ids[sl] = self._ids[order]
+        self._sorted_end = self._tail
+
+    def _evict_oldest(self) -> None:
+        """Drop the globally oldest ``(time, seq)`` buffered sample."""
+        self._consolidate()
+        self._count_of_id[self._ids[self._head]] -= 1
+        self._head += 1
+        self._sorted_end = max(self._sorted_end, self._head)
+        self.stats.evicted += 1
+
+    def _append_block(
+        self, name_id: int, times: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append already-accepted samples as one columnar block."""
+        n = times.shape[0]
+        if n == 0:
+            return
+        self._ensure_tail_room(n)
+        start, end = self._tail, self._tail + n
+        self._times[start:end] = times
+        self._values[start:end] = values
+        self._seqs[start:end] = np.arange(
+            self._next_seq, self._next_seq + n, dtype=np.int64
+        )
+        self._ids[start:end] = name_id
+        self._next_seq += n
+        self._count_of_id[name_id] += n
+        # A time-ordered block appended after the sorted run keeps the
+        # whole active region sorted — the common fast path.
+        in_order = n == 1 or bool(np.all(times[1:] >= times[:-1]))
+        if (
+            in_order
+            and self._sorted_end == self._tail
+            and (self._head == self._tail or self._times[self._tail - 1] <= times[0])
+        ):
+            self._sorted_end = end
+        self._tail = end
+
+    # ------------------------------------------------------------------
+    # Push (scalar + bulk)
+    # ------------------------------------------------------------------
     def push(self, name: str, time_ms: float, value: float, now_ms: float) -> bool:
         """Enqueue a sample; return False if it was dropped as late.
 
@@ -86,29 +209,160 @@ class SampleBuffer:
         slot has already gone by.
         """
         self.stats.pushed += 1
+        time_ms = float(time_ms)
         if now_ms > time_ms + self.delay_ms:
             self.stats.dropped_late += 1
             return False
-        if self.capacity is not None and len(self._heap) >= self.capacity:
-            heapq.heappop(self._heap)
-            self.stats.evicted += 1
-        heapq.heappush(
-            self._heap,
-            Sample(time_ms=float(time_ms), seq=next(self._seq), name=name, value=float(value)),
-        )
+        if self.capacity is not None and len(self) >= self.capacity:
+            self._evict_oldest()
+        name_id = self._intern(name)
+        self._ensure_tail_room(1)
+        i = self._tail
+        self._times[i] = time_ms
+        self._values[i] = float(value)
+        self._seqs[i] = self._next_seq
+        self._ids[i] = name_id
+        self._next_seq += 1
+        self._count_of_id[name_id] += 1
+        if self._sorted_end == i and (
+            self._head == i or self._times[i - 1] <= time_ms
+        ):
+            self._sorted_end = i + 1
+        self._tail = i + 1
         return True
+
+    def push_many(
+        self, name: str, times: ArrayLike, values: ArrayLike, now_ms: float
+    ) -> int:
+        """Bulk-enqueue one signal's samples; return how many were accepted.
+
+        Semantically identical to calling :meth:`push` per sample (same
+        late-drop rule, same eviction order), but the accepted samples are
+        appended to the columns as one vectorised block.
+        """
+        t = np.ascontiguousarray(times, dtype=np.float64)
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError(
+                f"times and values must be equal-length 1-D: {t.shape} vs {v.shape}"
+            )
+        n = t.shape[0]
+        self.stats.pushed += n
+        if n == 0:
+            return 0
+        # Same predicate as the scalar rule `not (now > t + delay)` —
+        # the negated form keeps NaN timestamps on the accept side,
+        # exactly as the scalar comparison does.
+        keep = ~(t + self.delay_ms < now_ms)
+        dropped = n - int(np.count_nonzero(keep))
+        self.stats.dropped_late += dropped
+        accepted = n - dropped
+        if accepted == 0:
+            return 0
+        if dropped:
+            t, v = t[keep], v[keep]
+        if self.capacity is not None and len(self) + accepted > self.capacity:
+            # Rare bounded-buffer overflow: replay the per-sample
+            # evict-then-insert discipline so eviction order matches the
+            # scalar path exactly (a pushed sample can itself be evicted
+            # by a later sample in the same batch).
+            name_id = self._intern(name)
+            one_t = np.empty(1, dtype=np.float64)
+            one_v = np.empty(1, dtype=np.float64)
+            for i in range(accepted):
+                if len(self) >= self.capacity:
+                    self._evict_oldest()
+                one_t[0], one_v[0] = t[i], v[i]
+                self._append_block(name_id, one_t.copy(), one_v.copy())
+            return accepted
+        self._append_block(self._intern(name), t, v)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Pop (bulk + scalar wrappers)
+    # ------------------------------------------------------------------
+    def _due_count(self, now_ms: float) -> int:
+        """Consolidate and count leading samples due at ``now_ms``."""
+        self._consolidate()
+        active = self._times[self._head : self._tail]
+        if active.shape[0] == 0:
+            return 0
+        # Same float comparison as the scalar rule: time + delay <= now.
+        return int(np.searchsorted(active + self.delay_ms, now_ms, side="right"))
+
+    def pop_due_arrays(
+        self, now_ms: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Remove and return all due samples as ``(times, values, name_ids)``.
+
+        Columns come back in ``(time, seq)`` order — the order the scope
+        paints.  The returned arrays are private copies and stay valid
+        across later pushes.
+        """
+        n = self._due_count(now_ms)
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        sl = slice(self._head, self._head + n)
+        times = self._times[sl].copy()
+        values = self._values[sl].copy()
+        ids = self._ids[sl].copy()
+        self._count_of_id -= np.bincount(ids, minlength=self._count_of_id.shape[0])
+        self._head += n
+        self._sorted_end = max(self._sorted_end, self._head)
+        self.stats.popped += n
+        return times, values, ids
+
+    def pop_due_grouped(
+        self, now_ms: float
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Bulk drain grouped per signal: name → ``(times, values)`` arrays.
+
+        Group order follows each name's first occurrence in the popped
+        stream; within a group, samples keep ``(time, seq)`` order.
+        """
+        times, values, ids = self.pop_due_arrays(now_ms)
+        if times.shape[0] == 0:
+            return {}
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        bounds = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups = np.split(order, bounds)
+        groups.sort(key=lambda g: g[0])  # first-occurrence order
+        out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for g in groups:
+            name = self._name_of_id[int(ids[g[0]])]
+            out[name] = (times[g], values[g])
+        return out
 
     def pop_due(self, now_ms: float) -> List[Sample]:
         """Remove and return all samples displayable at ``now_ms``.
 
         A sample is due when ``time_ms + delay_ms <= now_ms``.  Samples
         come back in timestamp order (push order breaks ties), which is
-        the order the scope paints them.
+        the order the scope paints them.  This is the object-per-sample
+        compatibility wrapper; hot consumers use :meth:`pop_due_arrays`.
         """
-        due: List[Sample] = []
-        while self._heap and self._heap[0].time_ms + self.delay_ms <= now_ms:
-            due.append(heapq.heappop(self._heap))
-        self.stats.popped += len(due)
+        n = self._due_count(now_ms)
+        if n == 0:
+            return []
+        sl = slice(self._head, self._head + n)
+        name_of_id = self._name_of_id
+        due = [
+            Sample(time_ms=t, seq=s, name=name_of_id[i], value=v)
+            for t, s, i, v in zip(
+                self._times[sl].tolist(),
+                self._seqs[sl].tolist(),
+                self._ids[sl].tolist(),
+                self._values[sl].tolist(),
+            )
+        ]
+        self._count_of_id -= np.bincount(
+            self._ids[sl], minlength=self._count_of_id.shape[0]
+        )
+        self._head += n
+        self._sorted_end = max(self._sorted_end, self._head)
+        self.stats.popped += n
         return due
 
     def pop_due_by_name(self, now_ms: float) -> Dict[str, List[Sample]]:
@@ -118,14 +372,27 @@ class SampleBuffer:
             grouped.setdefault(sample.name, []).append(sample)
         return grouped
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def peek_next(self) -> Optional[Sample]:
         """The earliest buffered sample, without removing it."""
-        return self._heap[0] if self._heap else None
+        if len(self) == 0:
+            return None
+        self._consolidate()
+        i = self._head
+        return Sample(
+            time_ms=float(self._times[i]),
+            seq=int(self._seqs[i]),
+            name=self._name_of_id[int(self._ids[i])],
+            value=float(self._values[i]),
+        )
 
     def clear(self) -> int:
         """Drop everything buffered; return how many samples were dropped."""
-        n = len(self._heap)
-        self._heap.clear()
+        n = len(self)
+        self._head = self._sorted_end = self._tail = 0
+        self._count_of_id[:] = 0
         self.stats.evicted += n
         return n
 
@@ -136,5 +403,15 @@ class SampleBuffer:
         self.delay_ms = float(delay_ms)
 
     def names(self) -> Tuple[str, ...]:
-        """Names of signals currently holding buffered samples."""
-        return tuple(sorted({s.name for s in self._heap}))
+        """Names of signals currently holding buffered samples.
+
+        O(#names): maintained incrementally from per-name counts rather
+        than by scanning the buffered samples.
+        """
+        return tuple(
+            sorted(
+                name
+                for name, name_id in self._id_of_name.items()
+                if self._count_of_id[name_id] > 0
+            )
+        )

@@ -12,17 +12,35 @@ needs:
 * visibility (left-click toggles display) and the live value readout (the
   ``Value`` button in Figure 1),
 * per-channel statistics for tests and benchmarks.
+
+Columnar layout
+---------------
+
+The trace is a :class:`TraceRing`: a struct-of-arrays ring buffer with
+preallocated ``float64`` columns for poll time, raw sample and filtered
+sample, instead of a deque of per-point objects.  Batch ingest
+(:meth:`Channel.accept_samples`) extends all three columns with two slice
+writes and runs the low-pass filter vectorised over the batch, so the
+buffered-signal hot path allocates no per-sample Python objects.  The
+ring still iterates and indexes as :class:`TracePoint` values, and the
+scalar :meth:`Channel.accept_sample` / :meth:`Channel.poll` API is
+unchanged, so every paper semantic — display delay upstream in the
+buffer, sample-and-hold on empty intervals, per-signal filtering — is
+preserved.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.aggregate import Aggregator, make_aggregator
 from repro.core.lowpass import LowPassFilter
 from repro.core.signal import SignalSpec, SignalType
+
+ArrayLike = Union[Sequence[float], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -32,6 +50,144 @@ class TracePoint:
     time_ms: float
     raw: float
     value: float  # after low-pass filtering; what the canvas draws
+
+
+class TraceRing:
+    """Bounded struct-of-arrays trace: times / raw / filtered columns.
+
+    Drop-in for the former ``deque(maxlen=...)`` of :class:`TracePoint`:
+    supports ``len``, truthiness, iteration, indexing and equality in
+    terms of points, while storing everything in three preallocated
+    ``float64`` arrays so appends never allocate and the render path can
+    read whole columns at once.
+    """
+
+    __slots__ = ("maxlen", "_times", "_raw", "_filtered", "_start", "_len")
+
+    def __init__(self, maxlen: int) -> None:
+        if maxlen is None or maxlen <= 0:
+            raise ValueError(f"trace maxlen must be positive: {maxlen}")
+        self.maxlen = int(maxlen)
+        self._times = np.empty(self.maxlen, dtype=np.float64)
+        self._raw = np.empty(self.maxlen, dtype=np.float64)
+        self._filtered = np.empty(self.maxlen, dtype=np.float64)
+        self._start = 0
+        self._len = 0
+
+    # -- mutation ------------------------------------------------------
+    def append(self, time_ms: float, raw: float, value: float) -> None:
+        """Append one point, evicting the oldest when full."""
+        i = (self._start + self._len) % self.maxlen
+        self._times[i] = time_ms
+        self._raw[i] = raw
+        self._filtered[i] = value
+        if self._len < self.maxlen:
+            self._len += 1
+        else:
+            self._start = (self._start + 1) % self.maxlen
+
+    def extend(self, times: np.ndarray, raw: np.ndarray, values: np.ndarray) -> None:
+        """Append a batch of points with at most two slice writes each."""
+        n = times.shape[0]
+        if n == 0:
+            return
+        if n >= self.maxlen:  # batch alone fills the ring
+            keep = self.maxlen
+            self._times[:] = times[n - keep :]
+            self._raw[:] = raw[n - keep :]
+            self._filtered[:] = values[n - keep :]
+            self._start, self._len = 0, keep
+            return
+        pos = (self._start + self._len) % self.maxlen
+        first = min(n, self.maxlen - pos)
+        self._times[pos : pos + first] = times[:first]
+        self._raw[pos : pos + first] = raw[:first]
+        self._filtered[pos : pos + first] = values[:first]
+        rest = n - first
+        if rest:
+            self._times[:rest] = times[first:]
+            self._raw[:rest] = raw[first:]
+            self._filtered[:rest] = values[first:]
+        overflow = max(0, self._len + n - self.maxlen)
+        self._len = min(self._len + n, self.maxlen)
+        self._start = (self._start + overflow) % self.maxlen
+
+    def clear(self) -> None:
+        self._start = 0
+        self._len = 0
+
+    # -- columnar views ------------------------------------------------
+    def _ordered(self, col: np.ndarray) -> np.ndarray:
+        """Oldest-first view of a column (a copy only when wrapped)."""
+        end = self._start + self._len
+        if end <= self.maxlen:
+            return col[self._start : end]
+        k = end - self.maxlen
+        return np.concatenate((col[self._start :], col[:k]))
+
+    def times_array(self) -> np.ndarray:
+        """Poll times, oldest first, as a ``float64`` array."""
+        return self._ordered(self._times)
+
+    def raw_array(self) -> np.ndarray:
+        """Raw samples, oldest first, as a ``float64`` array."""
+        return self._ordered(self._raw)
+
+    def values_array(self) -> np.ndarray:
+        """Filtered (displayed) samples, oldest first."""
+        return self._ordered(self._filtered)
+
+    def last_time(self) -> Optional[float]:
+        i = (self._start + self._len - 1) % self.maxlen
+        return float(self._times[i]) if self._len else None
+
+    def last_raw(self) -> Optional[float]:
+        i = (self._start + self._len - 1) % self.maxlen
+        return float(self._raw[i]) if self._len else None
+
+    def last_value(self) -> Optional[float]:
+        i = (self._start + self._len - 1) % self.maxlen
+        return float(self._filtered[i]) if self._len else None
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[TracePoint]:
+        for k in range(self._len):
+            i = (self._start + k) % self.maxlen
+            yield TracePoint(
+                time_ms=float(self._times[i]),
+                raw=float(self._raw[i]),
+                value=float(self._filtered[i]),
+            )
+
+    def __getitem__(self, index: int) -> TracePoint:
+        if index < 0:
+            index += self._len
+        if not 0 <= index < self._len:
+            raise IndexError("trace index out of range")
+        i = (self._start + index) % self.maxlen
+        return TracePoint(
+            time_ms=float(self._times[i]),
+            raw=float(self._raw[i]),
+            value=float(self._filtered[i]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceRing):
+            return (
+                self._len == other._len
+                and bool(np.array_equal(self.times_array(), other.times_array()))
+                and bool(np.array_equal(self.raw_array(), other.raw_array()))
+                and bool(np.array_equal(self.values_array(), other.values_array()))
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TraceRing(maxlen={self.maxlen}, len={self._len})"
 
 
 class Channel:
@@ -57,10 +213,11 @@ class Channel:
         self.aggregator: Optional[Aggregator] = (
             make_aggregator(spec.aggregate) if spec.aggregate is not None else None
         )
-        self.trace: Deque[TracePoint] = deque(maxlen=capacity)
+        self.trace = TraceRing(maxlen=capacity)
         self.held_value: Optional[float] = None
         self.polls = 0
         self.samples = 0
+        self.buffered_samples = 0  # samples that arrived via the buffer
         self.holds = 0
 
     # ------------------------------------------------------------------
@@ -87,11 +244,11 @@ class Channel:
     @property
     def last_value(self) -> Optional[float]:
         """Latest displayed (filtered) value, or None before any sample."""
-        return self.trace[-1].value if self.trace else None
+        return self.trace.last_value()
 
     @property
     def last_raw(self) -> Optional[float]:
-        return self.trace[-1].raw if self.trace else None
+        return self.trace.last_raw()
 
     # ------------------------------------------------------------------
     # Event reporting (event-driven signals, Section 4.2)
@@ -105,15 +262,24 @@ class Channel:
             )
         self.aggregator.add(value)
 
+    def events(self, values: ArrayLike) -> None:
+        """Report a batch of application events in one vectorised call."""
+        if self.aggregator is None:
+            raise TypeError(
+                f"signal {self.name!r} has no aggregate mode; "
+                "set SignalSpec.aggregate to report events"
+            )
+        self.aggregator.add_many(values)
+
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def _record(self, time_ms: float, raw: float) -> TracePoint:
-        point = TracePoint(time_ms=time_ms, raw=raw, value=self.filter.apply(raw))
-        self.trace.append(point)
+        value = self.filter.apply(raw)
+        self.trace.append(time_ms, raw, value)
         self.held_value = raw
         self.samples += 1
-        return point
+        return TracePoint(time_ms=time_ms, raw=raw, value=value)
 
     def poll(self, time_ms: float, period_ms: float) -> Optional[TracePoint]:
         """Produce this poll interval's displayed point.
@@ -142,31 +308,60 @@ class Channel:
         """Accept one due sample from the scope-wide buffer (BUFFER type)."""
         if not self.buffered:
             raise TypeError(f"signal {self.name!r} is not buffered")
-        self.samples += 0  # _record increments; kept for symmetry
+        self.buffered_samples += 1
         return self._record(time_ms, value)
+
+    def accept_samples(
+        self, times: ArrayLike, values: ArrayLike
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk-accept due samples; returns ``(times, raw, filtered)``.
+
+        The columnar fast path for buffer drains: one vectorised filter
+        pass and two slice writes into the trace ring, no per-sample
+        objects.  Equivalent to calling :meth:`accept_sample` per sample.
+        """
+        if not self.buffered:
+            raise TypeError(f"signal {self.name!r} is not buffered")
+        t = np.asarray(times, dtype=np.float64)
+        raw = np.asarray(values, dtype=np.float64)
+        if t.shape != raw.shape or t.ndim != 1:
+            raise ValueError(
+                f"times and values must be equal-length 1-D: {t.shape} vs {raw.shape}"
+            )
+        filtered = self.filter.apply_many(raw)
+        self.trace.extend(t, raw, filtered)
+        n = t.shape[0]
+        if n:
+            self.held_value = float(raw[-1])
+        self.samples += n
+        self.buffered_samples += n
+        return t, raw, filtered
 
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
     def values(self) -> List[float]:
         """Displayed (filtered) values, oldest first."""
-        return [p.value for p in self.trace]
+        return self.trace.values_array().tolist()
 
     def raw_values(self) -> List[float]:
-        return [p.raw for p in self.trace]
+        return self.trace.raw_array().tolist()
 
     def times(self) -> List[float]:
-        return [p.time_ms for p in self.trace]
+        return self.trace.times_array().tolist()
 
     def points(self) -> List[Tuple[float, float]]:
         """(time, value) pairs for rendering or analysis."""
-        return [(p.time_ms, p.value) for p in self.trace]
+        return list(
+            zip(self.trace.times_array().tolist(), self.trace.values_array().tolist())
+        )
 
     def window(self, n: int) -> List[TracePoint]:
         """The most recent ``n`` trace points (fewer if not yet available)."""
         if n <= 0:
             return []
-        return list(self.trace)[-n:]
+        total = len(self.trace)
+        return [self.trace[i] for i in range(max(0, total - n), total)]
 
     def clear(self) -> None:
         """Wipe trace and state (used when acquisition mode changes)."""

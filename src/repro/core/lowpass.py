@@ -12,7 +12,16 @@ forever, so gscope treats it as the heaviest smoothing available.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+try:  # scipy ships in the toolchain image; gate it for lean installs
+    from scipy.signal import lfilter as _lfilter
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _lfilter = None
+
+ArrayLike = Union[Sequence[float], np.ndarray]
 
 
 class LowPassFilter:
@@ -46,6 +55,51 @@ class LowPassFilter:
     def apply_all(self, xs: Iterable[float]) -> List[float]:
         """Filter a whole sequence, returning the filtered sequence."""
         return [self.apply(x) for x in xs]
+
+    def apply_many(self, xs: ArrayLike) -> np.ndarray:
+        """Filter a batch and return the filtered batch as ``float64``.
+
+        Vectorised over the whole batch: the unfiltered (``alpha == 0``)
+        and hold (``alpha == 1``) cases are plain array ops, and the
+        general one-pole recursion runs through ``scipy.signal.lfilter``
+        when scipy is available (a tight C scan) with a Python scan as
+        fallback.  State carries across calls exactly as with
+        :meth:`apply` called per sample.
+        """
+        x = np.asarray(xs, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"apply_many expects a 1-D batch, got shape {x.shape}")
+        n = x.shape[0]
+        if n == 0:
+            return x.copy()
+        if not np.isfinite(x).all():
+            bad = x[~np.isfinite(x)][0]
+            raise ValueError(f"filter input must be finite: {bad}")
+        a = self.alpha
+        if a == 0.0 or (self._y is None and n == 1):
+            self._y = float(x[-1])
+            return x.copy()
+        if a == 1.0:
+            y0 = float(x[0]) if self._y is None else self._y
+            self._y = y0
+            return np.full(n, y0, dtype=np.float64)
+        out = np.empty(n, dtype=np.float64)
+        if self._y is None:
+            out[0] = x[0]  # first sample initialises the state
+            y_prev, start = float(x[0]), 1
+        else:
+            y_prev, start = self._y, 0
+        if _lfilter is not None:
+            out[start:], _ = _lfilter(
+                [1.0 - a], [1.0, -a], x[start:], zi=np.array([a * y_prev])
+            )
+        else:
+            y = y_prev
+            for i in range(start, n):
+                y = a * y + (1.0 - a) * x[i]
+                out[i] = y
+        self._y = float(out[-1])
+        return out
 
     @property
     def value(self) -> Optional[float]:

@@ -80,6 +80,20 @@ class ScopeManager:
                     accepted += 1
         return accepted
 
+    def push_samples(self, name: str, times, values) -> int:
+        """Bulk fan-out of one signal's samples to every carrying scope.
+
+        Returns the number of samples accepted by at least one scope.
+        Late-drop sets nest by display delay (all scopes share the loop
+        clock, and a sample late for a long delay is late for every
+        shorter one), so that count is exactly the max over scopes.
+        """
+        accepted = 0
+        for scope in self._scopes.values():
+            if name in scope and scope.channel(name).buffered:
+                accepted = max(accepted, scope.push_samples(name, times, values))
+        return accepted
+
     def run_for(self, duration_ms: float) -> None:
         """Drive the shared loop for ``duration_ms``."""
         self.loop.run_for(duration_ms)

@@ -16,7 +16,9 @@ library drives itself from a GTK timeout.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.buffer import SampleBuffer
 from repro.core.channel import Channel, TracePoint
@@ -238,6 +240,24 @@ class Scope:
             raise ScopeError(f"signal {name!r} is not a BUFFER signal")
         return self.buffer.push(name, time_ms, value, self.loop.clock.now())
 
+    def push_samples(
+        self,
+        name: str,
+        times: Union[Sequence[float], np.ndarray],
+        values: Union[Sequence[float], np.ndarray],
+    ) -> int:
+        """Bulk-enqueue timestamped samples for a BUFFER signal.
+
+        Columnar fast path: one call buffers N samples with the same
+        late-drop semantics as N :meth:`push_sample` calls.  Returns how
+        many samples were accepted (the rest arrived past their display
+        slot and were dropped, Section 4.4).
+        """
+        channel = self.channel(name)
+        if not channel.buffered:
+            raise ScopeError(f"signal {name!r} is not a BUFFER signal")
+        return self.buffer.push_many(name, times, values, self.loop.clock.now())
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -262,6 +282,8 @@ class Scope:
         self.column += 1 + lost
 
         painted: List[tuple[str, TracePoint]] = []
+        # Buffer drains arrive as columnar batches: (name, times, raws).
+        batches: List[tuple[str, np.ndarray, np.ndarray]] = []
         if self.mode is AcquisitionMode.POLLING:
             for channel in self._channels.values():
                 if channel.buffered:
@@ -269,14 +291,12 @@ class Scope:
                 point = channel.poll(now, self.period_ms)
                 if point is not None:
                     painted.append((channel.name, point))
-            for name, samples in self.buffer.pop_due_by_name(now).items():
+            for name, (times, values) in self.buffer.pop_due_grouped(now).items():
                 channel = self._channels.get(name)
                 if channel is None:
                     continue  # signal was removed while data was in flight
-                for sample in samples:
-                    painted.append(
-                        (name, channel.accept_sample(sample.time_ms, sample.value))
-                    )
+                t, raws, _filtered = channel.accept_samples(times, values)
+                batches.append((name, t, raws))
         else:
             assert self.player is not None
             self._playback_time += (1 + lost) * self.period_ms
@@ -288,10 +308,21 @@ class Scope:
                     (name, self._channels[name].accept_sample(tup.time_ms, tup.value))
                 )
 
-        if self.recorder is not None:
-            for name, point in sorted(painted, key=lambda item: item[1].time_ms):
-                # Raw (unfiltered) data is recorded so replay can re-filter.
-                self.recorder.record(point.time_ms, point.raw, name)
+        if self.recorder is not None and (painted or batches):
+            # Raw (unfiltered) data is recorded so replay can re-filter.
+            rec_times: List[float] = [p.time_ms for _, p in painted]
+            rec_raws: List[float] = [p.raw for _, p in painted]
+            rec_names: List[str] = [name for name, _ in painted]
+            for name, t, raws in batches:
+                rec_times.extend(t.tolist())
+                rec_raws.extend(raws.tolist())
+                rec_names.extend([name] * t.shape[0])
+            order = np.argsort(np.asarray(rec_times), kind="stable")
+            self.recorder.record_many(
+                [rec_times[i] for i in order],
+                [rec_raws[i] for i in order],
+                [rec_names[i] for i in order],
+            )
         return True
 
     def tick(self, lost: int = 0) -> None:

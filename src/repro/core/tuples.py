@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -119,6 +119,39 @@ class Recorder:
             raise TupleFormatError("multi-signal recording requires a signal name")
         self._sink.write(format_tuple(time_ms, value, written_name) + "\n")
         self.count += 1
+
+    def record_many(
+        self,
+        times: Sequence[float],
+        values: Sequence[float],
+        names: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        """Append a batch of sample tuples with a single sink write.
+
+        The batch must be internally time-ordered and must not precede
+        the last recorded tuple — the same non-decreasing rule
+        :meth:`record` enforces per call, checked once over the batch.
+        """
+        n = len(times)
+        if n == 0:
+            return
+        if names is None:
+            names = [None] * n
+        prev = self._last_time
+        lines = []
+        for time_ms, value, name in zip(times, values, names):
+            if prev is not None and time_ms < prev:
+                raise TupleFormatError(
+                    f"record time {time_ms} precedes previous {prev}"
+                )
+            prev = time_ms
+            written_name = None if self.single_signal else name
+            if not self.single_signal and name is None:
+                raise TupleFormatError("multi-signal recording requires a signal name")
+            lines.append(format_tuple(time_ms, value, written_name))
+        self._last_time = prev
+        self._sink.write("\n".join(lines) + "\n")
+        self.count += n
 
     def close(self) -> None:
         self._sink.flush()

@@ -37,6 +37,8 @@ _source_ids = itertools.count(1)
 class Source:
     """Base class for event sources attached to a main loop."""
 
+    __slots__ = ("id", "callback", "priority", "attached", "destroyed")
+
     def __init__(self, callback: Callable[..., Any], priority: Priority = Priority.DEFAULT) -> None:
         if not callable(callback):
             raise TypeError(f"callback must be callable, got {callback!r}")
@@ -77,6 +79,8 @@ class TimeoutSource(Source):
     refresh uses to "advance the scope appropriately" (Section 4.5).
     """
 
+    __slots__ = ("interval_ms", "deadline", "missed", "fired")
+
     def __init__(
         self,
         interval_ms: float,
@@ -113,6 +117,8 @@ class TimeoutSource(Source):
 
 class IdleSource(Source):
     """Source dispatched whenever an iteration finds no timer/IO work."""
+
+    __slots__ = ()
 
     def __init__(
         self,
@@ -155,6 +161,8 @@ class IOWatch(Source):
     glib's ``GIOFunc(source, condition, data)`` minus the user-data pointer
     (closures cover that in Python).
     """
+
+    __slots__ = ("channel", "condition")
 
     def __init__(
         self,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Rect:
@@ -92,6 +94,18 @@ class ValueTransform:
         # percent 0 -> bottom row, percent 100 -> top row.
         row = round((1.0 - percent / 100.0) * (self.height - 1))
         return max(0, min(self.height - 1, row))
+
+    def to_rows(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_row` over a column of values.
+
+        ``np.rint`` rounds half-to-even like Python's ``round``, so the
+        result matches the scalar mapping pixel for pixel.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        span = self.vmax - self.vmin
+        percent = (arr - self.vmin) / span * 100.0 * self.zoom + self.bias
+        rows = np.rint((1.0 - percent / 100.0) * (self.height - 1)).astype(np.int64)
+        return np.clip(rows, 0, self.height - 1)
 
     def from_row(self, row: int) -> float:
         """Inverse mapping: framebuffer row back to a signal value.

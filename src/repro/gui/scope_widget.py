@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.channel import Channel
 from repro.core.scope import AcquisitionMode, Scope
 from repro.core.signal import LineMode
@@ -193,15 +195,16 @@ class ScopeWidget(Widget):
         transform = self.transform_for(channel)
         t_ref = self.display_time_ms()
         right = self.canvas_rect.right - 1
-        pixels: List[Tuple[int, int]] = []
-        for point in channel.trace:
-            periods_ago = (t_ref - point.time_ms) / scope.period_ms
-            x = right - round(periods_ago * self.px_per_period)
-            if x < self.canvas_rect.x:
-                continue
-            y = self.canvas_rect.y + transform.to_row(point.value)
-            pixels.append((x, y))
-        return pixels
+        # Columnar fast path: the trace ring hands back whole columns, so
+        # the time→x and value→y mappings vectorise over the trace.
+        times = channel.trace.times_array()
+        values = channel.trace.values_array()
+        periods_ago = (t_ref - times) / scope.period_ms
+        xs = right - np.rint(periods_ago * self.px_per_period).astype(np.int64)
+        visible = xs >= self.canvas_rect.x
+        xs = xs[visible]
+        ys = self.canvas_rect.y + transform.to_rows(values[visible])
+        return list(zip(xs.tolist(), ys.tolist()))
 
     def display_time_ms(self) -> float:
         """The time of the right edge of the display."""

@@ -14,12 +14,12 @@ and non-blocking, as Section 4.3 prescribes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence, Tuple
 
 from repro.eventloop.clock import Clock
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
-from repro.net.protocol import encode_sample
+from repro.net.protocol import encode_sample, encode_samples
 
 
 class ScopeClient:
@@ -44,7 +44,9 @@ class ScopeClient:
         self.endpoint = endpoint
         self.loop = loop
         self.max_queue = max_queue
-        self._pending: Deque[bytes] = deque()
+        # Each queued frame is (bytes, sample_count): batched sends put N
+        # samples into one frame, and the counters stay in samples.
+        self._pending: Deque[Tuple[bytes, int]] = deque()
         self._watch_id: Optional[int] = None
         self.sent = 0
         self.dropped = 0
@@ -62,11 +64,32 @@ class ScopeClient:
         paper's push-with-timestamp usage.
         """
         stamp = self.clock.now() if time_ms is None else float(time_ms)
-        frame = encode_sample(stamp, value, name)
+        self._enqueue(encode_sample(stamp, value, name), 1)
+
+    def send_samples(
+        self,
+        name: str,
+        values: Sequence[float],
+        times: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Queue a batch of one signal's samples as a single wire frame.
+
+        ``times`` defaults to stamping every sample with the client
+        clock's *now*.  One network round-trip (one queue entry, one
+        ``send``) carries the whole batch; the server decodes it back
+        into N ordinary tuples.
+        """
+        if times is None:
+            times = [self.clock.now()] * len(values)
+        frame = encode_samples(times, values, name)
+        if frame:
+            self._enqueue(frame, len(values))
+
+    def _enqueue(self, frame: bytes, nsamples: int) -> None:
         if len(self._pending) >= self.max_queue:
-            self._pending.popleft()
-            self.dropped += 1
-        self._pending.append(frame)
+            _, dropped_count = self._pending.popleft()
+            self.dropped += dropped_count
+        self._pending.append((frame, nsamples))
         self._ensure_watch()
         self._try_flush()
 
@@ -85,14 +108,14 @@ class ScopeClient:
 
     def _try_flush(self) -> None:
         while self._pending and self.endpoint.writable():
-            frame = self._pending[0]
+            frame, nsamples = self._pending[0]
             sent = self.endpoint.send(frame)
             if sent < len(frame):
                 # Partial write: keep the unsent tail at the queue head.
-                self._pending[0] = frame[sent:]
+                self._pending[0] = (frame[sent:], nsamples)
                 break
             self._pending.popleft()
-            self.sent += 1
+            self.sent += nsamples
 
     @property
     def backlog(self) -> int:

@@ -11,7 +11,7 @@ chunks, so a stateful decoder carries partial lines between reads.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.tuples import Tuple3, format_tuple, parse_tuple
 
@@ -19,6 +19,28 @@ from repro.core.tuples import Tuple3, format_tuple, parse_tuple
 def encode_sample(time_ms: float, value: float, name: Optional[str] = None) -> bytes:
     """Encode one sample as a wire frame (tuple line + newline)."""
     return (format_tuple(time_ms, value, name) + "\n").encode("utf-8")
+
+
+def encode_samples(
+    times: Sequence[float],
+    values: Sequence[float],
+    name: Optional[str] = None,
+) -> bytes:
+    """Encode a batch of one signal's samples as a single wire frame.
+
+    The frame is just N tuple lines in one buffer — the on-wire format is
+    unchanged (any decoder sees N ordinary tuples), but one send carries
+    the whole batch, so the transport pays one syscall/queue entry per
+    batch instead of per sample.
+    """
+    if len(times) != len(values):
+        raise ValueError(
+            f"times and values must be equal length: {len(times)} vs {len(values)}"
+        )
+    lines = [format_tuple(t, v, name) for t, v in zip(times, values)]
+    if not lines:
+        return b""
+    return ("\n".join(lines) + "\n").encode("utf-8")
 
 
 class LineDecoder:

@@ -109,15 +109,26 @@ class ScopeServer:
             state.protocol_errors += 1
             self.disconnect(state)
             return False
-        for tup in tuples:
-            state.received += 1
-            name = tup.name if tup.name is not None else "signal"
+        # Batch the decoded tuples into per-name runs so one manager call
+        # (one columnar buffer append) carries a whole run — a batched
+        # client frame of N samples costs one push, not N.
+        state.received += len(tuples)
+        i = 0
+        total = len(tuples)
+        while i < total:
+            name = tuples[i].name if tuples[i].name is not None else "signal"
+            j = i + 1
+            while j < total and (
+                tuples[j].name if tuples[j].name is not None else "signal"
+            ) == name:
+                j += 1
             self._ensure_signal(name)
-            accepted = self.manager.push_sample(name, tup.time_ms, tup.value)
-            if accepted:
-                state.accepted += 1
-            else:
-                state.dropped_late += 1
+            times = [t.time_ms for t in tuples[i:j]]
+            values = [t.value for t in tuples[i:j]]
+            accepted = self.manager.push_samples(name, times, values)
+            state.accepted += accepted
+            state.dropped_late += (j - i) - accepted
+            i = j
         return True
 
     def _ensure_signal(self, name: str) -> None:

@@ -70,10 +70,22 @@ class Engine:
         """
         if time_ms < self._now - 1e-9:
             raise ValueError(f"cannot advance backwards: {time_ms} < {self._now}")
+        # Inlined pop loop: one heappop per event, no step() call frames
+        # or repeated peeks — this is the hot loop of every simulation.
+        queue = self._queue
+        pop = heapq.heappop
+        limit = time_ms + 1e-9
         executed = 0
-        while self._queue and self._queue[0][0] <= time_ms + 1e-9:
-            self.step()
-            executed += 1
+        try:
+            while queue and queue[0][0] <= limit:
+                event_time, _, fn = pop(queue)
+                if event_time > self._now:
+                    self._now = event_time
+                fn()
+                executed += 1
+        finally:
+            # Keep the count accurate even when a callback raises.
+            self.executed += executed
         self._now = max(self._now, float(time_ms))
         return executed
 
@@ -83,10 +95,18 @@ class Engine:
 
     def run_all(self, max_events: int = 10_000_000) -> int:
         """Drain the queue entirely (bounded by ``max_events``)."""
+        queue = self._queue
+        pop = heapq.heappop
         executed = 0
-        while self._queue and executed < max_events:
-            self.step()
-            executed += 1
+        try:
+            while queue and executed < max_events:
+                event_time, _, fn = pop(queue)
+                if event_time > self._now:
+                    self._now = event_time
+                fn()
+                executed += 1
+        finally:
+            self.executed += executed
         return executed
 
     @property

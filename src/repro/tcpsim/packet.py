@@ -32,7 +32,7 @@ class ECN(enum.Enum):
     CE = "ce"  # congestion experienced (marked by the router)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One data segment in flight."""
 
@@ -55,7 +55,7 @@ class Packet:
         self.ecn = ECN.CE
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """Cumulative acknowledgement travelling back to the sender.
 

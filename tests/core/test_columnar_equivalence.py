@@ -1,0 +1,273 @@
+"""Columnar/scalar equivalence for the batched acquisition hot path.
+
+The columnar rewrite of the sample buffer, aggregators and trace ring
+must be *semantically invisible*: randomized streams pushed through the
+old-style scalar API and through the new batch API must produce the
+identical pop order, late-drop counts, eviction counts and aggregator
+outputs.  A small heap model reimplements the seed per-object semantics
+verbatim as the oracle.
+"""
+
+import heapq
+import itertools
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregate import AggregateKind, make_aggregator
+from repro.core.buffer import SampleBuffer
+from repro.core.channel import Channel, TraceRing
+from repro.core.signal import buffer_signal
+
+
+class HeapModel:
+    """The seed implementation: a heap of per-sample tuples."""
+
+    def __init__(self, delay_ms=0.0, capacity=None):
+        self.delay_ms = delay_ms
+        self.capacity = capacity
+        self._heap = []
+        self._seq = itertools.count()
+        self.pushed = self.dropped_late = self.evicted = self.popped = 0
+
+    def push(self, name, time_ms, value, now_ms):
+        self.pushed += 1
+        if now_ms > time_ms + self.delay_ms:
+            self.dropped_late += 1
+            return False
+        if self.capacity is not None and len(self._heap) >= self.capacity:
+            heapq.heappop(self._heap)
+            self.evicted += 1
+        heapq.heappush(self._heap, (float(time_ms), next(self._seq), name, float(value)))
+        return True
+
+    def pop_due(self, now_ms):
+        due = []
+        while self._heap and self._heap[0][0] + self.delay_ms <= now_ms:
+            due.append(heapq.heappop(self._heap))
+        self.popped += len(due)
+        return due
+
+
+def stream_strategy(max_size=120):
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e4),  # timestamp
+            st.floats(min_value=-1e3, max_value=1e3),  # value
+            st.sampled_from(["a", "b", "c"]),  # signal name
+        ),
+        max_size=max_size,
+    )
+
+
+class TestScalarMatchesHeapModel:
+    @given(
+        stream_strategy(),
+        st.floats(min_value=0, max_value=500),
+        st.lists(st.floats(min_value=0, max_value=2e4), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_push_pop(self, samples, delay, pop_times):
+        buf = SampleBuffer(delay_ms=delay)
+        model = HeapModel(delay_ms=delay)
+        pop_times = sorted(pop_times)
+        # Interleave: push a prefix, pop, push the rest, pop again.
+        cut = len(samples) // 2
+        for t, v, name in samples[:cut]:
+            assert buf.push(name, t, v, now_ms=50.0) == model.push(name, t, v, 50.0)
+        for at in pop_times[: len(pop_times) // 2]:
+            got = [(s.time_ms, s.seq, s.name, s.value) for s in buf.pop_due(at)]
+            assert got == model.pop_due(at)
+        for t, v, name in samples[cut:]:
+            assert buf.push(name, t, v, now_ms=60.0) == model.push(name, t, v, 60.0)
+        for at in pop_times[len(pop_times) // 2 :] + [1e9]:
+            got = [(s.time_ms, s.seq, s.name, s.value) for s in buf.pop_due(at)]
+            assert got == model.pop_due(at)
+        assert buf.stats.dropped_late == model.dropped_late
+        assert buf.stats.popped == model.popped
+        assert len(buf) == len(model._heap) == 0
+
+    @given(stream_strategy(60), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_eviction_order(self, samples, capacity):
+        buf = SampleBuffer(capacity=capacity)
+        model = HeapModel(capacity=capacity)
+        for t, v, name in samples:
+            buf.push(name, t, v, now_ms=0.0)
+            model.push(name, t, v, 0.0)
+        assert buf.stats.evicted == model.evicted
+        got = [(s.time_ms, s.seq, s.name, s.value) for s in buf.pop_due(1e9)]
+        assert got == model.pop_due(1e9)
+
+
+class TestBatchMatchesScalar:
+    @given(
+        stream_strategy(),
+        st.floats(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_push_many_equals_push_loop(self, samples, delay, chunk):
+        scalar = SampleBuffer(delay_ms=delay)
+        batch = SampleBuffer(delay_ms=delay)
+        for t, v, name in samples:
+            scalar.push(name, t, v, now_ms=50.0)
+        by_name = {}
+        for t, v, name in samples:
+            by_name.setdefault(name, []).append((t, v))
+        # Push each name's stream in arbitrary-size chunks.  Note: seq
+        # assignment differs between the two interleavings, so we compare
+        # per-name pop streams (time order within a name is preserved).
+        for name, pairs in by_name.items():
+            for i in range(0, len(pairs), chunk):
+                part = pairs[i : i + chunk]
+                batch.push_many(
+                    name, [t for t, _ in part], [v for _, v in part], now_ms=50.0
+                )
+        assert batch.stats.pushed == scalar.stats.pushed
+        assert batch.stats.dropped_late == scalar.stats.dropped_late
+        scalar_grouped = scalar.pop_due_by_name(1e9)
+        batch_grouped = batch.pop_due_grouped(1e9)
+        assert set(batch_grouped) == set(scalar_grouped)
+        for name, (times, values) in batch_grouped.items():
+            assert times.tolist() == [s.time_ms for s in scalar_grouped[name]]
+            assert values.tolist() == [s.value for s in scalar_grouped[name]]
+
+    @given(stream_strategy(), st.floats(min_value=0, max_value=2e4))
+    @settings(max_examples=60, deadline=None)
+    def test_pop_due_arrays_equals_pop_due(self, samples, pop_at):
+        a = SampleBuffer()
+        b = SampleBuffer()
+        for t, v, name in samples:
+            a.push(name, t, v, now_ms=0.0)
+            b.push(name, t, v, now_ms=0.0)
+        objs = a.pop_due(pop_at)
+        times, values, ids = b.pop_due_arrays(pop_at)
+        assert times.tolist() == [s.time_ms for s in objs]
+        assert values.tolist() == [s.value for s in objs]
+        assert [b._name_of_id[i] for i in ids.tolist()] == [s.name for s in objs]
+        assert a.stats.popped == b.stats.popped
+
+    @given(stream_strategy(60), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_push_many_capacity_matches_push_loop(self, samples, capacity):
+        """Single-name batches with capacity: eviction counts must match."""
+        scalar = SampleBuffer(capacity=capacity)
+        batch = SampleBuffer(capacity=capacity)
+        for t, v, _ in samples:
+            scalar.push("s", t, v, now_ms=0.0)
+        batch.push_many(
+            "s", [t for t, _, _ in samples], [v for _, v, _ in samples], now_ms=0.0
+        )
+        assert batch.stats.evicted == scalar.stats.evicted
+        got_b = [(s.time_ms, s.value) for s in batch.pop_due(1e9)]
+        got_s = [(s.time_ms, s.value) for s in scalar.pop_due(1e9)]
+        assert got_b == got_s
+
+
+class TestNaNParity:
+    def test_nan_timestamp_accepted_by_both_apis(self):
+        """The scalar rule `now > t + delay` keeps NaN-stamped samples
+        (the comparison is False); the batch mask must match."""
+        scalar = SampleBuffer(delay_ms=10)
+        batch = SampleBuffer(delay_ms=10)
+        assert scalar.push("s", float("nan"), 1.0, now_ms=100.0) is True
+        assert batch.push_many("s", [float("nan")], [1.0], now_ms=100.0) == 1
+        assert scalar.stats.dropped_late == batch.stats.dropped_late == 0
+        assert len(scalar) == len(batch) == 1
+
+    def test_nan_event_poisons_min_max(self):
+        """A corrupt (NaN) event value must surface at collect time, for
+        both the scalar and the batch add path."""
+        for kind in (AggregateKind.MAXIMUM, AggregateKind.MINIMUM):
+            scalar = make_aggregator(kind)
+            scalar.add(float("nan"))
+            scalar.add(1.0)
+            out = scalar.collect(50.0)
+            assert out != out  # NaN
+            batch = make_aggregator(kind)
+            batch.add_many([float("nan"), 1.0])
+            out = batch.collect(50.0)
+            assert out != out
+
+
+class TestAggregatorEquivalence:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=80
+    )
+
+    @given(values, st.integers(min_value=1, max_value=13))
+    @settings(max_examples=60, deadline=None)
+    def test_add_many_equals_add_loop_all_kinds(self, xs, chunk):
+        for kind in AggregateKind:
+            scalar = make_aggregator(kind)
+            batch = make_aggregator(kind)
+            for x in xs:
+                scalar.add(x)
+            for i in range(0, len(xs), chunk):
+                batch.add_many(xs[i : i + chunk])
+            assert batch.pending == scalar.pending
+            got = batch.collect(50.0)
+            want = scalar.collect(50.0)
+            if want is None:
+                assert got is None
+            else:
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-6)
+
+
+class TestChannelEquivalence:
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3), max_size=60),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accept_samples_equals_accept_sample_loop(self, xs, alpha, chunk):
+        scalar = Channel(buffer_signal("x", filter=alpha), capacity=32)
+        batch = Channel(buffer_signal("x", filter=alpha), capacity=32)
+        times = [float(i) for i in range(len(xs))]
+        for t, v in zip(times, xs):
+            scalar.accept_sample(t, v)
+        for i in range(0, len(xs), chunk):
+            batch.accept_samples(times[i : i + chunk], xs[i : i + chunk])
+        assert batch.times() == scalar.times()
+        assert batch.raw_values() == scalar.raw_values()
+        assert batch.values() == pytest.approx(scalar.values(), rel=1e-9, abs=1e-9)
+        assert batch.samples == scalar.samples
+        assert batch.buffered_samples == scalar.buffered_samples
+        assert batch.held_value == scalar.held_value
+
+
+class TestTraceRingModel:
+    def test_matches_deque_model_random_ops(self):
+        rng = random.Random(7)
+        for maxlen in (1, 2, 5, 64):
+            ring = TraceRing(maxlen=maxlen)
+            model = deque(maxlen=maxlen)
+            t = 0.0
+            for _ in range(300):
+                if rng.random() < 0.7:
+                    v = rng.uniform(-10, 10)
+                    ring.append(t, v, v * 2)
+                    model.append((t, v, v * 2))
+                    t += 1.0
+                else:
+                    n = rng.randrange(0, 7)
+                    ts = [t + i for i in range(n)]
+                    vs = [rng.uniform(-10, 10) for _ in range(n)]
+                    import numpy as np
+
+                    ring.extend(
+                        np.asarray(ts), np.asarray(vs), np.asarray(vs) * 2
+                    )
+                    model.extend(zip(ts, vs, [v * 2 for v in vs]))
+                    t += n
+                assert len(ring) == len(model)
+                assert [
+                    (p.time_ms, p.raw, p.value) for p in ring
+                ] == [tuple(m) for m in model]
+                if model:
+                    assert ring[-1].raw == model[-1][1]
+                    assert ring[0].time_ms == model[0][0]

@@ -156,6 +156,40 @@ class TestClientBehaviour:
         loop.run_for(200)
 
 
+class TestBatchedSend:
+    def test_batched_frame_travels_to_scope(self):
+        loop, scope, server, client = make_world()
+        now = loop.clock.now()
+        client.send_samples("metric", [1.0, 2.0, 3.0], times=[now, now + 1, now + 2])
+        loop.run_for(300)
+        assert server.totals()["accepted"] == 3
+        assert scope.channel("metric").raw_values() == [1.0, 2.0, 3.0]
+
+    def test_batched_send_counts_samples(self):
+        loop, scope, server, client = make_world()
+        client.send_samples("metric", [5.0] * 10)
+        loop.run_for(300)
+        assert client.sent == 10
+        assert client.backlog == 0
+
+    def test_batched_and_scalar_interleave(self):
+        loop, scope, server, client = make_world()
+        now = loop.clock.now()
+        client.send_sample("metric", 1.0, time_ms=now)
+        client.send_samples("metric", [2.0, 3.0], times=[now + 1, now + 2])
+        client.send_sample("metric", 4.0, time_ms=now + 3)
+        loop.run_for(300)
+        assert scope.channel("metric").raw_values() == [1.0, 2.0, 3.0, 4.0]
+        assert server.totals()["accepted"] == 4
+
+    def test_empty_batch_is_noop(self):
+        loop, scope, server, client = make_world()
+        client.send_samples("metric", [])
+        loop.run_for(100)
+        assert client.backlog == 0
+        assert client.sent == 0
+
+
 class TestSocketTransport:
     def test_end_to_end_over_real_sockets(self):
         loop = MainLoop()

@@ -109,3 +109,25 @@ class TestAdvanceTo:
             eng.at(t, lambda: observed.append(eng.now))
         eng.run_all()
         assert observed == sorted(observed)
+
+
+class TestExecutedCountOnError:
+    def test_advance_to_counts_events_before_exception(self):
+        eng = Engine()
+        eng.at(1.0, lambda: None)
+
+        def boom():
+            raise RuntimeError("bad event")
+
+        eng.at(2.0, boom)
+        with pytest.raises(RuntimeError):
+            eng.advance_to(5.0)
+        assert eng.executed == 1
+
+    def test_run_all_counts_events_before_exception(self):
+        eng = Engine()
+        eng.at(1.0, lambda: None)
+        eng.at(2.0, lambda: (_ for _ in ()).throw(RuntimeError("bad")))
+        with pytest.raises(RuntimeError):
+            eng.run_all()
+        assert eng.executed == 1
