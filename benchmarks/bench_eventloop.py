@@ -1,0 +1,328 @@
+"""X9 — scheduler throughput: indexed MainLoop vs the seed scan loop.
+
+The paper's claim is that the scope imposes negligible overhead on the
+application it instruments; a main loop that rescans every attached
+source per iteration breaks that claim once source counts grow.  This
+benchmark measures:
+
+* **X9a — dispatch throughput** at 10/100/1k/10k attached timer sources:
+  the seed linear-scan loop (reproduced verbatim below) vs the indexed
+  scheduler (deadline heap + id partitions).  Acceptance: >= 20x at 1k
+  sources.
+* **X9b — tcpsim lockstep advance rate**: events/second through
+  ``Engine.drive_from`` (heap-peek lockstep) on a busy simulation, plus
+  the quiet-tick rate where the early-exit peek does all the work.
+* **X9c — trigger detect throughput** on a 1M-sample trace: vectorized
+  ``Trigger.detect`` vs the scalar reference ``Trigger._crossings``.
+
+Run stand-alone for machine-readable JSON (``--json PATH`` writes it,
+otherwise it lands on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_eventloop.py [--quick] [--json out.json]
+
+or through pytest for the acceptance assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_eventloop.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+from conftest import report
+
+from repro.eventloop.clock import VirtualClock
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import IdleSource, IOWatch, Priority, Source, TimeoutSource
+from repro.core.trigger import Edge, Trigger
+from repro.tcpsim.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# The seed MainLoop, verbatim: linear scans over one source list.
+# ----------------------------------------------------------------------
+class SeedMainLoop:
+    def __init__(self, clock=None, max_io_poll_ms: float = 1.0) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.max_io_poll_ms = float(max_io_poll_ms)
+        self._sources: List[Source] = []
+        self._running = False
+        self.iterations = 0
+        self.dispatches = 0
+
+    def attach(self, source: Source) -> int:
+        if source.attached:
+            raise ValueError(f"source {source.id} already attached")
+        source.attached = True
+        source.destroyed = False
+        if isinstance(source, TimeoutSource):
+            source.start(self.clock.now())
+        self._sources.append(source)
+        return source.id
+
+    def timeout_add(self, interval_ms, callback, priority=Priority.DEFAULT):
+        return self.attach(TimeoutSource(interval_ms, callback, priority))
+
+    def _ready_sources(self, now, include_idle):
+        ready = [
+            s for s in self._sources if not isinstance(s, IdleSource) and s.ready(now)
+        ]
+        if not ready and include_idle:
+            ready = [s for s in self._sources if isinstance(s, IdleSource)]
+        return sorted(ready, key=lambda s: (s.priority, s.id))
+
+    def _earliest_deadline(self, now):
+        deadlines = [
+            d for s in self._sources if (d := s.next_deadline(now)) is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _dispatch(self, ready, now):
+        count = 0
+        for src in ready:
+            if src.destroyed or not src.attached:
+                continue
+            keep = src.dispatch(now)
+            count += 1
+            if (not keep or src.destroyed) and src in self._sources:
+                src.attached = False
+                self._sources.remove(src)
+        self.dispatches += count
+        return count
+
+    def run_until(self, deadline_ms: float) -> None:
+        self._running = True
+        while self._running and self.clock.now() < deadline_ms:
+            now = self.clock.now()
+            ready = self._ready_sources(now, include_idle=False)
+            if ready:
+                self._dispatch(ready, now)
+                continue
+            next_deadline = self._earliest_deadline(now)
+            has_io = any(isinstance(s, IOWatch) for s in self._sources)
+            if has_io:
+                step = min(
+                    next_deadline if next_deadline is not None else deadline_ms,
+                    now + self.max_io_poll_ms,
+                    deadline_ms,
+                )
+            elif next_deadline is None or next_deadline > deadline_ms:
+                self.clock.wait_until(deadline_ms)
+                break
+            else:
+                step = next_deadline
+            self.clock.wait_until(max(step, now))
+        self._running = False
+
+
+# ----------------------------------------------------------------------
+# Measurements
+# ----------------------------------------------------------------------
+def bench_dispatch(loop_cls, n_sources: int, target_dispatches: int) -> dict:
+    """Attach ``n_sources`` staggered timers, run until ~target dispatches.
+
+    Every source gets a distinct interval so deadlines interleave instead
+    of firing in shared batches — a scope wall of heterogeneous polling
+    periods, where a scan loop pays its full O(n) per single dispatch.
+    """
+    loop = loop_cls(clock=VirtualClock())
+    fired = [0]
+
+    def cb(lost):
+        fired[0] += 1
+        return True
+
+    intervals = [10.0 + i * 0.1 for i in range(n_sources)]
+    for interval in intervals:
+        loop.timeout_add(interval, cb)
+    rate_per_ms = sum(1.0 / i for i in intervals)
+    # At least three firings of the fastest timer, so a dispatch budget
+    # smaller than one interval still measures real work.
+    horizon = max(target_dispatches / rate_per_ms, 3.0 * min(intervals))
+    t0 = time.perf_counter()
+    loop.run_until(horizon)
+    elapsed = time.perf_counter() - t0
+    return {
+        "sources": n_sources,
+        "dispatches": fired[0],
+        "seconds": elapsed,
+        "rate_per_sec": fired[0] / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def bench_lockstep(chains: int, horizon_ms: float) -> dict:
+    """Events/second through the loop-driven lockstep engine."""
+    engine = Engine()
+    executed = [0]
+
+    def make_chain(period_ms: float):
+        def fire():
+            executed[0] += 1
+            engine.after(period_ms, fire)
+
+        return fire
+
+    for c in range(chains):
+        engine.after(1.0 + (c % 7) * 0.25, make_chain(1.0 + (c % 7) * 0.25))
+    loop = MainLoop(clock=VirtualClock())
+    engine.drive_from(loop, period_ms=50.0)
+    t0 = time.perf_counter()
+    loop.run_until(horizon_ms)
+    busy_s = time.perf_counter() - t0
+    busy_events = executed[0]
+
+    # Quiet ticks: an idle engine driven at 1 ms — pure peek cost.
+    idle_engine = Engine()
+    idle_loop = MainLoop(clock=VirtualClock())
+    idle_engine.drive_from(idle_loop, period_ms=1.0)
+    t0 = time.perf_counter()
+    idle_loop.run_until(horizon_ms)
+    quiet_s = time.perf_counter() - t0
+    return {
+        "busy_events": busy_events,
+        "busy_events_per_sec": busy_events / busy_s,
+        "quiet_ticks": int(horizon_ms),
+        "quiet_ticks_per_sec": horizon_ms / quiet_s,
+    }
+
+
+def bench_trigger(n_samples: int) -> dict:
+    """Vectorized detect vs scalar reference on a noisy repeating wave."""
+    t = np.arange(n_samples, dtype=np.float64)
+    rng = np.random.default_rng(7)
+    wave = np.sin(2 * np.pi * t / 500.0) * 10.0 + rng.normal(0.0, 0.5, n_samples)
+    trig = Trigger(0.0, Edge.EITHER, hysteresis=1.0, holdoff=50)
+
+    t0 = time.perf_counter()
+    vec_events = trig.detect(wave)
+    vec_s = time.perf_counter() - t0
+
+    wave_list = wave.tolist()
+    t0 = time.perf_counter()
+    scalar_events = trig._crossings(wave_list)
+    scalar_s = time.perf_counter() - t0
+
+    assert vec_events == scalar_events
+    return {
+        "samples": n_samples,
+        "events": len(vec_events),
+        "scalar_per_sec": n_samples / scalar_s,
+        "vectorized_per_sec": n_samples / vec_s,
+        "speedup": scalar_s / vec_s,
+    }
+
+
+DISPATCH_SIZES = [10, 100, 1_000, 10_000]
+ACCEPTANCE_SOURCES = 1_000
+ACCEPTANCE_SPEEDUP = 20.0
+
+
+def run_dispatch_suite(sizes=DISPATCH_SIZES, target_dispatches: int = 2_000) -> list:
+    results = []
+    for n in sizes:
+        # Keep the seed's O(n * iterations) cost bounded at large n.
+        seed_target = min(target_dispatches, max(200, 2_000_000 // n))
+        seed = bench_dispatch(SeedMainLoop, n, seed_target)
+        indexed = bench_dispatch(MainLoop, n, target_dispatches)
+        results.append(
+            {
+                "sources": n,
+                "seed_rate_per_sec": seed["rate_per_sec"],
+                "indexed_rate_per_sec": indexed["rate_per_sec"],
+                "speedup": indexed["rate_per_sec"] / seed["rate_per_sec"],
+            }
+        )
+    return results
+
+
+def _fmt(rate: float) -> str:
+    return f"{rate / 1e3:.1f} k/s"
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (acceptance assertions)
+# ----------------------------------------------------------------------
+def test_dispatch_throughput():
+    results = run_dispatch_suite()
+    rows = [
+        (
+            f"{r['sources']} sources",
+            f"seed {_fmt(r['seed_rate_per_sec'])}  indexed "
+            f"{_fmt(r['indexed_rate_per_sec'])}  ({r['speedup']:.1f}x)",
+        )
+        for r in results
+    ]
+    report("X9a: timer dispatch throughput (dispatches/sec)", rows)
+    at_1k = next(r for r in results if r["sources"] == ACCEPTANCE_SOURCES)
+    assert at_1k["speedup"] >= ACCEPTANCE_SPEEDUP, (
+        f"indexed loop only {at_1k['speedup']:.1f}x faster at "
+        f"{ACCEPTANCE_SOURCES} sources (acceptance: >= {ACCEPTANCE_SPEEDUP}x)"
+    )
+
+
+def test_lockstep_advance_rate():
+    result = bench_lockstep(chains=64, horizon_ms=10_000.0)
+    report(
+        "X9b: tcpsim lockstep via Engine.drive_from",
+        [
+            ("busy advance", f"{result['busy_events_per_sec'] / 1e6:.2f} M events/s"),
+            ("quiet ticks", f"{result['quiet_ticks_per_sec'] / 1e3:.0f} k ticks/s"),
+        ],
+    )
+    assert result["busy_events"] > 0
+
+
+def test_trigger_detect_1m():
+    result = bench_trigger(1_000_000)
+    report(
+        "X9c: Trigger.detect on 1M samples",
+        [
+            ("scalar reference", f"{result['scalar_per_sec'] / 1e6:.2f} M samples/s"),
+            ("vectorized detect", f"{result['vectorized_per_sec'] / 1e6:.2f} M samples/s"),
+            ("speedup", f"{result['speedup']:.1f}x"),
+        ],
+    )
+    assert result["speedup"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# Stand-alone: machine-readable JSON
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> dict:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    json_path = None
+    if "--json" in argv:
+        json_path = argv[argv.index("--json") + 1]
+    sizes = [ACCEPTANCE_SOURCES] if quick else DISPATCH_SIZES
+    target = 1_000 if quick else 2_000
+    payload = {
+        "benchmark": "eventloop",
+        "mode": "quick" if quick else "full",
+        "acceptance": {
+            "sources": ACCEPTANCE_SOURCES,
+            "min_speedup": ACCEPTANCE_SPEEDUP,
+        },
+        "dispatch": run_dispatch_suite(sizes, target),
+        "lockstep": bench_lockstep(
+            chains=16 if quick else 64, horizon_ms=2_000.0 if quick else 10_000.0
+        ),
+        "trigger": bench_trigger(200_000 if quick else 1_000_000),
+    }
+    text = json.dumps(payload, indent=2)
+    if json_path:
+        with open(json_path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {json_path}")
+    else:
+        print(text)
+    return payload
+
+
+if __name__ == "__main__":
+    main()

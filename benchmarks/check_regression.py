@@ -1,0 +1,89 @@
+"""Scheduler performance regression gate (opt-in).
+
+Runs the quick-mode dispatch benchmark at 1k timer sources and fails if
+throughput falls below a committed floor.  The floor is deliberately
+~10x under the rate a healthy build posts on a developer container, so
+only a genuine algorithmic regression (say, the O(log n) dispatch path
+quietly decaying back to a scan) trips it — CI jitter does not.
+
+Opt-in, so tier-1 stays fast:
+
+* as a pytest marker::
+
+    REPRO_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/check_regression.py -q
+
+  (without ``REPRO_BENCH=1`` the test is skipped; it also carries the
+  ``benchmark`` marker so ``-m "not benchmark"`` deselects it wholesale)
+
+* as a script, for CI pipelines that want the JSON::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
+from repro.eventloop.loop import MainLoop
+
+# Committed floor: dispatches/second at 1k attached timer sources.  A
+# healthy indexed loop posts ~300-550k/s; the seed scan loop posted ~5k/s.
+DISPATCH_FLOOR_1K = 50_000.0
+QUICK_TARGET_DISPATCHES = 1_000
+ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
+
+pytestmark = [
+    pytest.mark.benchmark,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_BENCH"),
+        reason="perf regression gate is opt-in: set REPRO_BENCH=1",
+    ),
+]
+
+
+def measure_best() -> dict:
+    best: dict = {"rate_per_sec": 0.0}
+    for _ in range(ATTEMPTS):
+        result = bench_dispatch(MainLoop, ACCEPTANCE_SOURCES, QUICK_TARGET_DISPATCHES)
+        if result["rate_per_sec"] > best["rate_per_sec"]:
+            best = result
+    return best
+
+
+def test_dispatch_throughput_floor():
+    best = measure_best()
+    assert best["rate_per_sec"] >= DISPATCH_FLOOR_1K, (
+        f"dispatch throughput at {ACCEPTANCE_SOURCES} sources regressed: "
+        f"{best['rate_per_sec']:.0f}/s < floor {DISPATCH_FLOOR_1K:.0f}/s"
+    )
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    best = measure_best()
+    passed = best["rate_per_sec"] >= DISPATCH_FLOOR_1K
+    print(
+        json.dumps(
+            {
+                "gate": "eventloop-dispatch-1k",
+                "floor_per_sec": DISPATCH_FLOOR_1K,
+                "measured_per_sec": best["rate_per_sec"],
+                "dispatches": best["dispatches"],
+                "attempts": ATTEMPTS,
+                "wall_seconds": time.perf_counter() - t0,
+                "passed": passed,
+            },
+            indent=2,
+        )
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

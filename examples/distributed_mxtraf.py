@@ -56,8 +56,12 @@ def main() -> None:
     mxtraf = Mxtraf(network, MxtrafConfig(elephants=8))
     last_delivered = [0]
 
+    # Lockstep driver: the simulation catches up to loop time before each
+    # monitor tick below (attach order fixes dispatch order at equal
+    # priority, so the advance always runs first).
+    engine.drive_from(loop, period_ms=50)
+
     def monitor(_lost) -> bool:
-        engine.advance_to(loop.clock.now())
         now = loop.clock.now()
         delivered = network.total_delivered()
         clients["traffic-server"].send_sample(

@@ -47,14 +47,11 @@ def run_experiment(queue: str, ecn: bool, title: str, out_file: str) -> None:
         func_signal("CWND", watched.get_cwnd, min=0, max=40, color="green")
     )
     scope.set_polling_mode(50)
+    # Lockstep: attached before polling starts so at every shared 50 ms
+    # deadline the simulation advances to now *before* the scope samples
+    # it (equal priority dispatches in attach order).
+    engine.drive_from(loop, period_ms=50)
     scope.start_polling()
-
-    # Lockstep: every poll first advances the network simulation to now.
-    def advance(_lost) -> bool:
-        engine.advance_to(loop.clock.now())
-        return True
-
-    loop.timeout_add(50, advance)
 
     # Double the elephants half way through the 30 s run.
     def double_elephants(_lost) -> bool:

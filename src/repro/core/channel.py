@@ -340,6 +340,17 @@ class Channel:
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
+    def values_array(self) -> np.ndarray:
+        """Displayed (filtered) column, oldest first — the zero-copy input
+        for :mod:`repro.core.trigger` / :mod:`repro.core.frequency`."""
+        return self.trace.values_array()
+
+    def raw_array(self) -> np.ndarray:
+        return self.trace.raw_array()
+
+    def times_array(self) -> np.ndarray:
+        return self.trace.times_array()
+
     def values(self) -> List[float]:
         """Displayed (filtered) values, oldest first."""
         return self.trace.values_array().tolist()

@@ -11,7 +11,8 @@ and the spectrum extends to the Nyquist frequency, half of that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +52,50 @@ _WINDOWS = {
 }
 
 
+@lru_cache(maxsize=128)
+def _window(name: str, n: int) -> np.ndarray:
+    """The taper array for ``(name, n)``, computed once and frozen.
+
+    A scope repaints the same-length spectrum every refresh; recomputing
+    a Hann window per frame cost more than the rFFT it fed.  Cached
+    arrays are marked read-only so a caller cannot corrupt the cache.
+    """
+    taper = np.asarray(_WINDOWS[name](n), dtype=np.float64)
+    taper.setflags(write=False)
+    return taper
+
+
+@lru_cache(maxsize=128)
+def _window_scale(name: str, n: int) -> float:
+    """``taper.sum() / 2`` — the unit-sine normalisation for the window."""
+    return float(_window(name, n).sum()) / 2.0
+
+
+@lru_cache(maxsize=128)
+def _rfft_freqs(n: int, d_s: float) -> np.ndarray:
+    """Frozen ``rfftfreq`` bins for an ``n``-sample trace at spacing ``d_s``."""
+    freqs = np.fft.rfftfreq(n, d=d_s)
+    freqs.setflags(write=False)
+    return freqs
+
+
+# Scratch buffers for the detrend+taper product, reused across repeated
+# same-length traces so the per-refresh spectrum allocates only the rFFT
+# output.  Keyed by length; bounded so pathological length churn cannot
+# grow it without limit.
+_SCRATCH: Dict[int, np.ndarray] = {}
+_SCRATCH_LIMIT = 8
+
+
+def _scratch(n: int) -> np.ndarray:
+    buf = _SCRATCH.get(n)
+    if buf is None:
+        if len(_SCRATCH) >= _SCRATCH_LIMIT:
+            _SCRATCH.clear()
+        _SCRATCH[n] = buf = np.empty(n, dtype=np.float64)
+    return buf
+
+
 def spectrum(
     values: Sequence[float],
     period_ms: float,
@@ -77,21 +122,32 @@ def spectrum(
         raise ValueError(f"period must be positive: {period_ms}")
     if window not in _WINDOWS:
         raise ValueError(f"unknown window {window!r}; options: {sorted(_WINDOWS)}")
-    data = np.asarray(list(values), dtype=float)
+    values_array = getattr(values, "values_array", None)
+    if values_array is not None:
+        values = values_array()  # TraceRing / Channel column, no list copy
+    elif not hasattr(values, "__len__"):
+        values = list(values)  # consume one-shot iterables exactly once
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1:
+        raise ValueError(f"trace must be 1-D, got shape {data.shape}")
     if data.size < 2:
         raise ValueError("need at least two samples for a spectrum")
+    n = data.size
+    taper = _window(window, n)
+    buf = _scratch(n)
     if detrend:
-        data = data - data.mean()
-    taper = _WINDOWS[window](data.size)
-    tapered = data * taper
-    mags = np.abs(np.fft.rfft(tapered))
+        np.subtract(data, data.mean(), out=buf)
+        np.multiply(buf, taper, out=buf)
+    else:
+        np.multiply(data, taper, out=buf)
+    mags = np.abs(np.fft.rfft(buf))
     # Normalise so a unit-amplitude sine reports magnitude ~1 regardless
     # of trace length or window choice.
-    scale = taper.sum() / 2.0
+    scale = _window_scale(window, n)
     if scale > 0:
-        mags = mags / scale
+        mags /= scale
     sample_rate_hz = 1000.0 / period_ms
-    freqs = np.fft.rfftfreq(data.size, d=period_ms / 1000.0)
+    freqs = _rfft_freqs(n, period_ms / 1000.0)
     return Spectrum(freqs_hz=freqs, magnitudes=mags, sample_rate_hz=sample_rate_hz)
 
 

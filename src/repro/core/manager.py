@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.pollhub import PollHub
 from repro.core.scope import Scope, ScopeError
 from repro.eventloop.loop import MainLoop
 
@@ -59,6 +60,13 @@ class ScopeManager:
     # Coordinated control
     # ------------------------------------------------------------------
     def start_all(self) -> None:
+        """Start every scope polling.
+
+        All scopes start at the same clock instant, so the loop's
+        :class:`PollHub` coalesces them onto one timer source per
+        distinct period — N scopes at the default period cost the
+        scheduler a single timer instead of N.
+        """
         for scope in self._scopes.values():
             scope.start_polling()
 
@@ -93,6 +101,11 @@ class ScopeManager:
             if name in scope and scope.channel(name).buffered:
                 accepted = max(accepted, scope.push_samples(name, times, values))
         return accepted
+
+    @property
+    def poll_timer_count(self) -> int:
+        """Shared timer sources driving this manager's polling scopes."""
+        return PollHub.of(self.loop).timer_count
 
     def run_for(self, duration_ms: float) -> None:
         """Drive the shared loop for ``duration_ms``."""

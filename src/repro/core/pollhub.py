@@ -1,0 +1,116 @@
+"""Poll coalescing: one loop timeout driving many scopes.
+
+The paper's manager runs "multiple scopes" off one GTK main loop; with a
+timer source per scope, a dashboard of N scopes costs the loop N timer
+entries all firing at the same period.  The hub collapses them: scopes
+subscribing with the same period *and the same start instant* share a
+single :class:`~repro.eventloop.sources.TimeoutSource`, and the hub fans
+each tick (with its Section 4.5 ``lost`` count) out to every subscriber.
+
+Keying groups by ``(period_ms, start_ms)`` rather than period alone is
+what keeps the semantics exact: a private timer's first dispatch comes
+one full period after :meth:`subscribe`, so only subscribers that start
+at the same clock instant can share a phase.  ``ScopeManager.start_all``
+starts every scope at one instant, which is precisely the case that used
+to cost one timer per scope and now costs one timer per distinct period.
+
+Subscribers within a group are dispatched in subscription order, which
+matches the (priority, id) dispatch order their private timers would
+have had (same priority, ids in attach order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.eventloop.loop import MainLoop
+
+PollCallback = Callable[[int], object]
+"""Receives the tick's lost-interval count, like a ``timeout_add``
+callback, and follows the same glib convention: return truthy to stay
+subscribed, falsy to be unsubscribed."""
+
+
+class PollSubscription:
+    """Handle returned by :meth:`PollHub.subscribe`; detach via the hub."""
+
+    __slots__ = ("group", "token", "period_ms")
+
+    def __init__(self, group: "_PollGroup", token: int, period_ms: float) -> None:
+        self.group = group
+        self.token = token
+        self.period_ms = period_ms
+
+
+class _PollGroup:
+    """One shared timer and its subscriber registry."""
+
+    __slots__ = ("hub", "key", "timer_id", "subscribers", "_next_token")
+
+    def __init__(self, hub: "PollHub", key: Tuple[float, float]) -> None:
+        self.hub = hub
+        self.key = key
+        self.subscribers: Dict[int, PollCallback] = {}
+        self._next_token = 0
+        self.timer_id = hub.loop.timeout_add(key[0], self._on_tick)
+
+    def add(self, callback: PollCallback) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self.subscribers[token] = callback
+        return token
+
+    def discard(self, token: int) -> None:
+        self.subscribers.pop(token, None)
+        if not self.subscribers:
+            self.hub.loop.remove(self.timer_id)
+            self.hub._groups.pop(self.key, None)
+
+    def _on_tick(self, lost: int) -> bool:
+        # Snapshot: a callback may unsubscribe itself or a sibling; the
+        # membership check keeps an unsubscribed sibling from ticking.
+        for token, callback in list(self.subscribers.items()):
+            if token in self.subscribers and not callback(lost):
+                self.discard(token)  # glib falsy-return removal
+        return bool(self.subscribers)
+
+
+class PollHub:
+    """Per-loop registry of coalesced polling groups."""
+
+    __slots__ = ("loop", "_groups")
+
+    def __init__(self, loop: MainLoop) -> None:
+        self.loop = loop
+        self._groups: Dict[Tuple[float, float], _PollGroup] = {}
+
+    @classmethod
+    def of(cls, loop: MainLoop) -> "PollHub":
+        """The loop's hub, created on first use."""
+        hub = getattr(loop, "_poll_hub", None)
+        if hub is None:
+            hub = cls(loop)
+            loop._poll_hub = hub  # type: ignore[attr-defined]
+        return hub
+
+    def subscribe(self, period_ms: float, callback: PollCallback) -> PollSubscription:
+        """Join (or create) the group for ``period_ms`` starting now."""
+        key = (float(period_ms), self.loop.clock.now())
+        group = self._groups.get(key)
+        if group is None:
+            group = _PollGroup(self, key)
+            self._groups[key] = group
+        return PollSubscription(group, group.add(callback), float(period_ms))
+
+    def unsubscribe(self, subscription: PollSubscription) -> None:
+        """Leave a group; the shared timer is removed with its last member."""
+        subscription.group.discard(subscription.token)
+
+    @property
+    def timer_count(self) -> int:
+        """Live shared timers — the coalescing win is subscribers minus this."""
+        return len(self._groups)
+
+    @property
+    def subscriber_count(self) -> int:
+        return sum(len(g.subscribers) for g in self._groups.values())

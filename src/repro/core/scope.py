@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.buffer import SampleBuffer
 from repro.core.channel import Channel, TracePoint
+from repro.core.pollhub import PollHub, PollSubscription
 from repro.core.signal import SignalSpec, SignalType
 from repro.core.tuples import Player, Recorder
 from repro.eventloop.loop import MainLoop
@@ -89,7 +90,7 @@ class Scope:
         self.zoom = 1.0  # vertical scale factor
         self.bias = 0.0  # vertical translation, in signal-percent units
         self._channels: Dict[str, Channel] = {}
-        self._timeout_id: Optional[int] = None
+        self._poll_sub: Optional[PollSubscription] = None
         self.player: Optional[Player] = None
         self.recorder: Optional[Recorder] = None
         self._playback_time: float = 0.0
@@ -189,20 +190,26 @@ class Scope:
         self.player = None
 
     def start_polling(self) -> None:
-        """Attach the polling timeout (``gtk_scope_start_polling``)."""
-        if self._timeout_id is not None:
+        """Attach the polling timeout (``gtk_scope_start_polling``).
+
+        Polling is coalesced through the loop's :class:`PollHub`: scopes
+        started at the same instant with the same period share one timer
+        source, so a manager full of scopes costs the scheduler one timer
+        per distinct period instead of one per scope.
+        """
+        if self._poll_sub is not None:
             return
-        self._timeout_id = self.loop.timeout_add(self.period_ms, self._on_poll)
+        self._poll_sub = PollHub.of(self.loop).subscribe(self.period_ms, self._on_poll)
 
     def stop_polling(self) -> None:
         """Detach the polling timeout (pauses the display)."""
-        if self._timeout_id is not None:
-            self.loop.remove(self._timeout_id)
-            self._timeout_id = None
+        if self._poll_sub is not None:
+            PollHub.of(self.loop).unsubscribe(self._poll_sub)
+            self._poll_sub = None
 
     @property
     def polling(self) -> bool:
-        return self._timeout_id is not None
+        return self._poll_sub is not None
 
     # ------------------------------------------------------------------
     # Acquisition: playback mode

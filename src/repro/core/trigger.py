@@ -11,13 +11,28 @@ covers the paper's stated extensions:
   stable (what the trigger knob on a hardware scope does).
 * :func:`envelope` — per-column min/max envelope across aligned sweeps,
   showing the variation band of a repeating waveform.
+
+Vectorized analysis path
+------------------------
+
+:meth:`Trigger.detect` accepts plain sequences, ``np.ndarray`` columns
+and :class:`~repro.core.channel.TraceRing` objects (via their
+``values_array`` view) without materializing Python lists.  Candidate
+crossings and re-arm points are extracted with numpy comparisons over
+the whole column; the sequential arm/holdoff state machine then runs
+only over the (sparse) crossing candidates, with re-arm lookups done by
+binary search.  Results are identical to the scalar reference
+(:meth:`Trigger._crossings`), which is retained for the equivalence
+suite and benchmarks.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 
 class Edge(enum.Enum):
@@ -34,6 +49,28 @@ class TriggerEvent:
 
     index: int
     edge: Edge
+
+
+TraceLike = Union[Sequence[float], np.ndarray]
+
+
+def _trace_column(values: TraceLike) -> np.ndarray:
+    """A float64 column for ``values`` without a Python-list round trip.
+
+    Accepts ndarrays (passed through uncopied when already float64),
+    ``TraceRing``/``Channel``-style objects exposing ``values_array``,
+    and plain sequences.
+    """
+    values_array = getattr(values, "values_array", None)
+    if values_array is not None:
+        values = values_array()
+    return np.asarray(values, dtype=np.float64)
+
+
+def _rearmed_between(rearms: np.ndarray, after: int, upto: int) -> bool:
+    """True when a re-arm index exists in ``(after, upto]``."""
+    pos = int(np.searchsorted(rearms, after, side="right"))
+    return pos < rearms.size and rearms[pos] <= upto
 
 
 class Trigger:
@@ -69,6 +106,12 @@ class Trigger:
         self.holdoff = int(holdoff)
 
     def _crossings(self, values: Sequence[float]) -> List[TriggerEvent]:
+        """Scalar reference implementation (one pass, sample by sample).
+
+        Kept as the semantic oracle for the vectorized :meth:`detect`;
+        the parity suite pits the two against each other on random
+        waveforms.
+        """
         events: List[TriggerEvent] = []
         armed_rising = True
         armed_falling = True
@@ -101,34 +144,139 @@ class Trigger:
                 last_fire = i
         return events
 
-    def find(self, values: Sequence[float]) -> List[TriggerEvent]:
+    def detect(self, values: TraceLike) -> List[TriggerEvent]:
+        """All trigger firings over a trace, oldest first (vectorized).
+
+        Candidate level crossings are found with whole-column numpy
+        comparisons; the arm/holdoff state machine then visits only the
+        candidates.  A crossing disarms its edge even when holdoff
+        suppresses the event, and re-arming at index ``i`` happens before
+        the crossing check at ``i`` — both exactly as in the scalar
+        reference.
+        """
+        v = _trace_column(values)
+        if v.ndim != 1:
+            raise ValueError(f"trace must be 1-D, got shape {v.shape}")
+        if v.size < 2:
+            return []
+        prev, cur = v[:-1], v[1:]
+        level = self.level
+        want_rising = self.edge in (Edge.RISING, Edge.EITHER)
+        want_falling = self.edge in (Edge.FALLING, Edge.EITHER)
+
+        pieces: List[np.ndarray] = []
+        rising_flags: List[np.ndarray] = []
+        if want_rising:
+            rising = np.nonzero((prev < level) & (level <= cur))[0] + 1
+            pieces.append(rising)
+            rising_flags.append(np.ones(rising.size, dtype=bool))
+        if want_falling:
+            falling = np.nonzero((prev > level) & (level >= cur))[0] + 1
+            pieces.append(falling)
+            rising_flags.append(np.zeros(falling.size, dtype=bool))
+        indices = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+        is_rising = (
+            np.concatenate(rising_flags) if len(rising_flags) > 1 else rising_flags[0]
+        )
+        if indices.size == 0:
+            return []
+        if len(pieces) > 1:
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            is_rising = is_rising[order]
+
+        # With zero hysteresis a crossing's own `prev < level` sample is
+        # a re-arm, so the trigger is always armed when a crossing
+        # arrives and the re-arm search can be skipped entirely.
+        check_arming = self.hysteresis > 0.0
+        if check_arming:
+            rearm_rising = np.nonzero(cur <= self.level - self.hysteresis)[0] + 1
+            rearm_falling = np.nonzero(cur >= self.level + self.hysteresis)[0] + 1
+        events: List[TriggerEvent] = []
+        holdoff = self.holdoff
+        last_fire = -(holdoff + 1)
+        last_rising_fire = -1  # -1: never fired, machine starts armed
+        last_falling_fire = -1
+        for k in range(indices.size):
+            i = int(indices[k])
+            if is_rising[k]:
+                if (
+                    not check_arming
+                    or last_rising_fire < 0
+                    or _rearmed_between(rearm_rising, last_rising_fire, i)
+                ):
+                    last_rising_fire = i
+                    if i - last_fire > holdoff:
+                        events.append(TriggerEvent(index=i, edge=Edge.RISING))
+                        last_fire = i
+            else:
+                if (
+                    not check_arming
+                    or last_falling_fire < 0
+                    or _rearmed_between(rearm_falling, last_falling_fire, i)
+                ):
+                    last_falling_fire = i
+                    if i - last_fire > holdoff:
+                        events.append(TriggerEvent(index=i, edge=Edge.FALLING))
+                        last_fire = i
+        return events
+
+    def find(self, values: TraceLike) -> List[TriggerEvent]:
         """All trigger firings over a trace, oldest first."""
-        return self._crossings(values)
+        return self.detect(values)
 
     def sweeps(
-        self, values: Sequence[float], width: int
-    ) -> List[List[float]]:
+        self, values: TraceLike, width: int
+    ) -> List[Sequence[float]]:
         """Cut the trace into trigger-aligned sweeps of ``width`` samples.
 
         Each sweep starts at a trigger point; sweeps that would run past
         the end of the trace are discarded (a hardware scope similarly
-        only displays complete sweeps).
+        only displays complete sweeps).  ``np.ndarray`` input yields
+        zero-copy views into the caller's array; ``TraceRing``/``Channel``
+        input yields array *snapshots* (the ring's storage is overwritten
+        as acquisition continues, so live views would silently mutate);
+        plain sequences keep returning lists.
         """
         if width <= 0:
             raise ValueError(f"sweep width must be positive: {width}")
-        sweeps: List[List[float]] = []
-        for event in self.find(values):
-            if event.index + width <= len(values):
-                sweeps.append(list(values[event.index : event.index + width]))
-        return sweeps
+        live_ring = hasattr(values, "values_array")
+        as_arrays = live_ring or isinstance(values, np.ndarray)
+        v = _trace_column(values)
+        out: List[Sequence[float]] = []
+        for event in self.detect(v):
+            if event.index + width <= v.size:
+                sweep = v[event.index : event.index + width]
+                if live_ring:
+                    sweep = sweep.copy()
+                out.append(sweep if as_arrays else sweep.tolist())
+        return out
 
 
-def envelope(sweeps: Sequence[Sequence[float]]) -> Tuple[List[float], List[float]]:
+def envelope(
+    sweeps: Union[Sequence[Sequence[float]], np.ndarray],
+) -> Tuple[Sequence[float], Sequence[float]]:
     """Per-column (min, max) envelope across aligned sweeps.
 
-    All sweeps must share a length.  Returns ``(lower, upper)`` lists of
-    that length.  With a single sweep both envelopes equal the sweep.
+    All sweeps must share a length.  Returns ``(lower, upper)`` of that
+    length.  With a single sweep both envelopes equal the sweep.  A 2-D
+    ``np.ndarray`` (or a list of aligned 1-D arrays, as produced by
+    :meth:`Trigger.sweeps` on array input) is reduced with vectorized
+    column min/max and returns arrays; plain nested sequences keep the
+    scalar path and return lists.
     """
+    if isinstance(sweeps, np.ndarray) or (
+        len(sweeps) > 0 and isinstance(sweeps[0], np.ndarray)
+    ):
+        try:
+            arr = np.asarray(sweeps, dtype=np.float64)
+        except ValueError as exc:
+            raise ValueError(f"sweeps must share a length: {exc}") from None
+        if arr.ndim != 2:
+            raise ValueError(f"sweeps must be aligned 1-D rows, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError("need at least one sweep for an envelope")
+        return arr.min(axis=0), arr.max(axis=0)
     if not sweeps:
         raise ValueError("need at least one sweep for an envelope")
     width = len(sweeps[0])
@@ -143,8 +291,8 @@ def envelope(sweeps: Sequence[Sequence[float]]) -> Tuple[List[float], List[float
 
 
 def stabilised_view(
-    values: Sequence[float], trigger: Trigger, width: int
-) -> Optional[List[float]]:
+    values: TraceLike, trigger: Trigger, width: int
+) -> Optional[Sequence[float]]:
     """The most recent complete trigger-aligned sweep, or None.
 
     This is what a triggered scope actually paints: the latest sweep that

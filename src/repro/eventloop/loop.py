@@ -12,11 +12,37 @@ One iteration:
    to the next kernel tick and may add scheduling latency),
 4. dispatch ready sources in priority order; callbacks returning falsy are
    removed (glib semantics).
+
+Indexed scheduler
+-----------------
+
+Sources are partitioned at attach time instead of being rescanned every
+iteration:
+
+* **timers** (plain :class:`TimeoutSource`) keep their deadlines in a
+  lazy-invalidation heap: each source has at most one live heap entry;
+  removal or restart marks the old entry dead in place and dead entries
+  are discarded when they surface at the top.  Finding the earliest
+  deadline and collecting the ready batch are O(log n) per ready source
+  rather than O(total sources).
+* **idles** live in their own id-indexed dict; an iteration with timer or
+  I/O work never touches them.
+* **polled** sources (I/O watches and any custom :class:`Source`
+  subclass) keep predicate readiness: they are the only partition the
+  loop still probes per iteration, so a thousand quiet timers no longer
+  tax an I/O poll and vice versa.
+
+``attach``/``remove`` are O(1) dict operations.  Dispatch semantics are
+unchanged from the scan implementation: ready sources run in
+(priority, id) order, callbacks returning falsy are detached, lost
+timeout intervals are accounted by :class:`TimeoutSource.dispatch`, and
+``run_until`` leaves the clock exactly at its deadline.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import heapq
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.eventloop.clock import Clock, VirtualClock
 from repro.eventloop.sources import (
@@ -28,6 +54,20 @@ from repro.eventloop.sources import (
     Source,
     TimeoutSource,
 )
+
+# Heap entries are mutable: [deadline_ms, push_seq, source | None].
+# ``source is None`` marks a dead entry (the source was removed or its
+# deadline changed).  The tiebreaker is a per-loop monotonic push
+# sequence, NOT the source id: a dead entry and a live one can share an
+# id (remove + re-attach at one instant), and equal (deadline, id)
+# prefixes would make heapq compare Source with None.
+_HeapEntry = List[Any]
+
+_READY_EPS = 1e-9
+
+
+def _dispatch_key(source: Source) -> tuple:
+    return (source.priority, source.id)
 
 
 class MainLoop:
@@ -48,7 +88,18 @@ class MainLoop:
     def __init__(self, clock: Optional[Clock] = None, max_io_poll_ms: float = 1.0) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self.max_io_poll_ms = float(max_io_poll_ms)
-        self._sources: List[Source] = []
+        # All attached sources, id -> source, in attach order (dict
+        # preserves insertion), so `sources` matches the old list.
+        self._by_id: Dict[int, Source] = {}
+        # Partitions (disjoint, also id -> source, attach-ordered).
+        self._timers: Dict[int, TimeoutSource] = {}
+        self._idles: Dict[int, Source] = {}
+        self._polled: Dict[int, Source] = {}
+        self._io_count = 0  # IOWatch instances inside _polled
+        # Timer index: heap of live entries + id -> its current entry.
+        self._timer_heap: List[_HeapEntry] = []
+        self._timer_entry: Dict[int, _HeapEntry] = {}
+        self._heap_seq = 0  # heap tiebreaker; bumped on every push
         self._running = False
         self.iterations = 0
         self.dispatches = 0
@@ -57,25 +108,72 @@ class MainLoop:
     # Source management
     # ------------------------------------------------------------------
     def attach(self, source: Source) -> int:
-        """Attach a source and return its id."""
+        """Attach a source and return its id.  O(1) (O(log n) for timers)."""
         if source.attached:
             raise ValueError(f"source {source.id} already attached")
         source.attached = True
         source.destroyed = False
-        if isinstance(source, TimeoutSource):
+        sid = source.id
+        self._by_id[sid] = source
+        # Exact-type check: TimeoutSource subclasses may override the
+        # deadline discipline the heap relies on, so they stay predicate-
+        # polled like any other custom source.
+        if type(source) is TimeoutSource:
             source.start(self.clock.now())
-        self._sources.append(source)
-        return source.id
+            self._timers[sid] = source
+            self._push_timer(source)
+        elif isinstance(source, TimeoutSource):
+            source.start(self.clock.now())
+            self._polled[sid] = source
+        elif isinstance(source, IdleSource):
+            self._idles[sid] = source
+        else:
+            self._polled[sid] = source
+            if isinstance(source, IOWatch):
+                self._io_count += 1
+        return sid
 
     def remove(self, source_id: int) -> bool:
         """Detach the source with ``source_id``; True if it was present."""
-        for src in self._sources:
-            if src.id == source_id:
-                src.destroy()
-                src.attached = False
-                self._sources.remove(src)
-                return True
-        return False
+        source = self._by_id.get(source_id)
+        if source is None:
+            return False
+        source.destroy()
+        self._detach(source)
+        return True
+
+    def _detach(self, source: Source) -> None:
+        """Drop an attached source from every index (idempotent)."""
+        sid = source.id
+        if self._by_id.pop(sid, None) is None:
+            return
+        source.attached = False
+        if self._timers.pop(sid, None) is not None:
+            entry = self._timer_entry.pop(sid, None)
+            if entry is not None:
+                entry[2] = None  # lazy invalidation; discarded on surfacing
+        elif self._idles.pop(sid, None) is None:
+            removed = self._polled.pop(sid, None)
+            if removed is not None and isinstance(removed, IOWatch):
+                self._io_count -= 1
+
+    def _push_timer(self, source: TimeoutSource) -> None:
+        """(Re)index a timer at its current deadline.
+
+        Idempotent reconciliation: an existing entry already at the
+        source's deadline is kept; a stale one is invalidated in place
+        and replaced.
+        """
+        old = self._timer_entry.pop(source.id, None)
+        if old is not None:
+            if old[0] == source.deadline:
+                self._timer_entry[source.id] = old
+                return
+            old[2] = None
+        self._heap_seq += 1
+        entry: _HeapEntry = [source.deadline, self._heap_seq, source]
+        self._timer_entry[source.id] = entry
+        heapq.heappush(self._timer_heap, entry)
 
     def timeout_add(
         self,
@@ -111,39 +209,97 @@ class MainLoop:
 
     @property
     def sources(self) -> List[Source]:
-        return list(self._sources)
+        return list(self._by_id.values())
+
+    @property
+    def timer_count(self) -> int:
+        """Heap-indexed timer sources currently attached."""
+        return len(self._timers)
 
     # ------------------------------------------------------------------
     # Iteration
     # ------------------------------------------------------------------
+    def _pop_ready_timers(self, now: float) -> List[Source]:
+        """Pop every live timer entry due at ``now`` off the heap.
+
+        Popped timers are *in flight*: they have no heap entry until
+        :meth:`_dispatch` re-indexes the ones that stay attached.
+        """
+        heap = self._timer_heap
+        ready: List[Source] = []
+        if not heap:
+            return ready
+        entries = self._timer_entry
+        pop = heapq.heappop
+        # Same float expression as TimeoutSource.ready so heap collection
+        # is bit-identical to the scan it replaces.
+        while heap and now >= heap[0][0] - _READY_EPS:
+            entry = pop(heap)
+            source = entry[2]
+            if source is None or entries.get(source.id) is not entry:
+                continue  # dead or superseded entry
+            del entries[source.id]
+            ready.append(source)
+        return ready
+
     def _ready_sources(self, now: float, include_idle: bool) -> List[Source]:
-        ready = [
-            s
-            for s in self._sources
-            if not isinstance(s, IdleSource) and s.ready(now)
-        ]
-        if not ready and include_idle:
-            ready = [s for s in self._sources if isinstance(s, IdleSource)]
-        return sorted(ready, key=lambda s: (s.priority, s.id))
+        ready = self._pop_ready_timers(now)
+        if self._polled:
+            ready.extend(s for s in self._polled.values() if s.ready(now))
+        if not ready and include_idle and self._idles:
+            ready = list(self._idles.values())
+        if len(ready) > 1:
+            ready.sort(key=_dispatch_key)
+        return ready
 
     def _earliest_deadline(self, now: float) -> Optional[float]:
-        deadlines = [
-            d
-            for s in self._sources
-            if (d := s.next_deadline(now)) is not None
-        ]
-        return min(deadlines) if deadlines else None
+        heap = self._timer_heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)  # shed dead entries as they surface
+        best: Optional[float] = heap[0][0] if heap else None
+        if self._polled:
+            for source in self._polled.values():
+                deadline = source.next_deadline(now)
+                if deadline is not None and (best is None or deadline < best):
+                    best = deadline
+        return best
 
     def _dispatch(self, ready: List[Source], now: float) -> int:
         count = 0
-        for src in ready:
-            if src.destroyed or not src.attached:
-                continue
-            keep = src.dispatch(now)
-            count += 1
-            if (not keep or src.destroyed) and src in self._sources:
-                src.attached = False
-                self._sources.remove(src)
+        timers = self._timers
+        entries = self._timer_entry
+        heap = self._timer_heap
+        push = heapq.heappush
+        try:
+            for src in ready:
+                if src.destroyed or not src.attached:
+                    continue
+                keep = src.dispatch(now)
+                count += 1
+                sid = src.id
+                if not keep or src.destroyed:
+                    self._detach(src)
+                elif sid in timers:
+                    entry = entries.get(sid)
+                    if entry is None:
+                        # In flight (popped ready): index the new deadline.
+                        self._heap_seq += 1
+                        entry = [src.deadline, self._heap_seq, src]
+                        entries[sid] = entry
+                        push(heap, entry)
+                    elif entry[0] != src.deadline:
+                        # The callback detached and re-attached this very
+                        # timer: attach indexed the pre-dispatch deadline,
+                        # dispatch then advanced it.  Reconcile.
+                        self._push_timer(src)
+        except BaseException:
+            # A raising callback must not strand the rest of the popped
+            # batch: re-index any in-flight timer left undispatched.
+            for src in ready:
+                if src.attached and src.id in timers:
+                    self._push_timer(src)
+            self.dispatches += count
+            raise
         self.dispatches += count
         return count
 
@@ -161,7 +317,7 @@ class MainLoop:
         if not may_block:
             return False
         deadline = self._earliest_deadline(now)
-        has_io = any(isinstance(s, IOWatch) for s in self._sources)
+        has_io = self._io_count > 0
         if deadline is None and not has_io:
             return False  # nothing will ever become ready
         if deadline is None or (has_io and deadline - now > self.max_io_poll_ms):
@@ -181,9 +337,11 @@ class MainLoop:
         """
         self._running = True
         done = 0
-        while self._running and self._sources:
-            timed_or_io = [s for s in self._sources if not isinstance(s, IdleSource)]
-            self.iteration(may_block=bool(timed_or_io))
+        while self._running and self._by_id:
+            # Partition counts replace the per-iteration rebuild of the
+            # timed-or-io list: blocking is allowed exactly when a
+            # non-idle source exists.
+            self.iteration(may_block=bool(self._timers or self._polled))
             done += 1
             if max_iterations is not None and done >= max_iterations:
                 break
@@ -197,15 +355,17 @@ class MainLoop:
         clock exactly at ``deadline_ms``.
         """
         self._running = True
-        while self._running and self.clock.now() < deadline_ms:
-            now = self.clock.now()
+        clock_now = self.clock.now
+        while self._running:
+            now = clock_now()
+            if now >= deadline_ms:
+                break
             ready = self._ready_sources(now, include_idle=False)
             if ready:
                 self._dispatch(ready, now)
                 continue
             next_deadline = self._earliest_deadline(now)
-            has_io = any(isinstance(s, IOWatch) for s in self._sources)
-            if has_io:
+            if self._io_count:
                 step = min(
                     next_deadline if next_deadline is not None else deadline_ms,
                     now + self.max_io_poll_ms,

@@ -70,11 +70,18 @@ class Engine:
         """
         if time_ms < self._now - 1e-9:
             raise ValueError(f"cannot advance backwards: {time_ms} < {self._now}")
+        # Heap-peek early exit: a lockstep tick with no due work costs one
+        # comparison, not a pop loop — the common case when the event loop
+        # polls faster than the simulation generates events.
+        queue = self._queue
+        limit = time_ms + 1e-9
+        if not queue or queue[0][0] > limit:
+            if time_ms > self._now:
+                self._now = float(time_ms)
+            return 0
         # Inlined pop loop: one heappop per event, no step() call frames
         # or repeated peeks — this is the hot loop of every simulation.
-        queue = self._queue
         pop = heapq.heappop
-        limit = time_ms + 1e-9
         executed = 0
         try:
             while queue and queue[0][0] <= limit:
@@ -92,6 +99,23 @@ class Engine:
     def run_until(self, time_ms: float) -> int:
         """Alias of :meth:`advance_to` for free-running simulations."""
         return self.advance_to(time_ms)
+
+    def drive_from(self, loop, period_ms: float = 50.0) -> int:
+        """Attach a lockstep driver to ``loop``; returns the source id.
+
+        Every ``period_ms`` the engine advances to the loop's current
+        clock time, which is how a live scope polls a running simulation
+        (the scope's own poll then samples the freshly advanced signals).
+        The tick is driven off the shared event-heap peek inside
+        :meth:`advance_to`, so quiet periods cost one comparison instead
+        of a scan; detach with ``loop.remove(source_id)`` to stop.
+        """
+
+        def _tick(lost: int) -> bool:
+            self.advance_to(loop.clock.now())
+            return True
+
+        return loop.timeout_add(period_ms, _tick)
 
     def run_all(self, max_events: int = 10_000_000) -> int:
         """Drain the queue entirely (bounded by ``max_events``)."""

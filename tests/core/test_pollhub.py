@@ -1,0 +1,106 @@
+"""Tests for PollHub: coalesced scope polling on one shared timer."""
+
+from __future__ import annotations
+
+from repro.core.manager import ScopeManager
+from repro.core.pollhub import PollHub
+from repro.core.signal import Cell, memory_signal
+from repro.eventloop.loop import MainLoop
+
+
+def manager_with_scopes(n: int, period_ms: float = 50.0) -> ScopeManager:
+    mgr = ScopeManager()
+    for i in range(n):
+        scope = mgr.scope_new(f"s{i}", period_ms=period_ms)
+        scope.signal_new(memory_signal("x", Cell(float(i))))
+    return mgr
+
+
+class TestCoalescing:
+    def test_start_all_shares_one_timer(self):
+        mgr = manager_with_scopes(8)
+        mgr.start_all()
+        assert len(mgr.loop.sources) == 1
+        assert mgr.poll_timer_count == 1
+        assert PollHub.of(mgr.loop).subscriber_count == 8
+
+    def test_distinct_periods_get_distinct_timers(self):
+        mgr = ScopeManager()
+        for i, period in enumerate([50, 50, 100]):
+            mgr.scope_new(f"s{i}", period_ms=period).signal_new(
+                memory_signal("x", Cell(1.0))
+            )
+        mgr.start_all()
+        assert mgr.poll_timer_count == 2
+        assert len(mgr.loop.sources) == 2
+
+    def test_shared_timer_polls_every_scope(self):
+        mgr = manager_with_scopes(5)
+        mgr.start_all()
+        mgr.run_for(1000)
+        # Identical to a private 50 ms timer: polls at t=50..950.
+        assert all(s.polls == 19 for s in mgr.scopes)
+        assert all(s.value_of("x") == float(i) for i, s in enumerate(mgr.scopes))
+
+    def test_stop_one_keeps_timer_for_the_rest(self):
+        mgr = manager_with_scopes(3)
+        mgr.start_all()
+        mgr.scope("s0").stop_polling()
+        assert len(mgr.loop.sources) == 1
+        mgr.run_for(200)
+        assert mgr.scope("s0").polls == 0
+        assert mgr.scope("s1").polls > 0
+
+    def test_last_unsubscribe_removes_timer(self):
+        mgr = manager_with_scopes(3)
+        mgr.start_all()
+        mgr.stop_all()
+        assert mgr.loop.sources == []
+        assert mgr.poll_timer_count == 0
+
+    def test_restart_later_gets_fresh_phase(self):
+        """A scope restarted mid-run must wait one full period, exactly as
+        its private timer would have."""
+        mgr = manager_with_scopes(2)
+        mgr.start_all()
+        mgr.run_for(70)  # one poll at t=50 each
+        scope = mgr.scope("s0")
+        scope.stop_polling()
+        scope.start_polling()  # t=70: next poll due at 120, not 100
+        # Two groups now: phase-(0) for s1, phase-(70) for s0.
+        assert mgr.poll_timer_count == 2
+        polls_before = scope.polls
+        mgr.run_for(45)  # to t=115: s0 must not have polled yet
+        assert scope.polls == polls_before
+        mgr.run_for(10)  # past t=120
+        assert scope.polls == polls_before + 1
+
+    def test_lost_intervals_fan_out_to_all_scopes(self):
+        mgr = manager_with_scopes(3)
+        mgr.start_all()
+        mgr.loop.clock.advance(175)  # swallow two whole periods
+        mgr.run_for(50)
+        assert all(s.lost_timeouts == 2 for s in mgr.scopes)
+
+    def test_unsubscribed_sibling_not_ticked_mid_dispatch(self):
+        loop = MainLoop()
+        hub = PollHub.of(loop)
+        ticks = []
+        subs = {}
+
+        def first(lost):
+            ticks.append("first")
+            hub.unsubscribe(subs["second"])
+
+        def second(lost):
+            ticks.append("second")
+
+        subs["first"] = hub.subscribe(50, first)
+        subs["second"] = hub.subscribe(50, second)
+        loop.run_until(60)
+        assert ticks == ["first"]
+
+    def test_hub_is_per_loop_singleton(self):
+        loop = MainLoop()
+        assert PollHub.of(loop) is PollHub.of(loop)
+        assert PollHub.of(MainLoop()) is not PollHub.of(loop)

@@ -1,0 +1,201 @@
+"""Parity suite: vectorized analysis path vs scalar references.
+
+Covers the PR-2 vectorization satellites: ``Trigger.detect`` /
+``envelope`` over numpy columns (including ``TraceRing`` views, no list
+materialization) must match the scalar implementations bit-for-bit, and
+the cached-window spectrum path must equal the uncached computation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.channel import Channel, TraceRing
+from repro.core.frequency import _window, spectrum
+from repro.core.signal import buffer_signal
+from repro.core.trigger import Edge, Trigger, envelope, stabilised_view
+
+
+def random_wave(rng: random.Random, n: int) -> list:
+    """A random walk with occasional jumps — rich in crossings."""
+    out = []
+    v = rng.uniform(-5, 5)
+    for _ in range(n):
+        v += rng.uniform(-1.0, 1.0)
+        if rng.random() < 0.05:
+            v += rng.uniform(-6.0, 6.0)
+        out.append(v)
+    return out
+
+
+class TestDetectParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_parity_with_scalar_reference(self, seed):
+        rng = random.Random(seed)
+        wave = random_wave(rng, rng.randint(2, 400))
+        trig = Trigger(
+            level=rng.uniform(-3, 3),
+            edge=rng.choice([Edge.RISING, Edge.FALLING, Edge.EITHER]),
+            hysteresis=rng.choice([0.0, 0.0, rng.uniform(0.1, 2.0)]),
+            holdoff=rng.choice([0, 0, rng.randint(1, 25)]),
+        )
+        scalar = trig._crossings(wave)
+        assert trig.detect(wave) == scalar
+        assert trig.detect(np.asarray(wave)) == scalar
+        assert trig.find(wave) == scalar
+
+    def test_exact_level_touch_with_zero_hysteresis(self):
+        # prev < level == cur fires rising; the same-sample re-arm path.
+        wave = [0.0, 5.0, 0.0, 5.0, 0.0]
+        trig = Trigger(5.0, Edge.RISING)
+        assert trig.detect(wave) == trig._crossings(wave)
+
+    def test_holdoff_suppressed_fire_still_disarms(self):
+        # Crossing inside holdoff must disarm its edge (scalar semantics);
+        # a hysteresis trigger only re-fires after retreating past lo.
+        wave = [0.0, 10.0, 6.0, 10.0, 0.0, 10.0]
+        for holdoff in (0, 1, 2, 3):
+            trig = Trigger(5.0, Edge.RISING, hysteresis=1.0, holdoff=holdoff)
+            assert trig.detect(wave) == trig._crossings(wave)
+
+    def test_short_and_empty_traces(self):
+        trig = Trigger(1.0)
+        assert trig.detect([]) == []
+        assert trig.detect([3.0]) == []
+        assert trig.detect(np.empty(0)) == []
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            Trigger(1.0).detect(np.zeros((3, 3)))
+
+
+class TestTraceRingInput:
+    def make_ring(self, values) -> TraceRing:
+        ring = TraceRing(maxlen=len(values))
+        for i, v in enumerate(values):
+            ring.append(float(i), float(v), float(v))
+        return ring
+
+    def test_detect_straight_from_ring(self):
+        wave = [math.sin(i / 5) * 10 for i in range(200)]
+        ring = self.make_ring(wave)
+        trig = Trigger(0.0, Edge.EITHER, hysteresis=0.5)
+        assert trig.detect(ring) == trig._crossings(wave)
+
+    def test_detect_from_channel(self):
+        channel = Channel(buffer_signal("sig"), capacity=256)
+        wave = [math.sin(i / 3) * 4 for i in range(128)]
+        channel.accept_samples(
+            np.arange(128, dtype=np.float64), np.asarray(wave, dtype=np.float64)
+        )
+        trig = Trigger(0.0, Edge.RISING)
+        assert trig.detect(channel) == trig._crossings(channel.values())
+
+    def test_sweeps_from_ring_are_stable_snapshots(self):
+        wave = [0.0, 10.0] * 50
+        ring = self.make_ring(wave)
+        trig = Trigger(5.0, Edge.RISING)
+        sweeps = trig.sweeps(ring, width=4)
+        assert sweeps and all(isinstance(s, np.ndarray) for s in sweeps)
+        # The ring's storage is overwritten as acquisition continues;
+        # captured sweeps must not mutate with it.
+        snapshot = [s.copy() for s in sweeps]
+        for i in range(ring.maxlen):
+            ring.append(1e6 + i, -1.0, -1.0)
+        assert all(np.array_equal(s, c) for s, c in zip(sweeps, snapshot))
+
+    def test_sweeps_from_ndarray_are_views(self):
+        wave = np.asarray([0.0, 10.0] * 50)
+        sweeps = Trigger(5.0, Edge.RISING).sweeps(wave, width=4)
+        # Caller-owned arrays keep the zero-copy fast path.
+        assert sweeps and all(s.base is not None for s in sweeps)
+
+    def test_sweeps_list_input_still_lists(self):
+        wave = [0.0, 10.0] * 10
+        sweeps = Trigger(5.0, Edge.RISING).sweeps(wave, width=2)
+        assert sweeps and all(isinstance(s, list) for s in sweeps)
+
+
+class TestEnvelopeParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_array_path_matches_list_path(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 30)
+        rows = [[rng.uniform(-5, 5) for _ in range(width)] for _ in range(rng.randint(1, 12))]
+        lo_list, hi_list = envelope(rows)
+        lo_arr, hi_arr = envelope(np.asarray(rows))
+        assert isinstance(lo_arr, np.ndarray) and isinstance(hi_arr, np.ndarray)
+        assert lo_arr.tolist() == lo_list
+        assert hi_arr.tolist() == hi_list
+
+    def test_list_of_arrays(self):
+        rows = [np.asarray([1.0, 5.0]), np.asarray([3.0, 2.0])]
+        lo, hi = envelope(rows)
+        assert lo.tolist() == [1.0, 2.0]
+        assert hi.tolist() == [3.0, 5.0]
+
+    def test_array_validation(self):
+        with pytest.raises(ValueError):
+            envelope(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            envelope(np.zeros(4))  # 1-D is not a sweep stack
+        with pytest.raises(ValueError):
+            envelope([np.zeros(2), np.zeros(3)])  # ragged arrays
+
+    def test_stabilised_view_on_array(self):
+        wave = np.tile(np.asarray([0.0, 10.0, 10.0, 0.0]), 10)
+        view = stabilised_view(wave, Trigger(5.0, Edge.RISING), width=4)
+        assert view is not None and isinstance(view, np.ndarray)
+        assert len(view) == 4
+
+
+class TestSpectrumCaching:
+    def test_window_cache_returns_same_frozen_array(self):
+        a = _window("hann", 257)
+        b = _window("hann", 257)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 1.0
+
+    def test_repeated_spectra_identical(self):
+        wave = [math.sin(2 * math.pi * i / 32) for i in range(256)]
+        first = spectrum(wave, period_ms=50)
+        second = spectrum(wave, period_ms=50)
+        assert np.array_equal(first.magnitudes, second.magnitudes)
+        assert np.array_equal(first.freqs_hz, second.freqs_hz)
+
+    def test_scratch_reuse_does_not_leak_between_traces(self):
+        """Same length, different data: the reused buffer must not bleed."""
+        a = [math.sin(2 * math.pi * i / 16) for i in range(128)]
+        b = [math.cos(2 * math.pi * i / 8) for i in range(128)]
+        spec_a1 = spectrum(a, period_ms=10)
+        spectrum(b, period_ms=10)
+        spec_a2 = spectrum(a, period_ms=10)
+        assert np.array_equal(spec_a1.magnitudes, spec_a2.magnitudes)
+
+    def test_matches_uncached_reference(self):
+        wave = [math.sin(2 * math.pi * i / 20) + 0.3 for i in range(200)]
+        spec = spectrum(wave, period_ms=50, window="hamming")
+        data = np.asarray(wave, dtype=float)
+        data = data - data.mean()
+        taper = np.hamming(data.size)
+        mags = np.abs(np.fft.rfft(data * taper)) / (taper.sum() / 2.0)
+        assert np.allclose(spec.magnitudes, mags, rtol=0, atol=0)
+
+    def test_spectrum_from_trace_ring(self):
+        ring = TraceRing(maxlen=128)
+        for i in range(128):
+            v = math.sin(2 * math.pi * i / 16)
+            ring.append(float(i), v, v)
+        spec_ring = spectrum(ring, period_ms=50)
+        spec_list = spectrum([p.value for p in ring], period_ms=50)
+        assert np.array_equal(spec_ring.magnitudes, spec_list.magnitudes)
+
+    def test_spectrum_from_generator_still_works(self):
+        spec = spectrum((math.sin(i / 3.0) for i in range(64)), period_ms=50)
+        assert spec.magnitudes.size == 33

@@ -1,0 +1,492 @@
+"""Randomized equivalence: indexed MainLoop vs the seed scan loop.
+
+The indexed scheduler (deadline heap, id-indexed partitions) must be
+observationally identical to the seed implementation that rescanned every
+source per iteration.  :class:`ReferenceLoop` below *is* that seed
+implementation, kept verbatim as the oracle; randomized scenarios —
+mixed priorities, removal during dispatch, self-removal, mid-run
+attachment, lost intervals under a latency-spiking kernel clock, idle
+starvation — are run against both and their dispatch traces compared
+bit-for-bit (callback order, clock timestamps, lost counts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro.eventloop.clock import KernelTimerModel, VirtualClock
+from repro.eventloop.loop import MainLoop
+from repro.eventloop.sources import (
+    IdleSource,
+    IOWatch,
+    Priority,
+    Source,
+    TimeoutSource,
+)
+
+
+# ----------------------------------------------------------------------
+# The seed MainLoop, verbatim: linear scans over one source list.
+# ----------------------------------------------------------------------
+class ReferenceLoop:
+    def __init__(self, clock=None, max_io_poll_ms: float = 1.0) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.max_io_poll_ms = float(max_io_poll_ms)
+        self._sources: List[Source] = []
+        self._running = False
+        self.iterations = 0
+        self.dispatches = 0
+
+    def attach(self, source: Source) -> int:
+        if source.attached:
+            raise ValueError(f"source {source.id} already attached")
+        source.attached = True
+        source.destroyed = False
+        if isinstance(source, TimeoutSource):
+            source.start(self.clock.now())
+        self._sources.append(source)
+        return source.id
+
+    def remove(self, source_id: int) -> bool:
+        for src in self._sources:
+            if src.id == source_id:
+                src.destroy()
+                src.attached = False
+                self._sources.remove(src)
+                return True
+        return False
+
+    def timeout_add(self, interval_ms, callback, priority=Priority.DEFAULT):
+        return self.attach(TimeoutSource(interval_ms, callback, priority))
+
+    def idle_add(self, callback, priority=Priority.DEFAULT_IDLE):
+        return self.attach(IdleSource(callback, priority))
+
+    @property
+    def sources(self):
+        return list(self._sources)
+
+    def _ready_sources(self, now, include_idle):
+        ready = [
+            s for s in self._sources if not isinstance(s, IdleSource) and s.ready(now)
+        ]
+        if not ready and include_idle:
+            ready = [s for s in self._sources if isinstance(s, IdleSource)]
+        return sorted(ready, key=lambda s: (s.priority, s.id))
+
+    def _earliest_deadline(self, now):
+        deadlines = [
+            d for s in self._sources if (d := s.next_deadline(now)) is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _dispatch(self, ready, now):
+        count = 0
+        for src in ready:
+            if src.destroyed or not src.attached:
+                continue
+            keep = src.dispatch(now)
+            count += 1
+            if (not keep or src.destroyed) and src in self._sources:
+                src.attached = False
+                self._sources.remove(src)
+        self.dispatches += count
+        return count
+
+    def iteration(self, may_block: bool = True) -> bool:
+        self.iterations += 1
+        now = self.clock.now()
+        ready = self._ready_sources(now, include_idle=True)
+        if ready:
+            return self._dispatch(ready, now) > 0
+        if not may_block:
+            return False
+        deadline = self._earliest_deadline(now)
+        has_io = any(isinstance(s, IOWatch) for s in self._sources)
+        if deadline is None and not has_io:
+            return False
+        if deadline is None or (has_io and deadline - now > self.max_io_poll_ms):
+            deadline = now + self.max_io_poll_ms
+        self.clock.wait_until(deadline)
+        now = self.clock.now()
+        ready = self._ready_sources(now, include_idle=False)
+        return self._dispatch(ready, now) > 0
+
+    def run(self, max_iterations: Optional[int] = None) -> None:
+        self._running = True
+        done = 0
+        while self._running and self._sources:
+            timed_or_io = [s for s in self._sources if not isinstance(s, IdleSource)]
+            self.iteration(may_block=bool(timed_or_io))
+            done += 1
+            if max_iterations is not None and done >= max_iterations:
+                break
+        self._running = False
+
+    def run_until(self, deadline_ms: float) -> None:
+        self._running = True
+        while self._running and self.clock.now() < deadline_ms:
+            now = self.clock.now()
+            ready = self._ready_sources(now, include_idle=False)
+            if ready:
+                self._dispatch(ready, now)
+                continue
+            next_deadline = self._earliest_deadline(now)
+            has_io = any(isinstance(s, IOWatch) for s in self._sources)
+            if has_io:
+                step = min(
+                    next_deadline if next_deadline is not None else deadline_ms,
+                    now + self.max_io_poll_ms,
+                    deadline_ms,
+                )
+            elif next_deadline is None or next_deadline > deadline_ms:
+                self.clock.wait_until(deadline_ms)
+                break
+            else:
+                step = next_deadline
+            self.clock.wait_until(max(step, now))
+        self._running = False
+
+    def quit(self) -> None:
+        self._running = False
+
+
+# ----------------------------------------------------------------------
+# Scenario harness: one declarative spec, instantiated on both loops.
+# ----------------------------------------------------------------------
+INTERVALS = [7.0, 10.0, 25.0, 30.0, 50.0, 75.0, 100.0]
+PRIORITIES = [
+    Priority.HIGH,
+    Priority.DEFAULT,
+    Priority.HIGH_IDLE,
+    Priority.DEFAULT_IDLE,
+    Priority.LOW,
+]
+
+
+def random_scenario(rng: random.Random) -> dict:
+    """A random mix of timers and idles with scripted side effects."""
+    timers = []
+    for t in range(rng.randint(2, 7)):
+        timers.append(
+            {
+                "name": f"t{t}",
+                "interval": rng.choice(INTERVALS),
+                "priority": rng.choice(PRIORITIES),
+                # die_after: return False on the k-th fire (glib removal)
+                "die_after": rng.choice([None, None, rng.randint(1, 5)]),
+                # remove: on fire k, loop.remove() another source by name
+                "remove": (
+                    (rng.randint(1, 3), f"t{rng.randrange(0, t)}")
+                    if t > 0 and rng.random() < 0.3
+                    else None
+                ),
+                # spawn: on fire k, attach a brand-new timer mid-run
+                "spawn": (
+                    (rng.randint(1, 3), rng.choice(INTERVALS))
+                    if rng.random() < 0.25
+                    else None
+                ),
+            }
+        )
+    idles = [
+        {"name": f"i{j}", "lives": rng.randint(1, 4), "priority": rng.choice(PRIORITIES)}
+        for j in range(rng.randint(0, 2))
+    ]
+    return {
+        "timers": timers,
+        "idles": idles,
+        "horizon": rng.choice([200.0, 333.0, 500.0, 1000.0]),
+        # Optional kernel-model latency spikes keyed by wakeup time.
+        "spikes": (
+            {float(rng.randrange(1, 20) * 10): float(rng.randrange(5, 150))}
+            if rng.random() < 0.4
+            else None
+        ),
+    }
+
+
+def run_scenario(loop_cls, spec: dict) -> tuple:
+    """Instantiate the spec on a fresh loop; return its dispatch trace."""
+    if spec["spikes"] is not None:
+        spikes = dict(spec["spikes"])
+        clock = KernelTimerModel(
+            VirtualClock(), tick_ms=10.0, latency=lambda t: spikes.pop(t, 0.0)
+        )
+        loop = loop_cls(clock=clock)
+    else:
+        loop = loop_cls()
+    trace: List[tuple] = []
+    ids: dict = {}
+    fires: dict = {}
+
+    def make_timer_cb(cfg):
+        name = cfg["name"]
+
+        def cb(lost):
+            fires[name] = fires.get(name, 0) + 1
+            k = fires[name]
+            trace.append((name, loop.clock.now(), lost))
+            if cfg.get("remove") and k == cfg["remove"][0]:
+                target = cfg["remove"][1]
+                if target in ids:
+                    loop.remove(ids.pop(target))
+            if cfg.get("spawn") and k == cfg["spawn"][0]:
+                child = {
+                    "name": f"{name}+child",
+                    "interval": cfg["spawn"][1],
+                    "die_after": 2,
+                }
+                ids[child["name"]] = loop.timeout_add(
+                    child["interval"], make_timer_cb(child)
+                )
+            if cfg.get("die_after") and k >= cfg["die_after"]:
+                ids.pop(name, None)
+                return False
+            return True
+
+        return cb
+
+    def make_idle_cb(cfg):
+        name, lives = cfg["name"], cfg["lives"]
+
+        def cb():
+            fires[name] = fires.get(name, 0) + 1
+            trace.append((name, loop.clock.now(), None))
+            return fires[name] < lives
+
+        return cb
+
+    for cfg in spec["timers"]:
+        ids[cfg["name"]] = loop.timeout_add(
+            cfg["interval"], make_timer_cb(cfg), cfg["priority"]
+        )
+    for cfg in spec["idles"]:
+        ids[cfg["name"]] = loop.idle_add(make_idle_cb(cfg), cfg["priority"])
+
+    loop.run_until(spec["horizon"])
+    remaining = sorted(
+        name for name, sid in ids.items() if any(s.id == sid for s in loop.sources)
+    )
+    return tuple(trace), loop.clock.now(), remaining
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_randomized_dispatch_equivalence(seed):
+    """Trace-for-trace identity across random mixed-source scenarios."""
+    spec = random_scenario(random.Random(seed))
+    ref_trace, ref_clock, ref_left = run_scenario(ReferenceLoop, spec)
+    idx_trace, idx_clock, idx_left = run_scenario(MainLoop, spec)
+    assert idx_trace == ref_trace
+    assert idx_clock == ref_clock
+    assert idx_left == ref_left
+
+
+@pytest.mark.parametrize("seed", range(40, 55))
+def test_randomized_run_equivalence(seed):
+    """run() (blocking iteration driver) matches on random scenarios."""
+    rng = random.Random(seed)
+    spec = random_scenario(rng)
+    # run() needs termination: make every source finite.
+    for cfg in spec["timers"]:
+        cfg["die_after"] = rng.randint(1, 4)
+        cfg["spawn"] = None
+    results = []
+    for loop_cls in (ReferenceLoop, MainLoop):
+        if spec["spikes"] is not None:
+            spikes = dict(spec["spikes"])
+            clock = KernelTimerModel(
+                VirtualClock(), tick_ms=10.0, latency=lambda t: spikes.pop(t, 0.0)
+            )
+            loop = loop_cls(clock=clock)
+        else:
+            loop = loop_cls()
+        trace = []
+
+        def bind(cfg, loop=loop, trace=trace):
+            count = [0]
+
+            def cb(lost):
+                count[0] += 1
+                trace.append((cfg["name"], loop.clock.now(), lost))
+                return count[0] < cfg["die_after"]
+
+            return cb
+
+        for cfg in spec["timers"]:
+            loop.timeout_add(cfg["interval"], bind(cfg), cfg["priority"])
+        loop.run(max_iterations=500)
+        results.append((tuple(trace), loop.clock.now(), len(loop.sources)))
+    assert results[0] == results[1]
+
+
+class TestDirectedEquivalence:
+    """Hand-picked corners the random generator may miss."""
+
+    def scenario(self, build):
+        out = []
+        for loop_cls in (ReferenceLoop, MainLoop):
+            loop = loop_cls()
+            trace: List[tuple] = []
+            build(loop, trace)
+            out.append((tuple(trace), loop.clock.now(), len(loop.sources)))
+        assert out[0] == out[1]
+
+    def test_higher_priority_removes_simultaneous_lower(self):
+        """A ready source removed by an earlier callback must not fire."""
+
+        def build(loop, trace):
+            victim_id = loop.timeout_add(
+                50, lambda lost: trace.append(("victim", loop.clock.now())) or True,
+                Priority.LOW,
+            )
+            loop.timeout_add(
+                50,
+                lambda lost: trace.append(("killer", loop.clock.now()))
+                or loop.remove(victim_id)
+                or True,
+                Priority.HIGH,
+            )
+            loop.run_until(200)
+
+        self.scenario(build)
+
+    def test_self_removal_then_reattach(self):
+        """remove() inside one's own callback, then a fresh attach."""
+
+        def build(loop, trace):
+            state = {}
+
+            def cb(lost):
+                trace.append(("a", loop.clock.now(), lost))
+                loop.remove(state["id"])
+                state["id"] = loop.timeout_add(30, cb)
+                return True  # irrelevant: already detached
+
+            state["id"] = loop.timeout_add(20, cb)
+            loop.run_until(200)
+
+        self.scenario(build)
+
+    def test_restart_after_lost_intervals(self):
+        """Advance far past several deadlines; lost accounting must match."""
+
+        def build(loop, trace):
+            loop.timeout_add(
+                10, lambda lost: trace.append(("t", loop.clock.now(), lost)) or True
+            )
+            loop.clock.advance(95)  # swallow whole intervals before running
+            loop.run_until(150)
+
+        self.scenario(build)
+
+    def test_idles_starve_while_timer_ready(self):
+        def build(loop, trace):
+            loop.timeout_add(
+                10, lambda lost: trace.append(("t", loop.clock.now())) or True
+            )
+            lives = [0]
+
+            def idle():
+                lives[0] += 1
+                trace.append(("idle", loop.clock.now()))
+                return lives[0] < 3
+
+            loop.idle_add(idle)
+            for _ in range(12):
+                loop.iteration(may_block=True)
+
+        self.scenario(build)
+
+    def test_interleaved_attach_remove_storm(self):
+        """O(1) attach/remove path: many churns, then a clean run."""
+
+        def build(loop, trace):
+            ids = [loop.timeout_add(50 + i, lambda lost: True) for i in range(50)]
+            for sid in ids[::2]:
+                assert loop.remove(sid) is True
+            for sid in ids[::2]:
+                assert loop.remove(sid) is False  # already gone
+            loop.timeout_add(
+                25, lambda lost: trace.append(("live", loop.clock.now())) or True
+            )
+            loop.run_until(120)
+            trace.append(("sources", len(loop.sources)))
+
+        self.scenario(build)
+
+    def test_remove_reattach_same_source_same_instant(self):
+        """Dead and live heap entries for one source id must coexist:
+        the tiebreaker may never fall through to Source-vs-None."""
+
+        def build(loop, trace):
+            src = TimeoutSource(
+                50, lambda lost: trace.append(("t", loop.clock.now(), lost)) or True
+            )
+            loop.attach(src)
+            assert loop.remove(src.id) is True
+            loop.attach(src)  # same clock instant, same id, fresh entry
+            loop.run_until(200)
+
+        self.scenario(build)
+
+    def test_callback_reattaches_inflight_sibling(self):
+        """A callback detaching and re-attaching a sibling that is ready
+        in the same batch: the sibling's dispatch advances its deadline
+        past the freshly indexed one, which must be reconciled."""
+
+        def build(loop, trace):
+            sib = TimeoutSource(
+                50, lambda lost: trace.append(("sib", loop.clock.now(), lost)) or True
+            )
+
+            def killer(lost):
+                trace.append(("killer", loop.clock.now(), lost))
+                loop.remove(sib.id)
+                loop.attach(sib)
+                return True
+
+            loop.attach(TimeoutSource(50, killer, Priority.HIGH))
+            loop.attach(sib)
+            loop.run_until(400)
+
+        self.scenario(build)
+
+    def test_callback_reattaches_own_source(self):
+        def build(loop, trace):
+            box = {}
+
+            def cb(lost):
+                trace.append(("t", loop.clock.now(), lost))
+                loop.remove(box["src"].id)
+                loop.attach(box["src"])
+                return True
+
+            box["src"] = TimeoutSource(30, cb)
+            loop.attach(box["src"])
+            loop.run_until(200)
+
+        self.scenario(build)
+
+    def test_exception_in_callback_keeps_timer_indexed(self):
+        """A raising callback must not strand other popped-ready timers."""
+        for loop_cls in (ReferenceLoop, MainLoop):
+            loop = loop_cls()
+            fired = []
+
+            def boom(lost):
+                raise RuntimeError("callback failure")
+
+            boom_id = loop.timeout_add(50, boom, Priority.HIGH)
+            loop.timeout_add(50, lambda lost: fired.append(loop.clock.now()) or True)
+            with pytest.raises(RuntimeError):
+                loop.run_until(200)
+            # Drop the broken source; the survivor (popped ready alongside
+            # it when the exception hit) must still be schedulable.
+            assert loop.remove(boom_id) is True
+            loop.run_until(200)
+            assert fired, f"{loop_cls.__name__}: timer starved after exception"
+            assert loop.clock.now() == 200.0
