@@ -1,0 +1,227 @@
+"""X10 — wire throughput: binary columnar frames vs text tuple lines.
+
+Section 4.4's distributed story only scales if the network boundary
+keeps the columnar hot path: the text protocol formats and parses one
+string per sample, while the binary protocol ships whole ``float64``
+columns per frame.  This benchmark measures the **full server-ingest
+path** — encode → transport → incremental decode → manager push into the
+scope buffer — for both protocols:
+
+* **X10a — memory_pair**: 1M samples over the deterministic in-memory
+  transport, text vs binary.  Acceptance: binary ≥ 10x text.
+* **X10b — socket_pair**: the binary path over a real non-blocking
+  socketpair (smaller volume; measures syscall-bound throughput).
+* **X10c — sharded fan-in**: binary ingest through a
+  ``ShardedScopeManager`` across 4 shards, many signals.
+
+Run stand-alone for machine-readable JSON (``--json PATH`` writes it,
+otherwise it lands on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py [--quick] [--json out.json]
+
+or through pytest for the acceptance assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_net.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+from conftest import report
+
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.net import (
+    ScopeClient,
+    ScopeServer,
+    ShardedScopeManager,
+    memory_pair,
+    socket_pair,
+)
+
+ACCEPTANCE_MIN_SPEEDUP = 10.0
+TOTAL_SAMPLES = 1_000_000
+QUICK_SAMPLES = 100_000
+SOCKET_SAMPLES = 200_000
+BATCH = 1_000
+
+
+def _drain(loop: MainLoop, server, total: int, max_rounds: int = 10_000) -> None:
+    """Pump the loop until the server has ingested ``total`` samples."""
+    rounds = 0
+    while server.totals()["received"] < total:
+        loop.run_for(1)
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"wire stalled: {server.totals()['received']}/{total} after "
+                f"{rounds} drain rounds"
+            )
+
+
+def bench_wire(
+    mode: str,
+    total: int,
+    batch: int = BATCH,
+    transport: str = "memory",
+    signals: int = 1,
+    shards: int = 0,
+) -> Dict[str, float]:
+    """End-to-end wire ingest: encode → transport → decode → manager push.
+
+    A huge display delay keeps every sample acceptable, so the numbers
+    measure the pipeline, not the drop policy; the scope is not polling,
+    so nothing drains the buffer mid-run (ingest only).
+    """
+    loop = MainLoop()
+    if shards:
+        manager = ShardedScopeManager(shards=shards, loop=loop)
+    else:
+        manager = ScopeManager(loop)
+    names = [f"wire{i}" for i in range(signals)]
+    for i, name in enumerate(names):
+        if shards:
+            scope = manager.scope_new(
+                f"sink{i}", shard=manager.shard_of(name), period_ms=50, delay_ms=1e15
+            )
+        else:
+            scope = manager.scope_new(f"sink{i}", period_ms=50, delay_ms=1e15)
+        scope.signal_new(buffer_signal(name))
+    server = ScopeServer(loop, manager)
+    if transport == "memory":
+        near, far = memory_pair(loop.clock)
+    else:
+        near, far = socket_pair()
+    server.add_client(far)
+    client = ScopeClient(near, loop, mode=mode, max_queue=1 << 30)
+
+    rng = np.random.default_rng(12345)
+    values = rng.standard_normal(batch)
+    t0 = time.perf_counter()
+    sent = 0
+    i = 0
+    while sent < total:
+        n = min(batch, total - sent)
+        now = loop.clock.now()
+        times = np.linspace(now, now + 1.0, n)
+        client.send_samples(names[i % signals], values[:n], times=times)
+        sent += n
+        i += 1
+        if transport == "socket":
+            # Real sockets back-pressure: pump both ends as we go.
+            loop.run_for(1)
+    _drain(loop, server, total)
+    elapsed = time.perf_counter() - t0
+
+    totals = server.totals()
+    assert totals["received"] == total, totals
+    assert totals["accepted"] == total, totals
+    return {
+        "mode": mode,
+        "transport": transport,
+        "samples": total,
+        "seconds": elapsed,
+        "rate_per_sec": total / elapsed,
+        "bytes_on_wire": totals["bytes_received"],
+        "bytes_per_sample": totals["bytes_received"] / total,
+    }
+
+
+def run_suite(total: int, socket_total: int) -> dict:
+    text = bench_wire("text", total)
+    binary = bench_wire("binary", total)
+    sock = bench_wire("binary", socket_total, transport="socket")
+    sharded = bench_wire("binary", total, signals=16, shards=4)
+    return {
+        "benchmark": "net-wire",
+        "acceptance": {"min_speedup": ACCEPTANCE_MIN_SPEEDUP},
+        "memory_pair": {
+            "samples": total,
+            "text_rate_per_sec": text["rate_per_sec"],
+            "binary_rate_per_sec": binary["rate_per_sec"],
+            "speedup": binary["rate_per_sec"] / text["rate_per_sec"],
+            "text_bytes_per_sample": text["bytes_per_sample"],
+            "binary_bytes_per_sample": binary["bytes_per_sample"],
+        },
+        "socket_pair": {
+            "samples": socket_total,
+            "binary_rate_per_sec": sock["rate_per_sec"],
+        },
+        "sharded": {
+            "samples": total,
+            "shards": 4,
+            "signals": 16,
+            "binary_rate_per_sec": sharded["rate_per_sec"],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_binary_wire_speedup(benchmark=None):
+    total = QUICK_SAMPLES
+    text = bench_wire("text", total)
+    binary = bench_wire("binary", total)
+    speedup = binary["rate_per_sec"] / text["rate_per_sec"]
+    report(
+        "X10a: wire ingest, text vs binary columnar "
+        f"({total} samples, memory_pair)",
+        [
+            ("text", f"{text['rate_per_sec']:,.0f} samples/s "
+                     f"({text['bytes_per_sample']:.1f} B/sample)"),
+            ("binary", f"{binary['rate_per_sec']:,.0f} samples/s "
+                       f"({binary['bytes_per_sample']:.1f} B/sample)"),
+            ("speedup", f"{speedup:.1f}x (acceptance >= {ACCEPTANCE_MIN_SPEEDUP}x)"),
+        ],
+    )
+    assert speedup >= ACCEPTANCE_MIN_SPEEDUP
+
+
+def test_binary_over_sockets():
+    result = bench_wire("binary", 50_000, transport="socket")
+    report(
+        "X10b: binary columnar over a real socketpair",
+        [("rate", f"{result['rate_per_sec']:,.0f} samples/s")],
+    )
+    assert result["rate_per_sec"] > 0
+
+
+def test_sharded_fan_in():
+    result = bench_wire("binary", QUICK_SAMPLES, signals=16, shards=4)
+    report(
+        "X10c: sharded fan-in (4 shards, 16 signals)",
+        [("rate", f"{result['rate_per_sec']:,.0f} samples/s")],
+    )
+    assert result["rate_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# stand-alone JSON mode
+# ----------------------------------------------------------------------
+def main(argv) -> int:
+    quick = "--quick" in argv
+    out_path: Optional[str] = None
+    if "--json" in argv:
+        out_path = argv[argv.index("--json") + 1]
+    total = QUICK_SAMPLES if quick else TOTAL_SAMPLES
+    socket_total = 50_000 if quick else SOCKET_SAMPLES
+    result = run_suite(total, socket_total)
+    result["mode"] = "quick" if quick else "full"
+    text = json.dumps(result, indent=2)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    mem = result["memory_pair"]
+    return 0 if mem["speedup"] >= ACCEPTANCE_MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,19 +1,23 @@
-"""Scheduler performance regression gate (opt-in).
+"""Performance regression gates (opt-in).
 
-Runs the quick-mode dispatch benchmark at 1k timer sources and fails if
-throughput falls below a committed floor.  The floor is deliberately
-~10x under the rate a healthy build posts on a developer container, so
-only a genuine algorithmic regression (say, the O(log n) dispatch path
-quietly decaying back to a scan) trips it — CI jitter does not.
+Two committed floors, each deliberately ~10-20x under what a healthy
+build posts on a developer container, so only a genuine algorithmic
+regression trips them — CI jitter does not:
+
+* **eventloop-dispatch-1k** — quick-mode timer dispatch at 1k sources
+  (the PR-2 indexed scheduler; a decay back to the linear scan trips it).
+* **net-wire-binary** — quick-mode binary columnar wire ingest over
+  ``memory_pair`` (the PR-3 binary protocol; a decay back to per-sample
+  strings or per-tuple objects trips it).
 
 Opt-in, so tier-1 stays fast:
 
-* as a pytest marker::
+* as pytest markers::
 
     REPRO_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/check_regression.py -q
 
-  (without ``REPRO_BENCH=1`` the test is skipped; it also carries the
-  ``benchmark`` marker so ``-m "not benchmark"`` deselects it wholesale)
+  (without ``REPRO_BENCH=1`` the tests are skipped; they also carry the
+  ``benchmark`` marker so ``-m "not benchmark"`` deselects them wholesale)
 
 * as a script, for CI pipelines that want the JSON::
 
@@ -30,12 +34,20 @@ import time
 import pytest
 
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
+from bench_net import bench_wire
 from repro.eventloop.loop import MainLoop
 
 # Committed floor: dispatches/second at 1k attached timer sources.  A
 # healthy indexed loop posts ~300-550k/s; the seed scan loop posted ~5k/s.
 DISPATCH_FLOOR_1K = 50_000.0
 QUICK_TARGET_DISPATCHES = 1_000
+
+# Committed floor: server-ingested samples/second for the binary
+# columnar wire path at the quick size.  A healthy build posts ~8-11M/s;
+# the text-tuple path posts ~170k/s.
+WIRE_FLOOR_BINARY = 500_000.0
+WIRE_QUICK_SAMPLES = 100_000
+
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
 pytestmark = [
@@ -47,7 +59,7 @@ pytestmark = [
 ]
 
 
-def measure_best() -> dict:
+def measure_best_dispatch() -> dict:
     best: dict = {"rate_per_sec": 0.0}
     for _ in range(ATTEMPTS):
         result = bench_dispatch(MainLoop, ACCEPTANCE_SOURCES, QUICK_TARGET_DISPATCHES)
@@ -56,27 +68,58 @@ def measure_best() -> dict:
     return best
 
 
+def measure_best_wire() -> dict:
+    best: dict = {"rate_per_sec": 0.0}
+    for _ in range(ATTEMPTS):
+        result = bench_wire("binary", WIRE_QUICK_SAMPLES)
+        if result["rate_per_sec"] > best["rate_per_sec"]:
+            best = result
+    return best
+
+
 def test_dispatch_throughput_floor():
-    best = measure_best()
+    best = measure_best_dispatch()
     assert best["rate_per_sec"] >= DISPATCH_FLOOR_1K, (
         f"dispatch throughput at {ACCEPTANCE_SOURCES} sources regressed: "
         f"{best['rate_per_sec']:.0f}/s < floor {DISPATCH_FLOOR_1K:.0f}/s"
     )
 
 
+def test_wire_throughput_floor():
+    best = measure_best_wire()
+    assert best["rate_per_sec"] >= WIRE_FLOOR_BINARY, (
+        f"binary wire ingest throughput regressed: "
+        f"{best['rate_per_sec']:.0f} samples/s < floor {WIRE_FLOOR_BINARY:.0f}/s"
+    )
+
+
 def main() -> int:
     t0 = time.perf_counter()
-    best = measure_best()
-    passed = best["rate_per_sec"] >= DISPATCH_FLOOR_1K
+    dispatch = measure_best_dispatch()
+    wire = measure_best_wire()
+    gates = [
+        {
+            "gate": "eventloop-dispatch-1k",
+            "floor_per_sec": DISPATCH_FLOOR_1K,
+            "measured_per_sec": dispatch["rate_per_sec"],
+            "dispatches": dispatch["dispatches"],
+            "passed": dispatch["rate_per_sec"] >= DISPATCH_FLOOR_1K,
+        },
+        {
+            "gate": "net-wire-binary",
+            "floor_per_sec": WIRE_FLOOR_BINARY,
+            "measured_per_sec": wire["rate_per_sec"],
+            "samples": wire["samples"],
+            "passed": wire["rate_per_sec"] >= WIRE_FLOOR_BINARY,
+        },
+    ]
+    passed = all(g["passed"] for g in gates)
     print(
         json.dumps(
             {
-                "gate": "eventloop-dispatch-1k",
-                "floor_per_sec": DISPATCH_FLOOR_1K,
-                "measured_per_sec": best["rate_per_sec"],
-                "dispatches": best["dispatches"],
                 "attempts": ATTEMPTS,
                 "wall_seconds": time.perf_counter() - t0,
+                "gates": gates,
                 "passed": passed,
             },
             indent=2,

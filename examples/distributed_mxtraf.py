@@ -7,8 +7,10 @@ visualizing and correlating client, server and network behavior
 (connections per second, connection errors per second, network
 throughput, latency, etc.) within a single scope."
 
-Three simulated machines run mxtraf roles and push BUFFER tuples over
-latency-afflicted links to one scope server:
+Three simulated machines run mxtraf roles and push BUFFER samples as
+binary columnar frames over latency-afflicted links to one scope server
+(the text tuple format remains available as ``mode="text"`` for old
+servers):
 
 * the traffic *server* host reports throughput (an event-rate quantity),
 * the traffic *client* host reports per-connection latency,
@@ -48,7 +50,7 @@ def main() -> None:
     for host, latency in (("traffic-server", 30), ("traffic-client", 60), ("router", 5)):
         near, far = memory_pair(loop.clock, latency_ms=latency, labels=(host, "server"))
         server.add_client(far)
-        clients[host] = ScopeClient(near, loop)
+        clients[host] = ScopeClient(near, loop, mode="binary")
 
     # The actual network being monitored.
     engine = Engine()
@@ -85,7 +87,10 @@ def main() -> None:
     loop.run_until(20_000)
 
     totals = server.totals()
+    modes = [state.mode for state in server.clients]
     print(f"server receive totals: {totals}")
+    print(f"negotiated wire modes: {modes} ({totals['frames']} frames, "
+          f"{totals['bytes_received']} bytes)")
     print(f"scope buffer: {scope.buffer.stats}")
     for name in ("throughput", "latency", "queue"):
         channel = scope.channel(name)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.core.pollhub import PollHub
 from repro.core.scope import Scope, ScopeError
+from repro.core.signal import SignalSpec, SignalType
 from repro.eventloop.loop import MainLoop
 
 
@@ -22,6 +23,7 @@ class ScopeManager:
     def __init__(self, loop: Optional[MainLoop] = None) -> None:
         self.loop = loop if loop is not None else MainLoop()
         self._scopes: Dict[str, Scope] = {}
+        self._topology_version = 0
 
     # ------------------------------------------------------------------
     # Scope lifecycle
@@ -32,6 +34,7 @@ class ScopeManager:
             raise ScopeError(f"duplicate scope name: {name!r}")
         scope = Scope(name, self.loop, **kwargs)  # type: ignore[arg-type]
         self._scopes[name] = scope
+        self._topology_version += 1
         return scope
 
     def scope_remove(self, name: str) -> None:
@@ -39,6 +42,33 @@ class ScopeManager:
         scope = self.scope(name)
         scope.stop_polling()
         del self._scopes[name]
+        self._topology_version += 1
+
+    @property
+    def topology_version(self) -> int:
+        """Bumped on every scope add/remove.
+
+        Consumers caching carried-signal lookups (the server's
+        auto-create path) compare this to invalidate their caches.
+        """
+        return self._topology_version
+
+    def carries(self, name: str) -> bool:
+        """True when any registered scope displays signal ``name``."""
+        return any(name in scope for scope in self._scopes.values())
+
+    def auto_create(self, name: str) -> bool:
+        """Register ``name`` as a BUFFER signal on the first scope.
+
+        Returns False when no scope exists to carry it.  This is the
+        server's exploratory-monitoring hook; the paper's flow registers
+        signals explicitly.
+        """
+        if not self._scopes:
+            return False
+        first = next(iter(self._scopes.values()))
+        first.signal_new(SignalSpec(name=name, type=SignalType.BUFFER))
+        return True
 
     def scope(self, name: str) -> Scope:
         try:

@@ -162,7 +162,7 @@ class IOWatch(Source):
     (closures cover that in Python).
     """
 
-    __slots__ = ("channel", "condition")
+    __slots__ = ("channel", "condition", "_fired_cache")
 
     def __init__(
         self,
@@ -178,6 +178,7 @@ class IOWatch(Source):
             )
         self.channel = channel
         self.condition = condition
+        self._fired_cache: Optional[IOCondition] = None
 
     def _fired_condition(self) -> IOCondition:
         fired = IOCondition(0)
@@ -188,7 +189,18 @@ class IOWatch(Source):
         return fired
 
     def ready(self, now_ms: float) -> bool:
-        return bool(self._fired_condition())
+        # The probed condition is cached for the dispatch that follows in
+        # the same iteration — glib likewise hands dispatch the revents
+        # gathered at poll time.  On real sockets each probe is a
+        # select() syscall, so re-probing in dispatch would double the
+        # per-wakeup syscall cost of the wire hot path.
+        fired = self._fired_condition()
+        self._fired_cache = fired
+        return bool(fired)
 
     def dispatch(self, now_ms: float) -> bool:
-        return bool(self.callback(self.channel, self._fired_condition()))
+        fired = self._fired_cache
+        self._fired_cache = None
+        if fired is None:  # dispatched without a ready() probe
+            fired = self._fired_condition()
+        return bool(self.callback(self.channel, fired))

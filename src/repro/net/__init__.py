@@ -3,23 +3,42 @@ library of Section 4.4.
 
 Clients use :class:`~repro.net.client.ScopeClient` to connect to a
 server built on :class:`~repro.net.server.ScopeServer`.  Clients
-asynchronously send BUFFER signal data in the tuple format (Section 3.3);
-the server receives from one or more clients, buffers the samples and
-displays them on one or more scopes after the user-specified delay.
-Data arriving after its delay slot is dropped immediately — the
-:class:`~repro.core.buffer.SampleBuffer` enforces that rule.
+asynchronously send BUFFER signal data — by default as binary columnar
+frames (contiguous ``float64`` time/value columns, names interned per
+connection), with the paper's textual tuple format (Section 3.3) kept as
+a negotiated compatibility mode.  The server receives from one or more
+clients, buffers the samples and displays them on one or more scopes
+after the user-specified delay.  Data arriving after its delay slot is
+dropped immediately — the :class:`~repro.core.buffer.SampleBuffer`
+enforces that rule.
 
 Everything is single-threaded and event-driven: both ends attach
 :class:`~repro.eventloop.sources.IOWatch` sources to the same main-loop
 machinery that drives polling, exactly like the C library rides glib's
 ``GIOChannel`` watches.  Two transports are provided: an in-memory pair
 (deterministic, virtual-clock friendly, can model network latency) and a
-real non-blocking socket pair.
+real non-blocking socket pair.  For fan-in beyond one scope registry,
+:class:`~repro.net.shard.ShardedScopeManager` partitions the signal
+namespace across per-shard managers by stable name hash.
 """
 
 from repro.net.client import ScopeClient
-from repro.net.protocol import decode_lines, encode_sample
-from repro.net.server import ScopeServer
+from repro.net.protocol import (
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    LineDecoder,
+    ProtocolError,
+    WireDecoder,
+    decode_lines,
+    encode_binary_samples,
+    encode_hello,
+    encode_name_def,
+    encode_sample,
+    encode_samples,
+)
+from repro.net.server import ClientState, ScopeServer
+from repro.net.shard import ShardedScopeManager, ShardStats, shard_of
 from repro.net.transport import (
     LatencyLink,
     MemoryEndpoint,
@@ -29,13 +48,27 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "ClientState",
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
     "LatencyLink",
+    "LineDecoder",
     "MemoryEndpoint",
+    "ProtocolError",
     "ScopeClient",
     "ScopeServer",
+    "ShardStats",
+    "ShardedScopeManager",
     "SocketEndpoint",
+    "WireDecoder",
     "decode_lines",
+    "encode_binary_samples",
+    "encode_hello",
+    "encode_name_def",
     "encode_sample",
+    "encode_samples",
     "memory_pair",
+    "shard_of",
     "socket_pair",
 ]

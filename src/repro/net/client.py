@@ -9,17 +9,44 @@ display-delay mechanism absorbs skew up to the configured delay).  Sends
 are asynchronous: samples queue locally and drain through an I/O watch
 when the transport is writable, keeping the application single-threaded
 and non-blocking, as Section 4.3 prescribes.
+
+Two wire modes (see :mod:`repro.net.protocol`):
+
+* ``"binary"`` (default) — batches go out as binary columnar frames:
+  one length-prefixed frame per :meth:`send_samples` call, the time and
+  value columns as contiguous ``float64`` payloads with no per-sample
+  strings.  Signal names are interned once per connection via
+  ``NAME_DEF`` control frames.
+* ``"text"`` — the paper's newline-delimited tuple lines, for servers
+  and tools that only speak the textual format.
+
+Control frames (the HELLO handshake and name definitions) live in a
+separate queue that back-pressure never drops — dropping a ``NAME_DEF``
+would orphan every later frame that references its id.  The data-frame
+queue is bounded by ``max_queue``; overflow drops the oldest whole frame,
+except a partially-transmitted head frame, which is never dropped (that
+would cut the byte stream mid-frame and corrupt the connection).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Sequence, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.eventloop.clock import Clock
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
-from repro.net.protocol import encode_sample, encode_samples
+from repro.net.protocol import (
+    encode_binary_samples,
+    encode_hello,
+    encode_name_def,
+    encode_sample,
+    encode_samples,
+)
+
+ArrayLike = Union[Sequence[float], np.ndarray]
 
 
 class ScopeClient:
@@ -33,20 +60,39 @@ class ScopeClient:
         The client's main loop; its clock stamps outgoing samples and an
         I/O watch drains the send queue.
     max_queue:
-        Bound on locally queued frames.  When the transport back-pressures
-        past this, the *oldest* frames drop — freshest data matters most
-        on a live display, and the server would drop stale frames anyway.
+        Bound on locally queued data frames.  When the transport
+        back-pressures past this, the *oldest* frames drop — freshest
+        data matters most on a live display, and the server would drop
+        stale frames anyway.
+    mode:
+        Wire format: ``"binary"`` (columnar frames, the default) or
+        ``"text"`` (tuple lines, the compatibility mode).
     """
 
-    def __init__(self, endpoint, loop: MainLoop, max_queue: int = 4096) -> None:
+    def __init__(
+        self,
+        endpoint,
+        loop: MainLoop,
+        max_queue: int = 4096,
+        mode: str = "binary",
+    ) -> None:
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive: {max_queue}")
+        if mode not in ("binary", "text"):
+            raise ValueError(f"mode must be 'binary' or 'text': {mode!r}")
         self.endpoint = endpoint
         self.loop = loop
         self.max_queue = max_queue
-        # Each queued frame is (bytes, sample_count): batched sends put N
-        # samples into one frame, and the counters stay in samples.
+        self.mode = mode
+        # Each queued data frame is (bytes, sample_count): batched sends
+        # put N samples into one frame, and the counters stay in samples.
         self._pending: Deque[Tuple[bytes, int]] = deque()
+        # Control frames (HELLO, NAME_DEF): flushed before data, never
+        # dropped, bounded by the number of distinct signal names.
+        self._control: Deque[bytes] = deque()
+        self._head_partial = False  # head data frame partially transmitted
+        self._name_ids: Dict[str, int] = {}
+        self._hello_queued = False
         self._watch_id: Optional[int] = None
         self.sent = 0
         self.dropped = 0
@@ -54,6 +100,18 @@ class ScopeClient:
     @property
     def clock(self) -> Clock:
         return self.loop.clock
+
+    def _intern(self, name: str) -> int:
+        """Intern a signal name, queueing its NAME_DEF on first use."""
+        name_id = self._name_ids.get(name)
+        if name_id is None:
+            if not self._hello_queued:
+                self._control.append(encode_hello())
+                self._hello_queued = True
+            name_id = len(self._name_ids)
+            self._name_ids[name] = name_id
+            self._control.append(encode_name_def(name_id, name))
+        return name_id
 
     def send_sample(
         self, name: str, value: float, time_ms: Optional[float] = None
@@ -64,62 +122,110 @@ class ScopeClient:
         paper's push-with-timestamp usage.
         """
         stamp = self.clock.now() if time_ms is None else float(time_ms)
-        self._enqueue(encode_sample(stamp, value, name), 1)
+        if self.mode == "binary":
+            frame = encode_binary_samples(self._intern(name), (stamp,), (float(value),))
+        else:
+            frame = encode_sample(stamp, value, name)
+        self._enqueue(frame, 1)
 
     def send_samples(
         self,
         name: str,
-        values: Sequence[float],
-        times: Optional[Sequence[float]] = None,
+        values: ArrayLike,
+        times: Optional[ArrayLike] = None,
     ) -> None:
         """Queue a batch of one signal's samples as a single wire frame.
 
-        ``times`` defaults to stamping every sample with the client
-        clock's *now*.  One network round-trip (one queue entry, one
-        ``send``) carries the whole batch; the server decodes it back
-        into N ordinary tuples.
+        Accepts ndarrays directly — in binary mode the columns are
+        serialised with ``tobytes`` and never touch per-sample Python
+        objects.  ``times`` defaults to stamping every sample with the
+        client clock's *now*.  Empty batches queue nothing (no queue
+        slot, no writable-watch wakeup).
         """
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        if v.ndim != 1:
+            raise ValueError(f"values must be 1-D: shape {v.shape}")
+        n = v.shape[0]
+        if n == 0:
+            return
         if times is None:
-            times = [self.clock.now()] * len(values)
-        frame = encode_samples(times, values, name)
+            t = np.full(n, self.clock.now(), dtype=np.float64)
+        else:
+            t = np.ascontiguousarray(times, dtype=np.float64)
+            if t.shape != v.shape:
+                raise ValueError(
+                    f"times and values must be equal length: {t.shape} vs {v.shape}"
+                )
+        if self.mode == "binary":
+            frame = encode_binary_samples(self._intern(name), t, v)
+        else:
+            frame = encode_samples(t, v, name)
         if frame:
-            self._enqueue(frame, len(values))
+            self._enqueue(frame, n)
 
     def _enqueue(self, frame: bytes, nsamples: int) -> None:
         if len(self._pending) >= self.max_queue:
-            _, dropped_count = self._pending.popleft()
-            self.dropped += dropped_count
+            # Drop the oldest *whole* frame.  A partially-sent head frame
+            # must survive — truncating it mid-frame would desynchronise
+            # the byte stream and the server would disconnect us.
+            drop_at = 1 if self._head_partial else 0
+            if drop_at < len(self._pending):
+                if drop_at == 0:
+                    _, dropped_count = self._pending.popleft()
+                else:
+                    _, dropped_count = self._pending[drop_at]
+                    del self._pending[drop_at]
+                self.dropped += dropped_count
+            # else: the only queued frame is mid-transmission; overshoot
+            # the bound by one frame rather than corrupt the stream.
         self._pending.append((frame, nsamples))
         self._ensure_watch()
         self._try_flush()
 
     def _ensure_watch(self) -> None:
-        if self._watch_id is None and self._pending:
+        if self._watch_id is None and (self._pending or self._control):
             self._watch_id = self.loop.io_add_watch(
                 self.endpoint, IOCondition.OUT, self._on_writable
             )
 
     def _on_writable(self, channel, condition) -> bool:
         self._try_flush()
-        if not self._pending:
+        if not self._pending and not self._control:
             self._watch_id = None
             return False  # drop the watch until there is data again
         return True
 
     def _try_flush(self) -> None:
-        while self._pending and self.endpoint.writable():
+        # Control frames flush before data — a NAME_DEF must precede the
+        # first data frame referencing its id — EXCEPT while a data
+        # frame is partially transmitted: its remaining bytes must go
+        # out first, or the control bytes would land mid-frame and
+        # desynchronise the stream.
+        while self.endpoint.writable():
+            if self._control and not self._head_partial:
+                buf = self._control[0]
+                sent = self.endpoint.send(buf)
+                if sent < len(buf):
+                    self._control[0] = buf[sent:]
+                    return
+                self._control.popleft()
+                continue
+            if not self._pending:
+                return
             frame, nsamples = self._pending[0]
             sent = self.endpoint.send(frame)
             if sent < len(frame):
                 # Partial write: keep the unsent tail at the queue head.
                 self._pending[0] = (frame[sent:], nsamples)
-                break
+                self._head_partial = True
+                return
             self._pending.popleft()
+            self._head_partial = False
             self.sent += nsamples
 
     @property
     def backlog(self) -> int:
-        """Frames queued locally, waiting for the transport."""
+        """Data frames queued locally, waiting for the transport."""
         return len(self._pending)
 
     def close(self) -> None:

@@ -1,23 +1,95 @@
-"""Wire protocol: newline-delimited tuple lines.
+"""Wire protocols: text tuple lines and the binary columnar format.
 
-The paper uses the same textual tuple format on the wire as on disk
-(Section 3.3: "signal data is delivered, generated or stored in a textual
-tuple format"), so the protocol layer is a thin framing shim over
-:mod:`repro.core.tuples`: one tuple per ``\\n``-terminated line, UTF-8.
+Two wire formats share the connection byte stream:
 
-:func:`decode_lines` is incremental — network reads arrive in arbitrary
-chunks, so a stateful decoder carries partial lines between reads.
+* **Text** — the paper's format (Section 3.3: "signal data is delivered,
+  generated or stored in a textual tuple format"): one tuple per
+  ``\\n``-terminated UTF-8 line.  This is the compatibility mode — it is
+  what ``recorded_signals.tuples`` replay produces and what pre-binary
+  clients speak.
+* **Binary columnar** — a versioned, length-prefixed frame format that
+  carries whole sample batches as contiguous ``float64`` columns, so the
+  server ingest path goes chunk → header → ``np.frombuffer`` columns →
+  manager push with no per-sample strings or objects.
+
+Binary frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       2     magic     0xA5 0x53
+    2       1     version   1
+    3       1     kind      0=HELLO  1=NAME_DEF  2=SAMPLES
+    4       4     name_id   uint32 (0 for HELLO)
+    8       4     count     uint32: SAMPLES → sample count,
+                            HELLO/NAME_DEF → payload byte length
+    12      ...   payload   HELLO:    `count` reserved bytes (now empty)
+                            NAME_DEF: `count` bytes of UTF-8 signal name,
+                                      binding it to `name_id`
+                            SAMPLES:  count*8 bytes float64 times, then
+                                      count*8 bytes float64 values
+
+Names are interned once per connection: a ``NAME_DEF`` frame binds a
+small integer id, and every subsequent ``SAMPLES`` frame carries only the
+id.  The magic's first byte (0xA5) can never begin a valid text line
+(tuple lines are printable ASCII), so a server sniffs the connection mode
+from the first received byte — no out-of-band negotiation needed, and old
+text clients keep working unchanged.
+
+Both decoders are incremental — network reads arrive in arbitrary
+chunks, so stateful decoders carry partial lines / partial frames
+between reads.  Malformed input raises :class:`ProtocolError` (or
+:class:`~repro.core.tuples.TupleFormatError` on the text path); a
+misbehaving client should be disconnected, not silently misread.
 """
 
 from __future__ import annotations
 
+import enum
+import struct
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.tuples import Tuple3, format_tuple, parse_tuple
 
+__all__ = [
+    "FRAME_HEADER",
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
+    "LineDecoder",
+    "MAGIC",
+    "MAX_FRAME_SAMPLES",
+    "MAX_LINE_BYTES",
+    "MAX_NAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WireDecoder",
+    "decode_lines",
+    "encode_binary_samples",
+    "encode_hello",
+    "encode_name_def",
+    "encode_sample",
+    "encode_samples",
+]
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed wire data (either protocol)."""
+
+
+# ----------------------------------------------------------------------
+# Text protocol (compatibility mode)
+# ----------------------------------------------------------------------
+
+#: Cap on a carried partial line.  A peer that never sends a newline
+#: would otherwise grow server memory without bound; past this the
+#: stream is a protocol error and the client is disconnected.
+MAX_LINE_BYTES = 64 * 1024
+
 
 def encode_sample(time_ms: float, value: float, name: Optional[str] = None) -> bytes:
-    """Encode one sample as a wire frame (tuple line + newline)."""
+    """Encode one sample as a text wire frame (tuple line + newline)."""
     return (format_tuple(time_ms, value, name) + "\n").encode("utf-8")
 
 
@@ -26,7 +98,7 @@ def encode_samples(
     values: Sequence[float],
     name: Optional[str] = None,
 ) -> bytes:
-    """Encode a batch of one signal's samples as a single wire frame.
+    """Encode a batch of one signal's samples as a single text frame.
 
     The frame is just N tuple lines in one buffer — the on-wire format is
     unchanged (any decoder sees N ordinary tuples), but one send carries
@@ -44,15 +116,30 @@ def encode_samples(
 
 
 class LineDecoder:
-    """Incremental splitter of byte chunks into complete lines."""
+    """Incremental splitter of byte chunks into complete lines.
 
-    def __init__(self) -> None:
+    The carried partial line is bounded by ``max_line_bytes``; exceeding
+    it raises :class:`ProtocolError` (and drops the oversized partial so
+    a disconnecting server does not keep it alive).
+    """
+
+    def __init__(self, max_line_bytes: int = MAX_LINE_BYTES) -> None:
+        if max_line_bytes <= 0:
+            raise ValueError(f"max_line_bytes must be positive: {max_line_bytes}")
         self._partial = b""
+        self.max_line_bytes = int(max_line_bytes)
 
     def feed(self, chunk: bytes) -> List[str]:
         """Add a chunk; return the complete lines it finishes."""
         data = self._partial + chunk
         *complete, self._partial = data.split(b"\n")
+        if len(self._partial) > self.max_line_bytes:
+            over = len(self._partial)
+            self._partial = b""
+            raise ProtocolError(
+                f"unterminated line of {over} bytes exceeds the "
+                f"{self.max_line_bytes}-byte cap"
+            )
         return [line.decode("utf-8", errors="replace") for line in complete]
 
     @property
@@ -61,7 +148,9 @@ class LineDecoder:
         return self._partial
 
 
-def decode_lines(chunk: bytes, decoder: Optional[LineDecoder] = None) -> Tuple[List[Tuple3], LineDecoder]:
+def decode_lines(
+    chunk: bytes, decoder: Optional[LineDecoder] = None
+) -> Tuple[List[Tuple3], LineDecoder]:
     """Decode a chunk into parsed tuples, skipping blanks and comments.
 
     Returns the tuples plus the (possibly fresh) decoder carrying any
@@ -77,3 +166,230 @@ def decode_lines(chunk: bytes, decoder: Optional[LineDecoder] = None) -> Tuple[L
         if parsed is not None:
             tuples.append(parsed)
     return tuples, decoder
+
+
+# ----------------------------------------------------------------------
+# Binary columnar protocol
+# ----------------------------------------------------------------------
+
+MAGIC = b"\xa5\x53"
+PROTOCOL_VERSION = 1
+
+#: magic(2s) version(B) kind(B) name_id(I) count(I), little-endian.
+FRAME_HEADER = struct.Struct("<2sBBII")
+
+#: Sanity bounds: a corrupt header must not make the decoder wait on (or
+#: allocate) gigabytes.  4 KiB of name is absurdly generous; 2**22
+#: samples is a 64 MiB frame.
+MAX_NAME_BYTES = 4096
+MAX_FRAME_SAMPLES = 1 << 22
+
+
+class FrameKind(enum.IntEnum):
+    """Binary frame type tag."""
+
+    HELLO = 0
+    NAME_DEF = 1
+    SAMPLES = 2
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded binary frame."""
+
+    kind: FrameKind
+    name_id: int
+    version: int = PROTOCOL_VERSION
+    name: Optional[str] = None  # NAME_DEF only
+    times: Optional[np.ndarray] = None  # SAMPLES only, float64
+    values: Optional[np.ndarray] = None  # SAMPLES only, float64
+
+    def __len__(self) -> int:
+        return 0 if self.times is None else int(self.times.shape[0])
+
+
+def encode_hello() -> bytes:
+    """The handshake frame a binary client sends first.
+
+    Carries the protocol version; the payload is reserved for future
+    capability flags.  Servers detect binary mode from the magic of *any*
+    frame, so a stream surviving queue pressure without its HELLO still
+    decodes — the handshake pins the version early, nothing more.
+    """
+    return FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.HELLO, 0, 0)
+
+
+def encode_name_def(name_id: int, name: str) -> bytes:
+    """Bind ``name_id`` to ``name`` for the rest of the connection."""
+    if any(ch.isspace() for ch in name):
+        # Same rule as the text format, so signals round-trip between
+        # modes (and recordings of either stream stay parseable).
+        raise ProtocolError(f"signal name may not contain whitespace: {name!r}")
+    raw = name.encode("utf-8")
+    if not raw:
+        raise ProtocolError("signal name may not be empty")
+    if len(raw) > MAX_NAME_BYTES:
+        raise ProtocolError(
+            f"signal name of {len(raw)} bytes exceeds the {MAX_NAME_BYTES}-byte cap"
+        )
+    return FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.NAME_DEF, name_id, len(raw)) + raw
+
+
+def encode_binary_samples(
+    name_id: int,
+    times: Sequence[float],
+    values: Sequence[float],
+) -> bytes:
+    """Encode one signal's sample batch as contiguous float64 columns.
+
+    Returns ``b""`` for an empty batch.  Batches beyond
+    :data:`MAX_FRAME_SAMPLES` are split across several frames so any
+    caller-side batch size stays decodable.
+    """
+    t = np.ascontiguousarray(times, dtype="<f8")
+    v = np.ascontiguousarray(values, dtype="<f8")
+    if t.shape != v.shape or t.ndim != 1:
+        raise ValueError(
+            f"times and values must be equal-length 1-D: {t.shape} vs {v.shape}"
+        )
+    n = t.shape[0]
+    if n == 0:
+        return b""
+    if n <= MAX_FRAME_SAMPLES:
+        header = FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.SAMPLES, name_id, n)
+        return header + t.tobytes() + v.tobytes()
+    parts = []
+    for start in range(0, n, MAX_FRAME_SAMPLES):
+        sl = slice(start, min(start + MAX_FRAME_SAMPLES, n))
+        parts.append(encode_binary_samples(name_id, t[sl], v[sl]))
+    return b"".join(parts)
+
+
+class FrameDecoder:
+    """Incremental binary frame decoder tolerating any fragmentation.
+
+    Bytes accumulate in one buffer with a read cursor; a frame is emitted
+    as soon as its header plus payload are complete.  Header validation
+    (magic, version, kind, payload bounds) happens as soon as the 12
+    header bytes are present, so a corrupted stream fails fast instead of
+    waiting for a phantom payload.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buf) - self._pos
+
+    def feed(self, chunk: bytes) -> List[Frame]:
+        """Add a chunk; return the frames it completes, in stream order."""
+        self._buf += chunk
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_decode()
+            if frame is None:
+                break
+            frames.append(frame)
+        # Compact once per feed, not per frame: drop consumed bytes when
+        # they dominate the buffer.
+        if self._pos > 65536 and self._pos * 2 > len(self._buf):
+            del self._buf[: self._pos]
+            self._pos = 0
+        return frames
+
+    def _try_decode(self) -> Optional[Frame]:
+        header_size = FRAME_HEADER.size
+        if len(self._buf) - self._pos < header_size:
+            return None
+        magic, version, kind_raw, name_id, count = FRAME_HEADER.unpack_from(
+            self._buf, self._pos
+        )
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic: {bytes(magic)!r}")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} (speak {PROTOCOL_VERSION})"
+            )
+        try:
+            kind = FrameKind(kind_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown frame kind: {kind_raw}") from None
+        if kind is FrameKind.SAMPLES:
+            if count > MAX_FRAME_SAMPLES:
+                raise ProtocolError(
+                    f"SAMPLES frame of {count} samples exceeds the "
+                    f"{MAX_FRAME_SAMPLES}-sample cap"
+                )
+            payload_size = 16 * count
+        else:
+            if count > MAX_NAME_BYTES:
+                raise ProtocolError(
+                    f"{kind.name} payload of {count} bytes exceeds the "
+                    f"{MAX_NAME_BYTES}-byte cap"
+                )
+            payload_size = count
+        start = self._pos + header_size
+        end = start + payload_size
+        if len(self._buf) < end:
+            return None
+        # One copy of the payload region; the columns are then zero-copy
+        # frombuffer views over that immutable bytes object (copying here
+        # keeps them valid across buffer compaction).
+        payload = bytes(memoryview(self._buf)[start:end])
+        self._pos = end
+        if kind is FrameKind.SAMPLES:
+            times = np.frombuffer(payload, dtype="<f8", count=count)
+            values = np.frombuffer(payload, dtype="<f8", count=count, offset=8 * count)
+            return Frame(
+                kind=kind, name_id=name_id, version=version, times=times, values=values
+            )
+        if kind is FrameKind.NAME_DEF:
+            try:
+                name = payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"NAME_DEF payload is not UTF-8: {exc}") from None
+            if not name or any(ch.isspace() for ch in name):
+                raise ProtocolError(f"invalid signal name on wire: {name!r}")
+            return Frame(kind=kind, name_id=name_id, version=version, name=name)
+        return Frame(kind=kind, name_id=name_id, version=version)
+
+
+class WireDecoder:
+    """Per-connection mode negotiation plus the matching decoder.
+
+    The mode is sniffed from the first received byte: 0xA5 (the binary
+    magic's first byte, impossible at the start of a text tuple line)
+    selects binary; anything else selects text.  After the sniff, feeds
+    delegate to the chosen incremental decoder, so arbitrary chunk
+    fragmentation — including a 1-byte first read — is handled.
+    """
+
+    def __init__(self, max_line_bytes: int = MAX_LINE_BYTES) -> None:
+        self.mode: Optional[str] = None  # None until the first byte arrives
+        self._max_line_bytes = max_line_bytes
+        self._lines: Optional[LineDecoder] = None
+        self._frames: Optional[FrameDecoder] = None
+
+    def feed(self, chunk: bytes) -> Tuple[List[Tuple3], List[Frame]]:
+        """Add a chunk; return ``(text_tuples, binary_frames)``.
+
+        Exactly one of the two lists can ever be non-empty — a
+        connection speaks one protocol for its whole life.
+        """
+        if self.mode is None:
+            if not chunk:
+                return [], []
+            if chunk[0] == MAGIC[0]:
+                self.mode = "binary"
+                self._frames = FrameDecoder()
+            else:
+                self.mode = "text"
+                self._lines = LineDecoder(max_line_bytes=self._max_line_bytes)
+        if self.mode == "binary":
+            assert self._frames is not None
+            return [], self._frames.feed(chunk)
+        tuples, self._lines = decode_lines(chunk, self._lines)
+        return tuples, []

@@ -7,10 +7,19 @@ this delay is not buffered but dropped immediately."
 
 A :class:`ScopeServer` owns a set of client connections (each an I/O
 watch on the shared single-threaded main loop) and forwards decoded
-tuples into a :class:`~repro.core.manager.ScopeManager`, which fans each
-sample out to every scope carrying a BUFFER signal of that name.  The
-late-drop rule lives in :class:`~repro.core.buffer.SampleBuffer`; the
-server just counts what was dropped so experiments can report it.
+samples into a scope manager — either a plain
+:class:`~repro.core.manager.ScopeManager` or a
+:class:`~repro.net.shard.ShardedScopeManager` — which fans each sample
+out to every scope carrying a BUFFER signal of that name.  The late-drop
+rule lives in :class:`~repro.core.buffer.SampleBuffer`; the server just
+counts what was dropped so experiments can report it.
+
+Each connection negotiates its wire mode from its first byte (see
+:class:`~repro.net.protocol.WireDecoder`): binary columnar frames take
+the hot path — chunk → header → ``np.frombuffer`` columns →
+``manager.push_samples`` with zero per-tuple objects — while text tuple
+lines keep the paper's compatibility path for old clients and
+``recorded_signals.tuples`` replay.
 """
 
 from __future__ import annotations
@@ -18,30 +27,50 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.manager import ScopeManager
-from repro.core.signal import SignalSpec, SignalType
-from repro.core.tuples import TupleFormatError
+from repro.core.tuples import Tuple3, TupleFormatError
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
-from repro.net.protocol import LineDecoder, decode_lines
+from repro.net.protocol import Frame, FrameKind, ProtocolError, WireDecoder
+
+#: Counter fields folded into the retained aggregate when a client
+#: disconnects, so :meth:`ScopeServer.totals` stays accurate across
+#: connection churn without keeping dead ClientState objects alive.
+_COUNTER_FIELDS = (
+    "received",
+    "accepted",
+    "dropped_late",
+    "protocol_errors",
+    "frames",
+    "bytes_received",
+)
 
 
 @dataclass
 class ClientState:
-    """Per-connection bookkeeping."""
+    """Per-connection session state."""
 
     endpoint: object
-    decoder: LineDecoder = field(default_factory=LineDecoder)
+    wire: WireDecoder = field(default_factory=WireDecoder)
     watch_id: Optional[int] = None
     received: int = 0
     accepted: int = 0
     dropped_late: int = 0
     protocol_errors: int = 0
+    frames: int = 0
+    bytes_received: int = 0
     connected: bool = True
+    peer_version: Optional[int] = None
+    #: Binary name interning table: wire id → signal name.
+    names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def mode(self) -> Optional[str]:
+        """Negotiated wire mode: ``"binary"``, ``"text"``, or None."""
+        return self.wire.mode
 
 
 class ScopeServer:
-    """Receives tuple streams and displays them on registered scopes.
+    """Receives sample streams and displays them on registered scopes.
 
     Parameters
     ----------
@@ -49,24 +78,42 @@ class ScopeServer:
         The shared single-threaded main loop.
     manager:
         Scope registry; samples are fanned out to every scope holding a
-        BUFFER signal with the sample's name.
+        BUFFER signal with the sample's name.  Anything exposing the
+        manager protocol works — a plain :class:`ScopeManager` or a
+        :class:`~repro.net.shard.ShardedScopeManager`.
     auto_create:
-        When a tuple names a signal no scope carries, create a BUFFER
-        signal for it on the first registered scope — convenient for
-        exploratory monitoring; off by default because the paper's flow
-        registers signals explicitly.
+        When a sample names a signal no scope carries, create a BUFFER
+        signal for it (on the first registered scope / the name's home
+        shard) — convenient for exploratory monitoring; off by default
+        because the paper's flow registers signals explicitly.
+    max_drain_bytes:
+        Per-wakeup receive budget: one readable dispatch drains up to
+        this many bytes before yielding the loop, so one firehose client
+        cannot starve the other sources.
     """
 
     def __init__(
         self,
         loop: MainLoop,
-        manager: ScopeManager,
+        manager,
         auto_create: bool = False,
+        max_drain_bytes: int = 1 << 20,
     ) -> None:
+        if max_drain_bytes <= 0:
+            raise ValueError(f"max_drain_bytes must be positive: {max_drain_bytes}")
         self.loop = loop
         self.manager = manager
         self.auto_create = auto_create
+        self.max_drain_bytes = max_drain_bytes
         self._clients: List[ClientState] = []
+        # Aggregate counters of departed clients (see disconnect()).
+        self._retired: Dict[str, int] = {k: 0 for k in _COUNTER_FIELDS}
+        self.retired_clients = 0
+        # Carried-name cache for _ensure_signal: names known to be
+        # carried (or auto-created), invalidated on scope add/remove via
+        # the manager's topology version.
+        self._seen_names: set = set()
+        self._seen_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Connections
@@ -81,34 +128,93 @@ class ScopeServer:
         return state
 
     def disconnect(self, state: ClientState) -> None:
+        """Drop a client, folding its counters into the retained totals.
+
+        The ClientState is pruned from the live list — a long-running
+        server with connection churn must not accumulate dead sessions —
+        while :meth:`totals` keeps counting its traffic.
+        """
         if state.watch_id is not None:
             self.loop.remove(state.watch_id)
             state.watch_id = None
         state.connected = False
         if hasattr(state.endpoint, "close"):
             state.endpoint.close()
+        try:
+            self._clients.remove(state)
+        except ValueError:
+            return  # already pruned (double disconnect)
+        for key in _COUNTER_FIELDS:
+            self._retired[key] += getattr(state, key)
+        self.retired_clients += 1
 
     @property
     def clients(self) -> List[ClientState]:
+        """Live (connected) client sessions."""
         return list(self._clients)
 
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
     def _on_readable(self, state: ClientState) -> bool:
-        chunk = state.endpoint.recv()
+        endpoint = state.endpoint
+        chunk = endpoint.recv()
         if not chunk:
             # Peer closed (socket semantics); drop the watch.
             self.disconnect(state)
             return False
-        try:
-            tuples, state.decoder = decode_lines(chunk, state.decoder)
-        except TupleFormatError:
-            # A malformed stream is a protocol violation: disconnect
-            # rather than guess at framing.
-            state.protocol_errors += 1
-            self.disconnect(state)
-            return False
+        budget = self.max_drain_bytes
+        while True:
+            state.bytes_received += len(chunk)
+            budget -= len(chunk)
+            try:
+                self._ingest_chunk(state, chunk)
+            except (TupleFormatError, ProtocolError):
+                # A malformed stream is a protocol violation: disconnect
+                # rather than guess at framing.
+                state.protocol_errors += 1
+                self.disconnect(state)
+                return False
+            # Drain what is already buffered before yielding the loop:
+            # big columnar frames span many transport chunks and one
+            # wakeup should consume them all (up to the byte budget).
+            if budget <= 0 or not endpoint.readable():
+                break
+            chunk = endpoint.recv()
+            if not chunk:
+                self.disconnect(state)
+                return False
+        return True
+
+    def _ingest_chunk(self, state: ClientState, chunk: bytes) -> None:
+        tuples, frames = state.wire.feed(chunk)
+        if tuples:
+            self._ingest_tuples(state, tuples)
+        for frame in frames:
+            self._ingest_frame(state, frame)
+
+    def _ingest_frame(self, state: ClientState, frame: Frame) -> None:
+        """Binary hot path: decoded columns go straight to the manager."""
+        state.frames += 1
+        if frame.kind is FrameKind.SAMPLES:
+            name = state.names.get(frame.name_id)
+            if name is None:
+                raise ProtocolError(
+                    f"SAMPLES frame references undefined name id {frame.name_id}"
+                )
+            n = len(frame)
+            state.received += n
+            self._ensure_signal(name)
+            accepted = self.manager.push_samples(name, frame.times, frame.values)
+            state.accepted += accepted
+            state.dropped_late += n - accepted
+        elif frame.kind is FrameKind.NAME_DEF:
+            state.names[frame.name_id] = frame.name
+        else:  # HELLO
+            state.peer_version = frame.version
+
+    def _ingest_tuples(self, state: ClientState, tuples: List[Tuple3]) -> None:
+        """Text compatibility path: regroup per-name runs, push columns."""
         # Batch the decoded tuples into per-name runs so one manager call
         # (one columnar buffer append) carries a whole run — a batched
         # client frame of N samples costs one push, not N.
@@ -129,26 +235,35 @@ class ScopeServer:
             state.accepted += accepted
             state.dropped_late += (j - i) - accepted
             i = j
-        return True
 
     def _ensure_signal(self, name: str) -> None:
         if not self.auto_create:
             return
-        carried = any(name in scope for scope in self.manager.scopes)
-        if not carried and self.manager.scopes:
-            self.manager.scopes[0].signal_new(
-                SignalSpec(name=name, type=SignalType.BUFFER)
-            )
+        version = self.manager.topology_version
+        if version != self._seen_version:
+            # A scope was added or removed since the cache was built;
+            # carried-ness may have changed for any name.
+            self._seen_names.clear()
+            self._seen_version = version
+        if name in self._seen_names:
+            return
+        if self.manager.carries(name):
+            self._seen_names.add(name)
+        elif self.manager.auto_create(name):
+            # auto_create bumped nothing topological, but re-read the
+            # version in case the manager counts signal registration.
+            self._seen_version = self.manager.topology_version
+            self._seen_names.add(name)
+        # else: no scope to create on yet; retry once one is registered
+        # (which bumps the topology version and clears the cache).
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def totals(self) -> Dict[str, int]:
-        """Aggregate receive/accept/drop counters across all clients."""
-        out = {"received": 0, "accepted": 0, "dropped_late": 0, "protocol_errors": 0}
+        """Aggregate receive/accept/drop counters, live and departed."""
+        out = dict(self._retired)
         for c in self._clients:
-            out["received"] += c.received
-            out["accepted"] += c.accepted
-            out["dropped_late"] += c.dropped_late
-            out["protocol_errors"] += c.protocol_errors
+            for key in _COUNTER_FIELDS:
+                out[key] += getattr(c, key)
         return out

@@ -1,0 +1,244 @@
+"""Sharded telemetry fan-in: partitioning the signal namespace.
+
+One :class:`~repro.core.manager.ScopeManager` fans every sample out over
+one set of scopes; at production fan-in scale (many clients, many
+signals) that single registry becomes the ingest bottleneck.  A
+:class:`ShardedScopeManager` splits the *signal namespace* across N
+per-shard managers by a stable hash of the signal name, so:
+
+* routing is O(1) and deterministic — the same name lands on the same
+  shard on every run and every host (CRC32, not Python's salted
+  ``hash``),
+* shards can share one main loop (single-threaded, the paper's model)
+  or each own a loop — the seam for running shards on separate cores or
+  processes later,
+* per-shard counters expose the backpressure story: a shard whose
+  scopes fall behind shows up as late-drops *on that shard*, mirroring
+  the paper's Section 4.4 rule (data arriving after its display slot is
+  dropped immediately, and the drop is counted, not hidden).
+
+The sharded manager satisfies the same manager protocol the
+:class:`~repro.net.server.ScopeServer` consumes (``push_samples``,
+``carries``, ``auto_create``, ``topology_version``), so a server can be
+pointed at either interchangeably.
+
+Placement contract: a signal lives on its home shard,
+``shard_of(name)``.  ``scope_new`` places each scope on the shard of
+the *scope's* name by default (override with ``shard=``); register a
+signal on a scope whose shard matches the signal's home —
+``signal_home`` tells you which that is — or simply let ``auto_create``
+do it.  Pushes route to the home shard only; a scope on a foreign shard
+never sees the signal, by design (that is what makes routing O(1)).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.manager import ScopeManager
+from repro.core.scope import Scope, ScopeError
+from repro.eventloop.loop import MainLoop
+
+__all__ = ["ShardStats", "ShardedScopeManager", "shard_of"]
+
+
+def shard_of(name: str, n_shards: int) -> int:
+    """Stable shard index for a signal name (CRC32 mod N)."""
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive: {n_shards}")
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+@dataclass
+class ShardStats:
+    """Per-shard ingest accounting (the backpressure counters)."""
+
+    offered: int = 0
+    accepted: int = 0
+    dropped_late: int = 0
+
+
+class ShardedScopeManager:
+    """N per-shard :class:`ScopeManager`\\ s behind one routing facade.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions.  Fixed for the manager's lifetime — the
+        hash ring does not resize (resharding live signal streams is a
+        different problem).
+    loop:
+        Shared main loop for every shard (default: one fresh loop).
+        Mutually exclusive with ``loops``.
+    loops:
+        One loop per shard, for deployments that drive shards
+        independently.  Must have exactly ``shards`` entries.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        loop: Optional[MainLoop] = None,
+        loops: Optional[List[MainLoop]] = None,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        if loops is not None:
+            if loop is not None:
+                raise ValueError("pass either loop or loops, not both")
+            if len(loops) != shards:
+                raise ValueError(
+                    f"loops must have one entry per shard: {len(loops)} vs {shards}"
+                )
+            self._managers = [ScopeManager(l) for l in loops]
+        else:
+            shared = loop if loop is not None else MainLoop()
+            self._managers = [ScopeManager(shared) for _ in range(shards)]
+        self._stats = [ShardStats() for _ in range(shards)]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._managers)
+
+    @property
+    def managers(self) -> List[ScopeManager]:
+        """The per-shard managers, in shard order."""
+        return list(self._managers)
+
+    @property
+    def loops(self) -> List[MainLoop]:
+        """Distinct loops driving the shards, in first-use order."""
+        seen: List[MainLoop] = []
+        for manager in self._managers:
+            if manager.loop not in seen:
+                seen.append(manager.loop)
+        return seen
+
+    def shard_of(self, name: str) -> int:
+        """Home shard index for a signal (or scope) name."""
+        return shard_of(name, len(self._managers))
+
+    def signal_home(self, name: str) -> ScopeManager:
+        """The shard manager that owns signal ``name``."""
+        return self._managers[self.shard_of(name)]
+
+    # ------------------------------------------------------------------
+    # Scope lifecycle (delegated to the owning shard)
+    # ------------------------------------------------------------------
+    def scope_new(
+        self, name: str, shard: Optional[int] = None, **kwargs: object
+    ) -> Scope:
+        """Create a scope on ``shard`` (default: the name's home shard)."""
+        index = self.shard_of(name) if shard is None else shard
+        if not 0 <= index < len(self._managers):
+            raise ValueError(f"shard index out of range: {index}")
+        return self._managers[index].scope_new(name, **kwargs)
+
+    def scope_remove(self, name: str) -> None:
+        for manager in self._managers:
+            if name in manager:
+                manager.scope_remove(name)
+                return
+        raise ScopeError(f"unknown scope: {name!r}")
+
+    def scope(self, name: str) -> Scope:
+        for manager in self._managers:
+            if name in manager:
+                return manager.scope(name)
+        raise ScopeError(f"unknown scope: {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in manager for manager in self._managers)
+
+    def __len__(self) -> int:
+        return sum(len(manager) for manager in self._managers)
+
+    @property
+    def scopes(self) -> List[Scope]:
+        """Every scope across every shard, in shard order."""
+        out: List[Scope] = []
+        for manager in self._managers:
+            out.extend(manager.scopes)
+        return out
+
+    # ------------------------------------------------------------------
+    # Manager protocol (what ScopeServer consumes)
+    # ------------------------------------------------------------------
+    @property
+    def topology_version(self) -> int:
+        """Changes whenever any shard's scope set changes."""
+        return sum(manager.topology_version for manager in self._managers)
+
+    def carries(self, name: str) -> bool:
+        """True when the name's home shard carries the signal."""
+        return self.signal_home(name).carries(name)
+
+    def auto_create(self, name: str) -> bool:
+        """Auto-register ``name`` on its home shard's first scope."""
+        return self.signal_home(name).auto_create(name)
+
+    def push_sample(self, name: str, time_ms: float, value: float) -> int:
+        """Route one sample to its home shard; returns scopes accepting."""
+        index = self.shard_of(name)
+        accepted = self._managers[index].push_sample(name, time_ms, value)
+        stats = self._stats[index]
+        stats.offered += 1
+        stats.accepted += 1 if accepted else 0
+        stats.dropped_late += 0 if accepted else 1
+        return accepted
+
+    def push_samples(self, name: str, times, values) -> int:
+        """Route one signal's columns to its home shard.
+
+        Returns how many samples a scope accepted; the shortfall is
+        counted as that shard's late drops — the slow-consumer signal
+        (a shard whose display loop lags sees samples arrive past their
+        slot and sheds them, per Section 4.4).
+        """
+        index = self.shard_of(name)
+        accepted = self._managers[index].push_samples(name, times, values)
+        stats = self._stats[index]
+        offered = len(times)
+        stats.offered += offered
+        stats.accepted += accepted
+        stats.dropped_late += offered - accepted
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Coordinated control + accounting
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        for manager in self._managers:
+            manager.start_all()
+
+    def stop_all(self) -> None:
+        for manager in self._managers:
+            manager.stop_all()
+
+    def run_for(self, duration_ms: float) -> None:
+        """Drive every distinct shard loop for ``duration_ms``.
+
+        With a shared loop this is one run; with per-shard loops each
+        advances independently (virtual clocks stay deterministic, but
+        cross-shard event order is unspecified — shards are partitions,
+        not replicas).
+        """
+        for loop in self.loops:
+            loop.run_for(duration_ms)
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard ingest counters, in shard order (live references)."""
+        return list(self._stats)
+
+    def totals(self) -> Dict[str, int]:
+        """Ingest counters summed across shards."""
+        return {
+            "offered": sum(s.offered for s in self._stats),
+            "accepted": sum(s.accepted for s in self._stats),
+            "dropped_late": sum(s.dropped_late for s in self._stats),
+        }

@@ -40,7 +40,11 @@ class LatencyLink:
         self.clock = clock
         self.delay_ms = float(delay_ms)
         self._in_flight: Deque[Tuple[float, bytes]] = deque()
-        self._delivered = b""
+        # Delivered bytes live in one buffer with a read cursor, so a
+        # deep receive backlog costs O(1) amortised per recv instead of
+        # re-slicing the whole backlog (O(n^2) across a drain).
+        self._delivered = bytearray()
+        self._read_pos = 0
         self.closed = False
 
     def send(self, data: bytes) -> None:
@@ -55,11 +59,17 @@ class LatencyLink:
 
     def readable(self) -> bool:
         self._settle()
-        return bool(self._delivered)
+        return len(self._delivered) > self._read_pos
 
     def recv(self, max_bytes: int = 65536) -> bytes:
         self._settle()
-        chunk, self._delivered = self._delivered[:max_bytes], self._delivered[max_bytes:]
+        start = self._read_pos
+        end = min(start + max_bytes, len(self._delivered))
+        chunk = bytes(memoryview(self._delivered)[start:end])
+        self._read_pos = end
+        if self._read_pos > 65536 and self._read_pos * 2 > len(self._delivered):
+            del self._delivered[: self._read_pos]
+            self._read_pos = 0
         return chunk
 
     def close(self) -> None:

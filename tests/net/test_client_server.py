@@ -90,11 +90,15 @@ class TestLateDrop:
 class TestProtocolErrors:
     def test_malformed_stream_disconnects_client(self):
         loop, scope, server, client = make_world()
+        state = server.clients[0]
         client.endpoint.send(b"garbage line\n")
         loop.run_for(200)
-        state = server.clients[0]
+        # The dead session is pruned from the live list, its counters
+        # folded into the retained totals.
         assert not state.connected
-        assert state.protocol_errors == 1
+        assert server.clients == []
+        assert server.retired_clients == 1
+        assert server.totals()["protocol_errors"] == 1
 
     def test_unknown_signal_counted_not_crashed(self):
         loop, scope, server, client = make_world()
@@ -209,3 +213,222 @@ class TestSocketTransport:
         finally:
             client_end.close()
             server_end.close()
+
+    def test_binary_batch_over_real_sockets(self):
+        """Full binary path — hello, name interning, columnar frames —
+        across an actual non-blocking socketpair."""
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=10_000)
+        scope.signal_new(buffer_signal("metric"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        client_end, server_end = socket_pair()
+        try:
+            server.add_client(server_end)
+            client = ScopeClient(client_end, loop, mode="binary")
+            now = loop.clock.now()
+            total = 5000
+            values = [float(i) for i in range(total)]
+            times = [now + i * 0.01 for i in range(total)]
+            client.send_samples("metric", values, times=times)
+            for _ in range(50):
+                loop.run_for(50)
+                if server.totals()["received"] >= total:
+                    break
+            totals = server.totals()
+            assert totals["received"] == total
+            assert totals["accepted"] == total
+            assert server.clients[0].mode == "binary"
+            assert client.sent == total
+        finally:
+            client_end.close()
+            server_end.close()
+
+
+class TestBinaryWire:
+    def test_default_mode_is_binary(self):
+        loop, scope, server, client = make_world()
+        assert client.mode == "binary"
+        client.send_sample("metric", 42.0)
+        loop.run_for(300)
+        assert server.clients[0].mode == "binary"
+        assert scope.value_of("metric") == 42.0
+
+    def test_text_mode_negotiates_fallback(self):
+        """An old-style text client keeps working against the same server."""
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100)
+        scope.signal_new(buffer_signal("metric"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        near, far = memory_pair(loop.clock)
+        server.add_client(far)
+        client = ScopeClient(near, loop, mode="text")
+        client.send_sample("metric", 9.5)
+        loop.run_for(300)
+        assert server.clients[0].mode == "text"
+        assert scope.value_of("metric") == 9.5
+
+    def test_mixed_mode_clients_one_server(self):
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100)
+        scope.signal_new(buffer_signal("a"))
+        scope.signal_new(buffer_signal("b"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        clients = []
+        for mode in ("binary", "text"):
+            near, far = memory_pair(loop.clock)
+            server.add_client(far)
+            clients.append(ScopeClient(near, loop, mode=mode))
+        clients[0].send_sample("a", 1.0)
+        clients[1].send_sample("b", 2.0)
+        loop.run_for(300)
+        assert [c.mode for c in server.clients] == ["binary", "text"]
+        assert scope.value_of("a") == 1.0
+        assert scope.value_of("b") == 2.0
+
+    def test_ndarray_columns_travel_without_conversion(self):
+        import numpy as np
+
+        loop, scope, server, client = make_world(delay_ms=10_000)
+        now = loop.clock.now()
+        times = now + np.arange(100.0)
+        values = np.sqrt(np.arange(100.0))
+        client.send_samples("metric", values, times=times)
+        loop.run_for(500)
+        assert server.totals()["accepted"] == 100
+        loop.run_for(11_000)  # past the display delay: samples drain
+        assert scope.channel("metric").raw_values()[:3] == [0.0, 1.0, pytest.approx(2**0.5)]
+
+    def test_malformed_binary_header_disconnects(self):
+        loop, scope, server, client = make_world()
+        # Starts with the binary magic byte, then garbage.
+        client.endpoint.send(b"\xa5" + b"\x00" * 20)
+        loop.run_for(200)
+        assert server.clients == []
+        assert server.totals()["protocol_errors"] == 1
+
+    def test_samples_before_name_def_disconnect(self):
+        from repro.net.protocol import encode_binary_samples
+
+        loop, scope, server, client = make_world()
+        client.endpoint.send(encode_binary_samples(5, [1.0], [2.0]))
+        loop.run_for(200)
+        assert server.clients == []
+        assert server.totals()["protocol_errors"] == 1
+
+    def test_empty_binary_batch_is_noop(self):
+        import numpy as np
+
+        loop, scope, server, client = make_world()
+        client.send_samples("metric", np.empty(0))
+        loop.run_for(100)
+        assert client.backlog == 0
+        assert client.sent == 0
+        # No control traffic either: the name was never used on the wire.
+        assert server.totals()["frames"] == 0
+
+    def test_control_frames_never_interleave_partial_data(self):
+        """A NAME_DEF queued while a data frame is half-transmitted must
+        wait for the frame to finish — landing mid-frame would
+        desynchronise the binary stream (real sockets short-write)."""
+        import numpy as np
+
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100_000)
+        scope.signal_new(buffer_signal("a"))
+        scope.signal_new(buffer_signal("b"))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        near, far = memory_pair(loop.clock)
+        server.add_client(far)
+
+        class Trickle:
+            """Endpoint that short-writes: at most 7 bytes per send."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def writable(self):
+                return self.inner.writable()
+
+            def readable(self):
+                return self.inner.readable()
+
+            def send(self, data):
+                return self.inner.send(data[:7])
+
+            def close(self):
+                self.inner.close()
+
+        client = ScopeClient(Trickle(near), loop, mode="binary")
+        now = loop.clock.now()
+        # Large frame for 'a': guaranteed mid-frame when 'b' is interned
+        # below (its NAME_DEF enters the control queue while 'a' data is
+        # partially transmitted).
+        client.send_samples("a", np.arange(100.0), times=np.full(100, now))
+        client.send_sample("b", 5.0, time_ms=now)
+        loop.run_for(2000)
+        totals = server.totals()
+        assert totals["protocol_errors"] == 0
+        assert totals["accepted"] == 101
+        assert server.clients[0].connected
+        assert client.sent == 101
+
+    def test_name_defs_survive_queue_pressure(self):
+        """Back-pressure drops data frames but never NAME_DEFs — every
+        surviving frame must still decode against a defined id."""
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("remote", period_ms=50, delay_ms=100_000)
+        for sig in ("a", "b", "c"):
+            scope.signal_new(buffer_signal(sig))
+        scope.set_polling_mode(50)
+        scope.start_polling()
+        server = ScopeServer(loop, manager)
+        near, far = memory_pair(loop.clock)
+        server.add_client(far)
+
+        class Gate:
+            """Endpoint wrapper whose writability can be toggled."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.open = False
+
+            def writable(self):
+                return self.open and self.inner.writable()
+
+            def readable(self):
+                return self.inner.readable()
+
+            def send(self, data):
+                return self.inner.send(data)
+
+            def close(self):
+                self.inner.close()
+
+        gate = Gate(near)
+        client = ScopeClient(gate, loop, max_queue=2, mode="binary")
+        now = loop.clock.now()
+        # Nine data frames across three names while unwritable: seven of
+        # the data frames drop, all three NAME_DEFs must survive.
+        for i in range(9):
+            client.send_sample("abc"[i % 3], float(i), time_ms=now)
+        assert client.backlog == 2
+        assert client.dropped == 7
+        gate.open = True
+        loop.run_for(300)
+        totals = server.totals()
+        assert totals["protocol_errors"] == 0
+        assert totals["accepted"] == 2
+        assert server.clients[0].connected

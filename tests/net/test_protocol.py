@@ -1,10 +1,27 @@
-"""Tests for the wire protocol (tuple lines over byte chunks)."""
+"""Tests for the wire protocols (text tuple lines and binary frames)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.tuples import TupleFormatError
-from repro.net.protocol import LineDecoder, decode_lines, encode_sample
+from repro.net.protocol import (
+    FRAME_HEADER,
+    FrameDecoder,
+    FrameKind,
+    LineDecoder,
+    MAGIC,
+    MAX_FRAME_SAMPLES,
+    MAX_NAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    WireDecoder,
+    decode_lines,
+    encode_binary_samples,
+    encode_hello,
+    encode_name_def,
+    encode_sample,
+)
 
 
 class TestEncode:
@@ -80,3 +97,214 @@ class TestDecodeLines:
         assert [(t.time_ms, t.value) for t in out] == [
             (float(t), float(v)) for t, v in samples
         ]
+
+
+class TestLineDecoderBound:
+    def test_partial_at_cap_is_fine(self):
+        dec = LineDecoder(max_line_bytes=16)
+        assert dec.feed(b"x" * 16) == []
+        assert dec.feed(b"\n") == ["x" * 16]
+
+    def test_partial_past_cap_is_protocol_error(self):
+        dec = LineDecoder(max_line_bytes=16)
+        with pytest.raises(ProtocolError, match="cap"):
+            dec.feed(b"x" * 17)
+        # The oversized partial is discarded, not retained.
+        assert dec.pending == b""
+
+    def test_cap_reached_across_many_feeds(self):
+        """A peer trickling a newline-free stream cannot grow memory."""
+        dec = LineDecoder(max_line_bytes=64)
+        with pytest.raises(ProtocolError):
+            for _ in range(100):
+                dec.feed(b"abcdefgh")
+
+    def test_complete_lines_unaffected_by_cap(self):
+        dec = LineDecoder(max_line_bytes=8)
+        # Long *terminated* lines pass; only the carried partial is bounded.
+        assert dec.feed(b"1 2 a\n3 4 b\n") == ["1 2 a", "3 4 b"]
+
+    def test_default_cap_is_64k(self):
+        assert LineDecoder().max_line_bytes == 64 * 1024
+
+
+class TestBinaryEncode:
+    def test_hello_frame_shape(self):
+        frame = encode_hello()
+        assert len(frame) == FRAME_HEADER.size
+        magic, version, kind, name_id, count = FRAME_HEADER.unpack(frame)
+        assert (magic, version, kind, name_id, count) == (
+            MAGIC,
+            PROTOCOL_VERSION,
+            FrameKind.HELLO,
+            0,
+            0,
+        )
+
+    def test_name_def_carries_utf8_payload(self):
+        frame = encode_name_def(3, "CWND")
+        assert frame[FRAME_HEADER.size :] == b"CWND"
+        _, _, kind, name_id, count = FRAME_HEADER.unpack_from(frame)
+        assert (kind, name_id, count) == (FrameKind.NAME_DEF, 3, 4)
+
+    def test_samples_payload_is_contiguous_columns(self):
+        times = np.array([1.0, 2.0, 3.0])
+        values = np.array([10.0, 20.0, 30.0])
+        frame = encode_binary_samples(7, times, values)
+        header, payload = frame[: FRAME_HEADER.size], frame[FRAME_HEADER.size :]
+        _, _, kind, name_id, count = FRAME_HEADER.unpack(header)
+        assert (kind, name_id, count) == (FrameKind.SAMPLES, 7, 3)
+        assert payload == times.astype("<f8").tobytes() + values.astype("<f8").tobytes()
+
+    def test_empty_batch_encodes_to_nothing(self):
+        assert encode_binary_samples(0, [], []) == b""
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            encode_binary_samples(0, [1.0, 2.0], [1.0])
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_name_def(0, "bad name")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_name_def(0, "")
+
+    def test_oversized_batch_splits_into_multiple_frames(self):
+        n = MAX_FRAME_SAMPLES + 5
+        t = np.arange(n, dtype=np.float64)
+        wire = encode_binary_samples(1, t, t)
+        frames = FrameDecoder().feed(wire)
+        assert [len(f) for f in frames] == [MAX_FRAME_SAMPLES, 5]
+        np.testing.assert_array_equal(
+            np.concatenate([f.times for f in frames]), t
+        )
+
+
+class TestFrameDecoder:
+    def roundtrip(self, wire, chunk_size):
+        dec = FrameDecoder()
+        frames = []
+        for i in range(0, len(wire), chunk_size):
+            frames.extend(dec.feed(wire[i : i + chunk_size]))
+        return dec, frames
+
+    def test_single_byte_fragmentation(self):
+        """The harshest chunking — one byte per feed — decodes the
+        stream identically to one big feed."""
+        times = np.linspace(0.0, 99.0, 100)
+        values = np.sin(times)
+        wire = (
+            encode_hello()
+            + encode_name_def(0, "sig")
+            + encode_binary_samples(0, times, values)
+        )
+        dec, frames = self.roundtrip(wire, 1)
+        assert [f.kind for f in frames] == [
+            FrameKind.HELLO,
+            FrameKind.NAME_DEF,
+            FrameKind.SAMPLES,
+        ]
+        assert frames[1].name == "sig"
+        np.testing.assert_array_equal(frames[2].times, times)
+        np.testing.assert_array_equal(frames[2].values, values)
+        assert dec.pending == 0
+
+    @given(st.integers(min_value=1, max_value=37))
+    def test_arbitrary_chunking_preserves_stream(self, chunk_size):
+        rng = np.random.default_rng(chunk_size)
+        wire = b"".join(
+            encode_name_def(i, f"s{i}")
+            + encode_binary_samples(i, rng.random(9), rng.random(9))
+            for i in range(4)
+        )
+        _, frames = self.roundtrip(wire, chunk_size)
+        assert len(frames) == 8
+        assert [f.name for f in frames[::2]] == ["s0", "s1", "s2", "s3"]
+
+    def test_bad_magic_raises_immediately(self):
+        dec = FrameDecoder()
+        with pytest.raises(ProtocolError, match="magic"):
+            dec.feed(b"\x00" * FRAME_HEADER.size)
+
+    def test_bad_version_raises(self):
+        frame = FRAME_HEADER.pack(MAGIC, 99, FrameKind.HELLO, 0, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            FrameDecoder().feed(frame)
+
+    def test_unknown_kind_raises(self):
+        frame = FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, 42, 0, 0)
+        with pytest.raises(ProtocolError, match="kind"):
+            FrameDecoder().feed(frame)
+
+    def test_absurd_sample_count_rejected_from_header_alone(self):
+        """A corrupt count must fail fast, not wait for 60 GiB."""
+        frame = FRAME_HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, FrameKind.SAMPLES, 0, 0xFFFFFFFF
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameDecoder().feed(frame)
+
+    def test_absurd_name_length_rejected(self):
+        frame = FRAME_HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, FrameKind.NAME_DEF, 0, MAX_NAME_BYTES + 1
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameDecoder().feed(frame)
+
+    def test_non_utf8_name_rejected(self):
+        frame = FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.NAME_DEF, 0, 2)
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            FrameDecoder().feed(frame + b"\xff\xfe")
+
+    def test_incomplete_header_pends(self):
+        dec = FrameDecoder()
+        assert dec.feed(encode_hello()[:5]) == []
+        assert dec.pending == 5
+
+    def test_decoded_columns_survive_buffer_compaction(self):
+        """Column arrays must stay valid after the decoder's internal
+        buffer is compacted by later feeds."""
+        dec = FrameDecoder()
+        times = np.arange(1000.0)
+        first = dec.feed(encode_binary_samples(0, times, times))[0]
+        snapshot = first.times.copy()
+        for _ in range(200):  # push enough through to force compaction
+            dec.feed(encode_binary_samples(0, times, times))
+        np.testing.assert_array_equal(first.times, snapshot)
+
+
+class TestWireNegotiation:
+    def test_binary_first_byte_selects_binary(self):
+        dec = WireDecoder()
+        tuples, frames = dec.feed(encode_hello())
+        assert dec.mode == "binary"
+        assert tuples == [] and len(frames) == 1
+
+    def test_text_first_byte_selects_text(self):
+        dec = WireDecoder()
+        tuples, frames = dec.feed(b"10 1 x\n")
+        assert dec.mode == "text"
+        assert frames == [] and len(tuples) == 1
+
+    def test_one_byte_first_read_still_negotiates(self):
+        dec = WireDecoder()
+        wire = encode_name_def(0, "a") + encode_binary_samples(0, [1.0], [2.0])
+        collected = []
+        for i in range(len(wire)):
+            _, frames = dec.feed(wire[i : i + 1])
+            collected.extend(frames)
+        assert dec.mode == "binary"
+        assert [f.kind for f in collected] == [FrameKind.NAME_DEF, FrameKind.SAMPLES]
+
+    def test_comment_led_text_stream_negotiates_text(self):
+        dec = WireDecoder()
+        tuples, _ = dec.feed(b"# header comment\n5 6 m\n")
+        assert dec.mode == "text"
+        assert [(t.time_ms, t.value) for t in tuples] == [(5.0, 6.0)]
+
+    def test_empty_feed_leaves_mode_undecided(self):
+        dec = WireDecoder()
+        assert dec.feed(b"") == ([], [])
+        assert dec.mode is None
