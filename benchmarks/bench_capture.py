@@ -1,0 +1,234 @@
+"""X11 — capture store: write, indexed seek, and replay throughput.
+
+Section 3.3's record/replay only matters at scale if the store keeps up
+with the columnar pipeline: the binary wire ingests ~10M samples/s, so
+recording must sustain millions of samples per second and replay must
+re-drive a manager at the same order of magnitude, with seeks that do
+not scan the stream.  Three measurements:
+
+* **X11a `write`** — ``CaptureWriter.on_push`` batches → segment files,
+  1M samples.  Acceptance: ≥ 5M samples/s.
+* **X11b `seek`** — random indexed timestamp seeks against 100k- and
+  1M-sample stores.  Acceptance: per-seek cost grows sub-linearly
+  (O(log n): a 10x store may cost at most ~4x per seek, against ~10x
+  for a scan).
+* **X11c `replay`** — ``ReplaySource`` re-driving a ``ScopeManager``
+  through the event loop, whole-store.
+
+Run stand-alone for machine-readable JSON (``--json PATH`` writes it,
+otherwise it lands on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_capture.py [--quick] [--json out.json]
+
+or through pytest for the acceptance assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_capture.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+from conftest import report
+
+from repro.capture import CaptureReader, CaptureWriter, ReplaySource
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+
+ACCEPTANCE_WRITE_RATE = 5_000_000.0
+ACCEPTANCE_SEEK_SCALING = 4.0
+TOTAL_SAMPLES = 1_000_000
+QUICK_SAMPLES = 200_000
+BATCH = 1_000
+SIGNALS = 8
+SEEKS = 2_000
+
+
+def build_store(path: Path, total: int, batch: int = BATCH) -> Dict[str, float]:
+    """Write ``total`` samples through the tap interface; returns stats."""
+    rng = np.random.default_rng(1234)
+    values = rng.standard_normal(batch)
+    names = [f"cap{i}" for i in range(SIGNALS)]
+    writer = CaptureWriter(path)
+    now = 0.0
+    sent = 0
+    index = 0
+    t0 = time.perf_counter()
+    while sent < total:
+        n = min(batch, total - sent)
+        now += 1.0
+        times = np.linspace(now - 1.0, now, n)
+        writer.on_push(names[index % SIGNALS], times, values[:n], now)
+        sent += n
+        index += 1
+    writer.close()
+    elapsed = time.perf_counter() - t0
+    return {
+        "samples": total,
+        "seconds": elapsed,
+        "rate_per_sec": total / elapsed,
+        "segments": writer.segments_written,
+        "bytes": writer.bytes_written,
+        "bytes_per_sample": writer.bytes_written / total,
+    }
+
+
+def bench_write(total: int, batch: int = BATCH) -> Dict[str, float]:
+    root = Path(tempfile.mkdtemp(prefix="bench_capture_"))
+    try:
+        return build_store(root / "store", total, batch)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_seek(total: int, seeks: int = SEEKS) -> Dict[str, float]:
+    """Random indexed seeks against a ``total``-sample store."""
+    root = Path(tempfile.mkdtemp(prefix="bench_capture_"))
+    try:
+        build_store(root / "store", total)
+        reader = CaptureReader(root / "store")
+        span = reader.end_time_ms - reader.start_time_ms
+        rng = np.random.default_rng(99)
+        targets = reader.start_time_ms + rng.uniform(0.0, 1.0, seeks) * span
+        reader.seek(float(targets[0]))  # warm: mmap touch + CRC of one block
+        t0 = time.perf_counter()
+        for t in targets:
+            reader.seek(float(t))
+        elapsed = time.perf_counter() - t0
+        return {
+            "samples": total,
+            "seeks": seeks,
+            "seconds": elapsed,
+            "rate_per_sec": seeks / elapsed,
+            "microseconds_per_seek": 1e6 * elapsed / seeks,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_replay(total: int) -> Dict[str, float]:
+    """Whole-store replay into a live manager through the event loop."""
+    root = Path(tempfile.mkdtemp(prefix="bench_capture_"))
+    try:
+        build_store(root / "store", total)
+        loop = MainLoop()
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("sink", period_ms=50, delay_ms=1e15)
+        for i in range(SIGNALS):
+            scope.signal_new(buffer_signal(f"cap{i}"))
+        source = ReplaySource(CaptureReader(root / "store"), manager)
+        loop.attach(source)
+        t0 = time.perf_counter()
+        loop.run_until(2_000_000.0)
+        elapsed = time.perf_counter() - t0
+        assert source.exhausted, "replay did not finish inside the run window"
+        assert scope.buffer.stats.pushed == total
+        return {
+            "samples": total,
+            "seconds": elapsed,
+            "rate_per_sec": total / elapsed,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_suite(total: int) -> dict:
+    write = bench_write(total)
+    seek_small = bench_seek(max(total // 10, 10_000))
+    seek_large = bench_seek(total)
+    replay = bench_replay(total)
+    return {
+        "benchmark": "capture",
+        "acceptance": {
+            "min_write_rate_per_sec": ACCEPTANCE_WRITE_RATE,
+            "max_seek_scaling": ACCEPTANCE_SEEK_SCALING,
+        },
+        "write": write,
+        "seek": {
+            "small": seek_small,
+            "large": seek_large,
+            "scaling": (
+                seek_large["microseconds_per_seek"]
+                / seek_small["microseconds_per_seek"]
+            ),
+        },
+        "replay": replay,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_write_throughput():
+    result = bench_write(TOTAL_SAMPLES)
+    report(
+        f"X11a: capture write ({result['samples']} samples, batches of {BATCH})",
+        [
+            ("rate", f"{result['rate_per_sec']:,.0f} samples/s "
+                     f"(acceptance >= {ACCEPTANCE_WRITE_RATE:,.0f})"),
+            ("segments", f"{result['segments']}"),
+            ("bytes/sample", f"{result['bytes_per_sample']:.1f}"),
+        ],
+    )
+    assert result["rate_per_sec"] >= ACCEPTANCE_WRITE_RATE
+
+
+def test_seek_is_logarithmic():
+    small = bench_seek(TOTAL_SAMPLES // 10)
+    large = bench_seek(TOTAL_SAMPLES)
+    scaling = large["microseconds_per_seek"] / small["microseconds_per_seek"]
+    report(
+        "X11b: indexed seek, 100k vs 1M samples",
+        [
+            ("100k", f"{small['microseconds_per_seek']:.1f} us/seek"),
+            ("1M", f"{large['microseconds_per_seek']:.1f} us/seek"),
+            ("scaling", f"{scaling:.2f}x per 10x store "
+                        f"(acceptance <= {ACCEPTANCE_SEEK_SCALING}x; linear scan would be ~10x)"),
+        ],
+    )
+    assert scaling <= ACCEPTANCE_SEEK_SCALING
+    assert large["rate_per_sec"] >= 10_000
+
+
+def test_replay_throughput():
+    result = bench_replay(QUICK_SAMPLES)
+    report(
+        f"X11c: replay into a live manager ({result['samples']} samples)",
+        [("rate", f"{result['rate_per_sec']:,.0f} samples/s")],
+    )
+    assert result["rate_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# stand-alone JSON mode
+# ----------------------------------------------------------------------
+def main(argv) -> int:
+    quick = "--quick" in argv
+    out_path: Optional[str] = None
+    if "--json" in argv:
+        out_path = argv[argv.index("--json") + 1]
+    total = QUICK_SAMPLES if quick else TOTAL_SAMPLES
+    result = run_suite(total)
+    result["mode"] = "quick" if quick else "full"
+    text = json.dumps(result, indent=2)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    ok = (
+        result["write"]["rate_per_sec"] >= ACCEPTANCE_WRITE_RATE
+        and result["seek"]["scaling"] <= ACCEPTANCE_SEEK_SCALING
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,9 @@ regression trips them — CI jitter does not:
 * **net-wire-binary** — quick-mode binary columnar wire ingest over
   ``memory_pair`` (the PR-3 binary protocol; a decay back to per-sample
   strings or per-tuple objects trips it).
+* **capture-write-1m** — capture-store write throughput at 1M samples
+  (the PR-4 segmented columnar store; a decay back to per-tuple text
+  recording trips it).
 
 Opt-in, so tier-1 stays fast:
 
@@ -33,6 +36,7 @@ import time
 
 import pytest
 
+from bench_capture import bench_write
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
 from bench_net import bench_wire
 from repro.eventloop.loop import MainLoop
@@ -47,6 +51,12 @@ QUICK_TARGET_DISPATCHES = 1_000
 # the text-tuple path posts ~170k/s.
 WIRE_FLOOR_BINARY = 500_000.0
 WIRE_QUICK_SAMPLES = 100_000
+
+# Committed floor: capture-store write throughput at 1M samples pushed
+# in 1k batches.  A healthy build posts ~12-16M/s; text-tuple recording
+# posts well under 1M/s.
+CAPTURE_WRITE_FLOOR = 5_000_000.0
+CAPTURE_WRITE_SAMPLES = 1_000_000
 
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
@@ -77,6 +87,15 @@ def measure_best_wire() -> dict:
     return best
 
 
+def measure_best_capture() -> dict:
+    best: dict = {"rate_per_sec": 0.0}
+    for _ in range(ATTEMPTS):
+        result = bench_write(CAPTURE_WRITE_SAMPLES)
+        if result["rate_per_sec"] > best["rate_per_sec"]:
+            best = result
+    return best
+
+
 def test_dispatch_throughput_floor():
     best = measure_best_dispatch()
     assert best["rate_per_sec"] >= DISPATCH_FLOOR_1K, (
@@ -93,10 +112,19 @@ def test_wire_throughput_floor():
     )
 
 
+def test_capture_write_floor():
+    best = measure_best_capture()
+    assert best["rate_per_sec"] >= CAPTURE_WRITE_FLOOR, (
+        f"capture write throughput regressed: "
+        f"{best['rate_per_sec']:.0f} samples/s < floor {CAPTURE_WRITE_FLOOR:.0f}/s"
+    )
+
+
 def main() -> int:
     t0 = time.perf_counter()
     dispatch = measure_best_dispatch()
     wire = measure_best_wire()
+    capture = measure_best_capture()
     gates = [
         {
             "gate": "eventloop-dispatch-1k",
@@ -111,6 +139,13 @@ def main() -> int:
             "measured_per_sec": wire["rate_per_sec"],
             "samples": wire["samples"],
             "passed": wire["rate_per_sec"] >= WIRE_FLOOR_BINARY,
+        },
+        {
+            "gate": "capture-write-1m",
+            "floor_per_sec": CAPTURE_WRITE_FLOOR,
+            "measured_per_sec": capture["rate_per_sec"],
+            "samples": capture["samples"],
+            "passed": capture["rate_per_sec"] >= CAPTURE_WRITE_FLOOR,
         },
     ]
     passed = all(g["passed"] for g in gates)

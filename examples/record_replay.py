@@ -1,61 +1,126 @@
 #!/usr/bin/env python3
-"""Record and replay: the tuple format in action (Sections 3.1/3.3).
+"""Record and replay on the columnar capture store (Sections 3.1/3.3).
 
-First a live polling run records two signals to a tuple file; then a
-second scope replays the file in playback mode.  The replay demonstrates
-the Section 3.3 pixel-spacing rule: the recording was made at a 25 ms
-period but is replayed at 50 ms, so recorded points sit 2 px apart on a
-1 px/period display... and the same file re-replayed at 25 ms lines the
-points back up 1 px apart.
+A live polling run pushes two buffered signals through a manager with a
+``CaptureWriter`` tap attached, producing a segmented binary store in
+``recorded_signals.capture/``.  The store is then used three ways:
+
+* a ``ReplaySource`` re-drives a fresh manager at rate 1 — the replayed
+  traces match the live run exactly;
+* the O(log n) index seeks to the 5-second mark and replays the rest at
+  2x speed;
+* the store exports to the classic ``recorded_signals.tuples`` text
+  file, which the Section 3.3 ``Player`` replays in playback mode at
+  two periods, demonstrating the pixel-spacing rule: points recorded
+  25 ms apart sit 1 px apart at a 25 ms period and 2 px apart at 50 ms.
 """
 
-import io
 import math
+import shutil
 
+import numpy as np
+
+from repro.capture import CaptureReader, CaptureWriter, ReplaySource, export_text
+from repro.core.manager import ScopeManager
 from repro.core.scope import Scope
-from repro.core.signal import func_signal
-from repro.core.tuples import Player, Recorder
+from repro.core.signal import buffer_signal
+from repro.core.tuples import Player
 from repro.eventloop.loop import MainLoop
 from repro.gui.render import ascii_render, write_ppm
 from repro.gui.scope_widget import ScopeWidget
 
+CAPTURE_DIR = "recorded_signals.capture"
+PERIOD_MS = 25.0
+RUN_MS = 10_000.0
 
-def record() -> str:
-    """Live run: a sine and its rectified copy, recorded to tuples."""
-    loop = MainLoop()
-    scope = Scope("recorder", loop, width=400, height=100, period_ms=25)
-    scope.signal_new(
-        func_signal(
-            "sine",
-            lambda *_: 50 + 45 * math.sin(loop.clock.now() / 250.0),
-            color="green",
-        )
+
+def build_rig(loop):
+    """A manager and scope carrying the sine/rect buffered signals."""
+    manager = ScopeManager(loop)
+    scope = manager.scope_new(
+        "recorder", width=400, height=100, period_ms=PERIOD_MS, delay_ms=50.0
     )
-    scope.signal_new(
-        func_signal(
-            "rect",
-            lambda *_: 50 + 45 * abs(math.sin(loop.clock.now() / 250.0)),
-            color="red",
-        )
-    )
-    sink = io.StringIO()
-    recorder = Recorder(sink)
-    recorder.comment("recorded by examples/record_replay.py")
-    scope.record_to(recorder)
-    scope.set_polling_mode(25)
+    scope.signal_new(buffer_signal("sine", color="green"))
+    scope.signal_new(buffer_signal("rect", color="red"))
     scope.start_polling()
-    loop.run_until(10_000)
-    scope.record_to(None)
-    print(f"recorded {recorder.count} tuples over 10 s at 25 ms period")
-    return sink.getvalue()
+    return manager, scope
 
 
-def replay(data: str, period_ms: float, out_file: str) -> None:
+def record() -> None:
+    """Live run: push sample batches through a tapped manager."""
+    loop = MainLoop()
+    manager, scope = build_rig(loop)
+    # Captures are append-once; a re-run replaces the previous one.
+    shutil.rmtree(CAPTURE_DIR, ignore_errors=True)
+    writer = CaptureWriter(CAPTURE_DIR, segment_samples=4096)
+    manager.add_tap(writer)
+
+    def feed(_lost) -> bool:
+        now = loop.clock.now()
+        times = np.array([now])
+        phase = now / 250.0
+        manager.push_samples("sine", times, np.array([50 + 45 * math.sin(phase)]))
+        manager.push_samples("rect", times, np.array([50 + 45 * abs(math.sin(phase))]))
+        return True
+
+    loop.timeout_add(PERIOD_MS, feed)
+    loop.run_until(RUN_MS)
+    writer.close()
+    print(
+        f"captured {writer.samples_written} samples into "
+        f"{writer.segments_written} segments "
+        f"({writer.bytes_written / writer.samples_written:.1f} B/sample), "
+        f"sine trace {len(scope.channel('sine').trace)} points"
+    )
+
+
+def replay_exact() -> None:
+    """Re-drive a fresh manager on the capture's own timeline."""
+    loop = MainLoop()
+    manager, scope = build_rig(loop)
+    source = ReplaySource(CaptureReader(CAPTURE_DIR), manager)
+    loop.attach(source)
+    loop.run_until(RUN_MS)
+    print(
+        f"replayed {source.delivered_samples} samples at rate 1: "
+        f"sine trace {len(scope.channel('sine').trace)} points, "
+        f"late drops {scope.buffer.stats.dropped_late}"
+    )
+
+
+def replay_seek_2x() -> None:
+    """Seek to the 5 s mark, replay the remainder at double speed."""
+    loop = MainLoop()
+    manager, scope = build_rig(loop)
+    reader = CaptureReader(CAPTURE_DIR)
+    source = ReplaySource(reader, manager, rate=2.0, start_at=0.0)
+    loop.attach(source)
+    position = source.seek(5_000.0)
+    loop.run_until(RUN_MS)
+    print(
+        f"seek(5000) landed at segment {position.segment} block "
+        f"{position.block}; replayed {source.delivered_samples} samples "
+        f"at 2x in {loop.clock.now():.0f} virtual ms"
+    )
+
+
+def export() -> str:
+    """The same store as a Section 3.3 text tuple file."""
+    count = export_text(CaptureReader(CAPTURE_DIR), "recorded_signals.tuples")
+    print(f"wrote recorded_signals.tuples ({count} tuples)")
+    with open("recorded_signals.tuples") as fh:
+        return fh.read()
+
+
+def replay_text(data: str, period_ms: float, out_file: str) -> None:
+    """Playback-mode replay of the exported text (pixel-spacing rule)."""
+    import io
+
     loop = MainLoop()
     scope = Scope(f"replay @{period_ms:g}ms", loop, width=400, height=100)
     scope.set_playback_mode(Player(io.StringIO(data)), period_ms=period_ms)
     scope.start_polling()
-    loop.run_until(11_000)
+    loop.run_until(RUN_MS + 1_000.0)
     sine_points = len(scope.channel("sine").trace)
     print(f"replayed at {period_ms:g} ms: {sine_points} sine points")
     widget = ScopeWidget(scope)
@@ -66,12 +131,12 @@ def replay(data: str, period_ms: float, out_file: str) -> None:
 
 
 def main() -> None:
-    data = record()
-    with open("recorded_signals.tuples", "w") as fh:
-        fh.write(data)
-    print("wrote recorded_signals.tuples")
-    replay(data, 50.0, "replay_50ms.ppm")  # points 2 px apart
-    replay(data, 25.0, "replay_25ms.ppm")  # points 1 px apart
+    record()
+    replay_exact()
+    replay_seek_2x()
+    data = export()
+    replay_text(data, 50.0, "replay_50ms.ppm")  # points 2 px apart
+    replay_text(data, 25.0, "replay_25ms.ppm")  # points 1 px apart
 
 
 if __name__ == "__main__":

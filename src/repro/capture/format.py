@@ -1,0 +1,234 @@
+"""On-disk layout of the segmented columnar capture store.
+
+A capture is a directory of segment files (``00000000.gseg``,
+``00000001.gseg``, ...).  Each segment is self-contained — its own
+interned name table, its own index — so a writer killed mid-segment
+loses at most the segment it was building; every previously completed
+segment stays readable.
+
+Segment layout (all integers little-endian, all floats ``float64``)::
+
+    HEADER (60 bytes)
+      0   4   magic           "GSCP"
+      4   2   version         1
+      6   2   reserved        0
+      8   4   segment_index   ordinal of this segment in the capture
+      12  4   name_count      entries in the name table
+      16  4   block_count     entries in the directory
+      20  8   t_min           smallest sample timestamp in the segment
+      28  8   t_max           largest sample timestamp in the segment
+      36  8   now_first       push instant of the first block
+      44  8   now_last        push instant of the last block
+      52  4   name_table_bytes
+      56  4   header_crc      CRC32 of bytes [0, 56)
+    NAME TABLE (name_table_bytes)
+      name_count x (u32 length + UTF-8 bytes); the n-th entry binds
+      name id n for this segment.
+    BODY
+      one block per recorded push, back to back: ``count`` float64
+      timestamps followed by ``count`` float64 values.  Blocks carry no
+      inline header — all block metadata lives in the directory.
+    DIRECTORY (at dir_offset, block_count x 48 bytes, see DIR_DTYPE)
+      name_id u32, count u32, push_now f64, t_min f64, t_max f64,
+      offset u64 (absolute file offset of the times column),
+      flags u32 (bit 0: timestamps sorted ascending), crc u32
+      (CRC32 of the block's times++values bytes).
+    TRAILER (16 bytes)
+      dir_offset u64, dir_crc u32 (CRC32 of the directory bytes),
+      magic "GSCF"
+
+The trailer is written last, so a torn write is detectable by its
+missing magic or by the exact-size invariant
+``file_size == dir_offset + 48 * block_count + 16``.  The directory
+doubles as the segment's time index: ``push_now`` is non-decreasing in
+block order (capture clock monotonicity) and the running maximum of
+``t_max`` is the monotone key that :meth:`CaptureReader.seek` binary
+searches for O(log n) timestamp seeks.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+SEGMENT_SUFFIX = ".gseg"
+SEGMENT_MAGIC = b"GSCP"
+TRAILER_MAGIC = b"GSCF"
+VERSION = 1
+
+#: Header: magic, version, reserved, segment_index, name_count,
+#: block_count, t_min, t_max, now_first, now_last, name_table_bytes,
+#: header_crc.
+HEADER_STRUCT = struct.Struct("<4sHHIIIddddII")
+HEADER_SIZE = HEADER_STRUCT.size  # 60
+#: The header CRC covers everything before the crc field itself.
+HEADER_CRC_SPAN = HEADER_SIZE - 4
+
+#: Trailer: dir_offset, dir_crc, magic.
+TRAILER_STRUCT = struct.Struct("<QI4s")
+TRAILER_SIZE = TRAILER_STRUCT.size  # 16
+
+#: One directory entry per block (48 bytes).
+DIR_DTYPE = np.dtype(
+    [
+        ("name_id", "<u4"),
+        ("count", "<u4"),
+        ("push_now", "<f8"),
+        ("t_min", "<f8"),
+        ("t_max", "<f8"),
+        ("offset", "<u8"),
+        ("flags", "<u4"),
+        ("crc", "<u4"),
+    ]
+)
+DIR_ENTRY_SIZE = DIR_DTYPE.itemsize  # 48
+
+#: Directory flags.
+FLAG_TIMES_SORTED = 0x1
+
+_NAME_LEN = struct.Struct("<I")
+
+
+class CaptureFormatError(ValueError):
+    """Raised when a capture segment is malformed, truncated or corrupt.
+
+    Every decoder failure — bad magic, CRC mismatch, impossible counts,
+    out-of-range name ids, mid-header EOF — raises this type so callers
+    can fail closed without catching bare ``ValueError`` or, worse,
+    consuming wrong columns.
+    """
+
+
+def segment_filename(index: int) -> str:
+    """Canonical file name of segment ``index`` (zero-padded, sortable)."""
+    return f"{index:08d}{SEGMENT_SUFFIX}"
+
+
+def pack_name_table(names: List[str]) -> bytes:
+    """Serialise the interned name table (id = position)."""
+    pieces = []
+    for name in names:
+        raw = name.encode("utf-8")
+        pieces.append(_NAME_LEN.pack(len(raw)))
+        pieces.append(raw)
+    return b"".join(pieces)
+
+
+def unpack_name_table(raw: bytes, name_count: int) -> List[str]:
+    """Decode the name table; raises on truncation or bad UTF-8."""
+    names: List[str] = []
+    pos = 0
+    for _ in range(name_count):
+        if pos + _NAME_LEN.size > len(raw):
+            raise CaptureFormatError(
+                f"name table truncated after {len(names)} of {name_count} names"
+            )
+        (length,) = _NAME_LEN.unpack_from(raw, pos)
+        pos += _NAME_LEN.size
+        if pos + length > len(raw):
+            raise CaptureFormatError(
+                f"name table entry {len(names)} runs past the table "
+                f"({length} bytes at offset {pos}, table is {len(raw)})"
+            )
+        try:
+            names.append(raw[pos : pos + length].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise CaptureFormatError(
+                f"name table entry {len(names)} is not valid UTF-8"
+            ) from exc
+        pos += length
+    if pos != len(raw):
+        raise CaptureFormatError(
+            f"name table has {len(raw) - pos} trailing bytes after "
+            f"{name_count} names"
+        )
+    return names
+
+
+@dataclass(frozen=True)
+class SegmentHeader:
+    """Decoded fixed header of one segment file."""
+
+    segment_index: int
+    name_count: int
+    block_count: int
+    t_min: float
+    t_max: float
+    now_first: float
+    now_last: float
+    name_table_bytes: int
+
+
+def pack_header(header: SegmentHeader, header_crc: int) -> bytes:
+    return HEADER_STRUCT.pack(
+        SEGMENT_MAGIC,
+        VERSION,
+        0,
+        header.segment_index,
+        header.name_count,
+        header.block_count,
+        header.t_min,
+        header.t_max,
+        header.now_first,
+        header.now_last,
+        header.name_table_bytes,
+        header_crc,
+    )
+
+
+def unpack_header(raw: bytes) -> Tuple[SegmentHeader, int]:
+    """Decode the fixed header; returns ``(header, stored_crc)``."""
+    if len(raw) < HEADER_SIZE:
+        raise CaptureFormatError(
+            f"segment header truncated: {len(raw)} bytes < {HEADER_SIZE}"
+        )
+    (
+        magic,
+        version,
+        _reserved,
+        segment_index,
+        name_count,
+        block_count,
+        t_min,
+        t_max,
+        now_first,
+        now_last,
+        name_table_bytes,
+        header_crc,
+    ) = HEADER_STRUCT.unpack_from(raw)
+    if magic != SEGMENT_MAGIC:
+        raise CaptureFormatError(f"bad segment magic: {magic!r}")
+    if version != VERSION:
+        raise CaptureFormatError(f"unsupported capture version: {version}")
+    header = SegmentHeader(
+        segment_index=segment_index,
+        name_count=name_count,
+        block_count=block_count,
+        t_min=t_min,
+        t_max=t_max,
+        now_first=now_first,
+        now_last=now_last,
+        name_table_bytes=name_table_bytes,
+    )
+    return header, header_crc
+
+
+def pack_trailer(dir_offset: int, dir_crc: int) -> bytes:
+    return TRAILER_STRUCT.pack(dir_offset, dir_crc, TRAILER_MAGIC)
+
+
+def unpack_trailer(raw: bytes) -> Tuple[int, int]:
+    """Decode the trailer; returns ``(dir_offset, dir_crc)``."""
+    if len(raw) < TRAILER_SIZE:
+        raise CaptureFormatError(
+            f"segment trailer truncated: {len(raw)} bytes < {TRAILER_SIZE}"
+        )
+    dir_offset, dir_crc, magic = TRAILER_STRUCT.unpack(raw[-TRAILER_SIZE:])
+    if magic != TRAILER_MAGIC:
+        raise CaptureFormatError(
+            f"bad trailer magic: {magic!r} (torn or unfinished segment)"
+        )
+    return dir_offset, dir_crc

@@ -24,6 +24,24 @@ class ScopeManager:
         self.loop = loop if loop is not None else MainLoop()
         self._scopes: Dict[str, Scope] = {}
         self._topology_version = 0
+        self._taps: List = []
+
+    # ------------------------------------------------------------------
+    # Capture taps
+    # ------------------------------------------------------------------
+    def add_tap(self, tap) -> None:
+        """Attach a push tap: ``tap(name, times, values, now_ms)``.
+
+        Taps observe every *offered* sample stream — accepted and
+        late-dropped alike — before fan-out, which is what a
+        :class:`~repro.capture.writer.CaptureWriter` needs to make a
+        live run replayable.  With no tap attached the hot path pays
+        one truthiness check.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        self._taps.remove(tap)
 
     # ------------------------------------------------------------------
     # Scope lifecycle
@@ -111,10 +129,16 @@ class ScopeManager:
         how the server side of the client-server library fans a remote
         signal out to "one or more scopes" (Section 4.4).
         """
+        # One clock read serves the tap and every scope's late-drop
+        # decision, so what the capture records is exactly what the
+        # buffers compared against (bit-exact replay under any clock).
+        now = self.loop.clock.now()
+        for tap in self._taps:
+            tap(name, (time_ms,), (value,), now)
         accepted = 0
         for scope in self._scopes.values():
             if name in scope and scope.channel(name).buffered:
-                if scope.push_sample(name, time_ms, value):
+                if scope.push_sample(name, time_ms, value, now_ms=now):
                     accepted += 1
         return accepted
 
@@ -126,10 +150,16 @@ class ScopeManager:
         clock, and a sample late for a long delay is late for every
         shorter one), so that count is exactly the max over scopes.
         """
+        # Single clock read for tap and fan-out: see push_sample.
+        now = self.loop.clock.now()
+        for tap in self._taps:
+            tap(name, times, values, now)
         accepted = 0
         for scope in self._scopes.values():
             if name in scope and scope.channel(name).buffered:
-                accepted = max(accepted, scope.push_samples(name, times, values))
+                accepted = max(
+                    accepted, scope.push_samples(name, times, values, now_ms=now)
+                )
         return accepted
 
     @property

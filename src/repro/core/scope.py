@@ -90,6 +90,7 @@ class Scope:
         self.zoom = 1.0  # vertical scale factor
         self.bias = 0.0  # vertical translation, in signal-percent units
         self._channels: Dict[str, Channel] = {}
+        self._taps: List = []
         self._poll_sub: Optional[PollSubscription] = None
         self.player: Optional[Player] = None
         self.recorder: Optional[Recorder] = None
@@ -236,34 +237,48 @@ class Scope:
     # ------------------------------------------------------------------
     # Buffered signal input (push interface, Sections 3.1 / 4.4)
     # ------------------------------------------------------------------
-    def push_sample(self, name: str, time_ms: float, value: float) -> bool:
+    def push_sample(
+        self, name: str, time_ms: float, value: float, now_ms: Optional[float] = None
+    ) -> bool:
         """Enqueue a timestamped sample for a BUFFER signal.
 
         Returns False when the sample was dropped as late (it arrived
-        after its display slot had passed; Section 4.4).
+        after its display slot had passed; Section 4.4).  ``now_ms``
+        lets a caller that already read the clock (the manager's tapped
+        fan-out) pin the late-drop decision to that same instant.
         """
         channel = self.channel(name)
         if not channel.buffered:
             raise ScopeError(f"signal {name!r} is not a BUFFER signal")
-        return self.buffer.push(name, time_ms, value, self.loop.clock.now())
+        now = self.loop.clock.now() if now_ms is None else now_ms
+        if self._taps:
+            for tap in self._taps:
+                tap(name, (time_ms,), (value,), now)
+        return self.buffer.push(name, time_ms, value, now)
 
     def push_samples(
         self,
         name: str,
         times: Union[Sequence[float], np.ndarray],
         values: Union[Sequence[float], np.ndarray],
+        now_ms: Optional[float] = None,
     ) -> int:
         """Bulk-enqueue timestamped samples for a BUFFER signal.
 
         Columnar fast path: one call buffers N samples with the same
         late-drop semantics as N :meth:`push_sample` calls.  Returns how
         many samples were accepted (the rest arrived past their display
-        slot and were dropped, Section 4.4).
+        slot and were dropped, Section 4.4).  ``now_ms`` pins the
+        late-drop comparison to a clock instant the caller already read.
         """
         channel = self.channel(name)
         if not channel.buffered:
             raise ScopeError(f"signal {name!r} is not a BUFFER signal")
-        return self.buffer.push_many(name, times, values, self.loop.clock.now())
+        now = self.loop.clock.now() if now_ms is None else now_ms
+        if self._taps:
+            for tap in self._taps:
+                tap(name, times, values, now)
+        return self.buffer.push_many(name, times, values, now)
 
     # ------------------------------------------------------------------
     # Recording
@@ -271,6 +286,19 @@ class Scope:
     def record_to(self, recorder: Optional[Recorder]) -> None:
         """Start (or with None, stop) recording displayed samples."""
         self.recorder = recorder
+
+    def add_tap(self, tap) -> None:
+        """Attach a push tap ``tap(name, times, values, now_ms)``.
+
+        Scope-level counterpart of
+        :meth:`~repro.core.manager.ScopeManager.add_tap`, for capturing
+        a single scope's offered stream when pushes bypass a manager.
+        Taps see samples before the late-drop decision.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        self._taps.remove(tap)
 
     # ------------------------------------------------------------------
     # The poll tick

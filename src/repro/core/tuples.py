@@ -12,11 +12,21 @@ carries exactly one signal may omit the name, giving two-field
 
 Blank lines and lines starting with ``#`` are ignored, which lets
 recorded files carry human-readable headers.
+
+The text format remains the *interchange* representation: it is what
+old clients stream, what ``recorded_signals.tuples`` files hold, and
+what humans read and edit.  High-volume recording and indexed replay
+live in the binary segmented store (:mod:`repro.capture`); the two
+round-trip losslessly (:func:`format_tuple` renders float64 exactly,
+see :func:`repro.capture.export_text` / :func:`repro.capture.import_text`),
+so :class:`Recorder` and :class:`Player` double as the text codec for
+the same data.
 """
 
 from __future__ import annotations
 
 import io
+import math
 from dataclasses import dataclass
 from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 
@@ -42,9 +52,16 @@ def format_tuple(time_ms: float, value: float, name: Optional[str] = None) -> st
     """
 
     def fmt(x: float) -> str:
-        if float(x).is_integer():
+        x = float(x)
+        # Integer-valued floats render without the ".0" for readability,
+        # but only where that stays an exact, compact round-trip: -0.0
+        # must keep its sign and huge magnitudes (1e300 has 300 integer
+        # digits) must stay in scientific notation.
+        if x.is_integer() and abs(x) < 1e16 and not (
+            x == 0.0 and math.copysign(1.0, x) < 0
+        ):
             return str(int(x))
-        return repr(float(x))
+        return repr(x)
 
     if name is None:
         return f"{fmt(time_ms)} {fmt(value)}"
@@ -191,6 +208,30 @@ class Player:
         self.default_name = default_name
         self._tuples: List[Tuple3] = list(parse_stream(lines))
         self._pos = 0
+
+    @classmethod
+    def from_capture(cls, source, default_name: str = "signal") -> "Player":
+        """Build a player straight from a binary capture store.
+
+        ``source`` is a :class:`~repro.capture.CaptureReader` or a path
+        to a capture directory.  Tuples are ordered by timestamp
+        (stream order breaking ties), matching what
+        :func:`repro.capture.export_text` would emit — the playback
+        path works on either representation of the same recording.
+        """
+        from repro.capture.reader import CaptureReader
+
+        reader = (
+            source if isinstance(source, CaptureReader) else CaptureReader(source)
+        )
+        times, values, ids = reader.sorted_columns()
+        names = reader.names
+        player = cls([], default_name=default_name)
+        player._tuples = [
+            Tuple3(time_ms=t, value=v, name=names[i])
+            for t, v, i in zip(times.tolist(), values.tolist(), ids.tolist())
+        ]
+        return player
 
     def __len__(self) -> int:
         return len(self._tuples)

@@ -167,6 +167,33 @@ class ShardedScopeManager:
         return out
 
     # ------------------------------------------------------------------
+    # Capture taps
+    # ------------------------------------------------------------------
+    def add_tap(self, tap) -> None:
+        """Attach one push tap across every shard.
+
+        A push routes to exactly one home shard, so the tap still sees
+        each offered batch once; the capture interleaves all shards into
+        one store.  Requires the shared-loop layout: with per-shard
+        loops the shards' clocks advance independently, so one
+        interleaved stream has no monotonic timeline — use
+        :func:`repro.capture.capture_sharded` there (and for the
+        scalable one-segment-stream-per-shard layout generally), which
+        taps each per-shard manager with its own writer.
+        """
+        if len(self.loops) > 1:
+            raise ValueError(
+                "one tap across per-shard loops has no monotonic clock; "
+                "use repro.capture.capture_sharded for one stream per shard"
+            )
+        for manager in self._managers:
+            manager.add_tap(tap)
+
+    def remove_tap(self, tap) -> None:
+        for manager in self._managers:
+            manager.remove_tap(tap)
+
+    # ------------------------------------------------------------------
     # Manager protocol (what ScopeServer consumes)
     # ------------------------------------------------------------------
     @property

@@ -86,6 +86,71 @@ class TestParse:
         assert parsed == Tuple3(time_ms=t, value=v, name=None)
 
 
+class TestFloatRoundTrip:
+    """format → parse must be bit-exact across the whole float64 range.
+
+    Regression suite for the integer-rendering fast path: it used to
+    drop the sign of -0.0 and explode 1e300-scale values into
+    300-digit integer strings.
+    """
+
+    def roundtrip(self, x):
+        parsed = parse_tuple(format_tuple(x, x, "s"))
+        return parsed.time_ms, parsed.value
+
+    def test_negative_zero_keeps_its_sign(self):
+        import math
+
+        assert format_tuple(0.0, -0.0, "s") == "0 -0.0 s"
+        _, value = self.roundtrip(-0.0)
+        assert value == 0.0 and math.copysign(1.0, value) < 0
+
+    def test_subnormals_exact(self):
+        for x in (5e-324, 2.2250738585072014e-308, -5e-324):
+            t, v = self.roundtrip(x)
+            assert (t, v) == (x, x)
+
+    def test_huge_magnitudes_stay_compact_and_exact(self):
+        line = format_tuple(1e300, -1e308, "s")
+        assert line == "1e+300 -1e+308 s"
+        t, v = self.roundtrip(1e300)
+        assert (t, v) == (1e300, 1e300)
+
+    def test_integer_valued_floats_render_without_point(self):
+        assert format_tuple(100.0, -42.0, "s") == "100 -42 s"
+        t, v = self.roundtrip(-42.0)
+        assert (t, v) == (-42.0, -42.0)
+
+    def test_large_integers_above_int_threshold_use_repr(self):
+        # 1e16 is integer-valued but rendered in float notation; the
+        # round-trip stays exact either way.
+        t, v = self.roundtrip(1e16)
+        assert (t, v) == (1e16, 1e16)
+
+    @given(st.floats(allow_nan=False))
+    def test_any_finite_or_infinite_float64_roundtrips(self, x):
+        import math
+
+        t, v = self.roundtrip(x)
+        assert t == x and v == x
+        assert math.copysign(1.0, v) == math.copysign(1.0, x)
+
+    def test_integer_distinction_survives_binary_store(self, tmp_path):
+        """3 and 3.0 denote the same float64; re-encoding the text form
+        into the binary capture store must reproduce it exactly."""
+        import numpy as np
+
+        from repro.capture import CaptureReader, import_text
+
+        text = "10 3 a\n20 3.0 a\n30 -0.0 a\n40 1e300 a\n"
+        import_text(text, tmp_path / "cap")
+        _, values = CaptureReader(tmp_path / "cap").read_signal("a")
+        expected = np.array([3.0, 3.0, -0.0, 1e300])
+        np.testing.assert_array_equal(values, expected)
+        # bitwise: -0.0 keeps its sign bit through the store
+        assert np.signbit(values[2])
+
+
 class TestRecorder:
     def test_records_tuples(self):
         sink = io.StringIO()

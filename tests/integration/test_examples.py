@@ -21,6 +21,7 @@ EXAMPLES = {
     "distributed_mxtraf": ["distributed_mxtraf.ppm"],
     "media_player": ["media_player.ppm"],
     "record_replay": [
+        "recorded_signals.capture/00000000.gseg",
         "recorded_signals.tuples",
         "replay_50ms.ppm",
         "replay_25ms.ppm",
