@@ -1,0 +1,212 @@
+"""X12 — derived-signal query engine: batch and incremental throughput.
+
+Derived signals only compound the system's scale if querying costs less
+than acquiring: the capture store writes ~15M samples/s and the binary
+wire ingests ~10M/s, so re-deriving signals from a recorded run must
+run at the same order of magnitude.  Three measurements over a
+two-signal store (samples split evenly between ``a`` and ``b``):
+
+* **X12a `arith`** — the 2-op arithmetic query ``a - 0.5*b``
+  end-to-end over a :class:`~repro.capture.reader.CaptureReader`
+  (``columns_for`` read + time-aligning join + arithmetic), 1M samples.
+  Acceptance: **≥ 5M samples/s**.
+* **X12b `pipeline`** — a deeper mixed pipeline (join, one-pole ewma,
+  rate, windowed sum) over the same store.
+* **X12c `incremental`** — the same arithmetic query fed as a live tap
+  in 1k-sample batches through :class:`~repro.query.live.LiveQuery`
+  (no manager round-trip), whole store.
+
+Run stand-alone for machine-readable JSON (``--json PATH`` writes it,
+otherwise it lands on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--json out.json]
+
+or through pytest for the acceptance assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+from conftest import report
+
+from repro.capture import CaptureReader, CaptureWriter
+from repro.query import LiveQuery, compile_query, execute
+
+ACCEPTANCE_ARITH_RATE = 5_000_000.0
+TOTAL_SAMPLES = 1_000_000
+QUICK_SAMPLES = 200_000
+BATCH = 1_000
+
+ARITH_QUERY = "a - 0.5*b"
+PIPELINE_QUERY = (
+    "d = a - 0.5*b; "
+    "smooth = ewma(d, 0.9); "
+    "slope = rate(a); "
+    "per_win = sum_over(b, 5)"
+)
+
+
+def build_store(path: Path, total: int, batch: int = BATCH) -> None:
+    """Write ``total`` samples alternating between signals a and b."""
+    rng = np.random.default_rng(7)
+    values = rng.standard_normal(batch)
+    writer = CaptureWriter(path)
+    now = 0.0
+    sent = 0
+    index = 0
+    while sent < total:
+        n = min(batch, total - sent)
+        now += 1.0
+        times = np.linspace(now - 1.0, now, n, endpoint=False)
+        writer.on_push("a" if index % 2 == 0 else "b", times, values[:n], now)
+        sent += n
+        index += 1
+    writer.close()
+
+
+def bench_batch(total: int, query: str = ARITH_QUERY) -> Dict[str, float]:
+    """End-to-end batch query over a capture store: read + execute."""
+    root = Path(tempfile.mkdtemp(prefix="bench_query_"))
+    try:
+        build_store(root / "store", total)
+        plan = compile_query(query)
+        # Warm the numpy ufunc/import paths so the measurement reflects
+        # steady-state engine throughput, not first-touch costs.
+        warm = np.arange(1024, dtype=np.float64)
+        execute({"a": (warm, warm), "b": (warm + 0.5, warm)}, plan)
+        with CaptureReader(root / "store") as reader:
+            t0 = time.perf_counter()
+            results = execute(reader, plan)
+            elapsed = time.perf_counter() - t0
+        out_samples = sum(t.shape[0] for t, _ in results.values())
+        return {
+            "samples": total,
+            "derived_samples": out_samples,
+            "outputs": len(results),
+            "seconds": elapsed,
+            "rate_per_sec": total / elapsed,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_incremental(
+    total: int, batch: int = BATCH, query: str = ARITH_QUERY
+) -> Dict[str, float]:
+    """The same query consumed as a live tap in ``batch``-sized pushes."""
+    root = Path(tempfile.mkdtemp(prefix="bench_query_"))
+    try:
+        build_store(root / "store", total)
+        with CaptureReader(root / "store") as reader:
+            # Copies: block columns are views into the reader's mapping.
+            blocks = [
+                (block.name, block.times.copy(), block.values.copy())
+                for _, block in reader.iter_blocks()
+            ]
+        live = LiveQuery(query)
+        derived = 0
+
+        def count(name, times, values) -> None:
+            nonlocal derived
+            derived += times.shape[0]
+
+        live.on_output(count)
+        t0 = time.perf_counter()
+        for name, times, values in blocks:
+            live(name, times, values, 0.0)
+        live.finish()
+        elapsed = time.perf_counter() - t0
+        return {
+            "samples": total,
+            "derived_samples": derived,
+            "batches": len(blocks),
+            "seconds": elapsed,
+            "rate_per_sec": total / elapsed,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_suite(total: int) -> dict:
+    arith = bench_batch(total)
+    pipeline = bench_batch(total, PIPELINE_QUERY)
+    incremental = bench_incremental(total)
+    return {
+        "benchmark": "query",
+        "acceptance": {"min_arith_rate_per_sec": ACCEPTANCE_ARITH_RATE},
+        "arith": arith,
+        "pipeline": pipeline,
+        "incremental": incremental,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_batch_arith_throughput():
+    result = bench_batch(TOTAL_SAMPLES)
+    report(
+        f"X12a: batch 2-op arithmetic query ({result['samples']} samples)",
+        [
+            ("query", ARITH_QUERY),
+            ("rate", f"{result['rate_per_sec']:,.0f} samples/s "
+                     f"(acceptance >= {ACCEPTANCE_ARITH_RATE:,.0f})"),
+            ("derived", f"{result['derived_samples']}"),
+        ],
+    )
+    assert result["rate_per_sec"] >= ACCEPTANCE_ARITH_RATE
+
+
+def test_batch_pipeline_throughput():
+    result = bench_batch(TOTAL_SAMPLES, PIPELINE_QUERY)
+    report(
+        f"X12b: batch mixed pipeline ({result['samples']} samples, "
+        f"{result['outputs']} outputs)",
+        [("rate", f"{result['rate_per_sec']:,.0f} samples/s"),
+         ("derived", f"{result['derived_samples']}")],
+    )
+    assert result["rate_per_sec"] > 0
+
+
+def test_incremental_throughput():
+    result = bench_incremental(QUICK_SAMPLES)
+    report(
+        f"X12c: incremental tap feed ({result['samples']} samples, "
+        f"batches of {BATCH})",
+        [("rate", f"{result['rate_per_sec']:,.0f} samples/s"),
+         ("derived", f"{result['derived_samples']}")],
+    )
+    assert result["rate_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# stand-alone JSON mode
+# ----------------------------------------------------------------------
+def main(argv) -> int:
+    quick = "--quick" in argv
+    out_path: Optional[str] = None
+    if "--json" in argv:
+        out_path = argv[argv.index("--json") + 1]
+    total = QUICK_SAMPLES if quick else TOTAL_SAMPLES
+    result = run_suite(total)
+    result["mode"] = "quick" if quick else "full"
+    text = json.dumps(result, indent=2)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0 if result["arith"]["rate_per_sec"] >= ACCEPTANCE_ARITH_RATE else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,6 +12,9 @@ regression trips them — CI jitter does not:
 * **capture-write-1m** — capture-store write throughput at 1M samples
   (the PR-4 segmented columnar store; a decay back to per-tuple text
   recording trips it).
+* **query-arith-1m** — end-to-end batch query throughput for a 2-op
+  arithmetic expression over a 1M-sample capture (the PR-5 derived-
+  signal engine; a decay to per-sample interpretation trips it).
 
 Opt-in, so tier-1 stays fast:
 
@@ -39,6 +42,7 @@ import pytest
 from bench_capture import bench_write
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
 from bench_net import bench_wire
+from bench_query import bench_batch
 from repro.eventloop.loop import MainLoop
 
 # Committed floor: dispatches/second at 1k attached timer sources.  A
@@ -57,6 +61,12 @@ WIRE_QUICK_SAMPLES = 100_000
 # posts well under 1M/s.
 CAPTURE_WRITE_FLOOR = 5_000_000.0
 CAPTURE_WRITE_SAMPLES = 1_000_000
+
+# Committed floor: end-to-end batch query throughput (capture read +
+# time-aligning join + arithmetic) for a 2-op expression at 1M samples.
+# A healthy build posts ~7-11M/s.
+QUERY_ARITH_FLOOR = 5_000_000.0
+QUERY_ARITH_SAMPLES = 1_000_000
 
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
@@ -96,6 +106,15 @@ def measure_best_capture() -> dict:
     return best
 
 
+def measure_best_query() -> dict:
+    best: dict = {"rate_per_sec": 0.0}
+    for _ in range(ATTEMPTS):
+        result = bench_batch(QUERY_ARITH_SAMPLES)
+        if result["rate_per_sec"] > best["rate_per_sec"]:
+            best = result
+    return best
+
+
 def test_dispatch_throughput_floor():
     best = measure_best_dispatch()
     assert best["rate_per_sec"] >= DISPATCH_FLOOR_1K, (
@@ -120,11 +139,20 @@ def test_capture_write_floor():
     )
 
 
+def test_query_arith_floor():
+    best = measure_best_query()
+    assert best["rate_per_sec"] >= QUERY_ARITH_FLOOR, (
+        f"batch query throughput regressed: "
+        f"{best['rate_per_sec']:.0f} samples/s < floor {QUERY_ARITH_FLOOR:.0f}/s"
+    )
+
+
 def main() -> int:
     t0 = time.perf_counter()
     dispatch = measure_best_dispatch()
     wire = measure_best_wire()
     capture = measure_best_capture()
+    query = measure_best_query()
     gates = [
         {
             "gate": "eventloop-dispatch-1k",
@@ -146,6 +174,13 @@ def main() -> int:
             "measured_per_sec": capture["rate_per_sec"],
             "samples": capture["samples"],
             "passed": capture["rate_per_sec"] >= CAPTURE_WRITE_FLOOR,
+        },
+        {
+            "gate": "query-arith-1m",
+            "floor_per_sec": QUERY_ARITH_FLOOR,
+            "measured_per_sec": query["rate_per_sec"],
+            "samples": query["samples"],
+            "passed": query["rate_per_sec"] >= QUERY_ARITH_FLOOR,
         },
     ]
     passed = all(g["passed"] for g in gates)

@@ -1,26 +1,30 @@
-"""Command-line interface: offline operations on recorded tuple files.
+"""Command-line interface: offline operations on recorded runs.
 
 The library embeds in applications; the CLI covers the offline half of
-the workflow — inspecting and "printing" recordings made with the
-:class:`~repro.core.tuples.Recorder`:
+the workflow — inspecting and "printing" tuple recordings made with the
+:class:`~repro.core.tuples.Recorder`, interrogating columnar capture
+stores, and re-running derived-signal queries over them:
 
 .. code-block:: console
 
     python -m repro summary capture.tuples
     python -m repro print capture.tuples --ppm capture.ppm
     python -m repro spectrum capture.tuples --signal CWND --period 50
+    python -m repro capture info run.capture
+    python -m repro query "ewma(queue, 0.9)" --capture run.capture
 """
 
 from __future__ import annotations
 
 import argparse
+import heapq
 import sys
 from typing import List, Optional
 
 from repro.core.frequency import spectrum as compute_spectrum
 from repro.core.printing import format_summary, print_recording, print_summary
 from repro.core.scope import Scope
-from repro.core.tuples import Player
+from repro.core.tuples import Player, format_tuple
 from repro.eventloop.loop import MainLoop
 
 
@@ -77,6 +81,85 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capture_info(args: argparse.Namespace) -> int:
+    from repro.capture import CaptureFormatError, CaptureReader
+
+    try:
+        reader = CaptureReader(args.capture, recover_tail=args.recover_tail)
+    except CaptureFormatError as exc:
+        print(f"invalid capture: {exc}", file=sys.stderr)
+        return 1
+    with reader:
+        counts = reader.signal_sample_counts()
+        print(f"capture:   {args.capture}")
+        print(f"segments:  {len(reader.segments)}")
+        print(f"blocks:    {reader.block_count}")
+        print(f"samples:   {reader.sample_count}")
+        span = reader.duration_ms
+        print(
+            f"time span: {reader.start_time_ms:g} .. {reader.end_time_ms:g} ms"
+            f"  ({span / 1000.0:g} s)"
+        )
+        print(f"signals:   {len(counts)}")
+        for name in reader.names:
+            print(f"  {name}: {counts[name]} samples")
+        if reader.skipped_tail:
+            print(f"recovered: skipped torn tail segment {reader.skipped_tail}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.capture import CaptureFormatError, CaptureReader
+    from repro.query import QueryError, execute
+
+    try:
+        reader = CaptureReader(args.capture, recover_tail=args.recover_tail)
+    except CaptureFormatError as exc:
+        print(f"invalid capture: {exc}", file=sys.stderr)
+        return 1
+    with reader:
+        try:
+            results = execute(reader, args.expression)
+        except QueryError as exc:
+            print(f"query error: {exc}", file=sys.stderr)
+            return 2
+    # One merged tuple stream, ordered by time — each output column is
+    # already time-sorted, so a lazy heap merge (stable: ties keep
+    # definition order) formats only what is actually printed/exported
+    # instead of materialising and sorting every tuple.
+    total = sum(times.shape[0] for times, _ in results.values())
+    merged = heapq.merge(
+        *(
+            ((t, name, v) for t, v in zip(times.tolist(), values.tolist()))
+            for name, (times, values) in results.items()
+        ),
+        key=lambda item: item[0],
+    )
+    export_fh = open(args.export, "w") if args.export else None
+    shown = 0
+    try:
+        if export_fh is not None:
+            export_fh.write(f"# query: {args.expression}\n")
+        for name, (times, values) in results.items():
+            print(f"# {name}: {times.shape[0]} samples", file=sys.stderr)
+        for t, name, v in merged:
+            line = format_tuple(t, v, name)
+            if export_fh is not None:
+                export_fh.write(line + "\n")
+            if args.limit is None or shown < args.limit:
+                print(line)
+                shown += 1
+            elif export_fh is None:
+                break  # nothing left to print, nothing to export
+    finally:
+        if export_fh is not None:
+            export_fh.close()
+            print(f"wrote {args.export}", file=sys.stderr)
+    if args.limit is not None and shown < total:
+        print(f"... ({total - shown} more; raise --limit)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,6 +186,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument("--signal", default=None, help="signal name (if several)")
     p_spec.add_argument("--period", type=float, default=50.0)
     p_spec.set_defaults(fn=_cmd_spectrum)
+
+    p_capture = sub.add_parser("capture", help="columnar capture-store tools")
+    cap_sub = p_capture.add_subparsers(dest="capture_command", required=True)
+    p_info = cap_sub.add_parser("info", help="segments, signals, time span")
+    p_info.add_argument("capture", help="capture directory")
+    p_info.add_argument("--recover-tail", action="store_true",
+                        help="skip a torn final segment (killed writer)")
+    p_info.set_defaults(fn=_cmd_capture_info)
+
+    p_query = sub.add_parser(
+        "query", help="run a derived-signal query over a capture store"
+    )
+    p_query.add_argument("expression", help='e.g. "load = ewma(cpu, 0.9)"')
+    p_query.add_argument("--capture", required=True, help="capture directory")
+    p_query.add_argument("--limit", type=int, default=None,
+                         help="print at most N derived tuples")
+    p_query.add_argument("--export", default=None,
+                         help="also write the derived tuples as tuple text")
+    p_query.add_argument("--recover-tail", action="store_true",
+                         help="skip a torn final segment (killed writer)")
+    p_query.set_defaults(fn=_cmd_query)
 
     return parser
 

@@ -27,7 +27,7 @@ import mmap
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -359,18 +359,36 @@ class CaptureReader:
     # Stream access
     # ------------------------------------------------------------------
     def iter_blocks(
-        self, start: Optional[Position] = None
+        self,
+        start: Optional[Position] = None,
+        names: Optional[Iterable[str]] = None,
     ) -> Iterator[Tuple[Position, Block]]:
         """Yield ``(position, block)`` in stream (push) order from ``start``.
 
         A mid-block start position yields that block sliced from its
-        offset; all later blocks come whole.
+        offset; all later blocks come whole.  ``names`` restricts the
+        stream to those signals — blocks of other signals are skipped
+        *before* decoding (the directory alone decides), so a narrow
+        read never pays payload CRC for signals it ignores.
         """
         pos = start or Position()
+        want = None if names is None else set(names)
         for seg_index in range(pos.segment, len(self.segments)):
             segment = self.segments[seg_index]
+            if want is not None:
+                want_ids = {
+                    i for i, name in enumerate(segment.names) if name in want
+                }
+                if not want_ids:
+                    continue
             first_block = pos.block if seg_index == pos.segment else 0
             for block_index in range(first_block, segment.block_count):
+                if (
+                    want is not None
+                    and int(segment.directory[block_index]["name_id"])
+                    not in want_ids
+                ):
+                    continue
                 block = segment.block(block_index)
                 offset = (
                     pos.offset
@@ -388,27 +406,64 @@ class CaptureReader:
                     )
                 yield Position(seg_index, block_index, offset), block
 
+    def signal_sample_counts(self) -> Dict[str, int]:
+        """Per-signal sample totals, straight from the directories.
+
+        No payload is touched: each segment's directory already carries
+        per-block name ids and counts, so this is metadata arithmetic.
+        """
+        counts: Dict[str, int] = {}
+        for segment in self.segments:
+            ids = segment.directory["name_id"]
+            per_id = np.bincount(
+                ids.astype(np.int64),
+                weights=segment.directory["count"].astype(np.float64),
+                minlength=len(segment.names),
+            )
+            for name_id, name in enumerate(segment.names):
+                counts[name] = counts.get(name, 0) + int(per_id[name_id])
+        return counts
+
+    def columns_for(
+        self, names: Iterable[str]
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Several signals' ``(times, values)`` columns in one pass.
+
+        Output sizes come from the directories first, so each column is
+        written into a single preallocated array while
+        :meth:`iter_blocks` streams the matching blocks — no per-block
+        concatenation, and every mapped payload is visited at most
+        once.  Signals absent from the capture come back as empty
+        columns (matching :meth:`read_signal`).  This is the batch
+        query executor's read path.
+        """
+        want = list(dict.fromkeys(names))  # de-dup, preserve order
+        totals = self.signal_sample_counts()
+        out = {
+            name: (
+                np.empty(totals.get(name, 0), dtype=np.float64),
+                np.empty(totals.get(name, 0), dtype=np.float64),
+            )
+            for name in want
+        }
+        cursors = {name: 0 for name in want}
+        for _, block in self.iter_blocks(names=want):
+            cursor = cursors[block.name]
+            stop = cursor + len(block)
+            times, values = out[block.name]
+            times[cursor:stop] = block.times
+            values[cursor:stop] = block.values
+            cursors[block.name] = stop
+        return out
+
     def read_signal(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
         """All of one signal's ``(times, values)`` in stream order.
 
-        The longitudinal re-query path: columns concatenate straight
-        out of the mapped segments.
+        The longitudinal re-query path: one streaming pass over the
+        matching blocks into preallocated columns (see
+        :meth:`columns_for`).
         """
-        times: List[np.ndarray] = []
-        values: List[np.ndarray] = []
-        for segment in self.segments:
-            if name not in segment.names:
-                continue
-            name_id = segment.names.index(name)
-            for block_index in np.flatnonzero(
-                segment.directory["name_id"] == name_id
-            ):
-                block = segment.block(int(block_index))
-                times.append(block.times)
-                values.append(block.values)
-        if not times:
-            return (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64))
-        return np.concatenate(times), np.concatenate(values)
+        return self.columns_for((name,))[name]
 
     def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Whole-capture ``(times, values, name_indices)`` in stream order.

@@ -1,0 +1,55 @@
+"""Derived-signal query engine: compiled operator DAGs over streams.
+
+The paper presents signals as composable scope inputs; this subsystem
+makes composition first-class.  A small expression language —
+
+.. code-block:: text
+
+    throughput = rate(bytes_in)
+    smooth     = ewma(queue, 0.9)
+    headroom   = clip(cwnd - 0.5 * rtt, 0, 1e6)
+    per_tick   = sum_over(pkts, 50ms)
+    on_grid    = resample(load, 10ms)
+    stalls     = edges(queue, 80, rising)
+
+— parses to an AST (:mod:`repro.query.parser`), compiles to a
+vectorized operator DAG (:mod:`repro.query.compile`,
+:mod:`repro.query.ops`) and executes in two modes with byte-identical
+results:
+
+* **incremental** (:class:`LiveQuery`) — attached as a manager/shard
+  tap, consuming the same columnar batches the capture writer records
+  and pushing derived samples back in as ordinary signals;
+* **batch** (:func:`execute`) — over the columns of a
+  :class:`~repro.capture.reader.CaptureReader`, so analyses of recorded
+  runs are re-runnable and reproduce the live derived traces exactly.
+
+Typical use::
+
+    from repro.query import LiveQuery, execute, compile_query
+
+    live = LiveQuery("load = ewma(cpu, 0.9)", manager)   # online
+    ...
+    cols = execute(CaptureReader("run.capture"), "load = ewma(cpu, 0.9)")
+"""
+
+from repro.query.batch import execute
+from repro.query.compile import Plan, PlanNode, compile_query
+from repro.query.errors import QueryCompileError, QueryError, QuerySyntaxError
+from repro.query.live import LiveQuery
+from repro.query.ops import Runtime
+from repro.query.parser import Program, parse
+
+__all__ = [
+    "LiveQuery",
+    "Plan",
+    "PlanNode",
+    "Program",
+    "QueryCompileError",
+    "QueryError",
+    "QuerySyntaxError",
+    "Runtime",
+    "compile_query",
+    "execute",
+    "parse",
+]

@@ -1,0 +1,395 @@
+"""Compile a parsed query program into a vectorized operator plan.
+
+The compiler lowers the AST into a flat, topologically ordered list of
+:class:`PlanNode`\\ s — the operator DAG.  Lowering does real work:
+
+* **name resolution** — a :class:`~repro.query.parser.Ref` is another
+  definition in the program (its DAG is shared, not duplicated) or,
+  failing that, a *source signal*;
+* **cycle detection** — definitions may reference each other in any
+  order, but a reference cycle (``a = b; b = a``) is a compile error;
+* **constant folding** — any all-constant subexpression collapses to a
+  literal (folded with the same numpy scalar ops the runtime uses, so
+  ``x / 0`` and ``x / (1 - 1)`` behave identically);
+* **parameter extraction** — operator parameters (filter alpha, window
+  and resample periods, trigger level) must fold to constants and are
+  validated here, not at run time;
+* **hash-consing** — structurally identical subexpressions become one
+  shared node, so ``ewma(q, .9) - (q - ewma(q, .9))`` computes the
+  filter once;
+* **fusion** — a binary op with one constant side becomes a single
+  elementwise map node; only signal-with-signal ops need the
+  time-aligning join operator.
+
+The :class:`Plan` is immutable and stateless; each execution
+(incremental or batch) instantiates fresh operator state from it via
+:class:`~repro.query.ops.Runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.aggregate import AggregateKind
+from repro.core.trigger import Edge
+from repro.query.errors import QueryCompileError
+from repro.query.parser import (
+    Binary,
+    Call,
+    Expr,
+    Num,
+    Program,
+    Ref,
+    Unary,
+    parse,
+)
+
+#: Binary-operator names the runtime's elementwise table understands.
+ARITH_OPS = ("add", "sub", "mul", "div", "min", "max")
+CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+#: The seven windowed aggregates, mapped onto Section 4.2's kinds.
+WINDOW_FUNCS = {
+    "sum_over": AggregateKind.SUM,
+    "min_over": AggregateKind.MINIMUM,
+    "max_over": AggregateKind.MAXIMUM,
+    "avg_over": AggregateKind.AVERAGE,
+    "rate_over": AggregateKind.RATE,
+    "events_over": AggregateKind.EVENTS,
+    "any_over": AggregateKind.ANY_EVENT,
+}
+
+_EDGE_KINDS = {"rising": Edge.RISING, "falling": Edge.FALLING, "either": Edge.EITHER}
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator in the compiled DAG.
+
+    ``op`` selects the operator class (see :mod:`repro.query.ops`),
+    ``params`` carries its compile-time constants, and ``inputs`` are
+    upstream node ids.  Nodes are listed in topological order, so an
+    input id is always smaller than the node's own id.
+    """
+
+    id: int
+    op: str
+    params: Tuple
+    inputs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled, stateless operator DAG.
+
+    ``sources`` maps each required input signal name to its source node;
+    ``outputs`` maps each derived-signal name to the node whose emissions
+    it publishes.  Definitions whose names start with ``_`` are
+    intermediates: shared inside the DAG but not published.
+    """
+
+    nodes: Tuple[PlanNode, ...]
+    sources: Dict[str, int]
+    outputs: Dict[str, int]
+    text: str
+
+    @property
+    def source_names(self) -> List[str]:
+        """Required input signals, in first-reference order."""
+        return list(self.sources)
+
+    @property
+    def output_names(self) -> List[str]:
+        """Published derived signals, in definition order."""
+        return list(self.outputs)
+
+
+#: Compile-time value: a folded constant or a DAG node id.
+_Value = Union[float, int]
+
+
+class _Const(float):
+    """Marker type so a folded constant is distinguishable from an id."""
+
+
+def _numpy_fold(op: str, a: float, b: float) -> float:
+    """Fold a constant binary op with the runtime's own numpy semantics."""
+    from repro.query.ops import BINARY_FNS
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return float(BINARY_FNS[op](np.float64(a), np.float64(b)))
+
+
+class _Compiler:
+    def __init__(self, program: Program, default_name: str) -> None:
+        self.program = program
+        self.default_name = default_name
+        self.nodes: List[PlanNode] = []
+        self.sources: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self._memo: Dict[Tuple, int] = {}  # hash-consing: structure -> id
+        self._defs: Dict[str, Expr] = {}
+        self._def_value: Dict[str, _Value] = {}
+        self._building: List[str] = []  # definition DFS stack for cycles
+
+    # -- node construction --------------------------------------------
+    def _node(self, op: str, params: Tuple, inputs: Tuple[int, ...]) -> int:
+        key = (op, params, inputs)
+        found = self._memo.get(key)
+        if found is not None:
+            return found
+        node = PlanNode(id=len(self.nodes), op=op, params=params, inputs=inputs)
+        self.nodes.append(node)
+        self._memo[key] = node.id
+        return node.id
+
+    def _source(self, name: str) -> int:
+        node_id = self.sources.get(name)
+        if node_id is None:
+            node_id = self._node("source", (name,), ())
+            self.sources[name] = node_id
+        return node_id
+
+    # -- program ------------------------------------------------------
+    def compile(self) -> Plan:
+        anonymous = 0
+        ordered: List[str] = []
+        for stmt in self.program.stmts:
+            name = stmt.name
+            if name is None:
+                anonymous += 1
+                if anonymous > 1:
+                    raise QueryCompileError(
+                        "a program may hold at most one anonymous expression; "
+                        "name the others (e.g. 'load = ewma(cpu, 0.9)')"
+                    )
+                name = self.default_name
+            if name in self._defs:
+                raise QueryCompileError(f"duplicate definition of {name!r}")
+            self._defs[name] = stmt.expr
+            ordered.append(name)
+        for name in ordered:
+            value = self._resolve_def(name)
+            if name.startswith("_"):
+                continue  # intermediate: shared in the DAG, not published
+            if isinstance(value, _Const):
+                raise QueryCompileError(
+                    f"derived signal {name!r} is a constant ({float(value)}); "
+                    "a query must read at least one signal"
+                )
+            self.outputs[name] = value
+        if not self.outputs:
+            raise QueryCompileError(
+                "query publishes nothing: every definition is an "
+                "underscore-prefixed intermediate"
+            )
+        # Note: an output can never shadow one of its own sources — every
+        # definition name (the anonymous one included) resolves def-first,
+        # so `rate(query)` under default name "query" is caught as the
+        # cycle `query -> query` rather than silently looping a live tap.
+        return Plan(
+            nodes=tuple(self.nodes),
+            sources=self.sources,
+            outputs=self.outputs,
+            text=self.program.text,
+        )
+
+    def _resolve_def(self, name: str) -> _Value:
+        cached = self._def_value.get(name)
+        if cached is not None:
+            return cached
+        if name in self._building:
+            chain = " -> ".join(self._building[self._building.index(name):] + [name])
+            raise QueryCompileError(f"cyclic definition: {chain}")
+        self._building.append(name)
+        try:
+            value = self._build(self._defs[name])
+        finally:
+            self._building.pop()
+        self._def_value[name] = value
+        return value
+
+    # -- expressions ---------------------------------------------------
+    def _build(self, expr: Expr) -> _Value:
+        if isinstance(expr, Num):
+            return _Const(expr.value)
+        if isinstance(expr, Ref):
+            if expr.name in self._defs:
+                return self._resolve_def(expr.name)
+            return self._source(expr.name)
+        if isinstance(expr, Unary):
+            operand = self._build(expr.operand)
+            if isinstance(operand, _Const):
+                return _Const(-float(operand))
+            return self._node("map1", ("neg",), (operand,))
+        if isinstance(expr, Binary):
+            return self._binary(expr.op, expr.left, expr.right)
+        if isinstance(expr, Call):
+            return self._call(expr)
+        raise QueryCompileError(f"unhandled expression node: {expr!r}")
+
+    def _binary(self, op: str, left_expr: Expr, right_expr: Expr) -> _Value:
+        left = self._build(left_expr)
+        right = self._build(right_expr)
+        if isinstance(left, _Const) and isinstance(right, _Const):
+            return _Const(_numpy_fold(op, float(left), float(right)))
+        if isinstance(right, _Const):
+            return self._node("maps", (op, float(right), False), (left,))
+        if isinstance(left, _Const):
+            return self._node("maps", (op, float(left), True), (right,))
+        return self._node("join", (op,), (left, right))
+
+    # -- function calls ------------------------------------------------
+    def _call(self, call: Call) -> _Value:
+        name, args = call.func, call.args
+        builder = _FUNCTIONS.get(name)
+        if builder is None:
+            raise QueryCompileError(
+                f"unknown function {name!r} (available: "
+                f"{', '.join(sorted(_FUNCTIONS))})"
+            )
+        return builder(self, call)
+
+    def _arity(self, call: Call, low: int, high: Optional[int] = None) -> None:
+        high = low if high is None else high
+        n = len(call.args)
+        if not low <= n <= high:
+            want = str(low) if low == high else f"{low}-{high}"
+            raise QueryCompileError(
+                f"{call.func}() takes {want} argument(s), got {n}"
+            )
+
+    def _stream_arg(self, call: Call, index: int) -> int:
+        value = self._build(call.args[index])
+        if isinstance(value, _Const):
+            raise QueryCompileError(
+                f"{call.func}() argument {index + 1} must be a signal "
+                f"expression, got the constant {float(value)}"
+            )
+        return value
+
+    def _const_arg(self, call: Call, index: int, what: str) -> float:
+        value = self._build(call.args[index])
+        if not isinstance(value, _Const):
+            raise QueryCompileError(
+                f"{call.func}() {what} (argument {index + 1}) must be a "
+                "constant expression"
+            )
+        return float(value)
+
+
+# ----------------------------------------------------------------------
+# Function table
+# ----------------------------------------------------------------------
+def _fn_abs(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 1)
+    value = c._build(call.args[0])
+    if isinstance(value, _Const):
+        return _Const(abs(float(value)))
+    return c._node("map1", ("abs",), (value,))
+
+
+def _fn_minmax(op: str):
+    def build(c: _Compiler, call: Call) -> _Value:
+        c._arity(call, 2)
+        return c._binary(op, call.args[0], call.args[1])
+
+    return build
+
+
+def _fn_clip(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 3)
+    stream = c._stream_arg(call, 0)
+    lo = c._const_arg(call, 1, "lower bound")
+    hi = c._const_arg(call, 2, "upper bound")
+    if hi < lo:
+        raise QueryCompileError(f"clip() bounds are inverted: [{lo}, {hi}]")
+    return c._node("clip", (lo, hi), (stream,))
+
+
+def _fn_rate(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 1)
+    return c._node("rate", (), (c._stream_arg(call, 0),))
+
+
+def _fn_delta(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 1)
+    return c._node("delta", (), (c._stream_arg(call, 0),))
+
+
+def _fn_ewma(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 2)
+    stream = c._stream_arg(call, 0)
+    alpha = c._const_arg(call, 1, "filter alpha")
+    if not 0.0 <= alpha <= 1.0:
+        raise QueryCompileError(f"{call.func}() alpha must be in [0, 1]: {alpha}")
+    return c._node("ewma", (alpha,), (stream,))
+
+
+def _fn_resample(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 2)
+    stream = c._stream_arg(call, 0)
+    period = c._const_arg(call, 1, "period")
+    if not period > 0:
+        raise QueryCompileError(f"resample() period must be positive: {period}")
+    return c._node("resample", (period,), (stream,))
+
+
+def _fn_window(kind: AggregateKind):
+    def build(c: _Compiler, call: Call) -> _Value:
+        c._arity(call, 2)
+        stream = c._stream_arg(call, 0)
+        window = c._const_arg(call, 1, "window")
+        if not window > 0:
+            raise QueryCompileError(
+                f"{call.func}() window must be positive: {window}"
+            )
+        return c._node("window", (kind.value, window), (stream,))
+
+    return build
+
+
+def _fn_edges(c: _Compiler, call: Call) -> _Value:
+    c._arity(call, 2, 3)
+    stream = c._stream_arg(call, 0)
+    level = c._const_arg(call, 1, "trigger level")
+    edge = "rising"
+    if len(call.args) == 3:
+        arg = call.args[2]
+        if not isinstance(arg, Ref) or arg.name not in _EDGE_KINDS:
+            raise QueryCompileError(
+                "edges() direction must be one of: "
+                + ", ".join(sorted(_EDGE_KINDS))
+            )
+        edge = arg.name
+    return c._node("edges", (level, edge), (stream,))
+
+
+_FUNCTIONS = {
+    "abs": _fn_abs,
+    "min": _fn_minmax("min"),
+    "max": _fn_minmax("max"),
+    "clip": _fn_clip,
+    "rate": _fn_rate,
+    "delta": _fn_delta,
+    "ewma": _fn_ewma,
+    "lowpass": _fn_ewma,  # the Section 3.1 name for the same one-pole IIR
+    "resample": _fn_resample,
+    "edges": _fn_edges,
+    **{name: _fn_window(kind) for name, kind in WINDOW_FUNCS.items()},
+}
+
+
+def compile_query(
+    query: Union[str, Program], default_name: str = "query"
+) -> Plan:
+    """Compile query text (or a parsed :class:`Program`) into a :class:`Plan`.
+
+    ``default_name`` names the program's single anonymous expression, if
+    it has one.
+    """
+    program = parse(query) if isinstance(query, str) else query
+    return _Compiler(program, default_name).compile()

@@ -1,0 +1,35 @@
+"""Typed errors for the derived-signal query engine.
+
+Everything the engine can reject raises a :class:`QueryError` subclass,
+so callers (the CLI, tests, embedding applications) can catch one type
+and still distinguish *where* the query went wrong:
+
+* :class:`QuerySyntaxError` — the text does not lex/parse (bad token,
+  unbalanced parentheses, missing operand).
+* :class:`QueryCompileError` — the text parses but cannot become an
+  operator DAG (unknown function, wrong arity, non-constant parameter,
+  cyclic definitions, a query with no signal input).
+"""
+
+from __future__ import annotations
+
+
+class QueryError(ValueError):
+    """Base class for every query-engine rejection."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text failed to lex or parse.
+
+    Carries the offending position so the CLI can point at it.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryCompileError(QueryError):
+    """The parsed query cannot be compiled to an operator DAG."""

@@ -1,0 +1,119 @@
+"""Tokenizer for the derived-signal expression language.
+
+A deliberately small surface: numbers (with optional time-unit
+suffixes), identifiers, arithmetic and comparison operators,
+parentheses, commas, ``=`` for definitions and ``;``/newlines as
+statement separators.
+
+Time units attach directly to a number literal and normalise to the
+engine's native milliseconds, so ``resample(load, 10ms)``,
+``sum_over(pkts, 1s)`` and ``resample(x, 500us)`` all read naturally::
+
+    10ms -> 10.0      1s -> 1000.0      500us -> 0.5
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.query.errors import QuerySyntaxError
+
+
+class TokenKind(enum.Enum):
+    NUMBER = "number"
+    NAME = "name"
+    OP = "op"  # + - * / < <= > >= == !=
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    ASSIGN = "="
+    SEMI = ";"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: int
+    value: float = 0.0  # numeric payload for NUMBER tokens, in ms for units
+
+
+#: Unit suffix -> multiplier into milliseconds.
+_UNITS = {"us": 1e-3, "ms": 1.0, "s": 1000.0}
+
+_NUMBER = re.compile(r"\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?")
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+_UNIT = re.compile(r"us|ms|s(?![A-Za-z0-9_.])")
+
+#: Two-character operators must be tried before their one-char prefixes.
+_OPERATORS = ("<=", ">=", "==", "!=", "<", ">", "+", "-", "*", "/")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, ending with one END token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            yield Token(TokenKind.SEMI, ";", i)
+            i += 1
+            continue
+        if ch == ";":
+            yield Token(TokenKind.SEMI, ";", i)
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, "(", i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ")", i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ",", i)
+            i += 1
+            continue
+        m = _NUMBER.match(text, i)
+        if m:
+            raw = m.group()
+            end = m.end()
+            value = float(raw)
+            um = _UNIT.match(text, end)
+            if um:
+                value *= _UNITS[um.group()]
+                end = um.end()
+            yield Token(TokenKind.NUMBER, text[i:end], i, value)
+            i = end
+            continue
+        m = _NAME.match(text, i)
+        if m:
+            yield Token(TokenKind.NAME, m.group(), i)
+            i = m.end()
+            continue
+        op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if op is not None:  # "==" is an operator; it precedes the "=" check
+            yield Token(TokenKind.OP, op, i)
+            i += len(op)
+            continue
+        if ch == "=":
+            yield Token(TokenKind.ASSIGN, "=", i)
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(TokenKind.END, "", n)

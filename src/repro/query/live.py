@@ -1,0 +1,164 @@
+"""Incremental execution: a compiled query as a live manager tap.
+
+A :class:`LiveQuery` *is a tap*: it is callable with the exact
+``(name, times, values, now_ms)`` batches
+:meth:`~repro.core.manager.ScopeManager.push_samples` offers its taps —
+the same interface a :class:`~repro.capture.writer.CaptureWriter`
+records — so one ``manager.add_tap(live)`` subscribes the whole
+operator DAG to the live stream.  Derived samples are pushed straight
+back into the manager as ordinary buffered signals, which means scopes
+display them, triggers fire on them, the wire protocol ships them and a
+capture tap records them, all for free.
+
+Feedback cannot loop: the engine ignores pushed names that are not
+query inputs (its own emissions included), and the compiler rejects a
+query whose output name shadows one of its inputs.
+
+Incremental and batch execution share every operator, so attaching the
+same compiled plan here and running it over the capture of the same run
+produces byte-identical derived columns (the equivalence suite pins
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.query.compile import Plan, compile_query
+from repro.query.errors import QueryError
+from repro.query.ops import ArrayLike, Runtime
+
+OutputObserver = Callable[[str, np.ndarray, np.ndarray], None]
+
+
+class LiveQuery:
+    """Run a compiled query incrementally over live pushed batches.
+
+    Parameters
+    ----------
+    query:
+        Query text or an already compiled
+        :class:`~repro.query.compile.Plan`.
+    manager:
+        Anything with ``add_tap``/``remove_tap``/``push_samples`` — a
+        :class:`~repro.core.manager.ScopeManager`, a
+        :class:`~repro.net.shard.ShardedScopeManager` (shared-loop
+        layout) or a single :class:`~repro.core.scope.Scope`.  When
+        given, the query attaches immediately and every derived batch is
+        pushed back under its output name.  Omit it to consume outputs
+        through :meth:`on_output` only.
+    default_name:
+        Name for the program's single anonymous expression.
+    """
+
+    def __init__(
+        self,
+        query: Union[str, Plan],
+        manager=None,
+        default_name: str = "query",
+    ) -> None:
+        self.plan = (
+            compile_query(query, default_name)
+            if isinstance(query, str)
+            else query
+        )
+        self.runtime = Runtime(self.plan)
+        self.samples_out: Dict[str, int] = {}
+        self._observers: List[OutputObserver] = []
+        for name in self.plan.output_names:
+            self.samples_out[name] = 0
+            self.runtime.add_sink(name, self._make_emitter(name))
+        self._manager = None
+        self._error: Optional[QueryError] = None
+        if manager is not None:
+            self.attach(manager)
+
+    # ------------------------------------------------------------------
+    # The tap interface (what managers/scopes call on every push)
+    # ------------------------------------------------------------------
+    def __call__(
+        self, name: str, times: ArrayLike, values: ArrayLike, now_ms: float
+    ) -> None:
+        """Consume one offered batch; non-input names are ignored.
+
+        A tap runs inside the *producer's* push path, so nothing here
+        may raise through it: batches arriving after :meth:`finish` are
+        dropped, and a query that fails mid-stream (e.g. ``ewma`` over
+        an Inf produced by a division) quarantines itself — it stops
+        consuming and records the failure in :attr:`error` instead of
+        crashing the application pushing samples.
+        """
+        if self._error is not None or self.runtime.finished:
+            return
+        try:
+            self.runtime.feed(name, times, values)
+        except QueryError as exc:
+            self._error = exc
+
+    def attach(self, manager) -> None:
+        """Subscribe to ``manager`` and route emissions back into it."""
+        if self._manager is not None:
+            raise ValueError("query is already attached; detach() first")
+        manager.add_tap(self)
+        self._manager = manager
+
+    def detach(self) -> None:
+        """Unsubscribe; emissions then reach only :meth:`on_output`."""
+        if self._manager is not None:
+            self._manager.remove_tap(self)
+            self._manager = None
+
+    @property
+    def attached(self) -> bool:
+        return self._manager is not None
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def on_output(self, observer: OutputObserver) -> None:
+        """Also deliver every derived batch to ``observer(name, t, v)``."""
+        self._observers.append(observer)
+
+    def _make_emitter(self, name: str):
+        def emitter(times: np.ndarray, values: np.ndarray) -> None:
+            self.samples_out[name] += times.shape[0]
+            for observer in self._observers:
+                observer(name, times, values)
+            if self._manager is not None:
+                self._manager.push_samples(name, times, values)
+
+        return emitter
+
+    def finish(self) -> None:
+        """Flush watermarked tails and open windows (end of the run).
+
+        Emits through the same path as live batches, so late tails still
+        reach the manager and any observers — then detaches, since a
+        finished query consumes nothing further.  Idempotent.
+        """
+        self.runtime.finish()
+        self.detach()
+
+    @property
+    def error(self) -> Optional[QueryError]:
+        """The failure that quarantined this query, if any (see
+        :meth:`__call__`); None while the query is healthy."""
+        return self._error
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def source_names(self) -> List[str]:
+        return self.plan.source_names
+
+    @property
+    def output_names(self) -> List[str]:
+        return self.plan.output_names
+
+    @property
+    def dropped(self) -> Dict[str, int]:
+        """Per-input non-monotone samples shed at the query boundary."""
+        return self.runtime.dropped

@@ -1,0 +1,223 @@
+"""AST and recursive-descent parser for the query language.
+
+Grammar (lowest precedence first)::
+
+    program := stmt ((";")+ stmt)* (";")*
+    stmt    := NAME "=" expr          # named derived signal
+             | expr                   # one anonymous query per program
+    expr    := cmp
+    cmp     := add (("<"|"<="|">"|">="|"=="|"!=") add)*
+    add     := mul (("+"|"-") mul)*
+    mul     := unary (("*"|"/") unary)*
+    unary   := ("-"|"+") unary | atom
+    atom    := NUMBER | NAME | NAME "(" expr ("," expr)* ")" | "(" expr ")"
+
+Identifiers are signal names (``cwnd``, ``queue.depth``) or references
+to earlier/later definitions in the same program; which one is decided
+at compile time (:mod:`repro.query.compile`), not here.  Numbers accept
+time-unit suffixes normalised to milliseconds (``10ms``, ``1s``,
+``500us`` — see :mod:`repro.query.lexer`).
+
+The AST is deliberately tiny — five node kinds — and immutable, so the
+compiler can hash-cons identical subexpressions into shared DAG nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.query.errors import QuerySyntaxError
+from repro.query.lexer import Token, TokenKind, tokenize
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A constant (time-unit suffixes already folded to milliseconds)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A name: a source signal or another definition in the program."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function application, e.g. ``ewma(queue, 0.9)``."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary minus (unary plus is dropped at parse time)."""
+
+    op: str  # "neg"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operator application."""
+
+    op: str  # add sub mul div lt le gt ge eq ne
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """One statement: ``name = expr`` or a bare expression (name None)."""
+
+    name: Optional[str]
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed query program: an ordered tuple of statements."""
+
+    stmts: Tuple[Stmt, ...]
+    text: str
+
+
+_BINOP_NAMES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+}
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.END:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        if self.cur.kind is not kind:
+            raise QuerySyntaxError(
+                f"expected {what}, found {self.cur.text or 'end of query'!r}",
+                self.cur.pos,
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------
+    def program(self) -> Program:
+        stmts: List[Stmt] = []
+        while self.cur.kind is TokenKind.SEMI:
+            self.advance()
+        while self.cur.kind is not TokenKind.END:
+            stmts.append(self.stmt())
+            if self.cur.kind is TokenKind.SEMI:
+                while self.cur.kind is TokenKind.SEMI:
+                    self.advance()
+            elif self.cur.kind is not TokenKind.END:
+                raise QuerySyntaxError(
+                    f"expected ';' between statements, found {self.cur.text!r}",
+                    self.cur.pos,
+                )
+        if not stmts:
+            raise QuerySyntaxError("empty query", 0)
+        return Program(stmts=tuple(stmts), text=self.text)
+
+    def stmt(self) -> Stmt:
+        if (
+            self.cur.kind is TokenKind.NAME
+            and self.tokens[self.pos + 1].kind is TokenKind.ASSIGN
+        ):
+            name = self.advance().text
+            self.advance()  # '='
+            return Stmt(name=name, expr=self.expr())
+        return Stmt(name=None, expr=self.expr())
+
+    def expr(self) -> Expr:
+        return self._binary_chain(_CMP_OPS, lambda: self._binary_chain(
+            _ADD_OPS, lambda: self._binary_chain(_MUL_OPS, self.unary)
+        ))
+
+    def _binary_chain(self, ops, next_level) -> Expr:
+        node = next_level()
+        while self.cur.kind is TokenKind.OP and self.cur.text in ops:
+            op = self.advance().text
+            node = Binary(op=_BINOP_NAMES[op], left=node, right=next_level())
+        return node
+
+    def unary(self) -> Expr:
+        if self.cur.kind is TokenKind.OP and self.cur.text == "-":
+            tok = self.advance()
+            operand = self.unary()
+            if isinstance(operand, Num):  # fold -3 into a literal
+                return Num(-operand.value)
+            return Unary(op="neg", operand=operand)
+        if self.cur.kind is TokenKind.OP and self.cur.text == "+":
+            self.advance()
+            return self.unary()
+        return self.atom()
+
+    def atom(self) -> Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Num(tok.value)
+        if tok.kind is TokenKind.NAME:
+            self.advance()
+            if self.cur.kind is TokenKind.LPAREN:
+                self.advance()
+                args: List[Expr] = []
+                if self.cur.kind is not TokenKind.RPAREN:
+                    args.append(self.expr())
+                    while self.cur.kind is TokenKind.COMMA:
+                        self.advance()
+                        args.append(self.expr())
+                self.expect(TokenKind.RPAREN, "')'")
+                return Call(func=tok.text, args=tuple(args))
+            return Ref(name=tok.text)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            node = self.expr()
+            self.expect(TokenKind.RPAREN, "')'")
+            return node
+        raise QuerySyntaxError(
+            f"expected a value, found {tok.text or 'end of query'!r}", tok.pos
+        )
+
+
+def parse(text: str) -> Program:
+    """Parse query ``text`` into a :class:`Program` AST."""
+    return _Parser(text).program()

@@ -363,3 +363,95 @@ class TestTextConversion:
         b = [(t.time_ms, t.value, t.name) for t in direct.advance_to(float("inf"))]
         assert a == b
         assert [round(t) for t, _, _ in b] == [10, 20, 30]
+
+
+class TestColumnsFor:
+    def blocks(self):
+        return [
+            ("a", np.array([1.0, 2.0]), np.array([10.0, 20.0]), 3.0),
+            ("b", np.array([1.5]), np.array([-1.0]), 3.5),
+            ("a", np.array([4.0, 5.0, 6.0]), np.array([30.0, 40.0, 50.0]), 7.0),
+            ("c", np.array([5.5]), np.array([9.0]), 8.0),
+            ("b", np.array([6.5, 7.5]), np.array([-2.0, -3.0]), 9.0),
+        ]
+
+    def test_multi_signal_single_pass(self, tmp_path):
+        write_blocks(tmp_path / "cap", self.blocks(), segment_samples=3)
+        reader = CaptureReader(tmp_path / "cap")
+        columns = reader.columns_for(["a", "b"])
+        assert columns["a"][0].tolist() == [1.0, 2.0, 4.0, 5.0, 6.0]
+        assert columns["a"][1].tolist() == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert columns["b"][0].tolist() == [1.5, 6.5, 7.5]
+        assert columns["b"][1].tolist() == [-1.0, -2.0, -3.0]
+
+    def test_matches_read_signal(self, tmp_path):
+        write_blocks(tmp_path / "cap", self.blocks(), segment_samples=2)
+        reader = CaptureReader(tmp_path / "cap")
+        for name in ("a", "b", "c"):
+            times, values = reader.read_signal(name)
+            ctimes, cvalues = reader.columns_for([name])[name]
+            assert times.tobytes() == ctimes.tobytes()
+            assert values.tobytes() == cvalues.tobytes()
+
+    def test_absent_name_yields_empty_columns(self, tmp_path):
+        write_blocks(tmp_path / "cap", self.blocks())
+        reader = CaptureReader(tmp_path / "cap")
+        times, values = reader.columns_for(["nope"])["nope"]
+        assert times.shape[0] == 0 and values.shape[0] == 0
+        times, values = reader.read_signal("nope")
+        assert times.shape[0] == 0
+
+    def test_duplicate_request_names_collapse(self, tmp_path):
+        write_blocks(tmp_path / "cap", self.blocks())
+        reader = CaptureReader(tmp_path / "cap")
+        columns = reader.columns_for(["a", "a", "b"])
+        assert set(columns) == {"a", "b"}
+        assert columns["a"][0].shape[0] == 5
+
+    def test_signal_sample_counts(self, tmp_path):
+        write_blocks(tmp_path / "cap", self.blocks(), segment_samples=2)
+        reader = CaptureReader(tmp_path / "cap")
+        assert reader.signal_sample_counts() == {"a": 5, "b": 3, "c": 1}
+
+
+class TestIterBlocksFilter:
+    def test_names_filter_skips_other_signals(self, tmp_path):
+        write_blocks(
+            tmp_path / "cap",
+            [
+                ("x", np.array([1.0]), np.array([1.0]), 2.0),
+                ("y", np.array([2.0]), np.array([2.0]), 3.0),
+                ("x", np.array([3.0]), np.array([3.0]), 4.0),
+            ],
+            segment_samples=1,
+        )
+        reader = CaptureReader(tmp_path / "cap")
+        names = [block.name for _, block in reader.iter_blocks(names=["x"])]
+        assert names == ["x", "x"]
+
+    def test_filtered_blocks_skip_payload_crc(self, tmp_path):
+        """Blocks of unrequested signals are skipped before decoding."""
+        write_blocks(
+            tmp_path / "cap",
+            [
+                ("keep", np.array([1.0]), np.array([1.0]), 2.0),
+                ("skip", np.array([2.0]), np.array([2.0]), 3.0),
+            ],
+        )
+        reader = CaptureReader(tmp_path / "cap")
+        segment = reader.segments[0]
+        list(reader.iter_blocks(names=["keep"]))
+        skip_id = segment.names.index("skip")
+        skip_blocks = np.flatnonzero(segment.directory["name_id"] == skip_id)
+        assert not segment._verified[skip_blocks].any()
+
+    def test_no_filter_yields_everything(self, tmp_path):
+        write_blocks(
+            tmp_path / "cap",
+            [
+                ("x", np.array([1.0]), np.array([1.0]), 2.0),
+                ("y", np.array([2.0]), np.array([2.0]), 3.0),
+            ],
+        )
+        reader = CaptureReader(tmp_path / "cap")
+        assert len(list(reader.iter_blocks())) == 2

@@ -75,3 +75,66 @@ class TestSpectrum:
                 rec.record(i * 50.0, math.sin(i / 3.0), "x")
         assert main(["spectrum", str(path)]) == 0
         assert "signal:" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def capture_dir(tmp_path):
+    import numpy as np
+
+    from repro.capture import CaptureWriter
+
+    path = tmp_path / "run.capture"
+    with CaptureWriter(path, segment_samples=256) as writer:
+        now = 0.0
+        for i in range(20):
+            now += 10.0
+            times = np.linspace(now - 10.0, now, 25, endpoint=False)
+            writer.on_push("cpu", times, np.sin(times / 40.0) * 40 + 50, now)
+            writer.on_push("pkts", times, np.arange(25, dtype=float) + 25 * i, now)
+    return str(path)
+
+
+class TestCaptureInfo:
+    def test_reports_store_shape(self, capture_dir, capsys):
+        assert main(["capture", "info", capture_dir]) == 0
+        out = capsys.readouterr().out
+        assert "samples:   1000" in out
+        assert "cpu: 500 samples" in out
+        assert "pkts: 500 samples" in out
+        assert "time span:" in out
+
+    def test_invalid_store_fails(self, tmp_path, capsys):
+        assert main(["capture", "info", str(tmp_path / "missing")]) == 1
+        assert "invalid capture" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_prints_derived_tuples(self, capture_dir, capsys):
+        assert main(
+            ["query", "load = ewma(cpu, 0.9)", "--capture", capture_dir,
+             "--limit", "3"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "# load: 500 samples" in captured.err
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(line.endswith(" load") for line in lines)
+
+    def test_export_writes_tuple_text(self, capture_dir, tmp_path, capsys):
+        out_file = tmp_path / "derived.tuples"
+        assert main(
+            ["query", "tput = rate(pkts)", "--capture", capture_dir,
+             "--export", str(out_file), "--limit", "0"]
+        ) == 0
+        text = out_file.read_text()
+        assert text.startswith("# query: tput = rate(pkts)")
+        # 500 samples -> 499 rate points, one per line after the header
+        assert len(text.strip().splitlines()) == 500
+
+    def test_bad_expression_fails(self, capture_dir, capsys):
+        assert main(["query", "foo(cpu)", "--capture", capture_dir]) == 2
+        assert "unknown function" in capsys.readouterr().err
+
+    def test_missing_signal_fails(self, capture_dir, capsys):
+        assert main(["query", "rate(nope)", "--capture", capture_dir]) == 2
+        assert "no signal" in capsys.readouterr().err

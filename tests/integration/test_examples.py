@@ -20,6 +20,10 @@ EXAMPLES = {
     "pll_scope": ["pll_scope.ppm"],
     "distributed_mxtraf": ["distributed_mxtraf.ppm"],
     "media_player": ["media_player.ppm"],
+    "derived_signals": [
+        "derived_signals.capture/00000000.gseg",
+        "derived_signals.ppm",
+    ],
     "record_replay": [
         "recorded_signals.capture/00000000.gseg",
         "recorded_signals.tuples",

@@ -1,0 +1,202 @@
+"""Parser and compiler edge cases: grammar, units, and every rejection."""
+
+import pytest
+
+from repro.query import (
+    QueryCompileError,
+    QueryError,
+    QuerySyntaxError,
+    compile_query,
+    parse,
+)
+from repro.query.parser import Binary, Call, Num, Ref, Unary
+
+
+class TestGrammar:
+    def test_precedence_mul_over_add(self):
+        expr = parse("a + b * c").stmts[0].expr
+        assert isinstance(expr, Binary) and expr.op == "add"
+        assert isinstance(expr.right, Binary) and expr.right.op == "mul"
+
+    def test_precedence_add_over_comparison(self):
+        expr = parse("a + 1 > b").stmts[0].expr
+        assert isinstance(expr, Binary) and expr.op == "gt"
+        assert isinstance(expr.left, Binary) and expr.left.op == "add"
+
+    def test_parentheses_override(self):
+        expr = parse("(a + b) * c").stmts[0].expr
+        assert expr.op == "mul" and expr.left.op == "add"
+
+    def test_unary_minus_folds_literals(self):
+        assert parse("-3").stmts[0].expr == Num(-3.0)
+        expr = parse("-a").stmts[0].expr
+        assert isinstance(expr, Unary) and expr.op == "neg"
+
+    def test_unary_plus_is_dropped(self):
+        assert parse("+a").stmts[0].expr == Ref("a")
+
+    def test_call_with_args(self):
+        expr = parse("ewma(queue, 0.9)").stmts[0].expr
+        assert expr == Call("ewma", (Ref("queue"), Num(0.9)))
+
+    def test_named_and_anonymous_statements(self):
+        program = parse("load = ewma(cpu, 0.9); rate(pkts)")
+        assert program.stmts[0].name == "load"
+        assert program.stmts[1].name is None
+
+    def test_newlines_and_comments_separate_statements(self):
+        program = parse("# derived load\nload = cpu + 1\nother = cpu - 1\n")
+        assert [s.name for s in program.stmts] == ["load", "other"]
+
+    def test_dotted_signal_names(self):
+        assert parse("queue.depth + 1").stmts[0].expr.left == Ref("queue.depth")
+
+    def test_number_forms(self):
+        assert parse(".5").stmts[0].expr == Num(0.5)
+        assert parse("1e3").stmts[0].expr == Num(1000.0)
+
+    def test_time_unit_literals_normalise_to_ms(self):
+        assert parse("10ms").stmts[0].expr == Num(10.0)
+        assert parse("1s").stmts[0].expr == Num(1000.0)
+        assert parse("500us").stmts[0].expr == Num(0.5)
+        assert parse("2.5s").stmts[0].expr == Num(2500.0)
+
+    def test_unit_must_attach_to_number(self):
+        # `ms` alone is just an identifier.
+        assert parse("ms").stmts[0].expr == Ref("ms")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            ";;",
+            "a $ b",
+            "(a + b",
+            "a + * b",
+            "a +",
+            "f(a,)",
+            "= a",
+            "a b",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            parse("a ^ b")
+        assert "offset" in str(err.value)
+
+    def test_syntax_error_is_a_query_error(self):
+        with pytest.raises(QueryError):
+            parse("(((")
+
+
+class TestCompileErrors:
+    def test_unknown_function(self):
+        with pytest.raises(QueryCompileError, match="unknown function 'foo'"):
+            compile_query("foo(x)")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["ewma(x)", "abs(x, y)", "rate()", "clip(x, 1)", "edges(x)"],
+    )
+    def test_arity(self, text):
+        with pytest.raises(QueryCompileError, match="argument"):
+            compile_query(text)
+
+    def test_non_constant_parameter(self):
+        with pytest.raises(QueryCompileError, match="constant"):
+            compile_query("ewma(x, y)")
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(QueryCompileError, match="alpha"):
+            compile_query("ewma(x, 1.5)")
+
+    def test_cyclic_definitions(self):
+        with pytest.raises(QueryCompileError, match="cyclic definition"):
+            compile_query("p = q + 1; q = p * 2")
+
+    def test_self_cycle(self):
+        with pytest.raises(QueryCompileError, match="cyclic definition: p -> p"):
+            compile_query("p = rate(p)")
+
+    def test_forward_reference_is_not_a_cycle(self):
+        plan = compile_query("p = q + 1; q = rate(x)")
+        assert plan.output_names == ["p", "q"]
+
+    def test_duplicate_definition(self):
+        with pytest.raises(QueryCompileError, match="duplicate"):
+            compile_query("p = a; p = b")
+
+    def test_two_anonymous_expressions(self):
+        with pytest.raises(QueryCompileError, match="anonymous"):
+            compile_query("a + 1; b * 2")
+
+    def test_constant_only_query(self):
+        with pytest.raises(QueryCompileError, match="constant"):
+            compile_query("1 + 2 * 3")
+
+    def test_output_shadowing_its_source(self):
+        # The anonymous output is named "query" and reads signal "query":
+        # a live tap would feed its own emissions back in.  Names resolve
+        # definition-first, so this surfaces as a self-cycle.
+        with pytest.raises(QueryCompileError, match="cyclic definition"):
+            compile_query("rate(query)")
+
+    def test_all_private_intermediates(self):
+        with pytest.raises(QueryCompileError, match="publishes nothing"):
+            compile_query("_t = rate(x)")
+
+    def test_clip_inverted_bounds(self):
+        with pytest.raises(QueryCompileError, match="inverted"):
+            compile_query("clip(x, 2, 1)")
+
+    def test_resample_period_positive(self):
+        with pytest.raises(QueryCompileError, match="positive"):
+            compile_query("resample(x, 0)")
+
+    def test_window_positive(self):
+        with pytest.raises(QueryCompileError, match="positive"):
+            compile_query("sum_over(x, -5)")
+
+    def test_edges_direction(self):
+        with pytest.raises(QueryCompileError, match="direction"):
+            compile_query("edges(x, 1, up)")
+
+
+class TestCompilation:
+    def test_sources_and_outputs(self):
+        plan = compile_query("d = cwnd - 0.5*rtt; s = ewma(d, 0.9)")
+        assert plan.source_names == ["cwnd", "rtt"]
+        assert plan.output_names == ["d", "s"]
+
+    def test_hash_consing_shares_subexpressions(self):
+        shared = compile_query("ewma(q, 0.9) - ewma(q, 0.9)")
+        distinct = compile_query("ewma(q, 0.9) - ewma(q, 0.8)")
+        # source + one ewma + join  vs  source + two ewmas + join
+        assert len(shared.nodes) == 3
+        assert len(distinct.nodes) == 4
+
+    def test_constant_folding_fuses_scalar_ops(self):
+        plan = compile_query("x * (2 + 3)")
+        kinds = [node.op for node in plan.nodes]
+        assert kinds == ["source", "maps"]
+        assert plan.nodes[1].params == ("mul", 5.0, False)
+
+    def test_division_by_folded_zero_matches_runtime(self):
+        # numpy semantics, not a ZeroDivisionError at compile time
+        plan = compile_query("x + 1 / 0")
+        assert plan.nodes[1].params[1] == float("inf")
+
+    def test_private_intermediates_are_shared_not_published(self):
+        plan = compile_query("_d = a - b; lo = min(_d, 0); hi = max(_d, 0)")
+        assert plan.output_names == ["lo", "hi"]
+        assert sum(1 for n in plan.nodes if n.op == "join") == 1
+
+    def test_default_name_applies_to_anonymous(self):
+        plan = compile_query("rate(pkts)", default_name="throughput")
+        assert plan.output_names == ["throughput"]
