@@ -15,6 +15,10 @@ regression trips them — CI jitter does not:
 * **query-arith-1m** — end-to-end batch query throughput for a 2-op
   arithmetic expression over a 1M-sample capture (the PR-5 derived-
   signal engine; a decay to per-sample interpretation trips it).
+* **failover-recovery-200k** — supervised shard restart with WAL replay
+  catch-up at 200k samples (the PR-6 fault-tolerance plane; a decay to
+  per-sample replay, or a restart path that re-reads the store per
+  block, trips it).
 
 Opt-in, so tier-1 stays fast:
 
@@ -41,6 +45,7 @@ import pytest
 
 from bench_capture import bench_write
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
+from bench_failover import bench_recovery
 from bench_net import bench_wire
 from bench_query import bench_batch
 from repro.eventloop.loop import MainLoop
@@ -67,6 +72,12 @@ CAPTURE_WRITE_SAMPLES = 1_000_000
 # A healthy build posts ~7-11M/s.
 QUERY_ARITH_FLOOR = 5_000_000.0
 QUERY_ARITH_SAMPLES = 1_000_000
+
+# Committed floor: WAL replay catch-up throughput during a supervised
+# shard restart at 200k samples.  A healthy build posts ~3-5M/s (the
+# columnar replay path); per-sample re-pushes would post well under it.
+RECOVERY_FLOOR = 300_000.0
+RECOVERY_SAMPLES = 200_000
 
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
@@ -115,6 +126,15 @@ def measure_best_query() -> dict:
     return best
 
 
+def measure_best_recovery() -> dict:
+    best: dict = {"rate_per_sec": 0.0}
+    for _ in range(ATTEMPTS):
+        result = bench_recovery(RECOVERY_SAMPLES)
+        if result["rate_per_sec"] > best["rate_per_sec"]:
+            best = result
+    return best
+
+
 def test_dispatch_throughput_floor():
     best = measure_best_dispatch()
     assert best["rate_per_sec"] >= DISPATCH_FLOOR_1K, (
@@ -147,12 +167,21 @@ def test_query_arith_floor():
     )
 
 
+def test_failover_recovery_floor():
+    best = measure_best_recovery()
+    assert best["rate_per_sec"] >= RECOVERY_FLOOR, (
+        f"restart replay catch-up throughput regressed: "
+        f"{best['rate_per_sec']:.0f} samples/s < floor {RECOVERY_FLOOR:.0f}/s"
+    )
+
+
 def main() -> int:
     t0 = time.perf_counter()
     dispatch = measure_best_dispatch()
     wire = measure_best_wire()
     capture = measure_best_capture()
     query = measure_best_query()
+    recovery = measure_best_recovery()
     gates = [
         {
             "gate": "eventloop-dispatch-1k",
@@ -181,6 +210,14 @@ def main() -> int:
             "measured_per_sec": query["rate_per_sec"],
             "samples": query["samples"],
             "passed": query["rate_per_sec"] >= QUERY_ARITH_FLOOR,
+        },
+        {
+            "gate": "failover-recovery-200k",
+            "floor_per_sec": RECOVERY_FLOOR,
+            "measured_per_sec": recovery["rate_per_sec"],
+            "samples": recovery["samples"],
+            "restart_seconds": recovery["restart_seconds"],
+            "passed": recovery["rate_per_sec"] >= RECOVERY_FLOOR,
         },
     ]
     passed = all(g["passed"] for g in gates)

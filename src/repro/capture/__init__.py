@@ -19,7 +19,7 @@ binary-wire speed):
 from repro.capture.convert import export_text, import_text
 from repro.capture.format import CaptureFormatError
 from repro.capture.reader import Block, CaptureReader, Position
-from repro.capture.replay import ReplaySource
+from repro.capture.replay import ReplaySource, catch_up
 from repro.capture.writer import CaptureWriter, capture_sharded
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "Position",
     "ReplaySource",
     "capture_sharded",
+    "catch_up",
     "export_text",
     "import_text",
 ]

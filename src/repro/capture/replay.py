@@ -263,3 +263,29 @@ class ReplaySource(Source):
         self._anchor_wall = None
         if not keep_identity:
             self._identity_ok = False
+
+
+def catch_up(reader, target, loop, through_ms: float) -> ReplaySource:
+    """Replay a capture into ``target`` up to and including ``through_ms``.
+
+    The recovery primitive behind supervised shard restart: attach an
+    exact-timeline :class:`ReplaySource` to ``loop`` (typically a fresh
+    private loop at t=0) and drive the loop *through* ``through_ms`` —
+    inclusive, so a batch recorded exactly at the deadline is delivered,
+    and so are any of the target's own sources due at that instant, in
+    plain (priority, id) dispatch order.  Because the replayed stream
+    re-delivers at the recorded instants with the recorded timestamps,
+    the target ends byte-identical to one that lived through the
+    original traffic up to ``through_ms``.
+
+    The source is attached *after* the target's existing sources, so at
+    any shared instant the target's timers dispatch before the replayed
+    push — the same order a live push (run loop, then push) produces.
+
+    Returns the (possibly exhausted) :class:`ReplaySource` so the caller
+    can inspect ``delivered_samples`` or keep replaying the tail.
+    """
+    source = ReplaySource(reader, target)
+    loop.attach(source)
+    loop.run_through(through_ms)
+    return source

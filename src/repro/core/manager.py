@@ -62,6 +62,36 @@ class ScopeManager:
         del self._scopes[name]
         self._topology_version += 1
 
+    def adopt_scope(self, scope: Scope) -> None:
+        """Register an existing scope (the rebalancing seam).
+
+        A :class:`~repro.net.shard.ShardedScopeManager` migrating a
+        scope between shards releases it from one manager and adopts it
+        into another.  The scope keeps its loop, its polling state and
+        every trace — adoption is pure registry bookkeeping, so it must
+        only happen between managers sharing the scope's loop.
+        """
+        if scope.name in self._scopes:
+            raise ScopeError(f"duplicate scope name: {scope.name!r}")
+        if scope.loop is not self.loop:
+            raise ScopeError(
+                f"scope {scope.name!r} lives on a different loop; "
+                "migration requires a shared loop"
+            )
+        self._scopes[scope.name] = scope
+        self._topology_version += 1
+
+    def release_scope(self, name: str) -> Scope:
+        """Unregister and return a scope *without* stopping its polling.
+
+        The counterpart of :meth:`adopt_scope`: the scope is expected to
+        be adopted elsewhere immediately, display uninterrupted.
+        """
+        scope = self.scope(name)
+        del self._scopes[name]
+        self._topology_version += 1
+        return scope
+
     @property
     def topology_version(self) -> int:
         """Bumped on every scope add/remove.

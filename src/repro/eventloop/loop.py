@@ -383,6 +383,32 @@ class MainLoop:
         """Run for ``duration_ms`` from the current clock time."""
         self.run_until(self.clock.now() + duration_ms)
 
+    def run_through(self, deadline_ms: float) -> None:
+        """Like :meth:`run_until`, but *inclusive* of the deadline.
+
+        ``run_until(t)`` leaves sources whose deadline is exactly ``t``
+        undispatched (the clock lands on ``t`` and the loop exits).
+        ``run_through(t)`` additionally dispatches everything due at
+        ``t`` itself — in the same (priority, id) order an ongoing run
+        would use — and leaves the clock at ``t``.  This is the
+        catch-up primitive: advancing a shard's private loop to the
+        router clock *through* ``t`` guarantees that any work scheduled
+        at ``t`` (a poll, a heartbeat, a replayed push) has happened
+        before the caller applies state at ``t``, so a live delivery
+        and a replayed one observe identical orderings.
+
+        Idle sources are not dispatched by the inclusive drain: they
+        are fallback work, not deadline work, and draining them here
+        would make catch-up diverge from a plain ``run_until`` ride.
+        """
+        self.run_until(deadline_ms)
+        now = self.clock.now()
+        while True:
+            ready = self._ready_sources(now, include_idle=False)
+            if not ready:
+                break
+            self._dispatch(ready, now)
+
     def quit(self) -> None:
         """Stop :meth:`run` / :meth:`run_until` after the current iteration."""
         self._running = False

@@ -23,6 +23,7 @@ namespace across per-shard managers by stable name hash.
 """
 
 from repro.net.client import ScopeClient
+from repro.net.faults import FaultPlan, FaultyLink, faulty_pair
 from repro.net.protocol import (
     Frame,
     FrameDecoder,
@@ -38,7 +39,14 @@ from repro.net.protocol import (
     encode_samples,
 )
 from repro.net.server import ClientState, ScopeServer
-from repro.net.shard import ShardedScopeManager, ShardStats, shard_of
+from repro.net.shard import HashRing, ShardedScopeManager, ShardStats, shard_of
+from repro.net.supervisor import (
+    ShardDown,
+    ShardHost,
+    ShardState,
+    ShardSupervisor,
+    SupervisionStats,
+)
 from repro.net.transport import (
     LatencyLink,
     MemoryEndpoint,
@@ -49,18 +57,26 @@ from repro.net.transport import (
 
 __all__ = [
     "ClientState",
+    "FaultPlan",
+    "FaultyLink",
     "Frame",
     "FrameDecoder",
     "FrameKind",
+    "HashRing",
     "LatencyLink",
     "LineDecoder",
     "MemoryEndpoint",
     "ProtocolError",
     "ScopeClient",
     "ScopeServer",
+    "ShardDown",
+    "ShardHost",
+    "ShardState",
     "ShardStats",
+    "ShardSupervisor",
     "ShardedScopeManager",
     "SocketEndpoint",
+    "SupervisionStats",
     "WireDecoder",
     "decode_lines",
     "encode_binary_samples",
@@ -68,6 +84,7 @@ __all__ = [
     "encode_name_def",
     "encode_sample",
     "encode_samples",
+    "faulty_pair",
     "memory_pair",
     "shard_of",
     "socket_pair",

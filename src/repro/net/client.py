@@ -26,12 +26,30 @@ would orphan every later frame that references its id.  The data-frame
 queue is bounded by ``max_queue``; overflow drops the oldest whole frame,
 except a partially-transmitted head frame, which is never dropped (that
 would cut the byte stream mid-frame and corrupt the connection).
+
+Reconnect
+---------
+
+Given a ``connect`` factory, the client survives a dead connection: it
+notices (a failed send, or an endpoint reporting itself/its peer closed
+during a flush), tears down the watch, and retries ``connect()`` under
+capped exponential backoff with seeded jitter.  On success it re-runs
+the session preamble — HELLO plus every ``NAME_DEF`` already interned,
+in id order, since the new server session has no memory of the old — and
+resends the head data frame *from byte zero*.  That is safe precisely
+because queued frames keep their full bytes until fully transmitted:
+fully-sent frames were popped (at-most-once per connection), and a
+half-sent head lands on a fresh session that never saw its first half.
+Data queued while down obeys the same bounded-queue overflow rule, so a
+long outage degrades exactly like slow-consumer backpressure: oldest
+frames drop, counted, freshest data survives to be displayed.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Deque, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,6 +63,7 @@ from repro.net.protocol import (
     encode_sample,
     encode_samples,
 )
+from repro.net.transport import TransportClosed
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
@@ -67,6 +86,18 @@ class ScopeClient:
     mode:
         Wire format: ``"binary"`` (columnar frames, the default) or
         ``"text"`` (tuple lines, the compatibility mode).
+    connect:
+        Optional zero-argument factory returning a fresh connected
+        endpoint (or raising / returning None while the server is
+        unreachable).  Providing it arms automatic reconnection; without
+        it a dead connection simply stops draining the queue.
+    backoff_base_ms / backoff_cap_ms:
+        Reconnect backoff schedule: attempt ``k`` waits
+        ``min(cap, base * 2**k)`` plus seeded jitter in ``[0, base)``,
+        so a fleet of clients losing one server does not retry in
+        lockstep.
+    backoff_seed:
+        Seed for the jitter stream — reconnect timing is replayable.
     """
 
     def __init__(
@@ -75,31 +106,59 @@ class ScopeClient:
         loop: MainLoop,
         max_queue: int = 4096,
         mode: str = "binary",
+        connect: Optional[Callable[[], object]] = None,
+        backoff_base_ms: float = 50.0,
+        backoff_cap_ms: float = 5000.0,
+        backoff_seed: int = 0,
     ) -> None:
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive: {max_queue}")
         if mode not in ("binary", "text"):
             raise ValueError(f"mode must be 'binary' or 'text': {mode!r}")
+        if backoff_base_ms <= 0 or backoff_cap_ms < backoff_base_ms:
+            raise ValueError(
+                f"need 0 < base <= cap: base={backoff_base_ms}, cap={backoff_cap_ms}"
+            )
         self.endpoint = endpoint
         self.loop = loop
         self.max_queue = max_queue
         self.mode = mode
-        # Each queued data frame is (bytes, sample_count): batched sends
-        # put N samples into one frame, and the counters stay in samples.
-        self._pending: Deque[Tuple[bytes, int]] = deque()
+        # Each queued data frame is [bytes, sample_count, sent_offset]:
+        # batched sends put N samples into one frame (counters stay in
+        # samples), and the full frame bytes are kept until the frame is
+        # completely on the wire so a reconnect can resend from byte 0.
+        self._pending: Deque[List] = deque()
         # Control frames (HELLO, NAME_DEF): flushed before data, never
         # dropped, bounded by the number of distinct signal names.
         self._control: Deque[bytes] = deque()
-        self._head_partial = False  # head data frame partially transmitted
         self._name_ids: Dict[str, int] = {}
         self._hello_queued = False
         self._watch_id: Optional[int] = None
+        self._connect = connect
+        self._backoff_base = float(backoff_base_ms)
+        self._backoff_cap = float(backoff_cap_ms)
+        self._backoff_rng = random.Random(backoff_seed)
+        self._attempts = 0
+        self._retry_id: Optional[int] = None
+        self._closed = False
         self.sent = 0
-        self.dropped = 0
+        self.sent_frames = 0
+        self.dropped_samples = 0
+        self.dropped_frames = 0
+        self.reconnects = 0
 
     @property
     def clock(self) -> Clock:
         return self.loop.clock
+
+    @property
+    def dropped(self) -> int:
+        """Samples shed by queue overflow (alias of ``dropped_samples``)."""
+        return self.dropped_samples
+
+    @property
+    def _head_partial(self) -> bool:
+        return bool(self._pending) and self._pending[0][2] > 0
 
     def _intern(self, name: str) -> int:
         """Intern a signal name, queueing its NAME_DEF on first use."""
@@ -171,31 +230,118 @@ class ScopeClient:
             drop_at = 1 if self._head_partial else 0
             if drop_at < len(self._pending):
                 if drop_at == 0:
-                    _, dropped_count = self._pending.popleft()
+                    _, dropped_count, _ = self._pending.popleft()
                 else:
-                    _, dropped_count = self._pending[drop_at]
+                    _, dropped_count, _ = self._pending[drop_at]
                     del self._pending[drop_at]
-                self.dropped += dropped_count
+                self.dropped_samples += dropped_count
+                self.dropped_frames += 1
             # else: the only queued frame is mid-transmission; overshoot
             # the bound by one frame rather than corrupt the stream.
-        self._pending.append((frame, nsamples))
+        self._pending.append([frame, nsamples, 0])
         self._ensure_watch()
         self._try_flush()
 
     def _ensure_watch(self) -> None:
-        if self._watch_id is None and (self._pending or self._control):
+        if (
+            self._watch_id is None
+            and self._retry_id is None
+            and (self._pending or self._control)
+        ):
             self._watch_id = self.loop.io_add_watch(
                 self.endpoint, IOCondition.OUT, self._on_writable
             )
 
     def _on_writable(self, channel, condition) -> bool:
         self._try_flush()
+        if self._watch_id is None:
+            return False  # reconnect tore this watch down mid-dispatch
         if not self._pending and not self._control:
             self._watch_id = None
             return False  # drop the watch until there is data again
         return True
 
+    # ------------------------------------------------------------------
+    # Connection health / reconnect
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        """True while the current endpoint looks usable."""
+        return not (self._closed or self._link_down())
+
+    @property
+    def reconnecting(self) -> bool:
+        """True while a reconnect attempt is scheduled."""
+        return self._retry_id is not None
+
+    def _link_down(self) -> bool:
+        # getattr-based: test doubles and exotic transports need only
+        # the Pollable surface, not the full endpoint state machine.
+        return getattr(self.endpoint, "closed", False) or getattr(
+            self.endpoint, "peer_closed", False
+        )
+
+    def _begin_reconnect(self) -> None:
+        """Tear down the dead connection; arm the backoff timer if able."""
+        if self._watch_id is not None:
+            self.loop.remove(self._watch_id)
+            self._watch_id = None
+        if not getattr(self.endpoint, "closed", True):
+            self.endpoint.close()
+        if self._connect is None or self._closed or self._retry_id is not None:
+            return
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        delay = min(self._backoff_cap, self._backoff_base * (2.0**self._attempts))
+        delay += self._backoff_rng.random() * self._backoff_base
+        self._retry_id = self.loop.timeout_add(delay, self._attempt_reconnect)
+
+    def _attempt_reconnect(self, lost: int = 0) -> bool:
+        self._retry_id = None
+        if self._closed:
+            return False
+        assert self._connect is not None
+        try:
+            endpoint = self._connect()
+        except (OSError, TransportClosed):
+            endpoint = None
+        if endpoint is None or getattr(endpoint, "closed", False):
+            self._attempts += 1
+            self._schedule_retry()
+            return False
+        self.endpoint = endpoint
+        self.reconnects += 1
+        self._attempts = 0
+        # The new server session has no memory of the old one: replay the
+        # session preamble (HELLO + every interned NAME_DEF, in id order)
+        # ahead of any queued data frame that references those ids.
+        self._control.clear()
+        if self._hello_queued:
+            self._control.append(encode_hello())
+            for name, name_id in sorted(self._name_ids.items(), key=lambda kv: kv[1]):
+                self._control.append(encode_name_def(name_id, name))
+        # A half-sent head frame restarts from byte 0 — the fresh
+        # session never saw its first half, and every fully-sent frame
+        # was already popped, so nothing is duplicated.
+        if self._pending:
+            self._pending[0][2] = 0
+        self._ensure_watch()
+        self._try_flush()
+        return False  # one-shot timer either way
+
     def _try_flush(self) -> None:
+        if self._closed:
+            return
+        if self._link_down():
+            self._begin_reconnect()
+            return
+        try:
+            self._drain()
+        except TransportClosed:
+            self._begin_reconnect()
+
+    def _drain(self) -> None:
         # Control frames flush before data — a NAME_DEF must precede the
         # first data frame referencing its id — EXCEPT while a data
         # frame is partially transmitted: its remaining bytes must go
@@ -212,24 +358,47 @@ class ScopeClient:
                 continue
             if not self._pending:
                 return
-            frame, nsamples = self._pending[0]
-            sent = self.endpoint.send(frame)
-            if sent < len(frame):
-                # Partial write: keep the unsent tail at the queue head.
-                self._pending[0] = (frame[sent:], nsamples)
-                self._head_partial = True
+            head = self._pending[0]
+            frame, nsamples, offset = head
+            sent = self.endpoint.send(frame[offset:])
+            offset += sent
+            if offset < len(frame):
+                # Partial write: remember how far we got, keep the full
+                # frame bytes (a reconnect resends from byte 0).
+                head[2] = offset
                 return
             self._pending.popleft()
-            self._head_partial = False
             self.sent += nsamples
+            self.sent_frames += 1
 
     @property
     def backlog(self) -> int:
         """Data frames queued locally, waiting for the transport."""
         return len(self._pending)
 
+    def totals(self) -> Dict[str, int]:
+        """Client-side ledger, mirroring ``ScopeServer.totals()``.
+
+        ``sent + dropped_samples + backlog_samples`` accounts for every
+        sample ever offered to :meth:`send_sample`/:meth:`send_samples`.
+        """
+        return {
+            "sent": self.sent,
+            "sent_frames": self.sent_frames,
+            "dropped_samples": self.dropped_samples,
+            "dropped_frames": self.dropped_frames,
+            "backlog_frames": len(self._pending),
+            "backlog_samples": sum(entry[1] for entry in self._pending),
+            "reconnects": self.reconnects,
+        }
+
     def close(self) -> None:
+        """Close for good: stop the watch, cancel any reconnect."""
+        self._closed = True
         if self._watch_id is not None:
             self.loop.remove(self._watch_id)
             self._watch_id = None
+        if self._retry_id is not None:
+            self.loop.remove(self._retry_id)
+            self._retry_id = None
         self.endpoint.close()

@@ -59,6 +59,11 @@ class ClientState:
     frames: int = 0
     bytes_received: int = 0
     connected: bool = True
+    #: Why the session ended (``None`` while connected): ``"eof"`` —
+    #: orderly close from the peer; ``"protocol"`` — malformed stream;
+    #: ``"transport"`` — the endpoint died underneath us; ``"server"`` —
+    #: explicit server-side disconnect.
+    disconnect_reason: Optional[str] = None
     peer_version: Optional[int] = None
     #: Binary name interning table: wire id → signal name.
     names: Dict[int, str] = field(default_factory=dict)
@@ -109,6 +114,10 @@ class ScopeServer:
         # Aggregate counters of departed clients (see disconnect()).
         self._retired: Dict[str, int] = {k: 0 for k in _COUNTER_FIELDS}
         self.retired_clients = 0
+        #: Departed sessions bucketed by disconnect reason — the fault
+        #: post-mortem ledger ("how many clients did we lose to torn
+        #: streams vs orderly closes?").
+        self.disconnect_reasons: Dict[str, int] = {}
         # Carried-name cache for _ensure_signal: names known to be
         # carried (or auto-created), invalidated on scope add/remove via
         # the manager's topology version.
@@ -127,17 +136,23 @@ class ScopeServer:
         self._clients.append(state)
         return state
 
-    def disconnect(self, state: ClientState) -> None:
+    def disconnect(self, state: ClientState, reason: str = "server") -> None:
         """Drop a client, folding its counters into the retained totals.
 
         The ClientState is pruned from the live list — a long-running
         server with connection churn must not accumulate dead sessions —
-        while :meth:`totals` keeps counting its traffic.
+        while :meth:`totals` keeps counting its traffic.  ``reason``
+        (``"eof"``, ``"protocol"``, ``"transport"``, or the default
+        explicit ``"server"``) is recorded on the state and tallied in
+        :attr:`disconnect_reasons`, so post-fault accounting can tell an
+        orderly goodbye from a torn stream.
         """
         if state.watch_id is not None:
             self.loop.remove(state.watch_id)
             state.watch_id = None
         state.connected = False
+        if state.disconnect_reason is None:
+            state.disconnect_reason = reason
         if hasattr(state.endpoint, "close"):
             state.endpoint.close()
         try:
@@ -147,6 +162,9 @@ class ScopeServer:
         for key in _COUNTER_FIELDS:
             self._retired[key] += getattr(state, key)
         self.retired_clients += 1
+        self.disconnect_reasons[state.disconnect_reason] = (
+            self.disconnect_reasons.get(state.disconnect_reason, 0) + 1
+        )
 
     @property
     def clients(self) -> List[ClientState]:
@@ -158,10 +176,17 @@ class ScopeServer:
     # ------------------------------------------------------------------
     def _on_readable(self, state: ClientState) -> bool:
         endpoint = state.endpoint
-        chunk = endpoint.recv()
+        try:
+            chunk = endpoint.recv()
+        except (OSError, ConnectionError):
+            # The transport died underneath the watch (fault-injected
+            # kill, reset socket): not the peer's goodbye, not a
+            # protocol violation — its own bucket.
+            self.disconnect(state, reason="transport")
+            return False
         if not chunk:
             # Peer closed (socket semantics); drop the watch.
-            self.disconnect(state)
+            self.disconnect(state, reason="eof")
             return False
         budget = self.max_drain_bytes
         while True:
@@ -173,7 +198,7 @@ class ScopeServer:
                 # A malformed stream is a protocol violation: disconnect
                 # rather than guess at framing.
                 state.protocol_errors += 1
-                self.disconnect(state)
+                self.disconnect(state, reason="protocol")
                 return False
             # Drain what is already buffered before yielding the loop:
             # big columnar frames span many transport chunks and one
@@ -182,7 +207,7 @@ class ScopeServer:
                 break
             chunk = endpoint.recv()
             if not chunk:
-                self.disconnect(state)
+                self.disconnect(state, reason="eof")
                 return False
         return True
 

@@ -7,8 +7,8 @@ signals) that single registry becomes the ingest bottleneck.  A
 per-shard managers by a stable hash of the signal name, so:
 
 * routing is O(1) and deterministic — the same name lands on the same
-  shard on every run and every host (CRC32, not Python's salted
-  ``hash``),
+  shard on every run and every host (a keyed BLAKE2 ring, not Python's
+  salted ``hash``),
 * shards can share one main loop (single-threaded, the paper's model)
   or each own a loop — the seam for running shards on separate cores or
   processes later,
@@ -16,6 +16,22 @@ per-shard managers by a stable hash of the signal name, so:
   scopes fall behind shows up as late-drops *on that shard*, mirroring
   the paper's Section 4.4 rule (data arriving after its display slot is
   dropped immediately, and the drop is counted, not hidden).
+
+Consistent hashing
+------------------
+
+Placement runs on a :class:`HashRing`: each shard owns ``replicas``
+pseudo-random points on a 64-bit circle and a name belongs to the shard
+owning the first point clockwise of the name's hash.  Unlike
+``hash mod N``, membership changes are *local*: adding or removing one
+shard remaps only the keys that fall into the changed arcs — about
+``1/N`` of the namespace — instead of reshuffling nearly everything.
+That is what makes shard add/remove (:meth:`ShardedScopeManager.add_shard`
+/ :meth:`~ShardedScopeManager.remove_shard`) and supervised failover
+affordable on a live namespace.  Every membership change bumps
+``topology_version``, which invalidates the manager's own routing cache
+and every downstream carried-name cache (the server's auto-create path
+keys on it).
 
 The sharded manager satisfies the same manager protocol the
 :class:`~repro.net.server.ScopeServer` consumes (``push_samples``,
@@ -29,26 +45,112 @@ signal on a scope whose shard matches the signal's home —
 ``signal_home`` tells you which that is — or simply let ``auto_create``
 do it.  Pushes route to the home shard only; a scope on a foreign shard
 never sees the signal, by design (that is what makes routing O(1)).
+After a membership change, rebalancing migrates each *scope* to its
+name's new home; a signal whose home moved away from its carrying scope
+is re-registered on its new home by ``auto_create`` (or explicitly).
 """
 
 from __future__ import annotations
 
-import zlib
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.core.manager import ScopeManager
 from repro.core.scope import Scope, ScopeError
 from repro.eventloop.loop import MainLoop
 
-__all__ = ["ShardStats", "ShardedScopeManager", "shard_of"]
+__all__ = ["HashRing", "ShardStats", "ShardedScopeManager", "shard_of"]
+
+#: Points per shard on the ring.  Enough that per-shard ownership stays
+#: within ~±30% of 1/N (relative sd ≈ 1/sqrt(replicas) ≈ 8.8%), so a
+#: single add/remove remaps well under 1.5/N of a random namespace.
+DEFAULT_REPLICAS = 128
+
+
+def _point(key: bytes) -> int:
+    """Deterministic 64-bit ring coordinate (process/interpreter stable)."""
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping names to shard ids.
+
+    Each shard id contributes ``replicas`` points at
+    ``blake2b(b"shard:<id>#<r>")``; a name lands on the shard owning the
+    first point at or clockwise past ``blake2b(name)``.  Lookup is one
+    hash plus one binary search over a sorted point array.
+    """
+
+    def __init__(
+        self, shard_ids: Iterable[int] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive: {replicas}")
+        self.replicas = int(replicas)
+        self._ids: List[int] = sorted(set(int(i) for i in shard_ids))
+        self._build()
+
+    def _build(self) -> None:
+        points = [
+            (_point(b"shard:%d#%d" % (sid, r)), sid)
+            for sid in self._ids
+            for r in range(self.replicas)
+        ]
+        points.sort()
+        self._points = np.array([p for p, _ in points], dtype=np.uint64)
+        self._owners = np.array([o for _, o in points], dtype=np.int64)
+
+    # -- membership -----------------------------------------------------
+    @property
+    def shard_ids(self) -> List[int]:
+        return list(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._ids
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self._ids:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._ids.append(int(shard_id))
+        self._ids.sort()
+        self._build()
+
+    def remove(self, shard_id: int) -> None:
+        try:
+            self._ids.remove(int(shard_id))
+        except ValueError:
+            raise ValueError(f"shard {shard_id} is not on the ring") from None
+        self._build()
+
+    # -- lookup ---------------------------------------------------------
+    def locate(self, name: str) -> int:
+        """Home shard id for ``name``."""
+        if not self._ids:
+            raise ValueError("cannot route on an empty ring")
+        h = _point(name.encode("utf-8"))
+        index = int(np.searchsorted(self._points, np.uint64(h), side="left"))
+        if index == len(self._points):
+            index = 0  # wrap: past the last point lands on the first
+        return int(self._owners[index])
+
+
+@lru_cache(maxsize=64)
+def _default_ring(n_shards: int) -> HashRing:
+    return HashRing(range(n_shards))
 
 
 def shard_of(name: str, n_shards: int) -> int:
-    """Stable shard index for a signal name (CRC32 mod N)."""
+    """Stable shard index for a signal name on a fresh N-shard ring."""
     if n_shards <= 0:
         raise ValueError(f"n_shards must be positive: {n_shards}")
-    return zlib.crc32(name.encode("utf-8")) % n_shards
+    return _default_ring(n_shards).locate(name)
 
 
 @dataclass
@@ -59,6 +161,13 @@ class ShardStats:
     accepted: int = 0
     dropped_late: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "dropped_late": self.dropped_late,
+        }
+
 
 class ShardedScopeManager:
     """N per-shard :class:`ScopeManager`\\ s behind one routing facade.
@@ -66,15 +175,18 @@ class ShardedScopeManager:
     Parameters
     ----------
     shards:
-        Number of partitions.  Fixed for the manager's lifetime — the
-        hash ring does not resize (resharding live signal streams is a
-        different problem).
+        Initial number of partitions (shard ids ``0..shards-1``).  The
+        ring resizes live via :meth:`add_shard`/:meth:`remove_shard`.
     loop:
         Shared main loop for every shard (default: one fresh loop).
         Mutually exclusive with ``loops``.
     loops:
         One loop per shard, for deployments that drive shards
         independently.  Must have exactly ``shards`` entries.
+        Membership changes that migrate scopes require the shared-loop
+        layout.
+    replicas:
+        Ring points per shard (see :class:`HashRing`).
     """
 
     def __init__(
@@ -82,6 +194,7 @@ class ShardedScopeManager:
         shards: int = 4,
         loop: Optional[MainLoop] = None,
         loops: Optional[List[MainLoop]] = None,
+        replicas: int = DEFAULT_REPLICAS,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shards must be positive: {shards}")
@@ -92,11 +205,19 @@ class ShardedScopeManager:
                 raise ValueError(
                     f"loops must have one entry per shard: {len(loops)} vs {shards}"
                 )
-            self._managers = [ScopeManager(l) for l in loops]
+            self._managers = {i: ScopeManager(l) for i, l in enumerate(loops)}
+            self._shared_loop: Optional[MainLoop] = None
         else:
             shared = loop if loop is not None else MainLoop()
-            self._managers = [ScopeManager(shared) for _ in range(shards)]
-        self._stats = [ShardStats() for _ in range(shards)]
+            self._managers = {i: ScopeManager(shared) for i in range(shards)}
+            self._shared_loop = shared
+        self._ring = HashRing(self._managers.keys(), replicas=replicas)
+        self._stats = {i: ShardStats() for i in self._managers}
+        self._retired = ShardStats()  # counters of removed shards
+        # name → shard id, invalidated wholesale on membership change.
+        self._route_cache: Dict[str, int] = {}
+        self._ring_version = 0
+        self._next_id = shards
 
     # ------------------------------------------------------------------
     # Routing
@@ -106,26 +227,123 @@ class ShardedScopeManager:
         return len(self._managers)
 
     @property
+    def shard_ids(self) -> List[int]:
+        """Live shard ids, ascending (contiguous until membership changes)."""
+        return sorted(self._managers)
+
+    @property
     def managers(self) -> List[ScopeManager]:
-        """The per-shard managers, in shard order."""
-        return list(self._managers)
+        """The per-shard managers, in shard-id order."""
+        return [self._managers[i] for i in sorted(self._managers)]
+
+    def manager_of(self, shard_id: int) -> ScopeManager:
+        """The manager for an explicit shard id."""
+        try:
+            return self._managers[shard_id]
+        except KeyError:
+            raise ValueError(f"unknown shard id: {shard_id}") from None
 
     @property
     def loops(self) -> List[MainLoop]:
         """Distinct loops driving the shards, in first-use order."""
         seen: List[MainLoop] = []
-        for manager in self._managers:
-            if manager.loop not in seen:
-                seen.append(manager.loop)
+        for shard_id in sorted(self._managers):
+            loop = self._managers[shard_id].loop
+            if loop not in seen:
+                seen.append(loop)
         return seen
 
     def shard_of(self, name: str) -> int:
-        """Home shard index for a signal (or scope) name."""
-        return shard_of(name, len(self._managers))
+        """Home shard id for a signal (or scope) name."""
+        shard_id = self._route_cache.get(name)
+        if shard_id is None:
+            shard_id = self._ring.locate(name)
+            self._route_cache[name] = shard_id
+        return shard_id
 
     def signal_home(self, name: str) -> ScopeManager:
         """The shard manager that owns signal ``name``."""
         return self._managers[self.shard_of(name)]
+
+    # ------------------------------------------------------------------
+    # Ring membership (rebalancing)
+    # ------------------------------------------------------------------
+    def _migrate_scopes(self) -> int:
+        """Move every scope to its name's (possibly new) home shard.
+
+        Shared-loop only — adoption across loops is structurally
+        impossible (scope timers are bound to their loop).  Returns the
+        number of scopes that moved.
+        """
+        moved = 0
+        for shard_id in sorted(self._managers):
+            manager = self._managers[shard_id]
+            for scope in manager.scopes:
+                home = self.shard_of(scope.name)
+                if home != shard_id:
+                    self._managers[home].adopt_scope(manager.release_scope(scope.name))
+                    moved += 1
+        return moved
+
+    def _bump_ring(self) -> None:
+        self._ring_version += 1
+        self._route_cache.clear()
+
+    def add_shard(self) -> int:
+        """Add one shard; remap (and migrate) ~1/N of the namespace.
+
+        Returns the new shard id.  The new shard's manager rides the
+        shared loop; with per-shard loops, membership is frozen.
+        """
+        if self._shared_loop is None:
+            raise ValueError("add_shard requires the shared-loop layout")
+        shard_id = self._next_id
+        self._next_id += 1
+        self._managers[shard_id] = ScopeManager(self._shared_loop)
+        self._stats[shard_id] = ShardStats()
+        self._ring.add(shard_id)
+        self._bump_ring()
+        self._migrate_scopes()
+        return shard_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Retire a shard; its ~1/N arc remaps to the survivors.
+
+        The retired shard's scopes migrate to their names' new homes
+        (shared-loop only) and its ingest counters fold into the
+        retained totals, so :meth:`totals` keeps counting its traffic.
+        """
+        if shard_id not in self._managers:
+            raise ValueError(f"unknown shard id: {shard_id}")
+        if len(self._managers) == 1:
+            raise ValueError("cannot remove the last shard")
+        if self._shared_loop is None:
+            raise ValueError("remove_shard requires the shared-loop layout")
+        self._ring.remove(shard_id)
+        self._bump_ring()
+        retiring = self._managers[shard_id]
+        for scope in retiring.scopes:
+            home = self.shard_of(scope.name)
+            self._managers[home].adopt_scope(retiring.release_scope(scope.name))
+        del self._managers[shard_id]
+        stats = self._stats.pop(shard_id)
+        self._retired.offered += stats.offered
+        self._retired.accepted += stats.accepted
+        self._retired.dropped_late += stats.dropped_late
+        self._migrate_scopes()
+
+    def replace_manager(self, shard_id: int, manager: ScopeManager) -> ScopeManager:
+        """Swap in a fresh manager for ``shard_id`` (the failover seam).
+
+        Ring membership and routing are untouched — the shard keeps its
+        arc — but downstream carried-name caches must re-learn what the
+        fresh manager carries, so the ring version (and therefore
+        ``topology_version``) bumps.  Returns the manager it replaced.
+        """
+        old = self.manager_of(shard_id)
+        self._managers[shard_id] = manager
+        self._bump_ring()
+        return old
 
     # ------------------------------------------------------------------
     # Scope lifecycle (delegated to the owning shard)
@@ -134,36 +352,36 @@ class ShardedScopeManager:
         self, name: str, shard: Optional[int] = None, **kwargs: object
     ) -> Scope:
         """Create a scope on ``shard`` (default: the name's home shard)."""
-        index = self.shard_of(name) if shard is None else shard
-        if not 0 <= index < len(self._managers):
-            raise ValueError(f"shard index out of range: {index}")
-        return self._managers[index].scope_new(name, **kwargs)
+        shard_id = self.shard_of(name) if shard is None else shard
+        if shard_id not in self._managers:
+            raise ValueError(f"shard id out of range: {shard_id}")
+        return self._managers[shard_id].scope_new(name, **kwargs)
 
     def scope_remove(self, name: str) -> None:
-        for manager in self._managers:
+        for manager in self._managers.values():
             if name in manager:
                 manager.scope_remove(name)
                 return
         raise ScopeError(f"unknown scope: {name!r}")
 
     def scope(self, name: str) -> Scope:
-        for manager in self._managers:
+        for manager in self._managers.values():
             if name in manager:
                 return manager.scope(name)
         raise ScopeError(f"unknown scope: {name!r}")
 
     def __contains__(self, name: str) -> bool:
-        return any(name in manager for manager in self._managers)
+        return any(name in manager for manager in self._managers.values())
 
     def __len__(self) -> int:
-        return sum(len(manager) for manager in self._managers)
+        return sum(len(manager) for manager in self._managers.values())
 
     @property
     def scopes(self) -> List[Scope]:
-        """Every scope across every shard, in shard order."""
+        """Every scope across every shard, in shard-id order."""
         out: List[Scope] = []
-        for manager in self._managers:
-            out.extend(manager.scopes)
+        for shard_id in sorted(self._managers):
+            out.extend(self._managers[shard_id].scopes)
         return out
 
     # ------------------------------------------------------------------
@@ -186,11 +404,11 @@ class ShardedScopeManager:
                 "one tap across per-shard loops has no monotonic clock; "
                 "use repro.capture.capture_sharded for one stream per shard"
             )
-        for manager in self._managers:
+        for manager in self._managers.values():
             manager.add_tap(tap)
 
     def remove_tap(self, tap) -> None:
-        for manager in self._managers:
+        for manager in self._managers.values():
             manager.remove_tap(tap)
 
     # ------------------------------------------------------------------
@@ -198,8 +416,17 @@ class ShardedScopeManager:
     # ------------------------------------------------------------------
     @property
     def topology_version(self) -> int:
-        """Changes whenever any shard's scope set changes."""
-        return sum(manager.topology_version for manager in self._managers)
+        """Changes whenever any shard's scope set — or the ring — changes.
+
+        Membership changes remap names across shards, so every cached
+        name→carrier conclusion is stale even though no single manager's
+        scope set changed; folding the ring version in makes downstream
+        caches (the server's auto-create path, the routing cache) see
+        one monotonic invalidation signal.
+        """
+        return self._ring_version * 1_000_003 + sum(
+            manager.topology_version for manager in self._managers.values()
+        )
 
     def carries(self, name: str) -> bool:
         """True when the name's home shard carries the signal."""
@@ -211,9 +438,9 @@ class ShardedScopeManager:
 
     def push_sample(self, name: str, time_ms: float, value: float) -> int:
         """Route one sample to its home shard; returns scopes accepting."""
-        index = self.shard_of(name)
-        accepted = self._managers[index].push_sample(name, time_ms, value)
-        stats = self._stats[index]
+        shard_id = self.shard_of(name)
+        accepted = self._managers[shard_id].push_sample(name, time_ms, value)
+        stats = self._stats[shard_id]
         stats.offered += 1
         stats.accepted += 1 if accepted else 0
         stats.dropped_late += 0 if accepted else 1
@@ -227,9 +454,9 @@ class ShardedScopeManager:
         (a shard whose display loop lags sees samples arrive past their
         slot and sheds them, per Section 4.4).
         """
-        index = self.shard_of(name)
-        accepted = self._managers[index].push_samples(name, times, values)
-        stats = self._stats[index]
+        shard_id = self.shard_of(name)
+        accepted = self._managers[shard_id].push_samples(name, times, values)
+        stats = self._stats[shard_id]
         offered = len(times)
         stats.offered += offered
         stats.accepted += accepted
@@ -240,11 +467,11 @@ class ShardedScopeManager:
     # Coordinated control + accounting
     # ------------------------------------------------------------------
     def start_all(self) -> None:
-        for manager in self._managers:
+        for manager in self._managers.values():
             manager.start_all()
 
     def stop_all(self) -> None:
-        for manager in self._managers:
+        for manager in self._managers.values():
             manager.stop_all()
 
     def run_for(self, duration_ms: float) -> None:
@@ -259,13 +486,23 @@ class ShardedScopeManager:
             loop.run_for(duration_ms)
 
     def shard_stats(self) -> List[ShardStats]:
-        """Per-shard ingest counters, in shard order (live references)."""
-        return list(self._stats)
+        """Per-shard ingest counters, in shard-id order (live references)."""
+        return [self._stats[i] for i in sorted(self._stats)]
+
+    def stats_of(self, shard_id: int) -> ShardStats:
+        """Ingest counters for an explicit shard id (live reference)."""
+        try:
+            return self._stats[shard_id]
+        except KeyError:
+            raise ValueError(f"unknown shard id: {shard_id}") from None
 
     def totals(self) -> Dict[str, int]:
-        """Ingest counters summed across shards."""
+        """Ingest counters summed across shards (including retired ones)."""
         return {
-            "offered": sum(s.offered for s in self._stats),
-            "accepted": sum(s.accepted for s in self._stats),
-            "dropped_late": sum(s.dropped_late for s in self._stats),
+            "offered": self._retired.offered
+            + sum(s.offered for s in self._stats.values()),
+            "accepted": self._retired.accepted
+            + sum(s.accepted for s in self._stats.values()),
+            "dropped_late": self._retired.dropped_late
+            + sum(s.dropped_late for s in self._stats.values()),
         }

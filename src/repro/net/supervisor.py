@@ -1,0 +1,539 @@
+"""Shard supervision: heartbeat failure detection and replay catch-up.
+
+The fault-tolerance story for the sharded telemetry plane.  Each shard's
+:class:`~repro.core.manager.ScopeManager` runs inside a
+:class:`ShardHost` on a *private* main loop (its own virtual clock), and
+a :class:`ShardSupervisor` on the router loop:
+
+* **writes ahead** — every offered push is recorded to the shard's
+  :class:`~repro.capture.writer.CaptureWriter` (a per-shard write-ahead
+  log) *before* delivery, so samples sent into the void during an
+  undetected crash window are never lost, only deferred;
+* **detects** — each host beats a heartbeat timer on its private loop;
+  a monitor timer on the router loop advances every RUNNING host's loop
+  and compares beat counts.  A host whose beats freeze for
+  ``miss_threshold`` consecutive monitor ticks (wedged), or that has
+  explicitly crashed (fault injection, or an exception quarantined
+  during ingest), is declared dead;
+* **restarts** — a fresh host is built by the same ``scope_factory``,
+  and its entire history is re-driven from the WAL by a
+  :class:`~repro.capture.replay.ReplaySource` on the fresh private loop
+  from t=0 through the router's current instant.
+
+Byte-identical recovery
+-----------------------
+
+The restarted shard is not approximately recovered — its traces,
+filtered columns, aggregates and every Section 4.4 accept/late-drop
+decision are *byte-identical* to a shard that never failed.  The
+argument:
+
+1. A live delivery advances the private loop *through* the router
+   instant (:meth:`~repro.eventloop.loop.MainLoop.run_through`) and then
+   pushes, so every source due at or before the push instant has
+   dispatched first, and the manager reads a clock equal to the router
+   clock.
+2. The WAL records exactly the offered columns and their push instants
+   (the same contract the capture equivalence suite already proves
+   replayable bit-for-bit).
+3. On restart the :class:`~repro.capture.replay.ReplaySource` re-pushes
+   each batch at its recorded instant on the fresh loop.  The source is
+   created after the host's own timers, so at any shared instant the
+   poll/heartbeat timers dispatch before the replayed push — the same
+   (priority, id) order the live path produced in (1).
+
+A *stall* that clears before detection never restarts: deliveries
+accumulate in the host's inbox and drain in order at their recorded
+instants on :meth:`ShardHost.resume` — the same interleaving again.
+
+Caveat: byte-identity covers signals registered by the
+``scope_factory``.  Signals *auto-created* by the server on first
+arrival are not re-created by replay (signal registration is not in the
+WAL); they resume on their next live arrival instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.capture.reader import CaptureReader
+from repro.capture.replay import ReplaySource
+from repro.capture.writer import CaptureWriter
+from repro.core.manager import ScopeManager
+from repro.eventloop.loop import MainLoop
+from repro.net.shard import DEFAULT_REPLICAS, HashRing, ShardStats
+
+__all__ = [
+    "ShardDown",
+    "ShardHost",
+    "ShardState",
+    "ShardSupervisor",
+    "SupervisionStats",
+]
+
+#: Builds one shard's scopes/signals on a fresh manager.  Called with
+#: ``(manager, shard_id)`` at host construction *and again at every
+#: restart* — it must be deterministic, and it should start polling
+#: (replay re-drives the polls).
+ScopeFactory = Callable[[ScopeManager, int], None]
+
+
+class ShardState(enum.Enum):
+    RUNNING = "running"
+    STALLED = "stalled"
+    CRASHED = "crashed"
+
+
+class ShardDown(RuntimeError):
+    """Raised when delivering to a crashed shard host."""
+
+
+@dataclass
+class SupervisionStats(ShardStats):
+    """:class:`~repro.net.shard.ShardStats` plus failover counters."""
+
+    restarts: int = 0
+    missed_beats: int = 0
+    lost_deliveries: int = 0  # pushes that hit a crashed host (WAL-covered)
+    replayed_samples: int = 0  # samples re-driven by restart catch-up
+    last_restart_at: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, int]:
+        out = super().as_dict()
+        out.update(
+            restarts=self.restarts,
+            missed_beats=self.missed_beats,
+            lost_deliveries=self.lost_deliveries,
+            replayed_samples=self.replayed_samples,
+        )
+        return out
+
+
+@dataclass
+class _Delivery:
+    """One push parked in a stalled host's inbox."""
+
+    now: float
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+
+
+class _HostTarget:
+    """Replay adapter: ReplaySource pushes land as host ingests.
+
+    Routing the replayed batches through :meth:`ShardHost.ingest` (not
+    the bare manager) rebuilds the shard's offered/accepted/late-drop
+    counters exactly as the live traffic built them.
+    """
+
+    def __init__(self, host: "ShardHost") -> None:
+        self.host = host
+
+    def push_samples(self, name: str, times, values) -> int:
+        return self.host.ingest(name, times, values)
+
+
+class ShardHost:
+    """One shard's manager on a private loop, with a heartbeat.
+
+    The host is the supervision unit: it can be stalled (deliveries
+    park in an inbox; the private loop — and with it the heartbeat —
+    stops advancing), crashed (deliveries raise :class:`ShardDown`), and
+    resumed.  The supervisor detects the first two through the beat
+    counter and replaces the host wholesale; a stall that clears first
+    drains its inbox in recorded order and never diverges.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        scope_factory: Optional[ScopeFactory] = None,
+        heartbeat_ms: float = 50.0,
+        stats: Optional[SupervisionStats] = None,
+    ) -> None:
+        if heartbeat_ms <= 0:
+            raise ValueError(f"heartbeat_ms must be positive: {heartbeat_ms}")
+        self.shard_id = shard_id
+        self.heartbeat_ms = float(heartbeat_ms)
+        self.loop = MainLoop()  # private loop, private virtual clock at 0
+        self.beats = 0
+        # The heartbeat attaches before the factory's poll timers and
+        # before any ReplaySource, so its dispatch order relative to
+        # them is the same on the original host and on every restart.
+        self._beat_id = self.loop.timeout_add(self.heartbeat_ms, self._beat)
+        self.manager = ScopeManager(self.loop)
+        if scope_factory is not None:
+            scope_factory(self.manager, shard_id)
+        self.state = ShardState.RUNNING
+        self.stats = stats if stats is not None else SupervisionStats()
+        self._inbox: Deque[_Delivery] = deque()
+        self.crash_error: Optional[BaseException] = None
+
+    def _beat(self, lost: int = 0) -> bool:
+        self.beats += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def ingest(self, name: str, times, values) -> int:
+        """Push at the current private-loop instant, with accounting.
+
+        An exception out of the manager quarantines the host (state →
+        CRASHED, error retained) and surfaces as :class:`ShardDown`: a
+        poisoned batch must not wedge the router loop, and the WAL-based
+        restart gets a chance to re-run history without it being
+        re-offered live.
+        """
+        try:
+            accepted = self.manager.push_samples(name, times, values)
+        except Exception as exc:
+            self.crash(exc)
+            raise ShardDown(
+                f"shard {self.shard_id} ingest raised: {exc!r}"
+            ) from exc
+        n = len(times)
+        self.stats.offered += n
+        self.stats.accepted += accepted
+        self.stats.dropped_late += n - accepted
+        return accepted
+
+    def deliver(self, now: float, name: str, times, values) -> int:
+        """Deliver one routed push at router instant ``now``.
+
+        RUNNING: advance the private loop through ``now`` (polls and
+        heartbeats due at or before it dispatch first) and ingest.
+        STALLED: park a copy in the inbox — acceptance unknown, report 0
+        for now; :meth:`resume` settles the truth.  CRASHED: raise
+        :class:`ShardDown` (the caller's WAL already holds the batch).
+        """
+        if self.state is ShardState.CRASHED:
+            raise ShardDown(f"shard {self.shard_id} is down")
+        if self.state is ShardState.STALLED:
+            self._inbox.append(
+                _Delivery(
+                    float(now),
+                    name,
+                    np.array(times, dtype=np.float64, copy=True),
+                    np.array(values, dtype=np.float64, copy=True),
+                )
+            )
+            return 0
+        self.loop.run_through(now)
+        return self.ingest(name, times, values)
+
+    def advance(self, now: float) -> None:
+        """Advance the private loop to the router instant (monitor tick).
+
+        Only a RUNNING host advances — that is precisely what makes a
+        stalled or crashed host's heartbeat freeze and the failure
+        detectable.
+        """
+        if self.state is ShardState.RUNNING:
+            self.loop.run_through(now)
+
+    # ------------------------------------------------------------------
+    # Fault injection / recovery hooks
+    # ------------------------------------------------------------------
+    def stall(self) -> None:
+        """Wedge the host: deliveries park, the heartbeat freezes."""
+        if self.state is ShardState.RUNNING:
+            self.state = ShardState.STALLED
+
+    def resume(self) -> None:
+        """Clear a stall, draining parked deliveries in recorded order.
+
+        Each entry replays at its recorded router instant — the loop
+        runs through it first, exactly as the live path would have — so
+        a survived stall is byte-identical to no stall at all.
+        """
+        if self.state is not ShardState.STALLED:
+            return
+        self.state = ShardState.RUNNING
+        while self._inbox:
+            entry = self._inbox.popleft()
+            self.loop.run_through(entry.now)
+            self.ingest(entry.name, entry.times, entry.values)
+
+    def crash(self, error: Optional[BaseException] = None) -> None:
+        """Kill the host: inbox lost (WAL-covered), deliveries refused."""
+        self.state = ShardState.CRASHED
+        self.crash_error = error
+        self._inbox.clear()
+
+
+class ShardSupervisor:
+    """Routes pushes to supervised shard hosts; detects and heals faults.
+
+    Satisfies the manager protocol a
+    :class:`~repro.net.server.ScopeServer` consumes (``push_samples``,
+    ``carries``, ``auto_create``, ``topology_version``), so it slots in
+    wherever a :class:`~repro.net.shard.ShardedScopeManager` does —
+    routing on the same consistent-hash ring — while adding the WAL,
+    the heartbeat monitor and replay-catch-up restart.
+
+    Parameters
+    ----------
+    loop:
+        The *router* loop — the one the server, clients and monitor
+        share.  Its clock stamps WAL push instants.
+    wal_root:
+        Directory for the per-shard write-ahead logs
+        (``wal_root/shard-NN/``).
+    shards:
+        Number of shard hosts (ids ``0..shards-1``; ids survive
+        restarts, so ring routing never changes under failover).
+    scope_factory:
+        Deterministic builder ``(manager, shard_id) -> None`` run at
+        construction and at every restart.  It should register signals
+        and start polling.
+    heartbeat_ms / monitor_interval_ms / miss_threshold:
+        Failure-detection knobs.  The monitor interval defaults to the
+        heartbeat interval and must not be shorter (a healthy host
+        advances at least one beat per tick); a host whose beats freeze
+        for ``miss_threshold`` consecutive ticks restarts.  Detection
+        latency is therefore bounded by
+        ``(miss_threshold + 1) * monitor_interval_ms``.
+    segment_samples:
+        WAL segment flush threshold (smaller = more, smaller segments).
+    """
+
+    def __init__(
+        self,
+        loop: MainLoop,
+        wal_root: Union[str, Path],
+        shards: int = 4,
+        scope_factory: Optional[ScopeFactory] = None,
+        heartbeat_ms: float = 50.0,
+        monitor_interval_ms: Optional[float] = None,
+        miss_threshold: int = 3,
+        replicas: int = DEFAULT_REPLICAS,
+        segment_samples: int = 1 << 12,
+        auto_start: bool = True,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        if miss_threshold <= 0:
+            raise ValueError(f"miss_threshold must be positive: {miss_threshold}")
+        interval = heartbeat_ms if monitor_interval_ms is None else monitor_interval_ms
+        if interval < heartbeat_ms:
+            raise ValueError(
+                "monitor interval shorter than the heartbeat would declare "
+                f"healthy hosts dead: {interval} < {heartbeat_ms}"
+            )
+        self.loop = loop
+        self.wal_root = Path(wal_root)
+        self.scope_factory = scope_factory
+        self.heartbeat_ms = float(heartbeat_ms)
+        self.monitor_interval_ms = float(interval)
+        self.miss_threshold = int(miss_threshold)
+        self.segment_samples = int(segment_samples)
+        self._ring = HashRing(range(shards), replicas=replicas)
+        self._route_cache: Dict[str, int] = {}
+        self._hosts: Dict[int, ShardHost] = {}
+        self._wals: Dict[int, CaptureWriter] = {}
+        for shard_id in range(shards):
+            self._hosts[shard_id] = ShardHost(
+                shard_id, scope_factory, self.heartbeat_ms
+            )
+            self._wals[shard_id] = CaptureWriter(
+                self.wal_root / f"shard-{shard_id:02d}",
+                segment_samples=self.segment_samples,
+            )
+        self._beats_seen: Dict[int, int] = {i: 0 for i in self._hosts}
+        self._frozen_ticks: Dict[int, int] = {i: 0 for i in self._hosts}
+        self._monitor_id: Optional[int] = None
+        self._restart_epoch = 0  # bumps topology_version on every restart
+        #: Replaced hosts, retained for post-mortem (crash_error, stats).
+        self.quarantined: List[ShardHost] = []
+        if auto_start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Monitor lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the heartbeat monitor on the router loop."""
+        if self._monitor_id is None:
+            self._monitor_id = self.loop.timeout_add(
+                self.monitor_interval_ms, self._monitor
+            )
+
+    def stop(self) -> None:
+        """Disarm the monitor (faults go undetected while stopped)."""
+        if self._monitor_id is not None:
+            self.loop.remove(self._monitor_id)
+            self._monitor_id = None
+
+    @property
+    def monitoring(self) -> bool:
+        return self._monitor_id is not None
+
+    def _monitor(self, lost: int = 0) -> bool:
+        now = self.loop.clock.now()
+        for shard_id in sorted(self._hosts):
+            host = self._hosts[shard_id]
+            if host.state is ShardState.CRASHED:
+                # Explicit crash (injection or ingest quarantine):
+                # no need to wait out missed beats.
+                self.restart_shard(shard_id)
+                continue
+            host.advance(now)
+            if host.beats == self._beats_seen[shard_id]:
+                host.stats.missed_beats += 1
+                self._frozen_ticks[shard_id] += 1
+                if self._frozen_ticks[shard_id] >= self.miss_threshold:
+                    self.restart_shard(shard_id)
+            else:
+                self._beats_seen[shard_id] = host.beats
+                self._frozen_ticks[shard_id] = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def restart_shard(self, shard_id: int) -> ShardHost:
+        """Replace a dead host and catch it up from the WAL.
+
+        The fresh host is built by the same factory on a fresh private
+        loop at t=0; the WAL (flushed first; a torn tail from a real
+        process kill is skipped by ``recover_tail``) replays through the
+        router's current instant via an exact-timeline
+        :class:`~repro.capture.replay.ReplaySource`.  Per the module
+        argument, the result is byte-identical to a host that never
+        died.  The replaced host moves to :attr:`quarantined`.
+        """
+        old = self._hosts[shard_id]
+        wal = self._wals[shard_id]
+        wal.flush_segment()
+        now = self.loop.clock.now()
+        stats = SupervisionStats(
+            restarts=old.stats.restarts + 1,
+            missed_beats=old.stats.missed_beats,
+            lost_deliveries=old.stats.lost_deliveries,
+            last_restart_at=now,
+        )
+        host = ShardHost(shard_id, self.scope_factory, self.heartbeat_ms, stats=stats)
+        if wal.segments_written:
+            reader = CaptureReader(wal.path, recover_tail=True)
+            source = ReplaySource(reader, _HostTarget(host))
+            host.loop.attach(source)
+            host.loop.run_through(now)
+            stats.replayed_samples = source.delivered_samples
+        else:
+            host.loop.run_through(now)
+        self._hosts[shard_id] = host
+        self._beats_seen[shard_id] = host.beats
+        self._frozen_ticks[shard_id] = 0
+        self._restart_epoch += 1
+        self.quarantined.append(old)
+        return host
+
+    # ------------------------------------------------------------------
+    # Fault injection passthrough (shard-role faults)
+    # ------------------------------------------------------------------
+    def crash_shard(self, shard_id: int) -> None:
+        self._hosts[shard_id].crash()
+
+    def stall_shard(self, shard_id: int) -> None:
+        self._hosts[shard_id].stall()
+
+    def resume_shard(self, shard_id: int) -> None:
+        self._hosts[shard_id].resume()
+
+    # ------------------------------------------------------------------
+    # Routing + manager protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._hosts)
+
+    @property
+    def hosts(self) -> List[ShardHost]:
+        return [self._hosts[i] for i in sorted(self._hosts)]
+
+    def host(self, shard_id: int) -> ShardHost:
+        try:
+            return self._hosts[shard_id]
+        except KeyError:
+            raise ValueError(f"unknown shard id: {shard_id}") from None
+
+    def shard_of(self, name: str) -> int:
+        shard_id = self._route_cache.get(name)
+        if shard_id is None:
+            shard_id = self._ring.locate(name)
+            self._route_cache[name] = shard_id
+        return shard_id
+
+    @property
+    def topology_version(self) -> int:
+        """Folds restarts in: a fresh manager invalidates carried caches."""
+        return self._restart_epoch * 1_000_003 + sum(
+            host.manager.topology_version for host in self._hosts.values()
+        )
+
+    def carries(self, name: str) -> bool:
+        return self._hosts[self.shard_of(name)].manager.carries(name)
+
+    def auto_create(self, name: str) -> bool:
+        return self._hosts[self.shard_of(name)].manager.auto_create(name)
+
+    def push_sample(self, name: str, time_ms: float, value: float) -> int:
+        return self.push_samples(name, (time_ms,), (value,))
+
+    def push_samples(self, name: str, times, values) -> int:
+        """WAL first, then deliver to the home host.
+
+        A push that lands on a crashed host returns 0 to the caller, but
+        the WAL already holds it: the restart replays it into the fresh
+        host at this exact instant, so nothing is lost end to end.
+        """
+        shard_id = self.shard_of(name)
+        now = self.loop.clock.now()
+        self._wals[shard_id].on_push(name, times, values, now)
+        host = self._hosts[shard_id]
+        try:
+            return host.deliver(now, name, times, values)
+        except ShardDown:
+            host.stats.lost_deliveries += 1
+            return 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def states(self) -> Dict[int, ShardState]:
+        return {i: self._hosts[i].state for i in sorted(self._hosts)}
+
+    def shard_stats(self) -> List[SupervisionStats]:
+        """Per-shard counters in shard-id order (live references)."""
+        return [self._hosts[i].stats for i in sorted(self._hosts)]
+
+    def totals(self) -> Dict[str, int]:
+        """Counters summed across shards, supervision included."""
+        keys = (
+            "offered",
+            "accepted",
+            "dropped_late",
+            "restarts",
+            "missed_beats",
+            "lost_deliveries",
+            "replayed_samples",
+        )
+        out = {key: 0 for key in keys}
+        for host in self._hosts.values():
+            for key in keys:
+                out[key] += getattr(host.stats, key)
+        return out
+
+    def close(self) -> None:
+        """Stop monitoring and seal the WALs (flushes partial segments)."""
+        self.stop()
+        for wal in self._wals.values():
+            wal.close()

@@ -89,10 +89,28 @@ class MemoryEndpoint:
 
     # Pollable protocol -------------------------------------------------
     def readable(self) -> bool:
-        return not self.closed and self._in.readable()
+        if self.closed:
+            return False
+        # A dead incoming link reads as ready-with-EOF (recv() -> b""),
+        # the socket convention — so a server's IN watch wakes up and
+        # reaps the session instead of keeping a zombie forever.
+        return self._in.readable() or self._in.closed
 
     def writable(self) -> bool:
         return not self.closed and not self._out.closed
+
+    @property
+    def peer_closed(self) -> bool:
+        """True once either direction of the duplex path is down.
+
+        The peer closing its endpoint closes *its* outgoing link — this
+        endpoint's incoming — and a fault-injected kill may sever the
+        outgoing link instead.  Either way the conversation is over, and
+        a reconnecting client uses this to notice without a send failing
+        first (sends into a half-open pair would otherwise queue
+        forever).
+        """
+        return self._in.closed or self._out.closed
 
     # Byte I/O -----------------------------------------------------------
     def send(self, data: bytes) -> int:
@@ -141,6 +159,7 @@ class SocketEndpoint:
         self.sock = sock
         self.label = label
         self.closed = False
+        self.peer_closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -174,6 +193,8 @@ class SocketEndpoint:
             chunk = self.sock.recv(max_bytes)
         except BlockingIOError:
             return b""
+        if not chunk:
+            self.peer_closed = True  # orderly shutdown from the peer
         self.bytes_received += len(chunk)
         return chunk
 

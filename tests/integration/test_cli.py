@@ -138,3 +138,18 @@ class TestQuery:
     def test_missing_signal_fails(self, capture_dir, capsys):
         assert main(["query", "rate(nope)", "--capture", capture_dir]) == 2
         assert "no signal" in capsys.readouterr().err
+
+
+class TestFaults:
+    def test_crash_demo_recovers_byte_identically(self, capsys):
+        assert main(["faults", "--duration", "1500", "--at", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "restarts 1" in out
+        assert "byte-identical" in out
+
+    def test_stall_demo_recovers_byte_identically(self, capsys):
+        assert main(
+            ["faults", "--fault", "stall", "--seed", "5", "--shards", "3",
+             "--victim", "1", "--duration", "1500", "--at", "600"]
+        ) == 0
+        assert "byte-identical" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.eventloop.clock import VirtualClock
+from repro.net.faults import FaultPlan, FaultyLink, faulty_pair
+from repro.net.transport import TransportClosed
+
+pytestmark = pytest.mark.faults
+
+
+def make_link(plan, delay_ms=0.0):
+    clock = VirtualClock()
+    return clock, FaultyLink(clock, plan, delay_ms)
+
+
+def drain(link):
+    out = b""
+    while link.readable():
+        out += link.recv()
+    return out
+
+
+class TestPlanDsl:
+    def test_chaining_returns_self(self):
+        plan = FaultPlan(seed=7).partition(10, 20).stall(30, 40).drop_next(50)
+        assert isinstance(plan, FaultPlan)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().partition(20, 10)
+        with pytest.raises(ValueError):
+            FaultPlan().stall(5, 5)
+        with pytest.raises(ValueError):
+            FaultPlan().drop_next(0, count=0)
+
+    def test_double_kill_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().kill(10).kill(20)
+
+    def test_seeded_rng_is_replayable(self):
+        a = FaultPlan(seed=42)
+        b = FaultPlan(seed=42)
+        assert [a.rng().random() for _ in range(5)] == [
+            b.rng().random() for _ in range(5)
+        ]
+
+
+class TestFaultyLink:
+    def test_clean_plan_is_transparent(self):
+        clock, link = make_link(FaultPlan())
+        link.send(b"hello")
+        link.send(b"world")
+        assert drain(link) == b"helloworld"
+        assert link.dropped_chunks == 0
+
+    def test_partition_drops_chunks_inside_window(self):
+        clock, link = make_link(FaultPlan().partition(100, 200))
+        link.send(b"before")
+        clock.wait_until(150)
+        link.send(b"during")
+        clock.wait_until(200)
+        link.send(b"after")
+        assert drain(link) == b"beforeafter"
+        assert link.dropped_chunks == 1
+        assert link.dropped_bytes == len(b"during")
+
+    def test_stall_holds_and_releases_in_order(self):
+        clock, link = make_link(FaultPlan().stall(100, 300))
+        clock.wait_until(120)
+        link.send(b"one")
+        link.send(b"two")
+        assert drain(link) == b""  # held
+        assert link.stalled_chunks == 2
+        clock.wait_until(300)
+        assert drain(link) == b"onetwo"  # released, order preserved
+
+    def test_drop_next_consumes_counted_chunks(self):
+        clock, link = make_link(FaultPlan().drop_next(at=0, count=2))
+        link.send(b"a")
+        link.send(b"b")
+        link.send(b"c")
+        assert drain(link) == b"c"
+        assert link.dropped_chunks == 2
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        clock, link = make_link(FaultPlan(seed=5).corrupt_next(at=0))
+        payload = bytes(range(32))
+        link.send(payload)
+        got = drain(link)
+        assert len(got) == len(payload)
+        diff = [i for i in range(len(payload)) if got[i] != payload[i]]
+        assert len(diff) == 1
+        assert got[diff[0]] == payload[diff[0]] ^ 0xFF
+        assert link.corrupted_chunks == 1
+
+    def test_corrupt_position_is_seed_deterministic(self):
+        payload = bytes(100)
+
+        def corrupted_index(seed):
+            _, link = make_link(FaultPlan(seed=seed).corrupt_next(at=0))
+            link.send(payload)
+            got = drain(link)
+            return next(i for i in range(100) if got[i] != payload[i])
+
+        assert corrupted_index(9) == corrupted_index(9)
+
+    def test_reorder_swaps_adjacent_chunks(self):
+        clock, link = make_link(FaultPlan().reorder_next(at=0))
+        link.send(b"first")
+        link.send(b"second")
+        assert drain(link) == b"secondfirst"
+        assert link.reordered_chunks == 1
+
+    def test_kill_severs_permanently(self):
+        clock, link = make_link(FaultPlan().kill(at=500))
+        link.send(b"ok")
+        clock.wait_until(500)
+        with pytest.raises(TransportClosed):
+            link.send(b"too late")
+        assert link.closed
+
+    def test_kill_drops_chunks_still_stalled(self):
+        clock, link = make_link(FaultPlan().stall(100, 900).kill(at=500))
+        clock.wait_until(150)
+        link.send(b"held")
+        clock.wait_until(500)
+        assert not link.readable()  # the held chunk died with the link
+        assert link.dropped_chunks == 1
+        assert link.dropped_bytes == len(b"held")
+
+    def test_latest_declared_window_wins_on_overlap(self):
+        clock, link = make_link(FaultPlan().partition(0, 100).stall(50, 100))
+        clock.wait_until(60)
+        link.send(b"x")  # stall declared later: held, not dropped
+        assert link.stalled_chunks == 1
+        clock.wait_until(100)
+        assert drain(link) == b"x"
+
+
+class TestFaultyPair:
+    def test_directional_plans(self):
+        clock = VirtualClock()
+        a, b, a_link, b_link = faulty_pair(
+            clock, client_plan=FaultPlan().drop_next(at=0)
+        )
+        a.send(b"lost")
+        a.send(b"kept")
+        assert b.recv() == b"kept"
+        b.send(b"reply")
+        assert a.recv() == b"reply"  # reverse direction is clean
+        assert a_link.dropped_chunks == 1
+        assert b_link.dropped_chunks == 0
+
+    def test_kill_is_visible_as_peer_closed(self):
+        clock = VirtualClock()
+        a, b, a_link, _ = faulty_pair(clock, client_plan=FaultPlan().kill(at=100))
+        a.send(b"x")
+        clock.wait_until(100)
+        a_link._sync()
+        assert a.peer_closed
+        assert b.peer_closed
+
+    def test_same_plan_same_traffic_same_bytes(self):
+        def run():
+            clock = VirtualClock()
+            plan = FaultPlan(seed=3).drop_next(at=20, count=1).corrupt_next(at=60)
+            link = FaultyLink(clock, plan)
+            out = b""
+            for step in range(10):
+                clock.wait_until(step * 10.0)
+                link.send(bytes([step]) * 8)
+                out += drain(link)
+            return out
+
+        assert run() == run()

@@ -1,7 +1,5 @@
 """Tests for the sharded fan-in layer (`repro.net.shard`)."""
 
-import zlib
-
 import pytest
 
 from repro.core.manager import ScopeManager
@@ -13,9 +11,13 @@ from repro.net import ScopeClient, ScopeServer, ShardedScopeManager, memory_pair
 
 class TestRouting:
     def test_hash_is_stable_and_process_independent(self):
-        # CRC32, not Python's salted hash: same name → same shard on
-        # every run and every host.
-        assert shard_of("throughput", 4) == zlib.crc32(b"throughput") % 4
+        # BLAKE2 ring, not Python's salted hash: same name → same shard
+        # on every run and every host.  Golden assignments are frozen
+        # here so an accidental change to the ring hash or replica
+        # layout (which would silently remap every recorded namespace)
+        # fails loudly.
+        golden = {"throughput": 1, "latency": 3, "cpu": 3, "mem": 2, "disk": 1}
+        assert {name: shard_of(name, 4) for name in golden} == golden
 
     def test_all_shards_reachable(self):
         hits = {shard_of(f"sig{i}", 4) for i in range(200)}
