@@ -19,6 +19,11 @@ regression trips them — CI jitter does not:
   catch-up at 200k samples (the PR-6 fault-tolerance plane; a decay to
   per-sample replay, or a restart path that re-reads the store per
   block, trips it).
+* **query-fused-1m** — the X12a arithmetic query again, but gated at a
+  floor only the fused native data path clears (the PR-7 fusion pass +
+  single-pass kernels + zero-copy read; losing fusion or the compiled
+  backend trips it).  Skipped entirely when the machine has no native
+  backend — the other gates still run.
 
 Opt-in, so tier-1 stays fast:
 
@@ -73,6 +78,14 @@ CAPTURE_WRITE_SAMPLES = 1_000_000
 QUERY_ARITH_FLOOR = 5_000_000.0
 QUERY_ARITH_SAMPLES = 1_000_000
 
+# Committed floor: the same 2-op batch query, gated at a level only the
+# fused native path reaches (one compiled kernel per chain, one-pass
+# verified gather, run-span join merge).  A healthy native build posts
+# ~45-60M/s; the unfused per-operator path posts ~7-11M/s, so a lost
+# fusion pass or broken kernel build trips this long before correctness
+# suites notice.  Native-less machines skip the gate.
+QUERY_FUSED_FLOOR = 30_000_000.0
+
 # Committed floor: WAL replay catch-up throughput during a supervised
 # shard restart at 200k samples.  A healthy build posts ~3-5M/s (the
 # columnar replay path); per-sample re-pushes would post well under it.
@@ -126,6 +139,19 @@ def measure_best_query() -> dict:
     return best
 
 
+def test_query_fused_floor():
+    from repro.core import native
+
+    if not native.available():
+        pytest.skip("no native backend on this machine")
+    best = measure_best_query()
+    assert best["rate_per_sec"] >= QUERY_FUSED_FLOOR, (
+        f"fused query data path regressed: "
+        f"{best['rate_per_sec']:.0f} samples/s < floor {QUERY_FUSED_FLOOR:.0f}/s "
+        f"(backend {native.mode()})"
+    )
+
+
 def measure_best_recovery() -> dict:
     best: dict = {"rate_per_sec": 0.0}
     for _ in range(ATTEMPTS):
@@ -176,6 +202,8 @@ def test_failover_recovery_floor():
 
 
 def main() -> int:
+    from repro.core import native
+
     t0 = time.perf_counter()
     dispatch = measure_best_dispatch()
     wire = measure_best_wire()
@@ -220,6 +248,17 @@ def main() -> int:
             "passed": recovery["rate_per_sec"] >= RECOVERY_FLOOR,
         },
     ]
+    if native.available():
+        gates.append(
+            {
+                "gate": "query-fused-1m",
+                "floor_per_sec": QUERY_FUSED_FLOOR,
+                "measured_per_sec": query["rate_per_sec"],
+                "samples": query["samples"],
+                "backend": native.mode(),
+                "passed": query["rate_per_sec"] >= QUERY_FUSED_FLOOR,
+            }
+        )
     passed = all(g["passed"] for g in gates)
     print(
         json.dumps(

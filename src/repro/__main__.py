@@ -110,8 +110,19 @@ def _cmd_capture_info(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.capture import CaptureFormatError, CaptureReader
-    from repro.query import QueryError, execute
+    from repro.query import QueryError, compile_query, execute
 
+    if args.explain:
+        try:
+            plan = compile_query(args.expression)
+        except QueryError as exc:
+            print(f"query error: {exc}", file=sys.stderr)
+            return 2
+        print(plan.explain())
+        return 0
+    if args.capture is None:
+        print("--capture is required (or use --explain)", file=sys.stderr)
+        return 2
     try:
         reader = CaptureReader(args.capture, recover_tail=args.recover_tail)
     except CaptureFormatError as exc:
@@ -297,7 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="run a derived-signal query over a capture store"
     )
     p_query.add_argument("expression", help='e.g. "load = ewma(cpu, 0.9)"')
-    p_query.add_argument("--capture", required=True, help="capture directory")
+    p_query.add_argument("--capture", default=None,
+                         help="capture directory (optional with --explain)")
+    p_query.add_argument("--explain", action="store_true",
+                         help="print the compiled (fused) plan and exit")
     p_query.add_argument("--limit", type=int, default=None,
                          help="print at most N derived tuples")
     p_query.add_argument("--export", default=None,

@@ -85,6 +85,7 @@ class Segment:
                 f"(minimum is {HEADER_SIZE + TRAILER_SIZE})"
             )
         self._fh = open(path, "rb")
+        self._base: Optional[np.ndarray] = None  # lazy uint8 view of _mm
         try:
             self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
         except BaseException:
@@ -180,20 +181,35 @@ class Segment:
     def sample_count(self) -> int:
         return int(self.directory["count"].sum())
 
-    def block(self, index: int) -> Block:
-        """Decode block ``index``, verifying its payload CRC once."""
+    def verify_block(self, index: int) -> None:
+        """Check block ``index``'s payload CRC once (cached thereafter).
+
+        The CRC runs over a memoryview of the mapping — no slice copy.
+        """
+        if self._verified[index]:
+            return
         entry = self.directory[index]
         count = int(entry["count"])
         offset = int(entry["offset"])
-        if not self._verified[index]:
-            stored = int(entry["crc"])
-            actual = zlib.crc32(self._mm[offset : offset + 16 * count])
-            if stored != actual:
-                raise CaptureFormatError(
-                    f"{self.path.name}: block {index} payload CRC mismatch "
-                    f"(stored {stored:#010x}, computed {actual:#010x})"
-                )
-            self._verified[index] = True
+        stored = int(entry["crc"])
+        actual = zlib.crc32(memoryview(self._mm)[offset : offset + 16 * count])
+        if stored != actual:
+            raise CaptureFormatError(
+                f"{self.path.name}: block {index} payload CRC mismatch "
+                f"(stored {stored:#010x}, computed {actual:#010x})"
+            )
+        self._verified[index] = True
+
+    def block(self, index: int) -> Block:
+        """Decode block ``index``, verifying its payload CRC once.
+
+        The returned columns are read-only ``frombuffer`` views of the
+        mapping — no copy; they stay valid until :meth:`close`.
+        """
+        self.verify_block(index)
+        entry = self.directory[index]
+        count = int(entry["count"])
+        offset = int(entry["offset"])
         times = np.frombuffer(self._mm, dtype="<f8", count=count, offset=offset)
         values = np.frombuffer(
             self._mm, dtype="<f8", count=count, offset=offset + 8 * count
@@ -204,6 +220,79 @@ class Segment:
             values=values,
             push_now=float(entry["push_now"]),
         )
+
+    def gather(
+        self,
+        indices: np.ndarray,
+        out_t: np.ndarray,
+        out_v: np.ndarray,
+        start: int,
+    ) -> int:
+        """Copy blocks ``indices`` (stream order) into the output columns.
+
+        CRC verification and the payload copy run as **one native pass**
+        over the segment (:func:`repro.query.kernels.gather_verify`,
+        which calls zlib's ``crc32`` from C) when a compiled backend
+        exists — no per-block Python loop on the hot read path.
+        Already-verified blocks skip their check either way.  Without a
+        native backend: per-block ``zlib.crc32`` plus numpy assignments.
+        Returns the cursor after the copied samples.
+        """
+        from repro.query import kernels
+
+        entries = self.directory[indices]
+        counts = entries["count"].astype(np.int64)
+        if self._base is None:
+            self._base = np.frombuffer(self._mm, dtype=np.uint8)
+        verified = self._verified[indices]
+        crcs = np.where(verified, -1, entries["crc"].astype(np.int64))
+        rc = kernels.gather_verify(
+            self._base,
+            entries["offset"].astype(np.int64),
+            counts,
+            crcs,
+            out_t,
+            out_v,
+            start,
+        )
+        if rc is not None:
+            if rc < 0:
+                bad = int(indices[-rc - 1])
+                raise CaptureFormatError(
+                    f"{self.path.name}: block {bad} payload CRC mismatch"
+                )
+            self._verified[indices] = True
+            return start + rc
+        # No -lz-linked kernel: verify per block, then copy (natively
+        # when at least the base support library built, else numpy).
+        for index in indices:
+            self.verify_block(int(index))
+        copied = kernels.gather_blocks(
+            self._base,
+            entries["offset"].astype(np.int64),
+            counts,
+            out_t,
+            out_v,
+            start,
+        )
+        if copied is None:
+            # Pure-numpy copy: slice the mapping directly per block
+            # (CRCs were verified above; no Block objects, no
+            # re-verification on this path).
+            base = self._base
+            cursor = start
+            for offset, count in zip(
+                entries["offset"].tolist(), entries["count"].tolist()
+            ):
+                stop = cursor + count
+                mid = offset + 8 * count
+                out_t[cursor:stop] = base[offset:mid].view(np.float64)
+                out_v[cursor:stop] = base[mid : mid + 8 * count].view(
+                    np.float64
+                )
+                cursor = stop
+            return cursor
+        return start + copied
 
     def seek_block(self, t: float) -> Optional[Tuple[int, int]]:
         """First (block, offset) whose sample time is >= ``t``, else None."""
@@ -235,7 +324,13 @@ class Segment:
         return None
 
     def close(self) -> None:
-        self._mm.close()
+        self._base = None
+        try:
+            self._mm.close()
+        except BufferError:
+            # Live zero-copy column views still reference the mapping;
+            # it is unmapped when the last view is garbage-collected.
+            pass
         self._fh.close()
 
 
@@ -429,31 +524,50 @@ class CaptureReader:
     ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
         """Several signals' ``(times, values)`` columns in one pass.
 
-        Output sizes come from the directories first, so each column is
-        written into a single preallocated array while
-        :meth:`iter_blocks` streams the matching blocks — no per-block
-        concatenation, and every mapped payload is visited at most
-        once.  Signals absent from the capture come back as empty
-        columns (matching :meth:`read_signal`).  This is the batch
-        query executor's read path.
+        The block list per signal comes from the directories alone
+        (payloads of other signals are never touched, nor CRC-checked).
+        A signal recorded in a **single block** comes back as the
+        direct read-only mmap views of that block — zero copy; the
+        views stay valid even after :meth:`close` (the mapping is
+        unmapped when the last view is garbage-collected).  A signal
+        spanning several blocks is copied once into preallocated
+        columns — natively in one pass per segment
+        (:func:`repro.query.kernels.gather_blocks`) when a compiled
+        backend exists.  Signals absent from the capture come back as
+        empty columns (matching :meth:`read_signal`).  This is the
+        batch query executor's read path.
         """
         want = list(dict.fromkeys(names))  # de-dup, preserve order
-        totals = self.signal_sample_counts()
-        out = {
-            name: (
-                np.empty(totals.get(name, 0), dtype=np.float64),
-                np.empty(totals.get(name, 0), dtype=np.float64),
-            )
-            for name in want
+        # Directory-only pass: each signal's blocks, in stream order.
+        locs: Dict[str, List[Tuple[Segment, np.ndarray]]] = {
+            name: [] for name in want
         }
-        cursors = {name: 0 for name in want}
-        for _, block in self.iter_blocks(names=want):
-            cursor = cursors[block.name]
-            stop = cursor + len(block)
-            times, values = out[block.name]
-            times[cursor:stop] = block.times
-            values[cursor:stop] = block.values
-            cursors[block.name] = stop
+        totals = {name: 0 for name in want}
+        for segment in self.segments:
+            id_of = {n: i for i, n in enumerate(segment.names)}
+            ids = segment.directory["name_id"]
+            for name in want:
+                name_id = id_of.get(name)
+                if name_id is None:
+                    continue
+                hits = np.flatnonzero(ids == name_id)
+                if hits.size:
+                    locs[name].append((segment, hits))
+                    totals[name] += int(segment.directory["count"][hits].sum())
+        out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for name in want:
+            blocks = locs[name]
+            if len(blocks) == 1 and blocks[0][1].size == 1:
+                segment, hits = blocks[0]
+                block = segment.block(int(hits[0]))
+                out[name] = (block.times, block.values)
+                continue
+            times = np.empty(totals[name], dtype=np.float64)
+            values = np.empty(totals[name], dtype=np.float64)
+            cursor = 0
+            for segment, hits in blocks:
+                cursor = segment.gather(hits, times, values, cursor)
+            out[name] = (times, values)
         return out
 
     def read_signal(self, name: str) -> Tuple[np.ndarray, np.ndarray]:

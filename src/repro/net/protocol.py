@@ -268,11 +268,19 @@ def encode_binary_samples(
 class FrameDecoder:
     """Incremental binary frame decoder tolerating any fragmentation.
 
-    Bytes accumulate in one buffer with a read cursor; a frame is emitted
-    as soon as its header plus payload are complete.  Header validation
-    (magic, version, kind, payload bounds) happens as soon as the 12
-    header bytes are present, so a corrupted stream fails fast instead of
-    waiting for a phantom payload.
+    The hot path is **zero-copy**: when no partial frame is carried
+    over (the steady state — most reads deliver whole frames), frames
+    decode straight out of the caller's ``bytes`` chunk and SAMPLES
+    columns are read-only ``np.frombuffer`` views over it, no payload
+    copy anywhere (the chunk is immutable, so the views can never be
+    invalidated).  Only a trailing partial frame is copied into the
+    carry buffer; frames completed *from* carried bytes pay one payload
+    copy so their views stay valid across buffer compaction — that is
+    the mutation boundary.
+
+    Header validation (magic, version, kind, payload bounds) happens as
+    soon as the 12 header bytes are present, so a corrupted stream
+    fails fast instead of waiting for a phantom payload.
     """
 
     def __init__(self) -> None:
@@ -286,12 +294,30 @@ class FrameDecoder:
 
     def feed(self, chunk: bytes) -> List[Frame]:
         """Add a chunk; return the frames it completes, in stream order."""
-        self._buf += chunk
         frames: List[Frame] = []
+        if self._pos == len(self._buf):
+            # Zero-copy fast path: nothing carried — decode whole
+            # frames directly from the chunk.
+            if self._pos:
+                self._buf = bytearray()
+                self._pos = 0
+            data = chunk if isinstance(chunk, bytes) else bytes(chunk)
+            pos = 0
+            while True:
+                decoded = self._decode_at(data, pos, copy_payload=False)
+                if decoded is None:
+                    break
+                frame, pos = decoded
+                frames.append(frame)
+            if pos < len(data):
+                self._buf += data[pos:] if pos else data
+            return frames
+        self._buf += chunk
         while True:
-            frame = self._try_decode()
-            if frame is None:
+            decoded = self._decode_at(self._buf, self._pos, copy_payload=True)
+            if decoded is None:
                 break
+            frame, self._pos = decoded
             frames.append(frame)
         # Compact once per feed, not per frame: drop consumed bytes when
         # they dominate the buffer.
@@ -300,12 +326,20 @@ class FrameDecoder:
             self._pos = 0
         return frames
 
-    def _try_decode(self) -> Optional[Frame]:
+    def _decode_at(
+        self, buf, pos: int, copy_payload: bool
+    ) -> Optional[Tuple[Frame, int]]:
+        """Decode one frame at ``buf[pos:]``; ``(frame, end)`` or None.
+
+        With ``copy_payload=False`` (immutable ``bytes`` source) SAMPLES
+        columns are zero-copy views into ``buf``; with True (the mutable
+        carry buffer) the payload is copied out first.
+        """
         header_size = FRAME_HEADER.size
-        if len(self._buf) - self._pos < header_size:
+        if len(buf) - pos < header_size:
             return None
         magic, version, kind_raw, name_id, count = FRAME_HEADER.unpack_from(
-            self._buf, self._pos
+            buf, pos
         )
         if magic != MAGIC:
             raise ProtocolError(f"bad frame magic: {bytes(magic)!r}")
@@ -331,30 +365,41 @@ class FrameDecoder:
                     f"{MAX_NAME_BYTES}-byte cap"
                 )
             payload_size = count
-        start = self._pos + header_size
+        start = pos + header_size
         end = start + payload_size
-        if len(self._buf) < end:
+        if len(buf) < end:
             return None
-        # One copy of the payload region; the columns are then zero-copy
-        # frombuffer views over that immutable bytes object (copying here
-        # keeps them valid across buffer compaction).
-        payload = bytes(memoryview(self._buf)[start:end])
-        self._pos = end
         if kind is FrameKind.SAMPLES:
-            times = np.frombuffer(payload, dtype="<f8", count=count)
-            values = np.frombuffer(payload, dtype="<f8", count=count, offset=8 * count)
-            return Frame(
-                kind=kind, name_id=name_id, version=version, times=times, values=values
+            if copy_payload:
+                # Detach from the carry buffer before it compacts.
+                source: bytes = bytes(memoryview(buf)[start:end])
+                offset = 0
+            else:
+                source = buf
+                offset = start
+            times = np.frombuffer(source, dtype="<f8", count=count, offset=offset)
+            values = np.frombuffer(
+                source, dtype="<f8", count=count, offset=offset + 8 * count
+            )
+            return (
+                Frame(
+                    kind=kind,
+                    name_id=name_id,
+                    version=version,
+                    times=times,
+                    values=values,
+                ),
+                end,
             )
         if kind is FrameKind.NAME_DEF:
             try:
-                name = payload.decode("utf-8")
+                name = bytes(memoryview(buf)[start:end]).decode("utf-8")
             except UnicodeDecodeError as exc:
                 raise ProtocolError(f"NAME_DEF payload is not UTF-8: {exc}") from None
             if not name or any(ch.isspace() for ch in name):
                 raise ProtocolError(f"invalid signal name on wire: {name!r}")
-            return Frame(kind=kind, name_id=name_id, version=version, name=name)
-        return Frame(kind=kind, name_id=name_id, version=version)
+            return Frame(kind=kind, name_id=name_id, version=version, name=name), end
+        return Frame(kind=kind, name_id=name_id, version=version), end
 
 
 class WireDecoder:

@@ -102,6 +102,11 @@ def execute(
         times_list, values_list = chunks[name]
         if not times_list:
             out[name] = (_EMPTY, _EMPTY.copy())
+        elif len(times_list) == 1:
+            # Single emission: hand the operator's column through
+            # as-is (operators never mutate emitted arrays, so the
+            # concatenate copy would buy nothing).
+            out[name] = (times_list[0], values_list[0])
         else:
             out[name] = (
                 np.concatenate(times_list),

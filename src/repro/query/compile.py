@@ -21,6 +21,21 @@ The compiler lowers the AST into a flat, topologically ordered list of
   elementwise map node; only signal-with-signal ops need the
   time-aligning join operator.
 
+After lowering, a second **fusion pass** (:func:`fuse_plan`) collapses
+maximal chains of elementwise and simple stateful operators (``map1``,
+``maps``, ``clip``, ``ewma``, ``rate``, ``delta``) into single
+``fused`` nodes executed in one pass per batch by
+:mod:`repro.query.kernels` — generated C through the
+:mod:`repro.core.native` seam, numba behind a feature gate, or the
+original per-operator numpy chain as the always-on fallback and
+oracle.  Fusion never crosses a *barrier* (``source``, ``join``,
+``window``, ``resample``, ``edges``): those operators change the
+timeline or need cross-input alignment and always keep their own
+nodes.  A node consumed by more than one downstream operator, or
+published as an output, ends its chain — its emission is shared.
+``REPRO_NATIVE=0`` disables the pass entirely, restoring the pure
+per-operator numpy plan; fusion choice never changes output bytes.
+
 The :class:`Plan` is immutable and stateless; each execution
 (incremental or batch) instantiates fresh operator state from it via
 :class:`~repro.query.ops.Runtime`.
@@ -105,6 +120,44 @@ class Plan:
     def output_names(self) -> List[str]:
         """Published derived signals, in definition order."""
         return list(self.outputs)
+
+    def explain(self) -> str:
+        """Human-readable plan listing (``python -m repro query --explain``).
+
+        Shows every node, its inputs, and — for ``fused`` nodes — the
+        collapsed operator chain and which backend will execute it.
+        """
+        from repro.core import native
+        from repro.query import kernels
+
+        source_of = {node_id: name for name, node_id in self.sources.items()}
+        outputs_of: Dict[int, List[str]] = {}
+        for name, node_id in self.outputs.items():
+            outputs_of.setdefault(node_id, []).append(name)
+        lines = [
+            f"plan: {len(self.nodes)} node(s), backend={native.mode()}, "
+            f"fusion={'on' if any(n.op == 'fused' for n in self.nodes) else 'off'}"
+        ]
+        for node in self.nodes:
+            if node.op == "source":
+                desc = f"source {source_of.get(node.id, node.params[0])!r}"
+            elif node.op == "fused":
+                steps = node.params[0]
+                chain = " | ".join(_step_text(op, params) for op, params in steps)
+                kernel = kernels.get_fused(steps)
+                backend = kernel.backend if kernel is not None else "numpy"
+                desc = f"fused[{backend}] {chain}"
+            else:
+                desc = _step_text(node.op, node.params)
+            arrow = (
+                " <- " + ", ".join(f"n{i}" for i in node.inputs)
+                if node.inputs
+                else ""
+            )
+            names = outputs_of.get(node.id)
+            suffix = f"   => {', '.join(names)}" if names else ""
+            lines.append(f"  n{node.id}: {desc}{arrow}{suffix}")
+        return "\n".join(lines)
 
 
 #: Compile-time value: a folded constant or a DAG node id.
@@ -383,13 +436,124 @@ _FUNCTIONS = {
 }
 
 
+def _step_text(op: str, params: Tuple) -> str:
+    """One operator rendered compactly for :meth:`Plan.explain`."""
+    if op == "map1":
+        return params[0]
+    if op == "maps":
+        fn, scalar, on_left = params
+        return f"{scalar!r} {fn} ." if on_left else f". {fn} {scalar!r}"
+    if op == "clip":
+        return f"clip[{params[0]!r}, {params[1]!r}]"
+    if op == "ewma":
+        return f"ewma[{params[0]!r}]"
+    if op == "join":
+        return f"join[{params[0]}]"
+    if op == "window":
+        return f"window[{params[0]}, {params[1]!r}]"
+    if op == "resample":
+        return f"resample[{params[0]!r}]"
+    if op == "edges":
+        return f"edges[{params[0]!r}, {params[1]}]"
+    return op if not params else f"{op}{params!r}"
+
+
+def fuse_plan(plan: Plan) -> Plan:
+    """Collapse maximal fusable chains into single ``fused`` nodes.
+
+    A chain is a path of fusable operators (see
+    :data:`repro.query.kernels.FUSABLE_OPS`) where every interior node
+    has exactly one consumer and is not a published output — its
+    emission is private to the next step, so the intermediate column
+    never needs to exist.  Barriers (``source``, ``join``, ``window``,
+    ``resample``, ``edges``) are never absorbed; a shared or published
+    node ends its chain.  Even single-operator "chains" become fused
+    nodes so the whole elementwise tier runs through one backend.
+
+    The rewrite preserves topological order and renumbers node ids
+    densely.  It is purely structural: whether a fused node later runs
+    a compiled kernel or the original numpy operator chain is decided
+    per-signature at runtime (:func:`repro.query.kernels.get_fused`).
+    """
+    from repro.query.kernels import FUSABLE_OPS
+
+    consumers: Dict[int, int] = {node.id: 0 for node in plan.nodes}
+    for node in plan.nodes:
+        for input_id in node.inputs:
+            consumers[input_id] += 1
+    published = set(plan.outputs.values())
+    fusable = {node.id for node in plan.nodes if node.op in FUSABLE_OPS}
+    consumer_of: Dict[int, int] = {}
+    for node in plan.nodes:
+        if node.id in fusable:
+            for input_id in node.inputs:
+                consumer_of[input_id] = node.id
+    # A node is absorbed into its single fusable consumer when nothing
+    # else (another node or a published name) observes its emission.
+    absorbed = {
+        node.id
+        for node in plan.nodes
+        if node.id in fusable
+        and node.id not in published
+        and consumers[node.id] == 1
+        and consumer_of.get(node.id) is not None
+    }
+
+    nodes_by_id = {node.id: node for node in plan.nodes}
+    new_nodes: List[PlanNode] = []
+    id_map: Dict[int, int] = {}
+    for node in plan.nodes:
+        if node.id in absorbed:
+            continue  # represented by its chain's tail node
+        if node.id in fusable:
+            chain = [node]
+            while chain[0].inputs[0] in absorbed:
+                chain.insert(0, nodes_by_id[chain[0].inputs[0]])
+            steps = tuple((n.op, n.params) for n in chain)
+            new_id = len(new_nodes)
+            new_nodes.append(
+                PlanNode(
+                    id=new_id,
+                    op="fused",
+                    params=(steps,),
+                    inputs=(id_map[chain[0].inputs[0]],),
+                )
+            )
+        else:
+            new_id = len(new_nodes)
+            new_nodes.append(
+                PlanNode(
+                    id=new_id,
+                    op=node.op,
+                    params=node.params,
+                    inputs=tuple(id_map[i] for i in node.inputs),
+                )
+            )
+        id_map[node.id] = new_id
+    return Plan(
+        nodes=tuple(new_nodes),
+        sources={name: id_map[i] for name, i in plan.sources.items()},
+        outputs={name: id_map[i] for name, i in plan.outputs.items()},
+        text=plan.text,
+    )
+
+
 def compile_query(
-    query: Union[str, Program], default_name: str = "query"
+    query: Union[str, Program],
+    default_name: str = "query",
+    fuse: Optional[bool] = None,
 ) -> Plan:
     """Compile query text (or a parsed :class:`Program`) into a :class:`Plan`.
 
     ``default_name`` names the program's single anonymous expression, if
-    it has one.
+    it has one.  ``fuse`` controls the fusion pass: None (default)
+    follows the environment (:func:`repro.core.native.fusion_enabled`,
+    i.e. on unless ``REPRO_NATIVE=0``), True/False force it.
     """
     program = parse(query) if isinstance(query, str) else query
-    return _Compiler(program, default_name).compile()
+    plan = _Compiler(program, default_name).compile()
+    if fuse is None:
+        from repro.core import native
+
+        fuse = native.fusion_enabled()
+    return fuse_plan(plan) if fuse else plan

@@ -29,6 +29,14 @@ windowed aggregates run the Section 4.2
 :class:`~repro.core.aggregate.Aggregator` kinds, and ``edges`` runs
 :class:`~repro.core.trigger.Trigger` detection (zero hysteresis/holdoff,
 so the state carried across batches is one held sample).
+
+The hot path is zero-copy and (when a C compiler exists) native:
+:class:`SourceOp` passes already-monotone batches through as read-only
+views instead of boolean-index copies, :class:`FusedOp` runs a whole
+elementwise/stateful chain in one compiled pass, and :class:`JoinOp`
+merges with a native two-pointer kernel.  Every native path has the
+original numpy implementation as its always-on fallback and oracle —
+``REPRO_NATIVE=0`` restores it everywhere, byte for byte.
 """
 
 from __future__ import annotations
@@ -38,9 +46,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import native
 from repro.core.aggregate import AggregateKind, make_aggregator
 from repro.core.lowpass import LowPassFilter
 from repro.core.trigger import Edge, Trigger
+from repro.query import kernels
 from repro.query.compile import Plan
 from repro.query.errors import QueryError
 
@@ -48,6 +58,14 @@ ArrayLike = Union[Sequence[float], np.ndarray]
 Sink = Callable[[np.ndarray, np.ndarray], None]
 
 _EMPTY = np.empty(0, dtype=np.float64)
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """A read-only view of ``arr`` (no copy); ``arr`` itself if already."""
+    if arr.flags.writeable:
+        arr = arr.view()
+        arr.flags.writeable = False
+    return arr
 
 
 def _div(a, b):
@@ -144,6 +162,29 @@ class SourceOp(Operator):
         n = t.shape[0]
         if n == 0:
             return
+        # Fast path: the batch is already strictly monotone past the
+        # carry — true for every wire frame and capture column.  The
+        # batch flows through as read-only views, no copy; feeders own
+        # immutable buffers (bytes frames, mmap segments), so the
+        # no-mutation emission contract holds without detaching.
+        ok = kernels.monotone_strict(t, self._last)
+        if ok is None:
+            ok = bool(t[0] > self._last) and (
+                n == 1 or bool(np.all(t[1:] > t[:-1]))
+            )
+        if ok:
+            if (
+                native.zero_copy_debug()
+                and isinstance(times, np.ndarray)
+                and times.dtype == np.float64
+            ):
+                assert np.shares_memory(t, times), (
+                    f"zero-copy guard: source {self.name!r} copied a batch"
+                )
+            self.accepted += n
+            self._last = float(t[-1])
+            self.emit(_readonly(t), _readonly(v))
+            return
         # Running max *before* each sample (NaN-transparent), seeded
         # with the carry from previous batches.
         running = np.fmax.accumulate(np.concatenate(((self._last,), t)))
@@ -197,6 +238,60 @@ class ClipOp(Operator):
         self.emit(times, np.clip(values, self._lo, self._hi))
 
 
+class FusedOp(Operator):
+    """One fused chain of elementwise/stateful operators (one plan node).
+
+    The fusion pass (:func:`repro.query.compile.fuse_plan`) hands this
+    operator the collapsed chain's ``(op, params)`` steps.  When a
+    compiled kernel exists for the chain's signature
+    (:func:`repro.query.kernels.get_fused`), each batch runs in a
+    single pass — constants travel in a params vector, cross-batch
+    ewma/rate/delta state in a small state vector, and a purely
+    elementwise chain passes the input times column through zero-copy.
+    Without a kernel (no toolchain, ``REPRO_NATIVE=0``) the node
+    instantiates the *original* per-operator numpy chain and runs it
+    unchanged — the always-on oracle the fusion equivalence suite pins
+    every kernel against, byte for byte.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, Tuple]]) -> None:
+        super().__init__()
+        self.steps = tuple(steps)
+        self._kernel = kernels.get_fused(self.steps)
+        if self._kernel is not None:
+            self._params = kernels.params_vector(self.steps)
+            self._state = np.zeros(kernels.state_size(self.steps))
+            self._head: Optional[Operator] = None
+        else:
+            head: Optional[Operator] = None
+            prev: Optional[Operator] = None
+            for op_name, params in self.steps:
+                op = _OPERATORS[op_name](*params)
+                if prev is None:
+                    head = op
+                else:
+                    prev.connect(op, 0)
+                prev = op
+            assert prev is not None and head is not None
+            prev.add_sink(self.emit)
+            self._head = head
+
+    @property
+    def backend(self) -> str:
+        """Which execution path this node resolved to."""
+        return "numpy" if self._kernel is None else self._kernel.backend
+
+    def accept(self, port, times, values) -> None:
+        if self._kernel is None:
+            assert self._head is not None
+            self._head.accept(0, times, values)
+            return
+        out_t, out_v = self._kernel.run(
+            times, values, self._params, self._state
+        )
+        self.emit(out_t, out_v)
+
+
 class JoinOp(Operator):
     """Time-aligning binary combine: Section 4.2 sample-and-hold merge.
 
@@ -220,6 +315,15 @@ class JoinOp(Operator):
         self._watermark = [-math.inf, -math.inf]
         self._hold = [math.nan, math.nan]
         self._has = [False, False]
+        # Native two-pointer merge (one pass) replacing the numpy
+        # sort + dedup + two-gather path; its held-value state lives in
+        # [has0, hold0, has1, hold1].  None → numpy path below.
+        self._kernel = kernels.join_kernel(fn_name)
+        self._kstate = (
+            np.array([0.0, math.nan, 0.0, math.nan])
+            if self._kernel is not None
+            else None
+        )
 
     def accept(self, port, times, values) -> None:
         self._pending_t[port].append(times)
@@ -250,34 +354,85 @@ class JoinOp(Operator):
             take_v.append(v[:cut])
             self._pending_t[side] = [t[cut:]] if cut < t.shape[0] else []
             self._pending_v[side] = [v[cut:]] if cut < v.shape[0] else []
-        merged = np.concatenate((take_t[0], take_t[1]))
-        if merged.shape[0] == 0:
+        if self._kernel is not None:
+            out_t, out_v = self._kernel.merge(
+                take_t[0], take_v[0], take_t[1], take_v[1], self._kstate
+            )
+            self.emit(out_t, out_v)
             return
-        # Sorted union of the two (already sorted) timelines; timsort
-        # ('stable') recognises the pre-sorted runs.
-        merged.sort(kind="stable")
-        first = np.empty(merged.shape[0], dtype=bool)
+        t0, t1 = take_t[0], take_t[1]
+        n0, n1 = t0.shape[0], t1.shape[0]
+        total = n0 + n1
+        if total == 0:
+            return
+        # Merge the two already-sorted timelines via a *stable* argsort
+        # of their concatenation: timsort detects the two pre-sorted
+        # runs and gallops through them in near-linear time (far
+        # cheaper than per-needle binary search), and stability keeps
+        # side 0 before side 1 on cross-side ties.
+        cat = np.concatenate((t0, t1))
+        order = np.argsort(cat, kind="stable")
+        merged = cat[order]
+        is0 = order < n0
+        first = np.empty(total, dtype=bool)
         first[0] = True
         np.not_equal(merged[1:], merged[:-1], out=first[1:])
-        out_t = merged[first]
         held: List[np.ndarray] = []
-        defined = np.ones(out_t.shape[0], dtype=bool)
-        for side in (0, 1):
-            t, v = take_t[side], take_v[side]
-            if self._has[side]:
-                t = np.concatenate(((-math.inf,), t))
-                v = np.concatenate(((self._hold[side],), v))
-            if t.shape[0] == 0:
-                defined[:] = False
-                held.append(np.full(out_t.shape[0], math.nan))
-            else:
-                idx = np.searchsorted(t, out_t, side="right") - 1
-                if idx[0] < 0:  # idx is sorted: idx[0] is its minimum
-                    defined &= idx >= 0
-                held.append(v[idx])  # idx -1 wraps; masked out via `defined`
-            if take_t[side].shape[0]:
-                self._hold[side] = float(take_v[side][-1])
-                self._has[side] = True
+        if bool(first.all()):
+            # No cross-side ties (the common case): every union position
+            # is a distinct output instant, so each side's held column
+            # is its values run-length expanded across the gaps — one
+            # sequential np.repeat per side, no random gathers.
+            out_t = merged
+            defined = np.ones(total, dtype=bool)
+            for side in (0, 1):
+                v = take_v[side]
+                pos = np.flatnonzero(is0 if side == 0 else ~is0)
+                lead = self._hold[side] if self._has[side] else math.nan
+                bounds = np.empty(pos.shape[0] + 2, dtype=np.int64)
+                bounds[0] = 0
+                bounds[1:-1] = pos
+                bounds[-1] = total
+                held.append(
+                    np.repeat(np.concatenate(((lead,), v)), np.diff(bounds))
+                )
+                if not self._has[side]:
+                    # The nan lead covers positions before this side's
+                    # first sample; mask them out of the output.
+                    defined[: bounds[1] if pos.shape[0] else total] = False
+                if v.shape[0]:
+                    self._hold[side] = float(v[-1])
+                    self._has[side] = True
+        else:
+            starts = np.flatnonzero(first)
+            out_t = merged[starts]
+            # Last duplicate position per distinct instant: a tie (one
+            # run of two, side 0 then side 1) must count *both* sides'
+            # samples.
+            lasts = np.empty_like(starts)
+            lasts[:-1] = starts[1:] - 1
+            lasts[-1] = total - 1
+            # cnt0[p]: how many side-0 samples occupy positions <= p,
+            # so cnt0[lasts] - 1 is exactly the searchsorted
+            # 'right' - 1 held-sample index of the old sort-based path.
+            cnt0 = np.cumsum(is0, dtype=np.int64)
+            defined = np.ones(out_t.shape[0], dtype=bool)
+            for side in (0, 1):
+                v = take_v[side]
+                idx = cnt0[lasts] - 1 if side == 0 else lasts - cnt0[lasts]
+                if self._has[side]:
+                    v = np.concatenate(((self._hold[side],), v))
+                    idx = idx + 1
+                if v.shape[0] == 0:
+                    defined[:] = False
+                    held.append(np.full(out_t.shape[0], math.nan))
+                else:
+                    if idx[0] < 0:  # idx is sorted: idx[0] is its minimum
+                        defined &= idx >= 0
+                    held.append(v[idx])  # -1 wraps; masked via `defined`
+                if take_t[side].shape[0]:
+                    self._hold[side] = float(take_v[side][-1])
+                    self._has[side] = True
         if bool(defined.all()):
             self.emit(out_t, self._fn(held[0], held[1]))
         else:
@@ -421,28 +576,30 @@ class WindowOp(Operator):
     def accept(self, port, times, values) -> None:
         window = self._window
         indices = np.floor_divide(times, window)
-        out_t: List[float] = []
-        out_v: List[float] = []
-        start = 0
         boundaries = np.flatnonzero(indices[1:] != indices[:-1]) + 1
+        # At most one window closes per group boundary in this batch:
+        # the emission columns are preallocated once and filled through
+        # a cursor — no per-window Python float appends.
+        out_t = np.empty(boundaries.shape[0] + 1, dtype=np.float64)
+        out_v = np.empty(boundaries.shape[0] + 1, dtype=np.float64)
+        emitted = 0
+        start = 0
         for stop in (*boundaries.tolist(), times.shape[0]):
             group_index = float(indices[start])
             if self._index is None:
                 self._index = group_index
             elif group_index != self._index:
-                self._close(out_t, out_v)
+                emitted = self._close(out_t, out_v, emitted)
                 self._index = group_index
             self._buffer.append(values[start:stop])
             start = stop
-        if out_t:
-            self.emit(
-                np.asarray(out_t, dtype=np.float64),
-                np.asarray(out_v, dtype=np.float64),
-            )
+        if emitted:
+            self.emit(out_t[:emitted], out_v[:emitted])
 
-    def _close(self, out_t: List[float], out_v: List[float]) -> None:
+    def _close(self, out_t: np.ndarray, out_v: np.ndarray, cursor: int) -> int:
+        """Reduce and record the open window at ``cursor``; new cursor."""
         if not self._buffer:
-            return
+            return cursor
         samples = (
             self._buffer[0]
             if len(self._buffer) == 1
@@ -454,18 +611,17 @@ class WindowOp(Operator):
         value = aggregator.collect(self._window)
         if value is not None:
             assert self._index is not None
-            out_t.append((self._index + 1.0) * self._window)
-            out_v.append(value)
+            out_t[cursor] = (self._index + 1.0) * self._window
+            out_v[cursor] = value
+            cursor += 1
+        return cursor
 
     def flush(self) -> None:
-        out_t: List[float] = []
-        out_v: List[float] = []
-        self._close(out_t, out_v)
-        if out_t:
-            self.emit(
-                np.asarray(out_t, dtype=np.float64),
-                np.asarray(out_v, dtype=np.float64),
-            )
+        out_t = np.empty(1, dtype=np.float64)
+        out_v = np.empty(1, dtype=np.float64)
+        emitted = self._close(out_t, out_v, 0)
+        if emitted:
+            self.emit(out_t[:emitted], out_v[:emitted])
 
 
 class EdgesOp(Operator):
@@ -507,6 +663,7 @@ class EdgesOp(Operator):
 
 _OPERATORS: Dict[str, Callable[..., Operator]] = {
     "source": SourceOp,
+    "fused": FusedOp,
     "map1": Map1Op,
     "maps": MapScalarOp,
     "clip": ClipOp,

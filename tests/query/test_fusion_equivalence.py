@@ -1,0 +1,295 @@
+"""Fusion equivalence: fused plans byte-match the unfused numpy oracle.
+
+The fusion pass and the compiled kernels are *performance* features
+with one correctness contract: **they never change output bytes**.
+Per seed, a randomized fusable chain (scalar maps, abs/negate, clip,
+comparisons, ewma, rate, delta — the stateful ones carry state across
+batches) is executed four ways:
+
+1. unfused per-operator numpy (``fuse=False``) — the oracle,
+2. fused, whatever native backend this machine resolved,
+3. fused, fed incrementally in jittered batch splits (state carry),
+4. fused with the backend forced to numpy (``REPRO_NATIVE=0``) — the
+   interpretation a toolchain-less install runs.
+
+All four must agree to the byte on times and values.  The structural
+half of the contract is tested directly: join / window / resample /
+edges are barriers no fused node may contain, and shared or published
+intermediates end their chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import native
+from repro.query import Runtime, compile_query, execute
+from repro.query import kernels
+
+pytestmark = [pytest.mark.query, pytest.mark.fusion]
+
+SEEDS = range(10)
+
+#: Chain steps the generator may stack (query-text templates).
+_STEPS = (
+    "abs({x})",
+    "-({x})",
+    "({x}) * {c}",
+    "{c} - ({x})",
+    "({x}) + {c}",
+    "({x}) / {c}",
+    "min({x}, {c})",
+    "max({x}, {c})",
+    "({x}) > {c}",
+    "({x}) <= {c}",
+    "clip({x}, {lo}, {hi})",
+    "ewma({x}, {a})",
+    "rate({x})",
+    "delta({x})",
+)
+
+
+def random_chain(rng) -> str:
+    """A random 1-6 step fusable chain over source signal ``x``."""
+    expr = "x"
+    for _ in range(int(rng.integers(1, 7))):
+        template = _STEPS[int(rng.integers(len(_STEPS)))]
+        lo = float(np.round(rng.uniform(-2.0, 0.0), 3))
+        expr = template.format(
+            x=expr,
+            c=float(np.round(rng.uniform(-3.0, 3.0), 3)) or 1.0,
+            lo=lo,
+            hi=float(np.round(lo + rng.uniform(0.1, 3.0), 3)),
+            a=float(np.round(rng.uniform(0.0, 1.0), 3)),
+        )
+    return expr
+
+
+def make_stream(rng, n):
+    """Strictly monotone times, finite values (ewma rejects non-finite)."""
+    times = np.cumsum(rng.uniform(0.05, 3.0, n)) + rng.uniform(0, 2.0)
+    values = rng.standard_normal(n)
+    return times, values
+
+
+def run_batch(plan, times, values):
+    out = execute({"x": (times, values)}, plan)
+    (result,) = out.values()
+    return result
+
+
+def run_split(plan, times, values, rng):
+    """Feed the same stream in jittered batch sizes, carrying state."""
+    runtime = Runtime(plan)
+    collected_t, collected_v = [], []
+
+    (name,) = plan.outputs
+    runtime.add_sink(
+        name, lambda t, v: (collected_t.append(t), collected_v.append(v))
+    )
+    cursor = 0
+    n = times.shape[0]
+    while cursor < n:
+        step = int(rng.integers(1, 40))
+        runtime.feed("x", times[cursor : cursor + step], values[cursor : cursor + step])
+        cursor += step
+    runtime.finish()
+    if not collected_t:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy()
+    return np.concatenate(collected_t), np.concatenate(collected_v)
+
+
+def assert_bytes_equal(got, want, label):
+    assert got[0].tobytes() == want[0].tobytes(), f"{label}: times differ"
+    assert got[1].tobytes() == want[1].tobytes(), f"{label}: values differ"
+
+
+@pytest.fixture
+def numpy_backend(monkeypatch):
+    """Force the pure-numpy backend for the duration of one test."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    native.reset()
+    kernels.reset_cache()
+    yield
+    native.reset()
+    kernels.reset_cache()
+
+
+@pytest.fixture
+def no_compiler(monkeypatch):
+    """Simulate a machine with no C toolchain (default REPRO_NATIVE)."""
+    monkeypatch.delenv("REPRO_NATIVE", raising=False)
+    native.reset()
+    kernels.reset_cache()
+    monkeypatch.setattr(native, "_compiler", None)
+    monkeypatch.setattr(native, "_compiler_probed", True)
+    yield
+    native.reset()
+    kernels.reset_cache()
+
+
+# ----------------------------------------------------------------------
+# Randomized byte-identity across backends and batch splits
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fused_matches_unfused_oracle(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(4):
+        query = random_chain(rng)
+        times, values = make_stream(rng, int(rng.integers(50, 400)))
+        oracle = run_batch(compile_query(query, fuse=False), times, values)
+        fused_plan = compile_query(query, fuse=True)
+        assert any(n.op == "fused" for n in fused_plan.nodes), query
+        assert_bytes_equal(
+            run_batch(fused_plan, times, values), oracle, f"fused: {query}"
+        )
+        assert_bytes_equal(
+            run_split(fused_plan, times, values, rng),
+            oracle,
+            f"fused split: {query}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fused_numpy_interpretation_matches_oracle(seed, numpy_backend):
+    # REPRO_NATIVE=0: compile_query defaults to fuse=None -> no fusion;
+    # forcing fuse=True must still run the chain through the original
+    # operator wiring with identical bytes.
+    rng = np.random.default_rng(1000 + seed)
+    query = random_chain(rng)
+    times, values = make_stream(rng, int(rng.integers(50, 400)))
+    oracle = run_batch(compile_query(query, fuse=False), times, values)
+    fused_plan = compile_query(query, fuse=True)
+    assert kernels.get_fused(fused_plan.nodes[-1].params[0]) is None
+    assert_bytes_equal(
+        run_batch(fused_plan, times, values), oracle, f"numpy fused: {query}"
+    )
+    assert_bytes_equal(
+        run_split(fused_plan, times, values, rng),
+        oracle,
+        f"numpy fused split: {query}",
+    )
+
+
+def test_default_compile_is_unfused_under_repro_native_0(numpy_backend):
+    plan = compile_query("clip(2*x + 1, -1, 1)")
+    assert all(n.op != "fused" for n in plan.nodes)
+
+
+def test_toolchainless_machine_still_fuses_with_numpy_kernels(no_compiler):
+    # No compiler: fusion stays on (it still saves per-op dispatch) but
+    # every kernel resolves to the numpy interpretation; bytes match.
+    assert native.mode() == "numpy"
+    rng = np.random.default_rng(77)
+    query = "clip(ewma(2*x + 1, 0.9), -5, 5)"
+    times, values = make_stream(rng, 300)
+    plan = compile_query(query)
+    assert any(n.op == "fused" for n in plan.nodes)
+    oracle = run_batch(compile_query(query, fuse=False), times, values)
+    assert_bytes_equal(run_batch(plan, times, values), oracle, "no-compiler")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_native_join_matches_numpy_join(seed):
+    # The C merge kernel and the vectorized numpy merge are independent
+    # implementations of the same sample-and-hold union; they must
+    # agree to the byte, including ties and held-tail behaviour.
+    if not native.available():
+        pytest.skip("no native backend on this machine")
+    rng = np.random.default_rng(2000 + seed)
+    query = "min(a, 2*b) - max(a, b)"
+    streams = {}
+    for name in ("a", "b"):
+        n = int(rng.integers(20, 300))
+        # Integer-ish times force cross-signal ties through the merge.
+        times = np.cumsum(rng.integers(1, 4, n)).astype(np.float64)
+        streams[name] = (times, rng.standard_normal(n))
+    native_out = execute(streams, compile_query(query))
+    import os
+
+    os.environ["REPRO_NATIVE"] = "0"
+    native.reset()
+    kernels.reset_cache()
+    try:
+        numpy_out = execute(streams, compile_query(query, fuse=True))
+    finally:
+        del os.environ["REPRO_NATIVE"]
+        native.reset()
+        kernels.reset_cache()
+    (got,) = native_out.values()
+    (want,) = numpy_out.values()
+    assert_bytes_equal(got, want, "native vs numpy join")
+
+
+def test_fused_ewma_rejects_nonfinite_like_unfused():
+    from repro.query.errors import QueryError
+
+    times = np.array([1.0, 2.0, 3.0])
+    values = np.array([1.0, np.inf, 2.0])
+    for fuse in (False, True):
+        plan = compile_query("ewma(x, 0.5)", fuse=fuse)
+        with pytest.raises(QueryError, match="finite"):
+            execute({"x": (times, values)}, plan)
+
+
+# ----------------------------------------------------------------------
+# Structural contract: barriers and chain endings
+# ----------------------------------------------------------------------
+_BARRIERS = ("join", "window", "resample", "edges")
+
+
+def fused_steps(plan):
+    return [
+        step_op
+        for node in plan.nodes
+        if node.op == "fused"
+        for step_op, _ in node.params[0]
+    ]
+
+
+@pytest.mark.parametrize(
+    "query,barrier",
+    [
+        ("ewma(a, 0.9) + ewma(b, 0.9)", "join"),
+        ("sum_over(2*a + 1, 5)", "window"),
+        ("resample(abs(a), 10)", "resample"),
+        ("edges(2*a, 0, either)", "edges"),
+    ],
+)
+def test_fusion_never_crosses_barriers(query, barrier):
+    plan = compile_query(query, fuse=True)
+    ops = [node.op for node in plan.nodes]
+    assert barrier in ops, f"{query}: barrier node was absorbed"
+    inside = fused_steps(plan)
+    assert all(op not in _BARRIERS for op in inside), (
+        f"{query}: fused chain swallowed a barrier: {inside}"
+    )
+
+
+def test_shared_intermediate_ends_its_chain():
+    # _d has two consumers; absorbing it into either would recompute it.
+    plan = compile_query("_d = 2*a; p = _d + b; q = _d - b", fuse=True)
+    fused = [n for n in plan.nodes if n.op == "fused"]
+    assert len(fused) == 1  # _d's maps chain, alone
+    consumers = [n for n in plan.nodes if fused[0].id in n.inputs]
+    assert len(consumers) == 2
+
+
+def test_published_intermediate_ends_its_chain():
+    # d is published: its column must exist, so ewma starts a new chain.
+    plan = compile_query("d = 2*a; s = ewma(d, 0.9)", fuse=True)
+    fused = [n for n in plan.nodes if n.op == "fused"]
+    assert len(fused) == 2
+    assert plan.outputs["d"] in {n.id for n in fused}
+
+
+def test_single_op_chains_become_fused_nodes():
+    plan = compile_query("2*a", fuse=True)
+    (fused,) = [n for n in plan.nodes if n.op == "fused"]
+    assert [op for op, _ in fused.params[0]] == ["maps"]
+
+
+def test_explain_names_backend_and_steps():
+    plan = compile_query("clip(2*a - 1, -2.5, 2.5)", fuse=True)
+    text = plan.explain()
+    assert "fused[" in text and "clip" in text

@@ -182,14 +182,16 @@ class TestCompilation:
         assert len(distinct.nodes) == 4
 
     def test_constant_folding_fuses_scalar_ops(self):
-        plan = compile_query("x * (2 + 3)")
+        # fuse=False: this asserts the *lowering* (folded scalar side),
+        # before the fusion pass rewrites maps chains into fused nodes.
+        plan = compile_query("x * (2 + 3)", fuse=False)
         kinds = [node.op for node in plan.nodes]
         assert kinds == ["source", "maps"]
         assert plan.nodes[1].params == ("mul", 5.0, False)
 
     def test_division_by_folded_zero_matches_runtime(self):
         # numpy semantics, not a ZeroDivisionError at compile time
-        plan = compile_query("x + 1 / 0")
+        plan = compile_query("x + 1 / 0", fuse=False)
         assert plan.nodes[1].params[1] == float("inf")
 
     def test_private_intermediates_are_shared_not_published(self):
