@@ -24,6 +24,12 @@ regression trips them — CI jitter does not:
   single-pass kernels + zero-copy read; losing fusion or the compiled
   backend trips it).  Skipped entirely when the machine has no native
   backend — the other gates still run.
+* **distributed-ingest-4p** — X14a process-worker ingest scaling (the
+  PR-8 multi-process shard plane): 4 workers must post at least 2x the
+  1-worker rate.  A serialized router (blocking flushes, a drain that
+  round-trips per batch) trips it.  The ratio is core-bound, so the
+  gate only runs on machines with >= 4 CPUs — 1-core containers skip
+  it (the JSON still records both rates and the core count).
 
 Opt-in, so tier-1 stays fast:
 
@@ -49,6 +55,7 @@ import time
 import pytest
 
 from bench_capture import bench_write
+from bench_distributed import bench_process_ingest
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
 from bench_failover import bench_recovery
 from bench_net import bench_wire
@@ -91,6 +98,13 @@ QUERY_FUSED_FLOOR = 30_000_000.0
 # columnar replay path); per-sample re-pushes would post well under it.
 RECOVERY_FLOOR = 300_000.0
 RECOVERY_SAMPLES = 200_000
+
+# Committed floor: 4 process workers over 1 worker on the X14a ingest
+# benchmark.  The ISSUE target is >= 3x on a dedicated 4-core box; the
+# committed gate is 2x so shared-CI core stealing does not trip it while
+# a serialized router still does.  Core-bound, hence the cpu guard.
+DISTRIBUTED_SPEEDUP_FLOOR = 2.0
+DISTRIBUTED_MIN_CPUS = 4
 
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
@@ -149,6 +163,40 @@ def test_query_fused_floor():
         f"fused query data path regressed: "
         f"{best['rate_per_sec']:.0f} samples/s < floor {QUERY_FUSED_FLOOR:.0f}/s "
         f"(backend {native.mode()})"
+    )
+
+
+def measure_best_distributed() -> dict:
+    """Best-of-N 1-worker and 4-worker X14a rates, paired per attempt."""
+    best: dict = {"speedup": 0.0}
+    for _ in range(ATTEMPTS):
+        one = bench_process_ingest(1)
+        four = bench_process_ingest(4)
+        speedup = four["rate_per_sec"] / one["rate_per_sec"]
+        if speedup > best["speedup"]:
+            best = {
+                "speedup": speedup,
+                "rate_1p": one["rate_per_sec"],
+                "rate_4p": four["rate_per_sec"],
+                "samples": one["samples"],
+                "cpu_count": os.cpu_count(),
+            }
+    return best
+
+
+@pytest.mark.distributed
+def test_distributed_ingest_floor():
+    if (os.cpu_count() or 1) < DISTRIBUTED_MIN_CPUS:
+        pytest.skip(
+            f"process-scaling gate needs >= {DISTRIBUTED_MIN_CPUS} CPUs "
+            f"(machine has {os.cpu_count()})"
+        )
+    best = measure_best_distributed()
+    assert best["speedup"] >= DISTRIBUTED_SPEEDUP_FLOOR, (
+        f"process-worker ingest scaling regressed: 4 workers posted "
+        f"x{best['speedup']:.2f} over 1 worker "
+        f"({best['rate_4p']:.0f}/s vs {best['rate_1p']:.0f}/s), "
+        f"floor x{DISTRIBUTED_SPEEDUP_FLOOR:.1f} on {best['cpu_count']} CPUs"
     )
 
 
@@ -259,6 +307,24 @@ def main() -> int:
                 "passed": query["rate_per_sec"] >= QUERY_FUSED_FLOOR,
             }
         )
+    distributed = measure_best_distributed()
+    gate = {
+        "gate": "distributed-ingest-4p",
+        "floor_speedup": DISTRIBUTED_SPEEDUP_FLOOR,
+        "measured_speedup": distributed["speedup"],
+        "rate_1p_per_sec": distributed["rate_1p"],
+        "rate_4p_per_sec": distributed["rate_4p"],
+        "samples": distributed["samples"],
+        "cpu_count": distributed["cpu_count"],
+    }
+    if (distributed["cpu_count"] or 1) < DISTRIBUTED_MIN_CPUS:
+        # The speedup is core-bound: on fewer than 4 CPUs the rates are
+        # recorded for the ledger but the ratio cannot gate anything.
+        gate["passed"] = True
+        gate["skipped"] = f"machine has < {DISTRIBUTED_MIN_CPUS} CPUs"
+    else:
+        gate["passed"] = distributed["speedup"] >= DISTRIBUTED_SPEEDUP_FLOOR
+    gates.append(gate)
     passed = all(g["passed"] for g in gates)
     print(
         json.dumps(

@@ -125,6 +125,22 @@ class Aggregator:
         self._min = math.inf
         self._max = -math.inf
 
+    def state_dict(self) -> dict:
+        """The four running scalars, as plain data (process snapshots)."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture."""
+        self._count = int(state["count"])
+        self._sum = float(state["sum"])
+        self._min = float(state["min"])
+        self._max = float(state["max"])
+
 
 class _SumCountAggregator(Aggregator):
     """Specialised base for kinds that only need count and sum.

@@ -415,3 +415,63 @@ class SampleBuffer:
                 if self._count_of_id[name_id] > 0
             )
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Capture the buffer's observable state as plain data.
+
+        Everything that shapes future behaviour is included: the active
+        region's columns (with the sorted/unsorted split preserved), the
+        sequence counter, the name intern table and the stats ledger.
+        Allocation details (column capacity, head offset) are not state —
+        a restored buffer re-packs the active region at offset 0, which
+        yields the same pops, evictions and late-drops forever after.
+        """
+        sl = slice(self._head, self._tail)
+        return {
+            "delay_ms": self.delay_ms,
+            "capacity": self.capacity,
+            "times": self._times[sl].copy(),
+            "values": self._values[sl].copy(),
+            "seqs": self._seqs[sl].copy(),
+            "ids": self._ids[sl].copy(),
+            "sorted_len": self._sorted_end - self._head,
+            "next_seq": self._next_seq,
+            "names": list(self._name_of_id),
+            "stats": {
+                "pushed": self.stats.pushed,
+                "dropped_late": self.stats.dropped_late,
+                "evicted": self.stats.evicted,
+                "popped": self.stats.popped,
+            },
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` capture, replacing current contents."""
+        times = np.asarray(state["times"], dtype=np.float64)
+        n = times.shape[0]
+        alloc = max(n, _MIN_ALLOC)
+        self.delay_ms = float(state["delay_ms"])  # type: ignore[arg-type]
+        self.capacity = state["capacity"]  # type: ignore[assignment]
+        self._times = np.empty(alloc, dtype=np.float64)
+        self._values = np.empty(alloc, dtype=np.float64)
+        self._seqs = np.empty(alloc, dtype=np.int64)
+        self._ids = np.empty(alloc, dtype=np.int64)
+        self._times[:n] = times
+        self._values[:n] = np.asarray(state["values"], dtype=np.float64)
+        self._seqs[:n] = np.asarray(state["seqs"], dtype=np.int64)
+        self._ids[:n] = np.asarray(state["ids"], dtype=np.int64)
+        self._head = 0
+        self._sorted_end = int(state["sorted_len"])  # type: ignore[arg-type]
+        self._tail = n
+        self._next_seq = int(state["next_seq"])  # type: ignore[arg-type]
+        names = list(state["names"])  # type: ignore[arg-type]
+        self._name_of_id = names
+        self._id_of_name = {name: i for i, name in enumerate(names)}
+        self._count_of_id = np.bincount(
+            self._ids[:n], minlength=len(names)
+        ).astype(np.int64)
+        stats = dict(state["stats"])  # type: ignore[arg-type]
+        self.stats = BufferStats(**stats)

@@ -174,6 +174,36 @@ class TraceRing:
             value=float(self._filtered[i]),
         )
 
+    # -- snapshot / restore --------------------------------------------
+    def state_dict(self) -> dict:
+        """Ordered column copies as plain data (process snapshots)."""
+        return {
+            "maxlen": self.maxlen,
+            "times": self.times_array().copy(),
+            "raw": self.raw_array().copy(),
+            "filtered": self.values_array().copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture into this ring.
+
+        The capacity must match (it comes from the signal registration,
+        which the restoring factory reproduces); the points land packed
+        at offset 0, which is observably identical to any ring phase.
+        """
+        if int(state["maxlen"]) != self.maxlen:
+            raise ValueError(
+                f"trace maxlen mismatch: snapshot {state['maxlen']}, "
+                f"ring {self.maxlen}"
+            )
+        times = np.asarray(state["times"], dtype=np.float64)
+        n = times.shape[0]
+        self._times[:n] = times
+        self._raw[:n] = np.asarray(state["raw"], dtype=np.float64)
+        self._filtered[:n] = np.asarray(state["filtered"], dtype=np.float64)
+        self._start = 0
+        self._len = n
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, TraceRing):
             return (
@@ -381,6 +411,52 @@ class Channel:
         if self.aggregator is not None:
             self.aggregator.reset()
         self.held_value = None
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything a restored channel needs to continue byte-identically.
+
+        The spec itself is *not* state — the restoring side re-registers
+        the same signals through the same factory, then loads this over
+        the fresh channel.
+        """
+        return {
+            "trace": self.trace.state_dict(),
+            "filter": self.filter.state_dict(),
+            "aggregator": (
+                None if self.aggregator is None else self.aggregator.state_dict()
+            ),
+            "held_value": self.held_value,
+            "visible": self.visible,
+            "show_value": self.show_value,
+            "polls": self.polls,
+            "samples": self.samples,
+            "buffered_samples": self.buffered_samples,
+            "holds": self.holds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture onto this (fresh) channel."""
+        self.trace.load_state(state["trace"])
+        self.filter.load_state(state["filter"])
+        agg_state = state["aggregator"]
+        if (agg_state is None) != (self.aggregator is None):
+            raise ValueError(
+                f"aggregator mismatch restoring channel {self.name!r}: "
+                "the restoring factory registered a different signal shape"
+            )
+        if self.aggregator is not None and agg_state is not None:
+            self.aggregator.load_state(agg_state)
+        held = state["held_value"]
+        self.held_value = None if held is None else float(held)
+        self.visible = bool(state["visible"])
+        self.show_value = bool(state["show_value"])
+        self.polls = int(state["polls"])
+        self.samples = int(state["samples"])
+        self.buffered_samples = int(state["buffered_samples"])
+        self.holds = int(state["holds"])
 
     def __repr__(self) -> str:
         return (

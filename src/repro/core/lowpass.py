@@ -110,6 +110,16 @@ class LowPassFilter:
         """Forget all state; the next sample re-initialises the filter."""
         self._y = None
 
+    def state_dict(self) -> dict:
+        """Filter coefficients and state as plain data (process snapshots)."""
+        return {"alpha": self.alpha, "y": self._y}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture."""
+        self.alpha = float(state["alpha"])
+        y = state["y"]
+        self._y = None if y is None else float(y)
+
     def settling_samples(self, fraction: float = 0.01) -> int:
         """Number of samples for a step input to settle within ``fraction``.
 

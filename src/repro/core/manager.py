@@ -200,3 +200,28 @@ class ScopeManager:
     def run_for(self, duration_ms: float) -> None:
         """Drive the shared loop for ``duration_ms``."""
         self.loop.run_for(duration_ms)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (process shard supervision)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Per-scope data-plane state, keyed by scope name (plain data).
+
+        See :meth:`Scope.state_dict` for what is and is not captured;
+        the restoring side rebuilds the same scopes via its factory and
+        loads this over them.
+        """
+        return {
+            "scopes": {name: scope.state_dict() for name, scope in self._scopes.items()}
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture onto this (fresh) manager."""
+        snap_scopes = state["scopes"]
+        if set(snap_scopes) != set(self._scopes):
+            raise ScopeError(
+                f"snapshot scopes {sorted(snap_scopes)} do not match "
+                f"registered scopes {sorted(self._scopes)}"
+            )
+        for name, scope_state in snap_scopes.items():
+            self._scopes[name].load_state(scope_state)

@@ -363,3 +363,55 @@ class Scope:
     def tick(self, lost: int = 0) -> None:
         """Manually run one poll (for tests and synchronous harnesses)."""
         self._on_poll(lost)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (process shard supervision)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture the scope's data-plane state as plain picklable data.
+
+        Configuration (signals, period, mode, recording) is *not*
+        captured: a restore happens onto a scope freshly built by the
+        same deterministic factory, which reproduces it.  What is
+        captured is everything the stream of pushes and polls has
+        accumulated: the sample buffer, every channel's trace/filter/
+        aggregator/hold state, and the poll/column counters.  Playback
+        mode has a file position instead of a buffer and is not
+        snapshot-supported.
+        """
+        if self.mode is not AcquisitionMode.POLLING:
+            raise ScopeError(
+                f"scope {self.name!r}: only polling-mode scopes are snapshotable"
+            )
+        return {
+            "buffer": self.buffer.state_dict(),
+            "channels": {
+                name: ch.state_dict() for name, ch in self._channels.items()
+            },
+            "polls": self.polls,
+            "lost_timeouts": self.lost_timeouts,
+            "column": self.column,
+            "zoom": self.zoom,
+            "bias": self.bias,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture onto this (fresh) scope.
+
+        The scope must hold exactly the snapshot's signals — the restore
+        factory registers them before loading.
+        """
+        snap_channels = state["channels"]
+        if set(snap_channels) != set(self._channels):
+            raise ScopeError(
+                f"scope {self.name!r}: snapshot signals {sorted(snap_channels)} "
+                f"do not match registered signals {sorted(self._channels)}"
+            )
+        self.buffer.load_state(state["buffer"])
+        for name, ch_state in snap_channels.items():
+            self._channels[name].load_state(ch_state)
+        self.polls = int(state["polls"])
+        self.lost_timeouts = int(state["lost_timeouts"])
+        self.column = int(state["column"])
+        self.zoom = float(state["zoom"])
+        self.bias = float(state["bias"])

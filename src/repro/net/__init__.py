@@ -19,12 +19,18 @@ machinery that drives polling, exactly like the C library rides glib's
 (deterministic, virtual-clock friendly, can model network latency) and a
 real non-blocking socket pair.  For fan-in beyond one scope registry,
 :class:`~repro.net.shard.ShardedScopeManager` partitions the signal
-namespace across per-shard managers by stable name hash.
+namespace across per-shard managers by stable name hash — and its
+multi-core counterpart :class:`~repro.net.shard.ProcessShardedScopeManager`
+puts each shard in a worker *process* (see :mod:`repro.net.worker`),
+supervised with WAL-backed respawn by
+:class:`~repro.net.supervisor.ProcessShardSupervisor`.
 """
 
 from repro.net.client import ScopeClient
 from repro.net.faults import FaultPlan, FaultyLink, faulty_pair
 from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameDecoder,
     FrameKind,
@@ -33,20 +39,30 @@ from repro.net.protocol import (
     WireDecoder,
     decode_lines,
     encode_binary_samples,
+    encode_control,
+    encode_deliver,
     encode_hello,
     encode_name_def,
     encode_sample,
     encode_samples,
 )
 from repro.net.server import ClientState, ScopeServer
-from repro.net.shard import HashRing, ShardedScopeManager, ShardStats, shard_of
+from repro.net.shard import (
+    HashRing,
+    ProcessShardedScopeManager,
+    ShardStats,
+    ShardedScopeManager,
+    shard_of,
+)
 from repro.net.supervisor import (
+    ProcessShardSupervisor,
     ShardDown,
     ShardHost,
     ShardState,
     ShardSupervisor,
     SupervisionStats,
 )
+from repro.net.worker import ShmRing, WorkerDied, WorkerHandle
 from repro.net.transport import (
     LatencyLink,
     MemoryEndpoint,
@@ -66,7 +82,11 @@ __all__ = [
     "LatencyLink",
     "LineDecoder",
     "MemoryEndpoint",
+    "PROTOCOL_VERSION",
+    "ProcessShardSupervisor",
+    "ProcessShardedScopeManager",
     "ProtocolError",
+    "SUPPORTED_VERSIONS",
     "ScopeClient",
     "ScopeServer",
     "ShardDown",
@@ -75,11 +95,16 @@ __all__ = [
     "ShardStats",
     "ShardSupervisor",
     "ShardedScopeManager",
+    "ShmRing",
     "SocketEndpoint",
     "SupervisionStats",
     "WireDecoder",
+    "WorkerDied",
+    "WorkerHandle",
     "decode_lines",
     "encode_binary_samples",
+    "encode_control",
+    "encode_deliver",
     "encode_hello",
     "encode_name_def",
     "encode_sample",

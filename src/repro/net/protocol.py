@@ -16,16 +16,27 @@ Binary frame layout (all integers little-endian)::
 
     offset  size  field
     0       2     magic     0xA5 0x53
-    2       1     version   1
-    3       1     kind      0=HELLO  1=NAME_DEF  2=SAMPLES
-    4       4     name_id   uint32 (0 for HELLO)
-    8       4     count     uint32: SAMPLES → sample count,
-                            HELLO/NAME_DEF → payload byte length
+    2       1     version   1 or 2
+    3       1     kind      0=HELLO 1=NAME_DEF 2=SAMPLES 3=DELIVER 4=CONTROL
+    4       4     name_id   uint32 (0 for HELLO/CONTROL)
+    8       4     count     uint32: SAMPLES/DELIVER → sample count,
+                            HELLO/NAME_DEF/CONTROL → payload byte length
     12      ...   payload   HELLO:    `count` reserved bytes (now empty)
                             NAME_DEF: `count` bytes of UTF-8 signal name,
                                       binding it to `name_id`
                             SAMPLES:  count*8 bytes float64 times, then
-                                      count*8 bytes float64 values
+                                      count*8 bytes float64 values;
+                                      version 2 appends a uint32 crc32 of
+                                      the two columns
+                            DELIVER:  (version 2 only) one float64
+                                      delivery instant, then the SAMPLES
+                                      columns and their crc32 — the
+                                      router→worker push of the process
+                                      shard plane
+                            CONTROL:  (version 2 only) `count` bytes of
+                                      UTF-8 JSON — the supervision side
+                                      channel (heartbeats, stats, snapshot
+                                      and shutdown commands)
 
 Names are interned once per connection: a ``NAME_DEF`` frame binds a
 small integer id, and every subsequent ``SAMPLES`` frame carries only the
@@ -33,6 +44,16 @@ id.  The magic's first byte (0xA5) can never begin a valid text line
 (tuple lines are printable ASCII), so a server sniffs the connection mode
 from the first received byte — no out-of-band negotiation needed, and old
 text clients keep working unchanged.
+
+Version negotiation is equally in-band: every frame header carries its
+version, decoders accept every version in :data:`SUPPORTED_VERSIONS`, and
+encoders take a ``version=`` argument so a new client can keep speaking
+version 1 to an old server.  Version 2 exists because version-1 SAMPLES
+payloads had no integrity check — a fault flipping one byte of a float64
+column delivered a *wrong value* instead of an error.  Under version 2
+the column bytes are covered by a trailing crc32; a mismatch raises
+:class:`ProtocolError` and the connection dies before a corrupt sample
+reaches a scope.
 
 Both decoders are incremental — network reads arrive in arbitrary
 chunks, so stateful decoders carry partial lines / partial frames
@@ -44,9 +65,11 @@ misbehaving client should be disconnected, not silently misread.
 from __future__ import annotations
 
 import enum
+import json
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,14 +82,18 @@ __all__ = [
     "FrameKind",
     "LineDecoder",
     "MAGIC",
+    "MAX_CONTROL_BYTES",
     "MAX_FRAME_SAMPLES",
     "MAX_LINE_BYTES",
     "MAX_NAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ProtocolError",
     "WireDecoder",
     "decode_lines",
     "encode_binary_samples",
+    "encode_control",
+    "encode_deliver",
     "encode_hello",
     "encode_name_def",
     "encode_sample",
@@ -173,16 +200,29 @@ def decode_lines(
 # ----------------------------------------------------------------------
 
 MAGIC = b"\xa5\x53"
-PROTOCOL_VERSION = 1
+#: The version new encoders speak by default (checksummed columns).
+PROTOCOL_VERSION = 2
+#: Every version this decoder accepts.  Version 1 stays live so old
+#: peers keep working; only version 2 carries column checksums and the
+#: DELIVER/CONTROL supervision kinds.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: magic(2s) version(B) kind(B) name_id(I) count(I), little-endian.
 FRAME_HEADER = struct.Struct("<2sBBII")
+
+#: Trailing column checksum on v2 SAMPLES/DELIVER payloads.
+_CRC_TRAILER = struct.Struct("<I")
+#: Leading float64 delivery instant on DELIVER payloads.
+_DELIVER_NOW = struct.Struct("<d")
 
 #: Sanity bounds: a corrupt header must not make the decoder wait on (or
 #: allocate) gigabytes.  4 KiB of name is absurdly generous; 2**22
 #: samples is a 64 MiB frame.
 MAX_NAME_BYTES = 4096
 MAX_FRAME_SAMPLES = 1 << 22
+#: CONTROL frames carry JSON (snapshot blobs travel base64-inside-JSON),
+#: so the cap is generous but still refuses a corrupt length field.
+MAX_CONTROL_BYTES = 1 << 26
 
 
 class FrameKind(enum.IntEnum):
@@ -191,6 +231,8 @@ class FrameKind(enum.IntEnum):
     HELLO = 0
     NAME_DEF = 1
     SAMPLES = 2
+    DELIVER = 3  # v2: router→worker push carrying the delivery instant
+    CONTROL = 4  # v2: JSON supervision side channel
 
 
 @dataclass(frozen=True)
@@ -201,14 +243,25 @@ class Frame:
     name_id: int
     version: int = PROTOCOL_VERSION
     name: Optional[str] = None  # NAME_DEF only
-    times: Optional[np.ndarray] = None  # SAMPLES only, float64
-    values: Optional[np.ndarray] = None  # SAMPLES only, float64
+    times: Optional[np.ndarray] = None  # SAMPLES/DELIVER only, float64
+    values: Optional[np.ndarray] = None  # SAMPLES/DELIVER only, float64
+    now: Optional[float] = None  # DELIVER only: the delivery instant
+    control: Optional[Dict[str, Any]] = None  # CONTROL only: decoded JSON
 
     def __len__(self) -> int:
         return 0 if self.times is None else int(self.times.shape[0])
 
 
-def encode_hello() -> bytes:
+def _check_version(version: int) -> int:
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"cannot encode protocol version {version}: "
+            f"supported {sorted(SUPPORTED_VERSIONS)}"
+        )
+    return int(version)
+
+
+def encode_hello(version: int = PROTOCOL_VERSION) -> bytes:
     """The handshake frame a binary client sends first.
 
     Carries the protocol version; the payload is reserved for future
@@ -216,10 +269,10 @@ def encode_hello() -> bytes:
     frame, so a stream surviving queue pressure without its HELLO still
     decodes — the handshake pins the version early, nothing more.
     """
-    return FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.HELLO, 0, 0)
+    return FRAME_HEADER.pack(MAGIC, _check_version(version), FrameKind.HELLO, 0, 0)
 
 
-def encode_name_def(name_id: int, name: str) -> bytes:
+def encode_name_def(name_id: int, name: str, version: int = PROTOCOL_VERSION) -> bytes:
     """Bind ``name_id`` to ``name`` for the rest of the connection."""
     if any(ch.isspace() for ch in name):
         # Same rule as the text format, so signals round-trip between
@@ -232,37 +285,97 @@ def encode_name_def(name_id: int, name: str) -> bytes:
         raise ProtocolError(
             f"signal name of {len(raw)} bytes exceeds the {MAX_NAME_BYTES}-byte cap"
         )
-    return FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.NAME_DEF, name_id, len(raw)) + raw
+    header = FRAME_HEADER.pack(
+        MAGIC, _check_version(version), FrameKind.NAME_DEF, name_id, len(raw)
+    )
+    return header + raw
 
 
-def encode_binary_samples(
-    name_id: int,
-    times: Sequence[float],
-    values: Sequence[float],
-) -> bytes:
-    """Encode one signal's sample batch as contiguous float64 columns.
-
-    Returns ``b""`` for an empty batch.  Batches beyond
-    :data:`MAX_FRAME_SAMPLES` are split across several frames so any
-    caller-side batch size stays decodable.
-    """
+def _columns(times, values) -> Tuple[np.ndarray, np.ndarray, int]:
     t = np.ascontiguousarray(times, dtype="<f8")
     v = np.ascontiguousarray(values, dtype="<f8")
     if t.shape != v.shape or t.ndim != 1:
         raise ValueError(
             f"times and values must be equal-length 1-D: {t.shape} vs {v.shape}"
         )
-    n = t.shape[0]
+    return t, v, t.shape[0]
+
+
+def encode_binary_samples(
+    name_id: int,
+    times: Sequence[float],
+    values: Sequence[float],
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode one signal's sample batch as contiguous float64 columns.
+
+    Returns ``b""`` for an empty batch.  Batches beyond
+    :data:`MAX_FRAME_SAMPLES` are split across several frames so any
+    caller-side batch size stays decodable.  Under version 2 the two
+    columns are followed by their crc32; version 1 omits it (for old
+    peers) and inherits v1's blindness to payload corruption.
+    """
+    _check_version(version)
+    t, v, n = _columns(times, values)
     if n == 0:
         return b""
     if n <= MAX_FRAME_SAMPLES:
-        header = FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, FrameKind.SAMPLES, name_id, n)
-        return header + t.tobytes() + v.tobytes()
+        header = FRAME_HEADER.pack(MAGIC, version, FrameKind.SAMPLES, name_id, n)
+        tb = t.tobytes()
+        vb = v.tobytes()
+        if version < 2:
+            return header + tb + vb
+        crc = zlib.crc32(vb, zlib.crc32(tb))
+        return header + tb + vb + _CRC_TRAILER.pack(crc)
     parts = []
     for start in range(0, n, MAX_FRAME_SAMPLES):
         sl = slice(start, min(start + MAX_FRAME_SAMPLES, n))
-        parts.append(encode_binary_samples(name_id, t[sl], v[sl]))
+        parts.append(encode_binary_samples(name_id, t[sl], v[sl], version))
     return b"".join(parts)
+
+
+def encode_deliver(
+    name_id: int,
+    now: float,
+    times: Sequence[float],
+    values: Sequence[float],
+) -> bytes:
+    """Encode a router→worker delivery: columns stamped with the push instant.
+
+    The payload leads with the router's ``now`` as one float64 so the
+    worker replays the exact delivery timeline (its virtual clock runs
+    ``run_through(now)`` before ingesting), then carries the SAMPLES
+    columns and their crc32.  DELIVER exists only under version 2.
+    """
+    t, v, n = _columns(times, values)
+    if n == 0:
+        return b""
+    if n <= MAX_FRAME_SAMPLES:
+        header = FRAME_HEADER.pack(MAGIC, 2, FrameKind.DELIVER, name_id, n)
+        tb = t.tobytes()
+        vb = v.tobytes()
+        crc = zlib.crc32(vb, zlib.crc32(tb))
+        return header + _DELIVER_NOW.pack(float(now)) + tb + vb + _CRC_TRAILER.pack(crc)
+    parts = []
+    for start in range(0, n, MAX_FRAME_SAMPLES):
+        sl = slice(start, min(start + MAX_FRAME_SAMPLES, n))
+        parts.append(encode_deliver(name_id, now, t[sl], v[sl]))
+    return b"".join(parts)
+
+
+def encode_control(payload: Dict[str, Any]) -> bytes:
+    """Encode one JSON control message (heartbeat, stats, snapshot, ...).
+
+    Binary blobs travel base64-inside-JSON; the whole message is capped
+    at :data:`MAX_CONTROL_BYTES`.  CONTROL exists only under version 2.
+    """
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_CONTROL_BYTES:
+        raise ProtocolError(
+            f"control payload of {len(raw)} bytes exceeds the "
+            f"{MAX_CONTROL_BYTES}-byte cap"
+        )
+    return FRAME_HEADER.pack(MAGIC, 2, FrameKind.CONTROL, 0, len(raw)) + raw
 
 
 class FrameDecoder:
@@ -343,21 +456,35 @@ class FrameDecoder:
         )
         if magic != MAGIC:
             raise ProtocolError(f"bad frame magic: {bytes(magic)!r}")
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ProtocolError(
-                f"unsupported protocol version {version} (speak {PROTOCOL_VERSION})"
+                f"unsupported protocol version {version} "
+                f"(speak one of {sorted(SUPPORTED_VERSIONS)})"
             )
         try:
             kind = FrameKind(kind_raw)
         except ValueError:
             raise ProtocolError(f"unknown frame kind: {kind_raw}") from None
-        if kind is FrameKind.SAMPLES:
+        if kind in (FrameKind.DELIVER, FrameKind.CONTROL) and version < 2:
+            raise ProtocolError(f"{kind.name} frames require protocol version 2")
+        if kind in (FrameKind.SAMPLES, FrameKind.DELIVER):
             if count > MAX_FRAME_SAMPLES:
                 raise ProtocolError(
-                    f"SAMPLES frame of {count} samples exceeds the "
+                    f"{kind.name} frame of {count} samples exceeds the "
                     f"{MAX_FRAME_SAMPLES}-sample cap"
                 )
-            payload_size = 16 * count
+            # v2 columns carry a trailing crc32; DELIVER also leads with
+            # the float64 delivery instant.
+            checksummed = version >= 2
+            lead = _DELIVER_NOW.size if kind is FrameKind.DELIVER else 0
+            payload_size = lead + 16 * count + (_CRC_TRAILER.size if checksummed else 0)
+        elif kind is FrameKind.CONTROL:
+            if count > MAX_CONTROL_BYTES:
+                raise ProtocolError(
+                    f"CONTROL payload of {count} bytes exceeds the "
+                    f"{MAX_CONTROL_BYTES}-byte cap"
+                )
+            payload_size = count
         else:
             if count > MAX_NAME_BYTES:
                 raise ProtocolError(
@@ -369,7 +496,7 @@ class FrameDecoder:
         end = start + payload_size
         if len(buf) < end:
             return None
-        if kind is FrameKind.SAMPLES:
+        if kind in (FrameKind.SAMPLES, FrameKind.DELIVER):
             if copy_payload:
                 # Detach from the carry buffer before it compacts.
                 source: bytes = bytes(memoryview(buf)[start:end])
@@ -377,6 +504,21 @@ class FrameDecoder:
             else:
                 source = buf
                 offset = start
+            now: Optional[float] = None
+            if kind is FrameKind.DELIVER:
+                (now,) = _DELIVER_NOW.unpack_from(source, offset)
+                offset += _DELIVER_NOW.size
+            if checksummed:
+                with memoryview(source) as view:
+                    columns = view[offset : offset + 16 * count]
+                    (expect,) = _CRC_TRAILER.unpack_from(
+                        source, offset + 16 * count
+                    )
+                    if zlib.crc32(columns) != expect:
+                        raise ProtocolError(
+                            f"{kind.name} column checksum mismatch "
+                            f"(corrupt frame of {count} samples)"
+                        )
             times = np.frombuffer(source, dtype="<f8", count=count, offset=offset)
             values = np.frombuffer(
                 source, dtype="<f8", count=count, offset=offset + 8 * count
@@ -388,7 +530,21 @@ class FrameDecoder:
                     version=version,
                     times=times,
                     values=values,
+                    now=now,
                 ),
+                end,
+            )
+        if kind is FrameKind.CONTROL:
+            try:
+                control = json.loads(bytes(memoryview(buf)[start:end]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"CONTROL payload is not JSON: {exc}") from None
+            if not isinstance(control, dict):
+                raise ProtocolError(
+                    f"CONTROL payload must be a JSON object: {type(control).__name__}"
+                )
+            return (
+                Frame(kind=kind, name_id=name_id, version=version, control=control),
                 end,
             )
         if kind is FrameKind.NAME_DEF:

@@ -235,8 +235,15 @@ class ScopeServer:
             state.dropped_late += n - accepted
         elif frame.kind is FrameKind.NAME_DEF:
             state.names[frame.name_id] = frame.name
-        else:  # HELLO
+        elif frame.kind is FrameKind.HELLO:
             state.peer_version = frame.version
+        else:
+            # DELIVER/CONTROL belong to the router↔worker link (see
+            # repro.net.worker); a client session sending them is
+            # confused or hostile either way — disconnect it.
+            raise ProtocolError(
+                f"{frame.kind.name} frame is not valid on a client session"
+            )
 
     def _ingest_tuples(self, state: ClientState, tuples: List[Tuple3]) -> None:
         """Text compatibility path: regroup per-name runs, push columns."""

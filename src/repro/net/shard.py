@@ -52,10 +52,11 @@ is re-registered on its new home by ``auto_create`` (or explicitly).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -63,7 +64,13 @@ from repro.core.manager import ScopeManager
 from repro.core.scope import Scope, ScopeError
 from repro.eventloop.loop import MainLoop
 
-__all__ = ["HashRing", "ShardStats", "ShardedScopeManager", "shard_of"]
+__all__ = [
+    "HashRing",
+    "ProcessShardedScopeManager",
+    "ShardStats",
+    "ShardedScopeManager",
+    "shard_of",
+]
 
 #: Points per shard on the ring.  Enough that per-shard ownership stays
 #: within ~±30% of 1/N (relative sd ≈ 1/sqrt(replicas) ≈ 8.8%), so a
@@ -155,18 +162,48 @@ def shard_of(name: str, n_shards: int) -> int:
 
 @dataclass
 class ShardStats:
-    """Per-shard ingest accounting (the backpressure counters)."""
+    """Per-shard ingest accounting (the backpressure counters).
+
+    ``tap_bytes`` and ``wal_bytes`` track the byte cost of the shard's
+    durability plumbing: column bytes offered to capture taps and
+    written ahead to the shard's WAL, respectively (16 bytes per sample
+    — two float64 columns).  They ride the same ledger discipline as
+    the sample counters: conserved across shard retirement/migration via
+    :meth:`fold`.
+    """
 
     offered: int = 0
     accepted: int = 0
     dropped_late: int = 0
+    tap_bytes: int = 0
+    wal_bytes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """Every integer counter, by field name.
+
+        Generic over ``dataclasses.fields`` so subclasses adding
+        counters (:class:`~repro.net.supervisor.SupervisionStats`) are
+        covered without overriding; non-integer fields (timestamps) are
+        not counters and are skipped.
+        """
         return {
-            "offered": self.offered,
-            "accepted": self.accepted,
-            "dropped_late": self.dropped_late,
+            f.name: value
+            for f in dataclasses.fields(self)
+            if isinstance(value := getattr(self, f.name), int)
         }
+
+    def fold(self, other: "ShardStats") -> None:
+        """Fold another ledger's counters into this one (retirement).
+
+        Iterates the *shared* integer fields generically, so a counter
+        added to any stats class is conserved by every fold site — a
+        hardcoded field list here silently dropped new counters from
+        retired totals.
+        """
+        mine = {f.name for f in dataclasses.fields(self)}
+        for name, value in other.as_dict().items():
+            if name in mine:
+                setattr(self, name, getattr(self, name) + value)
 
 
 class ShardedScopeManager:
@@ -218,6 +255,8 @@ class ShardedScopeManager:
         self._route_cache: Dict[str, int] = {}
         self._ring_version = 0
         self._next_id = shards
+        # Taps attached through this facade (for tap_bytes accounting).
+        self._tap_count = 0
 
     # ------------------------------------------------------------------
     # Routing
@@ -326,10 +365,7 @@ class ShardedScopeManager:
             home = self.shard_of(scope.name)
             self._managers[home].adopt_scope(retiring.release_scope(scope.name))
         del self._managers[shard_id]
-        stats = self._stats.pop(shard_id)
-        self._retired.offered += stats.offered
-        self._retired.accepted += stats.accepted
-        self._retired.dropped_late += stats.dropped_late
+        self._retired.fold(self._stats.pop(shard_id))
         self._migrate_scopes()
 
     def replace_manager(self, shard_id: int, manager: ScopeManager) -> ScopeManager:
@@ -406,10 +442,12 @@ class ShardedScopeManager:
             )
         for manager in self._managers.values():
             manager.add_tap(tap)
+        self._tap_count += 1
 
     def remove_tap(self, tap) -> None:
         for manager in self._managers.values():
             manager.remove_tap(tap)
+        self._tap_count -= 1
 
     # ------------------------------------------------------------------
     # Manager protocol (what ScopeServer consumes)
@@ -444,6 +482,8 @@ class ShardedScopeManager:
         stats.offered += 1
         stats.accepted += 1 if accepted else 0
         stats.dropped_late += 0 if accepted else 1
+        if self._tap_count:
+            stats.tap_bytes += 16 * self._tap_count
         return accepted
 
     def push_samples(self, name: str, times, values) -> int:
@@ -461,6 +501,8 @@ class ShardedScopeManager:
         stats.offered += offered
         stats.accepted += accepted
         stats.dropped_late += offered - accepted
+        if self._tap_count:
+            stats.tap_bytes += 16 * offered * self._tap_count
         return accepted
 
     # ------------------------------------------------------------------
@@ -498,11 +540,176 @@ class ShardedScopeManager:
 
     def totals(self) -> Dict[str, int]:
         """Ingest counters summed across shards (including retired ones)."""
-        return {
-            "offered": self._retired.offered
-            + sum(s.offered for s in self._stats.values()),
-            "accepted": self._retired.accepted
-            + sum(s.accepted for s in self._stats.values()),
-            "dropped_late": self._retired.dropped_late
-            + sum(s.dropped_late for s in self._stats.values()),
-        }
+        out = self._retired.as_dict()
+        for stats in self._stats.values():
+            for key, value in stats.as_dict().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+
+class ProcessShardedScopeManager:
+    """N shards, each a real worker **process** behind the same ring.
+
+    The multi-core counterpart of :class:`ShardedScopeManager`: routing
+    is identical (the same :class:`HashRing`, the same placement
+    contract), but each shard's scopes live in a child process running a
+    :class:`~repro.net.supervisor.ShardHost` on its own event loop, fed
+    over a socketpair with the version-2 binary protocol (DELIVER
+    frames; optionally a shared-memory ring for the column bytes — see
+    :mod:`repro.net.worker`).  Ingest therefore runs on as many cores as
+    there are workers, while the router pays only encode + send.
+
+    The push API is **asynchronous**: :meth:`push_samples` returns the
+    *offered* count once the batch is queued to the home worker, and the
+    accept/late-drop verdicts accumulate in the child.  :meth:`drain`
+    blocks (in real time) until every worker has ingested everything the
+    router sent, then :meth:`totals` is exact.  Per-shard backpressure
+    is the worker writer's bounded pending buffer: past its high
+    watermark the router push *blocks* on that worker's socket instead
+    of growing memory without bound.
+
+    Supervision (WAL-before-send, liveness, respawn) is deliberately not
+    here — that is :class:`~repro.net.supervisor.ProcessShardSupervisor`;
+    this class is the fast path the scaling benchmarks (X14a/b) measure.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        scope_factory: Optional[Callable] = None,
+        loop: Optional[MainLoop] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        heartbeat_s: float = 1.0,
+        use_shm: bool = False,
+        ring_bytes: int = 1 << 22,
+        max_pending_bytes: int = 4 << 20,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        # Lazy import: worker imports supervisor (for ShardHost), which
+        # imports this module — importing at call time breaks the cycle.
+        from repro.net.worker import WorkerHandle
+
+        self.loop = loop if loop is not None else MainLoop()
+        self._ring = HashRing(range(shards), replicas=replicas)
+        self._route_cache: Dict[str, int] = {}
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._stats: Dict[int, ShardStats] = {}
+        self._retired = ShardStats()
+        self._closed = False
+        try:
+            for shard_id in range(shards):
+                self._handles[shard_id] = WorkerHandle(
+                    shard_id,
+                    scope_factory,
+                    heartbeat_s=heartbeat_s,
+                    use_shm=use_shm,
+                    ring_bytes=ring_bytes,
+                    max_pending_bytes=max_pending_bytes,
+                )
+                self._stats[shard_id] = ShardStats()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- routing --------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._handles)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self._handles)
+
+    def shard_of(self, name: str) -> int:
+        """Home shard id for a signal name (same ring as in-process)."""
+        shard_id = self._route_cache.get(name)
+        if shard_id is None:
+            shard_id = self._ring.locate(name)
+            self._route_cache[name] = shard_id
+        return shard_id
+
+    def handle_of(self, shard_id: int):
+        try:
+            return self._handles[shard_id]
+        except KeyError:
+            raise ValueError(f"unknown shard id: {shard_id}") from None
+
+    # -- push (async) ---------------------------------------------------
+    def push_sample(self, name: str, time_ms: float, value: float) -> int:
+        return self.push_samples(name, (time_ms,), (value,))
+
+    def push_samples(self, name: str, times, values) -> int:
+        """Queue one signal's columns to its home worker; returns offered.
+
+        The late-drop verdict is made in the child at this router
+        instant (the DELIVER frame carries ``now``), so acceptance
+        accounting catches up asynchronously — read it after
+        :meth:`drain` / :meth:`refresh_stats`.
+        """
+        shard_id = self.shard_of(name)
+        now = self.loop.clock.now()
+        offered = self._handles[shard_id].deliver(now, name, times, values)
+        self._stats[shard_id].offered += offered
+        return offered
+
+    def advance_all(self, now: Optional[float] = None) -> None:
+        """Advance every worker's private clock to the router instant.
+
+        Without traffic a worker's loop only moves on messages; this is
+        the monitor-tick equivalent that keeps polls and heartbeats
+        going on idle shards.
+        """
+        if now is None:
+            now = self.loop.clock.now()
+        for handle in self._handles.values():
+            handle.advance(now)
+
+    # -- accounting -----------------------------------------------------
+    def refresh_stats(self, timeout_s: float = 10.0) -> None:
+        """Pull each worker's ingest ledger into the router-side stats."""
+        for shard_id, handle in self._handles.items():
+            remote = handle.stats(timeout_s=timeout_s)
+            stats = self._stats[shard_id]
+            stats.accepted = int(remote["accepted"])
+            stats.dropped_late = int(remote["dropped_late"])
+
+    def drain(self, timeout_s: float = 30.0) -> None:
+        """Block until every worker has ingested all queued deliveries.
+
+        Real-time bound: raises :class:`TimeoutError` if a worker falls
+        permanently behind (or died) within ``timeout_s``.
+        """
+        for shard_id, handle in self._handles.items():
+            handle.drain(self._stats[shard_id].offered, timeout_s=timeout_s)
+        self.refresh_stats(timeout_s=timeout_s)
+
+    def shard_stats(self) -> List[ShardStats]:
+        return [self._stats[i] for i in sorted(self._stats)]
+
+    def totals(self) -> Dict[str, int]:
+        """Counters summed across workers, as of the last refresh/drain."""
+        out = self._retired.as_dict()
+        for stats in self._stats.values():
+            for key, value in stats.as_dict().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def snapshot(self, shard_id: int, timeout_s: float = 30.0) -> dict:
+        """Fetch one worker's full data-plane state (see worker protocol)."""
+        return self.handle_of(shard_id).snapshot_state(timeout_s=timeout_s)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Shut every worker down (graceful, then SIGKILL on timeout)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            handle.close(timeout_s=timeout_s)
+
+    def __enter__(self) -> "ProcessShardedScopeManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

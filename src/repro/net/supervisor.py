@@ -55,6 +55,8 @@ WAL); they resume on their next live arrival instead.
 from __future__ import annotations
 
 import enum
+import os
+import pickle
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -70,6 +72,7 @@ from repro.eventloop.loop import MainLoop
 from repro.net.shard import DEFAULT_REPLICAS, HashRing, ShardStats
 
 __all__ = [
+    "ProcessShardSupervisor",
     "ShardDown",
     "ShardHost",
     "ShardState",
@@ -103,16 +106,6 @@ class SupervisionStats(ShardStats):
     lost_deliveries: int = 0  # pushes that hit a crashed host (WAL-covered)
     replayed_samples: int = 0  # samples re-driven by restart catch-up
     last_restart_at: Optional[float] = None
-
-    def as_dict(self) -> Dict[str, int]:
-        out = super().as_dict()
-        out.update(
-            restarts=self.restarts,
-            missed_beats=self.missed_beats,
-            lost_deliveries=self.lost_deliveries,
-            replayed_samples=self.replayed_samples,
-        )
-        return out
 
 
 @dataclass
@@ -317,6 +310,7 @@ class ShardSupervisor:
         replicas: int = DEFAULT_REPLICAS,
         segment_samples: int = 1 << 12,
         auto_start: bool = True,
+        rotate_on_restart: bool = False,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shards must be positive: {shards}")
@@ -335,6 +329,7 @@ class ShardSupervisor:
         self.monitor_interval_ms = float(interval)
         self.miss_threshold = int(miss_threshold)
         self.segment_samples = int(segment_samples)
+        self.rotate_on_restart = bool(rotate_on_restart)
         self._ring = HashRing(range(shards), replicas=replicas)
         self._route_cache: Dict[str, int] = {}
         self._hosts: Dict[int, ShardHost] = {}
@@ -415,12 +410,28 @@ class ShardSupervisor:
         wal.flush_segment()
         now = self.loop.clock.now()
         stats = SupervisionStats(
+            tap_bytes=old.stats.tap_bytes,
+            wal_bytes=old.stats.wal_bytes,
             restarts=old.stats.restarts + 1,
             missed_beats=old.stats.missed_beats,
             lost_deliveries=old.stats.lost_deliveries,
             last_restart_at=now,
         )
         host = ShardHost(shard_id, self.scope_factory, self.heartbeat_ms, stats=stats)
+        state_path = self.state_path(shard_id)
+        if state_path.exists():
+            # A rotation snapshot holds everything up to its instant:
+            # dry-advance the fresh host there (its timers reproduce the
+            # polls and beats deterministically), load the captured
+            # data-plane state over it, and let the remaining (post-
+            # rotation) segments replay only the suffix.
+            with open(state_path, "rb") as fh:
+                snap = pickle.load(fh)
+            host.loop.run_through(float(snap["now"]))
+            host.manager.load_state(snap["manager"])
+            stats.offered = int(snap["stats"]["offered"])
+            stats.accepted = int(snap["stats"]["accepted"])
+            stats.dropped_late = int(snap["stats"]["dropped_late"])
         if wal.segments_written:
             reader = CaptureReader(wal.path, recover_tail=True)
             source = ReplaySource(reader, _HostTarget(host))
@@ -434,7 +445,77 @@ class ShardSupervisor:
         self._frozen_ticks[shard_id] = 0
         self._restart_epoch += 1
         self.quarantined.append(old)
+        if self.rotate_on_restart:
+            # The fresh host embodies the full WAL history; snapshot it
+            # and retire the replayed segments immediately.
+            self.snapshot_shard(shard_id)
         return host
+
+    # ------------------------------------------------------------------
+    # Snapshot + WAL rotation
+    # ------------------------------------------------------------------
+    def state_path(self, shard_id: int) -> Path:
+        """Snapshot file for one shard (sibling of its WAL directory)."""
+        return self.wal_root / f"shard-{shard_id:02d}.state"
+
+    def snapshot_shard(self, shard_id: int) -> dict:
+        """Snapshot a RUNNING shard's data plane and retire its WAL.
+
+        The host advances through the router's current instant (so the
+        state is pinned to *now*), its full data-plane state and ingest
+        ledger are written atomically to :meth:`state_path`, and every
+        WAL segment — all fully represented by the snapshot — is
+        deleted, with a fresh writer continuing in the same directory.
+        Recovery becomes ``snapshot + suffix replay`` instead of
+        ``replay from t=0``, and WAL disk stays bounded by the snapshot
+        cadence instead of growing with history.
+
+        Only a RUNNING host may snapshot: a stalled host's parked inbox
+        (and a crashed host's lost one) holds WAL'd-but-unapplied
+        deliveries the state capture would silently drop.
+        """
+        host = self._hosts[shard_id]
+        if host.state is not ShardState.RUNNING:
+            raise ShardDown(
+                f"shard {shard_id} is {host.state.value}; only a RUNNING "
+                "shard can snapshot (parked deliveries would be lost)"
+            )
+        now = self.loop.clock.now()
+        host.advance(now)
+        snap = {
+            "now": host.loop.clock.now(),
+            "manager": host.manager.state_dict(),
+            "stats": {
+                "offered": host.stats.offered,
+                "accepted": host.stats.accepted,
+                "dropped_late": host.stats.dropped_late,
+            },
+        }
+        state_path = self.state_path(shard_id)
+        tmp = state_path.with_suffix(".state.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(snap, fh)
+        os.replace(tmp, state_path)  # atomic: never a torn state file
+        self._rotate_wal(shard_id)
+        return snap
+
+    def _rotate_wal(self, shard_id: int) -> None:
+        """Retire every WAL segment; continue with a fresh writer.
+
+        Called only after the state file covering those segments is
+        durably in place.  The live (partial) segment is flushed by
+        ``close()`` first, so nothing WAL'd escapes the snapshot; the
+        fresh writer restarts segment numbering at zero in the same
+        directory, preserving the reader's contiguous-from-0 contract.
+        """
+        old_writer = self._wals[shard_id]
+        path = old_writer.path
+        old_writer.close()
+        for segment in sorted(path.glob("*.gseg")):
+            segment.unlink()
+        self._wals[shard_id] = CaptureWriter(
+            path, segment_samples=self.segment_samples
+        )
 
     # ------------------------------------------------------------------
     # Fault injection passthrough (shard-role faults)
@@ -499,6 +580,7 @@ class ShardSupervisor:
         now = self.loop.clock.now()
         self._wals[shard_id].on_push(name, times, values, now)
         host = self._hosts[shard_id]
+        host.stats.wal_bytes += 16 * len(times)  # two float64 columns
         try:
             return host.deliver(now, name, times, values)
         except ShardDown:
@@ -517,19 +599,10 @@ class ShardSupervisor:
 
     def totals(self) -> Dict[str, int]:
         """Counters summed across shards, supervision included."""
-        keys = (
-            "offered",
-            "accepted",
-            "dropped_late",
-            "restarts",
-            "missed_beats",
-            "lost_deliveries",
-            "replayed_samples",
-        )
-        out = {key: 0 for key in keys}
+        out: Dict[str, int] = {}
         for host in self._hosts.values():
-            for key in keys:
-                out[key] += getattr(host.stats, key)
+            for key, value in host.stats.as_dict().items():
+                out[key] = out.get(key, 0) + value
         return out
 
     def close(self) -> None:
@@ -537,3 +610,341 @@ class ShardSupervisor:
         self.stop()
         for wal in self._wals.values():
             wal.close()
+
+
+class ProcessShardSupervisor:
+    """WAL-before-send routing to worker *processes*, with respawn.
+
+    The process counterpart of :class:`ShardSupervisor`: the same
+    consistent-hash routing and the same write-ahead discipline, but the
+    shard hosts live in child processes behind
+    :class:`~repro.net.worker.WorkerHandle` links, so a worker can
+    genuinely die (``kill -9``) and recovery is a real OS-level respawn:
+
+    * every push is WAL'd on the router side *before* the non-blocking
+      send, so bytes in flight to a dying process are never lost;
+    * liveness is OS-truth first — ``Process.is_alive()`` (immediate for
+      a SIGKILLed child) and a broken pipe both mark the worker down —
+      with the real-time heartbeat silence of the control channel as a
+      backstop for wedged-but-alive children (``beat_grace_s`` is real
+      seconds and generous: monitor ticks on a virtual loop burn ~no
+      wall clock, so only a genuinely silent child can trip it);
+    * respawn is synchronous: the WAL is flushed, a fresh worker starts
+      with ``wal_path``/``state_path``, restores the rotation snapshot
+      (if any), replays the remaining segments, and only then sends
+      ``ready`` — the router cannot race new traffic past recovery, so
+      the restarted worker is byte-identical to one that never died
+      (the in-process equivalence argument, plus the socket's total
+      order).
+
+    :meth:`snapshot_shard` piggybacks on that same order: the snapshot
+    request is queued *behind* every prior delivery, so the captured
+    state provably covers everything WAL'd, and the segments can be
+    retired the moment the state file lands.
+    """
+
+    def __init__(
+        self,
+        loop: MainLoop,
+        wal_root: Union[str, Path],
+        shards: int = 4,
+        scope_factory: Optional[ScopeFactory] = None,
+        heartbeat_s: float = 1.0,
+        monitor_interval_ms: float = 50.0,
+        beat_grace_s: float = 60.0,
+        replicas: int = DEFAULT_REPLICAS,
+        segment_samples: int = 1 << 12,
+        use_shm: bool = False,
+        ring_bytes: int = 1 << 22,
+        max_pending_bytes: int = 4 << 20,
+        auto_start: bool = True,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        # Lazy import: worker imports this module for ShardHost.
+        from repro.net.worker import WorkerHandle
+
+        self._handle_cls = WorkerHandle
+        self.loop = loop
+        self.wal_root = Path(wal_root)
+        self.scope_factory = scope_factory
+        self.heartbeat_s = float(heartbeat_s)
+        self.monitor_interval_ms = float(monitor_interval_ms)
+        self.beat_grace_s = float(beat_grace_s)
+        self.segment_samples = int(segment_samples)
+        self.use_shm = bool(use_shm)
+        self.ring_bytes = int(ring_bytes)
+        self.max_pending_bytes = int(max_pending_bytes)
+        self._ring = HashRing(range(shards), replicas=replicas)
+        self._route_cache: Dict[str, int] = {}
+        self._wals: Dict[int, CaptureWriter] = {}
+        self._stats: Dict[int, SupervisionStats] = {}
+        self._handles: Dict[int, object] = {}
+        self._monitor_id: Optional[int] = None
+        self._restart_epoch = 0
+        self._closed = False
+        try:
+            for shard_id in range(shards):
+                self._wals[shard_id] = CaptureWriter(
+                    self.wal_root / f"shard-{shard_id:02d}",
+                    segment_samples=self.segment_samples,
+                )
+                self._stats[shard_id] = SupervisionStats()
+                self._handles[shard_id] = self._spawn(shard_id, start_now=0.0)
+        except BaseException:
+            self.close()
+            raise
+        if auto_start:
+            self.start()
+
+    def _spawn(self, shard_id: int, start_now: float):
+        return self._handle_cls(
+            shard_id,
+            self.scope_factory,
+            heartbeat_s=self.heartbeat_s,
+            wal_path=self._wals[shard_id].path,
+            state_path=self.state_path(shard_id),
+            start_now=start_now,
+            use_shm=self.use_shm,
+            ring_bytes=self.ring_bytes,
+            max_pending_bytes=self.max_pending_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Monitor lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the liveness monitor on the router loop."""
+        if self._monitor_id is None:
+            self._monitor_id = self.loop.timeout_add(
+                self.monitor_interval_ms, self._monitor
+            )
+
+    def stop(self) -> None:
+        if self._monitor_id is not None:
+            self.loop.remove(self._monitor_id)
+            self._monitor_id = None
+
+    @property
+    def monitoring(self) -> bool:
+        return self._monitor_id is not None
+
+    def _monitor(self, lost: int = 0) -> bool:
+        now = self.loop.clock.now()
+        for shard_id in sorted(self._handles):
+            handle = self._handles[shard_id]
+            handle.poll()  # drains beats; surfaces crash reports
+            if (
+                not handle.is_alive()
+                or handle.link_down
+                or handle.take_crash() is not None
+            ):
+                self.restart_shard(shard_id)
+                continue
+            handle.advance(now)
+            if handle.beat_age_s() > self.beat_grace_s:
+                self._stats[shard_id].missed_beats += 1
+                self.restart_shard(shard_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def restart_shard(self, shard_id: int):
+        """Respawn a worker and catch it up: snapshot restore + replay.
+
+        The old process is killed outright (it is usually already dead),
+        the WAL's partial segment is flushed so the child sees every
+        recorded push, and the replacement is spawned with the current
+        router instant as its catch-up target.  Spawning blocks on the
+        child's ``ready`` — recovery completes before any new delivery
+        can be queued.
+        """
+        old = self._handles[shard_id]
+        stats = self._stats[shard_id]
+        old.kill()
+        old.close(timeout_s=2.0)
+        self._wals[shard_id].flush_segment()
+        now = self.loop.clock.now()
+        stats.restarts += 1
+        stats.last_restart_at = now
+        handle = self._spawn(shard_id, start_now=now)
+        stats.replayed_samples = handle.replayed_samples
+        self._handles[shard_id] = handle
+        self._restart_epoch += 1
+        return handle
+
+    def ensure_alive(self) -> None:
+        """Respawn any dead worker immediately (no waiting on a tick)."""
+        for shard_id in sorted(self._handles):
+            handle = self._handles[shard_id]
+            handle.poll()
+            if (
+                not handle.is_alive()
+                or handle.link_down
+                or handle.take_crash() is not None
+            ):
+                self.restart_shard(shard_id)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int) -> None:
+        """SIGKILL one worker process (the fault the WAL exists for)."""
+        self._handles[shard_id].kill()
+
+    # ------------------------------------------------------------------
+    # Routing + push
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._handles)
+
+    def handle_of(self, shard_id: int):
+        try:
+            return self._handles[shard_id]
+        except KeyError:
+            raise ValueError(f"unknown shard id: {shard_id}") from None
+
+    def shard_of(self, name: str) -> int:
+        shard_id = self._route_cache.get(name)
+        if shard_id is None:
+            shard_id = self._ring.locate(name)
+            self._route_cache[name] = shard_id
+        return shard_id
+
+    @property
+    def topology_version(self) -> int:
+        return self._restart_epoch
+
+    def push_sample(self, name: str, time_ms: float, value: float) -> int:
+        return self.push_samples(name, (time_ms,), (value,))
+
+    def push_samples(self, name: str, times, values) -> int:
+        """WAL first, then queue to the home worker; returns offered.
+
+        A push aimed at a dead worker is counted lost (to the live
+        link — the WAL already holds it; the respawn replays it at this
+        exact instant) and returns 0, exactly like the in-process
+        supervisor's crashed-host path.
+        """
+        n = len(times)
+        if n == 0:
+            return 0
+        shard_id = self.shard_of(name)
+        now = self.loop.clock.now()
+        self._wals[shard_id].on_push(name, times, values, now)
+        stats = self._stats[shard_id]
+        stats.wal_bytes += 16 * n
+        handle = self._handles[shard_id]
+        if not handle.is_alive() or handle.link_down:
+            stats.lost_deliveries += 1
+            return 0
+        offered = handle.deliver(now, name, times, values)
+        stats.offered += offered
+        return offered
+
+    def advance_all(self, now: Optional[float] = None) -> None:
+        """Advance every live worker's private clock (idle-shard ticks)."""
+        if now is None:
+            now = self.loop.clock.now()
+        for handle in self._handles.values():
+            if handle.is_alive() and not handle.link_down:
+                handle.advance(now)
+
+    # ------------------------------------------------------------------
+    # Settling + accounting
+    # ------------------------------------------------------------------
+    def _wal_samples(self, shard_id: int) -> int:
+        return self._stats[shard_id].wal_bytes // 16
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        """Respawn the dead, then block until every worker has ingested
+        every sample the WAL holds.
+
+        The drain target is the WAL ledger, not the live-send ledger: a
+        respawned worker's ``offered`` covers replayed *and* live
+        samples, and the WAL count is exactly that union.
+        """
+        self.ensure_alive()
+        for shard_id in sorted(self._handles):
+            self._handles[shard_id].drain(
+                self._wal_samples(shard_id), timeout_s=timeout_s
+            )
+        self.refresh_stats(timeout_s=timeout_s)
+
+    def refresh_stats(self, timeout_s: float = 10.0) -> None:
+        """Pull each worker's ingest ledger into the router-side stats."""
+        for shard_id, handle in self._handles.items():
+            remote = handle.stats(timeout_s=timeout_s)
+            stats = self._stats[shard_id]
+            stats.offered = int(remote["offered"])
+            stats.accepted = int(remote["accepted"])
+            stats.dropped_late = int(remote["dropped_late"])
+
+    def shard_stats(self) -> List[SupervisionStats]:
+        return [self._stats[i] for i in sorted(self._stats)]
+
+    def totals(self) -> Dict[str, int]:
+        """Counters summed across workers, as of the last refresh/drain."""
+        out: Dict[str, int] = {}
+        for stats in self._stats.values():
+            for key, value in stats.as_dict().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def snapshot_state(self, shard_id: int, timeout_s: float = 30.0) -> dict:
+        """Fetch one worker's full data-plane state (ordered past all sends)."""
+        return self._handles[shard_id].snapshot_state(timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------
+    # Snapshot + WAL rotation
+    # ------------------------------------------------------------------
+    def state_path(self, shard_id: int) -> Path:
+        return self.wal_root / f"shard-{shard_id:02d}.state"
+
+    def snapshot_shard(self, shard_id: int, timeout_s: float = 30.0) -> dict:
+        """Snapshot one worker's state and retire its WAL segments.
+
+        The socket's total order makes this safe without a drain: the
+        snapshot request is queued behind every delivery already sent,
+        so the returned state covers everything the WAL recorded for a
+        live link.  (A dead worker cannot snapshot — respawn first.)
+        """
+        handle = self._handles[shard_id]
+        handle.advance(self.loop.clock.now())
+        snap = handle.snapshot_state(timeout_s=timeout_s)
+        state_path = self.state_path(shard_id)
+        tmp = state_path.with_suffix(".state.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(snap, fh)
+        os.replace(tmp, state_path)
+        old_writer = self._wals[shard_id]
+        path = old_writer.path
+        old_writer.close()
+        for segment in sorted(path.glob("*.gseg")):
+            segment.unlink()
+        self._wals[shard_id] = CaptureWriter(
+            path, segment_samples=self.segment_samples
+        )
+        return snap
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop monitoring, shut every worker down, seal the WALs."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop()
+        for handle in self._handles.values():
+            handle.close(timeout_s=timeout_s)
+        for wal in self._wals.values():
+            wal.close()
+
+    def __enter__(self) -> "ProcessShardSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

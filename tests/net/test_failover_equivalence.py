@@ -33,6 +33,7 @@ from repro.core.signal import buffer_signal
 from repro.eventloop.loop import MainLoop
 from repro.net import (
     FaultPlan,
+    ProcessShardSupervisor,
     ScopeClient,
     ScopeServer,
     ShardSupervisor,
@@ -390,3 +391,117 @@ def test_server_session_kill_resumes_with_reason(seed, tmp_path):
     assert len(set(displayed)) == len(displayed)
     assert max(displayed) > len(sent) * 0.8  # traffic flowed to the end
     assert server.totals()["protocol_errors"] == 0
+
+
+# ----------------------------------------------------------------------
+# Role 4: process shard workers — SIGKILL + respawn, byte-identical
+# ----------------------------------------------------------------------
+
+PROC_RUN_MS = 1_500.0
+
+
+def _assert_state_equal(a, b, path=""):
+    """Deep equality over nested dict/array snapshot state."""
+    if isinstance(a, dict):
+        assert isinstance(b, dict) and set(a) == set(b), path
+        for key in a:
+            _assert_state_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, np.ndarray):
+        np.testing.assert_array_equal(b, a, err_msg=path)
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_state_equal(x, y, f"{path}[{i}]")
+    else:
+        assert a == b, (path, a, b)
+
+
+def process_run(tmp_path, seed, kill_at, victim=0, rotate_before_kill=False):
+    """One seeded run over real worker processes; returns (totals, states).
+
+    ``kill_at`` is a *virtual* instant: the victim worker takes a real
+    ``SIGKILL`` at the first feed tick at or past it.  The final state is
+    fetched from the workers themselves via the snapshot control, after
+    a drain proves every WAL'd sample was ingested.
+    """
+    rng = random.Random(seed)
+    loop = MainLoop()
+    sup = ProcessShardSupervisor(
+        loop,
+        tmp_path,
+        shards=N_SHARDS,
+        scope_factory=factory,
+        monitor_interval_ms=HEARTBEAT_MS,
+        heartbeat_s=5.0,
+        segment_samples=256,
+    )
+    killed = False
+    with sup:
+
+        def feed(_lost) -> bool:
+            nonlocal killed
+            now = loop.clock.now()
+            if kill_at is not None and not killed and now >= kill_at:
+                if rotate_before_kill:
+                    for shard_id in range(N_SHARDS):
+                        sup.snapshot_shard(shard_id)
+                sup.kill_shard(victim)
+                killed = True
+            for name in SIGNALS:
+                n = rng.randrange(0, 4)
+                if n == 0:
+                    continue
+                times = sorted(now - rng.uniform(0.0, 240.0) for _ in range(n))
+                values = [rng.uniform(-100.0, 100.0) for _ in range(n)]
+                sup.push_samples(name, np.asarray(times), np.asarray(values))
+            return True
+
+        loop.timeout_add(TICK_MS, feed)
+        loop.run_until(PROC_RUN_MS)
+        sup.drain(timeout_s=120.0)
+        totals = sup.totals()
+        states = {i: sup.snapshot_state(i) for i in range(N_SHARDS)}
+    return totals, states
+
+
+def assert_process_equivalent(seed, oracle, faulted):
+    o_totals, o_states = oracle
+    f_totals, f_states = faulted
+    for key in ("offered", "accepted", "dropped_late"):
+        assert f_totals[key] == o_totals[key], f"seed {seed}: {key} diverged"
+    for shard_id in o_states:
+        _assert_state_equal(
+            o_states[shard_id]["manager"],
+            f_states[shard_id]["manager"],
+            f"seed {seed} shard {shard_id}",
+        )
+        assert o_states[shard_id]["stats"] == f_states[shard_id]["stats"]
+
+
+@pytest.mark.distributed
+@pytest.mark.parametrize("seed", (3, 11))
+def test_process_worker_sigkill_recovers_byte_identically(seed, tmp_path):
+    """kill -9 mid-stream, respawn + WAL replay == a run that never died."""
+    rng = random.Random(seed + 2000)
+    kill_at = rng.uniform(400.0, 1100.0)
+    victim = rng.randrange(N_SHARDS)
+    oracle = process_run(tmp_path / "oracle", seed, kill_at=None)
+    faulted = process_run(tmp_path / "faulted", seed, kill_at, victim=victim)
+    assert_process_equivalent(seed, oracle, faulted)
+    assert faulted[0]["restarts"] == 1
+    assert faulted[0]["replayed_samples"] > 0
+    assert oracle[0]["offered"] > 150
+    assert oracle[0]["dropped_late"] > 0
+
+
+@pytest.mark.distributed
+def test_process_worker_kill_after_rotation_recovers(tmp_path):
+    """Snapshot + WAL rotation, then SIGKILL: restore = state file +
+    suffix replay, still byte-identical to the unfailed oracle."""
+    seed = 5
+    oracle = process_run(tmp_path / "oracle", seed, kill_at=None)
+    faulted = process_run(
+        tmp_path / "faulted", seed, kill_at=700.0, victim=1, rotate_before_kill=True
+    )
+    assert_process_equivalent(seed, oracle, faulted)
+    assert faulted[0]["restarts"] == 1

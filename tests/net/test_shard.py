@@ -98,7 +98,13 @@ class TestPushRouting:
         assert stats.accepted == 2
         assert stats.dropped_late == 1
         totals = sharded.totals()
-        assert totals == {"offered": 3, "accepted": 2, "dropped_late": 1}
+        assert totals == {
+            "offered": 3,
+            "accepted": 2,
+            "dropped_late": 1,
+            "tap_bytes": 0,
+            "wal_bytes": 0,
+        }
 
     def test_scalar_push_counted_too(self):
         loop, sharded = self.make_sharded()

@@ -196,6 +196,136 @@ class TestRestartRecovery:
         assert stats.offered == 20
 
 
+class TestWalRotation:
+    def test_snapshot_retires_segments_and_writes_state(self, tmp_path):
+        loop, sup = make_supervisor(tmp_path, auto_start=False, segment_samples=8)
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        import numpy as np
+
+        for k in range(4):
+            now = (k + 1) * 50.0
+            loop.clock.wait_until(now)
+            times = np.linspace(now - 5.0, now, 8)
+            sup.push_samples(name, times, times * 2.0)
+        wal_dir = tmp_path / "wal" / f"shard-{home:02d}"
+        assert sorted(wal_dir.glob("*.gseg"))
+        sup.snapshot_shard(home)
+        assert sorted(wal_dir.glob("*.gseg")) == []
+        assert sup.state_path(home).exists()
+        # The fresh writer keeps recording in the same directory.
+        loop.clock.wait_until(300.0)
+        times = np.linspace(295.0, 300.0, 8)
+        sup.push_samples(name, times, times)
+        assert sorted(wal_dir.glob("*.gseg"))
+        sup.close()
+
+    def test_restart_after_rotation_replays_suffix_only(self, tmp_path):
+        loop, sup = make_supervisor(tmp_path, auto_start=False)
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        for k in range(20):
+            loop.clock.wait_until(k * 10.0)
+            sup.push_samples(name, (k * 10.0,), (float(k),))
+        accepted_mid = sup.host(home).stats.accepted
+        sup.snapshot_shard(home)
+        for k in range(20, 30):
+            loop.clock.wait_until(k * 10.0)
+            sup.push_samples(name, (k * 10.0,), (float(k),))
+        accepted_before = sup.host(home).stats.accepted
+        assert accepted_before > accepted_mid
+        sup.crash_shard(home)
+        sup.restart_shard(home)
+        stats = sup.host(home).stats
+        assert stats.restarts == 1
+        assert stats.replayed_samples == 10  # the post-snapshot suffix only
+        assert stats.offered == 30  # snapshot ledger + replayed suffix
+        assert stats.accepted == accepted_before
+        sup.close()
+
+    def test_rotation_keeps_torn_tail_guarantee(self, tmp_path):
+        """The live (post-rotation) segment still recovers from a torn
+        tail exactly as before rotation existed."""
+        loop, sup = make_supervisor(tmp_path, auto_start=False, segment_samples=8)
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        import numpy as np
+
+        for k in range(2):
+            now = (k + 1) * 50.0
+            loop.clock.wait_until(now)
+            sup.push_samples(name, np.linspace(now - 5, now, 8), np.zeros(8))
+        sup.snapshot_shard(home)
+        for k in range(2, 5):
+            now = (k + 1) * 50.0
+            loop.clock.wait_until(now)
+            sup.push_samples(name, np.linspace(now - 5, now, 8), np.ones(8))
+        wal_dir = tmp_path / "wal" / f"shard-{home:02d}"
+        sup._wals[home].flush_segment()
+        tail = sorted(wal_dir.glob("*.gseg"))[-1]
+        raw = tail.read_bytes()
+        tail.write_bytes(raw[: len(raw) // 3])
+        sup.crash_shard(home)
+        host = sup.restart_shard(home)
+        # 2 intact post-rotation segments replay; the torn third skips.
+        assert host.stats.replayed_samples == 16
+        assert host.stats.offered == 16 + 16  # restored ledger + suffix
+        sup.close()
+
+    def test_snapshot_refuses_non_running_host(self, tmp_path):
+        loop, sup = make_supervisor(tmp_path, auto_start=False)
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        sup.push_samples(name, (0.0,), (1.0,))
+        sup.stall_shard(home)
+        sup.push_samples(name, (1.0,), (2.0,))  # parks in the inbox
+        with pytest.raises(ShardDown, match="RUNNING"):
+            sup.snapshot_shard(home)
+        sup.resume_shard(home)
+        sup.snapshot_shard(home)  # fine once the inbox drained
+        sup.close()
+
+    def test_rotate_on_restart_retires_replayed_history(self, tmp_path):
+        loop, sup = make_supervisor(
+            tmp_path, auto_start=False, rotate_on_restart=True
+        )
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        for k in range(10):
+            loop.clock.wait_until(k * 10.0)
+            sup.push_samples(name, (k * 10.0,), (float(k),))
+        sup.crash_shard(home)
+        sup.restart_shard(home)
+        wal_dir = tmp_path / "wal" / f"shard-{home:02d}"
+        assert sorted(wal_dir.glob("*.gseg")) == []  # history retired
+        assert sup.state_path(home).exists()
+        # A second crash replays only what arrived after the restart.
+        for k in range(10, 15):
+            loop.clock.wait_until(k * 10.0)
+            sup.push_samples(name, (k * 10.0,), (float(k),))
+        sup.crash_shard(home)
+        sup.restart_shard(home)
+        stats = sup.host(home).stats
+        assert stats.restarts == 2
+        assert stats.replayed_samples == 5
+        assert stats.offered == 15
+        sup.close()
+
+    def test_wal_bytes_ledger_counts_and_survives_restart(self, tmp_path):
+        loop, sup = make_supervisor(tmp_path, auto_start=False)
+        name = SIGNALS[0]
+        home = sup.shard_of(name)
+        for k in range(12):
+            loop.clock.wait_until(k * 10.0)
+            sup.push_samples(name, (k * 10.0,), (float(k),))
+        assert sup.host(home).stats.wal_bytes == 12 * 16
+        assert sup.totals()["wal_bytes"] == 12 * 16
+        sup.crash_shard(home)
+        sup.restart_shard(home)
+        assert sup.host(home).stats.wal_bytes == 12 * 16  # carried forward
+        sup.close()
+
+
 class TestManagerProtocol:
     def test_carries_and_auto_create_route_by_name(self, tmp_path):
         loop, sup = make_supervisor(tmp_path, auto_start=False)
