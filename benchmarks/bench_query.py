@@ -21,6 +21,17 @@ two-signal store (samples split evenly between ``a`` and ``b``):
   (``clip(ewma(2*a + 1, 0.9), -5, 5)``).  These isolate the fused
   single-pass path: no join, so the rate is the kernel plus the
   zero-copy read path and nothing else.
+* **X12e `fanout`** — the continuous-query service's subscriber
+  scaling: N raw wire sessions (1/10/100/1k) SUBSCRIBE to the *same*
+  derived view on one server, a driving client streams the source
+  signal, and the wall time of the whole ingest+derive+fan-out run is
+  measured per N.  The server evaluates the shared plan **once** and
+  ships each derived frame as one encode per distinct wire id with the
+  bytes shared by reference across transmit queues, so the marginal
+  subscriber costs a queue append.  Subscribers are raw injected
+  endpoints (no client-side decoders) — the measurement is the
+  server-side multiplexing cost, which is what the acceptance bounds.
+  Acceptance: **1k subscribers < 2x the 1-subscriber wall time**.
 
 Batch measurements are best-of-:data:`ATTEMPTS` with a **fresh reader
 per attempt** — payload CRC verification is paid every time (the
@@ -39,6 +50,7 @@ or through pytest for the acceptance assertions::
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import shutil
@@ -46,7 +58,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from conftest import report
@@ -70,6 +82,16 @@ PIPELINE_QUERY = (
 #: X12d: chains the fusion pass collapses to a single kernel each.
 FUSED_MAP_QUERY = "clip(2*a - 1, -2.5, 2.5)"
 FUSED_STATE_QUERY = "clip(ewma(2*a + 1, 0.9), -5, 5)"
+#: X12e: the shared derived view every subscriber watches.  Batches are
+#: the wire's bulk-transfer size (10k samples/frame, the regime the 10M/s
+#: ingest figure is quoted at): the fan-out's per-batch per-subscriber
+#: cost is one shared-bytes enqueue, so bulk frames are what the <2x
+#: marginal-subscriber claim is about — at tiny frames per-batch Python
+#: overhead dominates any transport.
+FANOUT_QUERY = "smooth = ewma(src, 0.9)"
+FANOUT_SAMPLES = 2_000_000
+FANOUT_BATCH = 20_000
+ACCEPTANCE_FANOUT_RATIO = 2.0
 
 
 def build_store(
@@ -177,6 +199,102 @@ def bench_incremental(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_fanout(
+    subscribers: int,
+    total: int = FANOUT_SAMPLES,
+    batch: int = FANOUT_BATCH,
+) -> Dict[str, float]:
+    """X12e: one shared derived view fanned to N wire subscribers.
+
+    Subscribers are raw injected sessions — HELLO + QUERY + SUBSCRIBE
+    bytes, never read back — so the measured wall time is the server's
+    ingest + single shared evaluation + encode-once fan-out, not N
+    client-side decoders.  The driving client's frames are pre-encoded
+    outside the timing for the same reason.
+    """
+    from repro.core.manager import ScopeManager
+    from repro.core.signal import buffer_signal
+    from repro.eventloop.loop import MainLoop
+    from repro.net import ScopeServer, memory_pair
+    from repro.net.protocol import (
+        encode_binary_samples,
+        encode_hello,
+        encode_name_def,
+        encode_query,
+    )
+
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("rig", delay_ms=1e12)
+    scope.signal_new(buffer_signal("src"))
+    server = ScopeServer(loop, manager)
+
+    preamble = (
+        encode_hello(2)
+        + encode_query({"op": "query", "id": "q", "text": FANOUT_QUERY})
+        + encode_query({"op": "subscribe", "id": "q"})
+    )
+    for _ in range(subscribers):
+        near, far = memory_pair(loop.clock)
+        server.add_client(far)
+        near.send(preamble)
+    loop.run_for(50.0)
+    assert server.queries.stats()["subscribers"] == subscribers
+    assert len(server.queries.shared_queries()) == 1  # one evaluation
+
+    source, far = memory_pair(loop.clock)
+    server.add_client(far)
+    source.send(encode_hello(2) + encode_name_def(0, "src"))
+    loop.run_for(10.0)
+
+    rng = np.random.default_rng(12)
+    frames = []
+    now = 100.0
+    sent = 0
+    while sent < total:
+        n = min(batch, total - sent)
+        times = np.linspace(now, now + 1.0, n, endpoint=False)
+        frames.append(encode_binary_samples(0, times, rng.standard_normal(n)))
+        now += 1.0
+        sent += n
+
+    # Collect the previous rig's cyclic garbage (loop/sources/links)
+    # now, not inside the timed window.
+    gc.collect()
+    t0 = time.perf_counter()
+    for frame in frames:
+        source.send(frame)
+        loop.run_for(1.0)
+    elapsed = time.perf_counter() - t0
+    fanned = server.queries.stats()["samples_fanned"]
+    assert fanned == total * subscribers
+    return {
+        "subscribers": subscribers,
+        "samples": total,
+        "fanned_samples": fanned,
+        "seconds": elapsed,
+        "rate_per_sec": total / elapsed,
+    }
+
+
+def fanout_ratio(attempts: int = 3) -> Tuple[list, float]:
+    """Paired 1-vs-1000-subscriber runs; returns (runs, best ratio).
+
+    Scheduling noise on a shared machine only ever *inflates* one side
+    of a wall-clock pair, so the minimum ratio across paired attempts
+    is the faithful estimate of the marginal-subscriber cost — the
+    same reasoning as best-of-N for a single rate.
+    """
+    runs = []
+    best = float("inf")
+    for _ in range(attempts):
+        single = bench_fanout(1)
+        many = bench_fanout(1000)
+        runs.append((single, many))
+        best = min(best, many["seconds"] / single["seconds"])
+    return runs, best
+
+
 def run_suite(total: int) -> dict:
     from repro.core import native
 
@@ -185,15 +303,21 @@ def run_suite(total: int) -> dict:
     incremental = bench_incremental(total)
     fused_map = bench_batch(total, FUSED_MAP_QUERY, signals=("a",))
     fused_state = bench_batch(total, FUSED_STATE_QUERY, signals=("a",))
+    fanout = {str(n): bench_fanout(n) for n in (1, 10, 100, 1000)}
+    _, fanout["ratio_1k_vs_1"] = fanout_ratio(attempts=2)
     return {
         "benchmark": "query",
         "backend": native.mode(),
-        "acceptance": {"min_arith_rate_per_sec": ACCEPTANCE_ARITH_RATE},
+        "acceptance": {
+            "min_arith_rate_per_sec": ACCEPTANCE_ARITH_RATE,
+            "max_fanout_1k_ratio": ACCEPTANCE_FANOUT_RATIO,
+        },
         "arith": arith,
         "pipeline": pipeline,
         "incremental": incremental,
         "fused_map": fused_map,
         "fused_state": fused_state,
+        "fanout": fanout,
     }
 
 
@@ -262,6 +386,28 @@ def test_fused_stateful_throughput():
          ("derived", f"{result['derived_samples']}")],
     )
     assert result["rate_per_sec"] > 0
+
+
+def test_fanout_subscriber_scaling():
+    results = {n: bench_fanout(n) for n in (10, 100)}
+    runs, ratio = fanout_ratio()
+    base = min(single["seconds"] for single, _ in runs)
+    results[1] = min((s for s, _ in runs), key=lambda r: r["seconds"])
+    results[1000] = min((m for _, m in runs), key=lambda r: r["seconds"])
+    report(
+        f"X12e: subscriber fan-out, one shared view "
+        f"({FANOUT_SAMPLES} samples, {FANOUT_BATCH}/frame)",
+        [("query", FANOUT_QUERY)]
+        + [
+            (f"{n} subs", f"{r['seconds']*1e3:8.1f} ms  "
+                          f"({r['seconds']/base:4.2f}x, "
+                          f"{r['fanned_samples']:>13,} fanned)")
+            for n, r in sorted(results.items())
+        ]
+        + [("1k ratio", f"{ratio:.2f}x paired best-of-{len(runs)} "
+                        f"(acceptance < {ACCEPTANCE_FANOUT_RATIO:.1f}x)")],
+    )
+    assert ratio < ACCEPTANCE_FANOUT_RATIO
 
 
 # ----------------------------------------------------------------------

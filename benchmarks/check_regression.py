@@ -30,6 +30,12 @@ regression trips them — CI jitter does not:
   round-trips per batch) trips it.  The ratio is core-bound, so the
   gate only runs on machines with >= 4 CPUs — 1-core containers skip
   it (the JSON still records both rates and the core count).
+* **query-fanout-1k** — X12e continuous-query subscriber scaling (the
+  PR-9 multiplexed subscription plane): 1000 subscribers sharing one
+  derived view must cost < 2x the 1-subscriber wall time.  A decay to
+  per-subscriber evaluation, per-subscriber encoding, or an O(watches)
+  loop tick trips it.  The ratio is the minimum over paired attempts —
+  scheduler noise only ever inflates one side of a wall-clock pair.
 
 Opt-in, so tier-1 stays fast:
 
@@ -59,7 +65,7 @@ from bench_distributed import bench_process_ingest
 from bench_eventloop import ACCEPTANCE_SOURCES, bench_dispatch
 from bench_failover import bench_recovery
 from bench_net import bench_wire
-from bench_query import bench_batch
+from bench_query import bench_batch, fanout_ratio
 from repro.eventloop.loop import MainLoop
 
 # Committed floor: dispatches/second at 1k attached timer sources.  A
@@ -105,6 +111,13 @@ RECOVERY_SAMPLES = 200_000
 # a serialized router still does.  Core-bound, hence the cpu guard.
 DISTRIBUTED_SPEEDUP_FLOOR = 2.0
 DISTRIBUTED_MIN_CPUS = 4
+
+# Committed ceiling: 1000 subscribers on one shared derived view versus
+# a single subscriber (X12e), wall-time ratio, minimum over paired
+# attempts.  The ROADMAP target is < 2x; a healthy build posts ~1.4-1.8x.
+# Losing evaluation sharing would post ~1000x, losing the encode-once
+# fan-out or the hinted (O(ready)) loop partition posts well over 2x.
+FANOUT_RATIO_CEILING = 2.0
 
 ATTEMPTS = 3  # best-of-N damps scheduler noise on shared machines
 
@@ -197,6 +210,27 @@ def test_distributed_ingest_floor():
         f"x{best['speedup']:.2f} over 1 worker "
         f"({best['rate_4p']:.0f}/s vs {best['rate_1p']:.0f}/s), "
         f"floor x{DISTRIBUTED_SPEEDUP_FLOOR:.1f} on {best['cpu_count']} CPUs"
+    )
+
+
+def measure_best_fanout() -> dict:
+    """Min-over-paired-attempts 1k-vs-1 subscriber wall-time ratio."""
+    runs, ratio = fanout_ratio(ATTEMPTS)
+    return {
+        "ratio": ratio,
+        "seconds_1": min(s["seconds"] for s, _ in runs),
+        "seconds_1k": min(m["seconds"] for _, m in runs),
+        "samples": runs[0][0]["samples"],
+    }
+
+
+def test_query_fanout_floor():
+    best = measure_best_fanout()
+    assert best["ratio"] < FANOUT_RATIO_CEILING, (
+        f"subscriber fan-out scaling regressed: 1k subscribers posted "
+        f"x{best['ratio']:.2f} the single-subscriber wall time "
+        f"({best['seconds_1k']*1e3:.0f} ms vs {best['seconds_1']*1e3:.0f} ms), "
+        f"ceiling x{FANOUT_RATIO_CEILING:.1f}"
     )
 
 
@@ -307,6 +341,18 @@ def main() -> int:
                 "passed": query["rate_per_sec"] >= QUERY_FUSED_FLOOR,
             }
         )
+    fanout = measure_best_fanout()
+    gates.append(
+        {
+            "gate": "query-fanout-1k",
+            "ceiling_ratio": FANOUT_RATIO_CEILING,
+            "measured_ratio": fanout["ratio"],
+            "seconds_1": fanout["seconds_1"],
+            "seconds_1k": fanout["seconds_1k"],
+            "samples": fanout["samples"],
+            "passed": fanout["ratio"] < FANOUT_RATIO_CEILING,
+        }
+    )
     distributed = measure_best_distributed()
     gate = {
         "gate": "distributed-ingest-4p",

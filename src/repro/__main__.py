@@ -12,6 +12,7 @@ stores, and re-running derived-signal queries over them:
     python -m repro spectrum capture.tuples --signal CWND --period 50
     python -m repro capture info run.capture
     python -m repro query "ewma(queue, 0.9)" --capture run.capture
+    python -m repro query "ewma(queue, 0.9)" --server --duration 2000
 """
 
 from __future__ import annotations
@@ -108,10 +109,82 @@ def _cmd_capture_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_server(args: argparse.Namespace) -> int:
+    """Self-contained continuous-query demo over the wire protocol.
+
+    Builds a deterministic in-memory rig — server, synthetic signal
+    generator, one subscribing client — compiles the expression
+    *server-side* via the QUERY/SUBSCRIBE channel, and prints the
+    derived tuples streamed back.  No sockets, no real time: the loop's
+    virtual clock drives everything, so two runs with one seed agree.
+    """
+    import numpy as np
+
+    from repro.core.manager import ScopeManager
+    from repro.core.signal import buffer_signal
+    from repro.net import ScopeClient, ScopeServer, memory_pair
+    from repro.query import QueryError, bind_params, compile_query
+
+    try:
+        plan = compile_query(bind_params(args.expression))
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("live", delay_ms=1e12)
+    for name in plan.source_names:
+        scope.signal_new(buffer_signal(name))
+    server = ScopeServer(loop, manager)
+    near, far = memory_pair(loop.clock)
+    server.add_client(far)
+    client = ScopeClient(near, loop)
+
+    shown = [0]
+
+    def show(name: str, times, values) -> None:
+        for t, v in zip(times.tolist(), values.tolist()):
+            if args.limit is None or shown[0] < args.limit:
+                print(format_tuple(t, v, name))
+                shown[0] += 1
+
+    sub = client.subscribe(args.expression, on_batch=show)
+
+    rng = np.random.default_rng(args.seed)
+    sources = sorted(plan.source_names)
+    phases = {name: float(rng.uniform(0.0, 6.28)) for name in sources}
+
+    def feed(_lost: int) -> bool:
+        now = loop.clock.now()
+        for name in sources:
+            value = float(np.sin(now / 250.0 + phases[name]))
+            client.send_samples(name, [value], [now])
+        return True
+
+    loop.timeout_add(10.0, feed)
+    loop.run_until(args.duration)
+    if sub.error is not None:
+        print(f"server rejected query: {sub.error}", file=sys.stderr)
+        return 2
+    for name in sub.output_names:
+        times, _ = sub.columns(name)
+        print(f"# {name}: {times.shape[0]} samples", file=sys.stderr)
+    stats = server.queries.stats()
+    print(
+        f"# server: {stats['queries_compiled']} compiled, "
+        f"{stats['samples_fanned']} samples fanned to "
+        f"{stats['subscribers']} subscriber(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.capture import CaptureFormatError, CaptureReader
     from repro.query import QueryError, compile_query, execute
 
+    if args.server:
+        return _cmd_query_server(args)
     if args.explain:
         try:
             plan = compile_query(args.expression)
@@ -316,6 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print at most N derived tuples")
     p_query.add_argument("--export", default=None,
                          help="also write the derived tuples as tuple text")
+    p_query.add_argument("--server", action="store_true",
+                         help="continuous-query demo: compile server-side "
+                              "over the wire and stream derived tuples")
+    p_query.add_argument("--duration", type=float, default=2000.0,
+                         help="virtual run length in ms for --server")
+    p_query.add_argument("--seed", type=int, default=0,
+                         help="generator seed for --server (deterministic)")
     p_query.add_argument("--recover-tail", action="store_true",
                          help="skip a torn final segment (killed writer)")
     p_query.set_defaults(fn=_cmd_query)

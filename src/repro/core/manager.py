@@ -9,7 +9,7 @@ stream can feed several displays, Section 4.4) and coordinates start/stop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.pollhub import PollHub
 from repro.core.scope import Scope, ScopeError
@@ -24,7 +24,7 @@ class ScopeManager:
         self.loop = loop if loop is not None else MainLoop()
         self._scopes: Dict[str, Scope] = {}
         self._topology_version = 0
-        self._taps: List = []
+        self._taps: Tuple = ()
 
     # ------------------------------------------------------------------
     # Capture taps
@@ -37,11 +37,18 @@ class ScopeManager:
         :class:`~repro.capture.writer.CaptureWriter` needs to make a
         live run replayable.  With no tap attached the hot path pays
         one truthiness check.
+
+        The tap set is copy-on-write: every push iterates an immutable
+        snapshot, so a tap may detach itself (or a sibling) mid-push —
+        a quarantining :class:`~repro.query.live.LiveQuery` does —
+        without skipping or double-invoking the remaining taps.
         """
-        self._taps.append(tap)
+        self._taps = (*self._taps, tap)
 
     def remove_tap(self, tap) -> None:
-        self._taps.remove(tap)
+        taps = list(self._taps)
+        taps.remove(tap)
+        self._taps = tuple(taps)
 
     # ------------------------------------------------------------------
     # Scope lifecycle

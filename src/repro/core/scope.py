@@ -16,7 +16,7 @@ library drives itself from a GTK timeout.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -90,7 +90,7 @@ class Scope:
         self.zoom = 1.0  # vertical scale factor
         self.bias = 0.0  # vertical translation, in signal-percent units
         self._channels: Dict[str, Channel] = {}
-        self._taps: List = []
+        self._taps: Tuple = ()
         self._poll_sub: Optional[PollSubscription] = None
         self.player: Optional[Player] = None
         self.recorder: Optional[Recorder] = None
@@ -293,12 +293,16 @@ class Scope:
         Scope-level counterpart of
         :meth:`~repro.core.manager.ScopeManager.add_tap`, for capturing
         a single scope's offered stream when pushes bypass a manager.
-        Taps see samples before the late-drop decision.
+        Taps see samples before the late-drop decision.  Copy-on-write
+        like the manager's tap set: a tap detaching mid-push never
+        perturbs its siblings' delivery.
         """
-        self._taps.append(tap)
+        self._taps = (*self._taps, tap)
 
     def remove_tap(self, tap) -> None:
-        self._taps.remove(tap)
+        taps = list(self._taps)
+        taps.remove(tap)
+        self._taps = tuple(taps)
 
     # ------------------------------------------------------------------
     # The poll tick

@@ -31,6 +31,16 @@ iteration:
   subclass) keep predicate readiness: they are the only partition the
   loop still probes per iteration, so a thousand quiet timers no longer
   tax an I/O poll and vice versa.
+* **hinted** I/O watches split off from the polled partition: an IN
+  watch whose channel can notify on the readable edge (the zero-delay
+  in-memory transport — see
+  :meth:`~repro.net.transport.MemoryEndpoint.add_ready_listener`) is
+  probed only after a hint fires, the in-process analogue of moving
+  from ``select()`` to ``epoll``.  A loop tick is then O(ready), not
+  O(watches) — the property that lets one server carry a thousand
+  quiet subscriber connections for free.  Channels that cannot promise
+  the edge (real sockets, delayed links, fault-injected links) stay
+  level-polled with unchanged semantics.
 
 ``attach``/``remove`` are O(1) dict operations.  Dispatch semantics are
 unchanged from the scan implementation: ready sources run in
@@ -96,6 +106,14 @@ class MainLoop:
         self._idles: Dict[int, Source] = {}
         self._polled: Dict[int, Source] = {}
         self._io_count = 0  # IOWatch instances inside _polled
+        # Hinted I/O watches: channels that notify on the readable edge
+        # (in-memory transports) instead of being probed every iteration.
+        # An iteration only probes members of the _hinted set — with a
+        # thousand quiet subscriber connections this is what keeps one
+        # loop tick O(ready), not O(watches).
+        self._hint_polled: Dict[int, Source] = {}
+        self._hinted: set = set()
+        self._hint_remove: Dict[int, Callable[[], None]] = {}
         # Timer index: heap of live entries + id -> its current entry.
         self._timer_heap: List[_HeapEntry] = []
         self._timer_entry: Dict[int, _HeapEntry] = {}
@@ -128,10 +146,36 @@ class MainLoop:
         elif isinstance(source, IdleSource):
             self._idles[sid] = source
         else:
+            if isinstance(source, IOWatch) and self._try_hint(source):
+                return sid
             self._polled[sid] = source
             if isinstance(source, IOWatch):
                 self._io_count += 1
         return sid
+
+    def _try_hint(self, source: IOWatch) -> bool:
+        """Move an IN watch to the hinted partition when its channel can
+        notify on the readable edge; False keeps it level-polled."""
+        if source.condition != IOCondition.IN:
+            return False
+        register = getattr(source.channel, "add_ready_listener", None)
+        if register is None:
+            return False
+        sid = source.id
+        hint = self._hinted.add
+
+        def on_edge() -> None:
+            hint(sid)
+
+        if not register(on_edge):
+            return False
+        self._hint_polled[sid] = source
+        self._hint_remove[sid] = lambda: source.channel.remove_ready_listener(
+            on_edge
+        )
+        # Probe once at attach: bytes may already be queued in the link.
+        self._hinted.add(sid)
+        return True
 
     def remove(self, source_id: int) -> bool:
         """Detach the source with ``source_id``; True if it was present."""
@@ -153,9 +197,13 @@ class MainLoop:
             if entry is not None:
                 entry[2] = None  # lazy invalidation; discarded on surfacing
         elif self._idles.pop(sid, None) is None:
-            removed = self._polled.pop(sid, None)
-            if removed is not None and isinstance(removed, IOWatch):
-                self._io_count -= 1
+            if self._hint_polled.pop(sid, None) is not None:
+                self._hinted.discard(sid)
+                self._hint_remove.pop(sid)()
+            else:
+                removed = self._polled.pop(sid, None)
+                if removed is not None and isinstance(removed, IOWatch):
+                    self._io_count -= 1
 
     def _push_timer(self, source: TimeoutSource) -> None:
         """(Re)index a timer at its current deadline.
@@ -246,6 +294,19 @@ class MainLoop:
         ready = self._pop_ready_timers(now)
         if self._polled:
             ready.extend(s for s in self._polled.values() if s.ready(now))
+        if self._hinted:
+            # Probe only the hinted watches; a hint that probes dry is
+            # cleared (the next send on the channel re-arms it), one
+            # that probes ready stays armed — level-triggered semantics
+            # for a callback that does not fully drain the channel.
+            for sid in list(self._hinted):
+                source = self._hint_polled.get(sid)
+                if source is None:
+                    self._hinted.discard(sid)
+                elif source.ready(now):
+                    ready.append(source)
+                else:
+                    self._hinted.discard(sid)
         if not ready and include_idle and self._idles:
             ready = list(self._idles.values())
         if len(ready) > 1:
@@ -317,7 +378,7 @@ class MainLoop:
         if not may_block:
             return False
         deadline = self._earliest_deadline(now)
-        has_io = self._io_count > 0
+        has_io = self._io_count > 0 or bool(self._hint_polled)
         if deadline is None and not has_io:
             return False  # nothing will ever become ready
         if deadline is None or (has_io and deadline - now > self.max_io_poll_ms):
@@ -341,7 +402,9 @@ class MainLoop:
             # Partition counts replace the per-iteration rebuild of the
             # timed-or-io list: blocking is allowed exactly when a
             # non-idle source exists.
-            self.iteration(may_block=bool(self._timers or self._polled))
+            self.iteration(
+                may_block=bool(self._timers or self._polled or self._hint_polled)
+            )
             done += 1
             if max_iterations is not None and done >= max_iterations:
                 break

@@ -43,9 +43,12 @@ from repro.net.protocol import (
     encode_deliver,
     encode_hello,
     encode_name_def,
+    encode_query,
     encode_sample,
     encode_samples,
 )
+from repro.net.client import Subscription
+from repro.net.queryservice import QueryMultiplexer, SharedQuery
 from repro.net.server import ClientState, ScopeServer
 from repro.net.shard import (
     HashRing,
@@ -86,9 +89,12 @@ __all__ = [
     "ProcessShardSupervisor",
     "ProcessShardedScopeManager",
     "ProtocolError",
+    "QueryMultiplexer",
     "SUPPORTED_VERSIONS",
     "ScopeClient",
     "ScopeServer",
+    "SharedQuery",
+    "Subscription",
     "ShardDown",
     "ShardHost",
     "ShardState",
@@ -107,6 +113,7 @@ __all__ = [
     "encode_deliver",
     "encode_hello",
     "encode_name_def",
+    "encode_query",
     "encode_sample",
     "encode_samples",
     "faulty_pair",

@@ -43,6 +43,21 @@ half-sent head lands on a fresh session that never saw its first half.
 Data queued while down obeys the same bounded-queue overflow rule, so a
 long outage degrades exactly like slow-consumer backpressure: oldest
 frames drop, counted, freshest data survives to be displayed.
+
+Subscriptions
+-------------
+
+:meth:`ScopeClient.subscribe` joins the server's continuous-query plane
+(see :mod:`repro.net.queryservice`): the query text plus bind-time
+parameters go out as a ``QUERY`` frame, the server compiles and
+evaluates once per *distinct compiled plan* across all its clients, and
+the derived columns come back as ordinary NAME_DEF + SAMPLES frames on
+this same connection.  Subscribing makes the client full-duplex — an IN
+watch decodes the server→client stream into per-subscription buffers.
+Subscriptions survive reconnects: the preamble re-issues every active
+QUERY + SUBSCRIBE, and a per-output monotonic guard sheds any overlap
+so the resumed derived stream never duplicates a sample the old session
+already delivered.
 """
 
 from __future__ import annotations
@@ -59,15 +74,114 @@ from repro.eventloop.sources import IOCondition
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
     encode_binary_samples,
     encode_hello,
     encode_name_def,
+    encode_query,
     encode_sample,
     encode_samples,
 )
 from repro.net.transport import TransportClosed
 
 ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class Subscription:
+    """A client-side handle on one server-evaluated derived view.
+
+    Created by :meth:`ScopeClient.subscribe`; derived batches arriving
+    from the server accumulate in per-output column buffers (read them
+    with :meth:`columns`, or drain as they arrive with :meth:`on_batch`
+    callbacks).  The handle rides the client's reconnect path: after a
+    session loss the QUERY + SUBSCRIBE preamble is re-issued
+    automatically, and a per-output monotonic time guard drops any
+    batch rows at-or-before the last delivered instant, so the resumed
+    stream contains **no duplicated derived samples** (overlap is
+    counted in :attr:`stale_dropped`, not silently eaten).
+    """
+
+    def __init__(self, client: "ScopeClient", qid: str, text: str, params, plan) -> None:
+        self.client = client
+        self.qid = qid
+        self.text = text
+        self.params = dict(params or {})
+        self.plan = plan
+        self.output_names = list(plan.output_names)
+        self._outputs = set(self.output_names)
+        self.active = True  # until unsubscribed or server-errored
+        self.acked = False  # server confirmed compile
+        self.subscribed = False  # server confirmed subscription
+        self.error: Optional[str] = None
+        self.received = 0
+        self.stale_dropped = 0
+        self.batches = 0
+        self._buffers: Dict[str, List] = {name: [] for name in self.output_names}
+        self._last_time: Dict[str, float] = {
+            name: -np.inf for name in self.output_names
+        }
+        self._callbacks: List[Callable] = []
+
+    def on_batch(self, fn: Callable[[str, np.ndarray, np.ndarray], None]) -> None:
+        """Also deliver every derived batch to ``fn(name, times, values)``."""
+        self._callbacks.append(fn)
+
+    def wants(self, name: str) -> bool:
+        return self.active and name in self._outputs
+
+    def _deliver(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
+        last = self._last_time[name]
+        if times.shape[0] and times[0] <= last:
+            # Reconnect overlap: the fresh server evaluation re-derived
+            # instants the old session already delivered.  Derived
+            # emissions are monotone per output, so one searchsorted
+            # finds the resume point.
+            keep = int(np.searchsorted(times, last, side="right"))
+            self.stale_dropped += keep
+            times = times[keep:]
+            values = values[keep:]
+        if not times.shape[0]:
+            return
+        self._last_time[name] = float(times[-1])
+        self.received += times.shape[0]
+        self.batches += 1
+        self._buffers[name].append((times, values))
+        for fn in self._callbacks:
+            fn(name, times, values)
+
+    def columns(self, name: Optional[str] = None):
+        """Concatenated ``(times, values)`` delivered for one output.
+
+        ``name`` defaults to the single output of a one-output query.
+        """
+        if name is None:
+            if len(self.output_names) != 1:
+                raise ValueError(
+                    f"query has {len(self.output_names)} outputs; name one of "
+                    f"{self.output_names}"
+                )
+            name = self.output_names[0]
+        parts = self._buffers[name]
+        if not parts:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy()
+        times = np.concatenate([t for t, _ in parts])
+        values = np.concatenate([v for _, v in parts])
+        return times, values
+
+    def clear(self) -> None:
+        """Drop buffered columns (the monotonic guard keeps its state)."""
+        for parts in self._buffers.values():
+            parts.clear()
+
+    def unsubscribe(self) -> None:
+        """Stop the stream; the last subscriber detaches the evaluation."""
+        if not self.active:
+            return
+        self.active = False
+        self.client._unsubscribe(self)
 
 
 class ScopeClient:
@@ -162,6 +276,14 @@ class ScopeClient:
         self.dropped_samples = 0
         self.dropped_frames = 0
         self.reconnects = 0
+        # Subscription plane (armed by the first subscribe()): the
+        # server→client stream needs its own decoder, name table and IN
+        # watch; all three reset on reconnect (new session, new ids).
+        self._subs: Dict[str, Subscription] = {}
+        self._next_qid = 0
+        self._rx: Optional[FrameDecoder] = None
+        self._rx_names: Dict[int, str] = {}
+        self._rx_watch_id: Optional[int] = None
 
     @property
     def clock(self) -> Clock:
@@ -287,6 +409,144 @@ class ScopeClient:
         return True
 
     # ------------------------------------------------------------------
+    # Subscriptions (the continuous-query plane)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query: str,
+        params: Optional[Dict[str, float]] = None,
+        on_batch: Optional[Callable] = None,
+    ) -> Subscription:
+        """Subscribe to a server-evaluated derived view.
+
+        ``query`` is ordinary query text, optionally with ``$name``
+        placeholders bound by ``params`` (one template, many per-user
+        instantiations).  The text is compiled locally first — a bad
+        query fails *here*, synchronously, with the usual
+        :class:`~repro.query.errors.QueryError` — then shipped to the
+        server, which compiles the same bound text and shares the
+        evaluation with every subscriber of the same canonical plan.
+        Derived batches accumulate on the returned :class:`Subscription`
+        as the loop runs.  Binary mode only.
+        """
+        if self.mode != "binary":
+            raise ValueError("subscriptions require the binary wire mode")
+        if self._closed:
+            raise ValueError("client is closed")
+        from repro.query import bind_params, compile_query
+
+        plan = compile_query(bind_params(query, params))
+        qid = f"q{self._next_qid}"
+        self._next_qid += 1
+        sub = Subscription(self, qid, query, params, plan)
+        if on_batch is not None:
+            sub.on_batch(on_batch)
+        self._subs[qid] = sub
+        if not self._hello_queued:
+            self._control.append(encode_hello(self.wire_version))
+            self._hello_queued = True
+        self._control.append(self._query_preamble(sub))
+        self._control.append(encode_query({"op": "subscribe", "id": qid}))
+        self._ensure_rx_watch()
+        self._ensure_watch()
+        self._try_flush()
+        return sub
+
+    def _query_preamble(self, sub: Subscription) -> bytes:
+        payload = {"op": "query", "id": sub.qid, "text": sub.text}
+        if sub.params:
+            payload["params"] = sub.params
+        return encode_query(payload)
+
+    def _unsubscribe(self, sub: Subscription) -> None:
+        self._subs.pop(sub.qid, None)
+        if self._closed:
+            return
+        self._control.append(encode_query({"op": "unsubscribe", "id": sub.qid}))
+        self._ensure_watch()
+        self._try_flush()
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """Active subscriptions, in creation order."""
+        return list(self._subs.values())
+
+    def _ensure_rx_watch(self) -> None:
+        if self._rx_watch_id is None and not self._closed:
+            if self._rx is None:
+                self._rx = FrameDecoder()
+            self._rx_watch_id = self.loop.io_add_watch(
+                self.endpoint, IOCondition.IN, self._on_readable
+            )
+
+    def _on_readable(self, channel, condition) -> bool:
+        try:
+            chunk = self.endpoint.recv()
+        except (TransportClosed, OSError):
+            self._rx_teardown()
+            self._begin_reconnect()
+            return False
+        if not chunk:
+            # Server session closed under us: a subscriber-only client
+            # has no failing send to notice it, so the read path arms
+            # the reconnect.
+            self._rx_teardown()
+            self._begin_reconnect()
+            return False
+        while True:
+            try:
+                frames = self._rx.feed(chunk)
+            except ProtocolError:
+                # Corrupt server→client stream: treat like a dead link.
+                self._rx_teardown()
+                self._begin_reconnect()
+                return False
+            for frame in frames:
+                self._dispatch_rx(frame)
+            if not self.endpoint.readable():
+                return True
+            chunk = self.endpoint.recv()
+            if not chunk:
+                self._rx_teardown()
+                self._begin_reconnect()
+                return False
+
+    def _dispatch_rx(self, frame) -> None:
+        if frame.kind is FrameKind.SAMPLES:
+            name = self._rx_names.get(frame.name_id)
+            if name is None:
+                return  # not ours (or a stale id); never fatal client-side
+            for sub in self._subs.values():
+                if sub.wants(name):
+                    sub._deliver(name, frame.times, frame.values)
+        elif frame.kind is FrameKind.NAME_DEF:
+            self._rx_names[frame.name_id] = frame.name
+        elif frame.kind is FrameKind.QUERY:
+            payload = frame.control or {}
+            sub = self._subs.get(str(payload.get("id")))
+            if sub is None:
+                return
+            op = payload.get("op")
+            if op == "compiled":
+                sub.acked = True
+            elif op == "subscribed":
+                sub.subscribed = True
+            elif op == "error":
+                sub.error = str(payload.get("error"))
+                sub.active = False
+                self._subs.pop(sub.qid, None)
+
+    def _rx_teardown(self) -> None:
+        """Reset the inbound stream state (dead or replaced session)."""
+        if self._rx_watch_id is not None:
+            self.loop.remove(self._rx_watch_id)
+            self._rx_watch_id = None
+        self._rx = FrameDecoder() if self._subs else None
+        self._rx_names = {}
+        for sub in self._subs.values():
+            sub.subscribed = False
+
+    # ------------------------------------------------------------------
     # Connection health / reconnect
     # ------------------------------------------------------------------
     @property
@@ -311,6 +571,8 @@ class ScopeClient:
         if self._watch_id is not None:
             self.loop.remove(self._watch_id)
             self._watch_id = None
+        if self._rx_watch_id is not None:
+            self._rx_teardown()
         if not getattr(self.endpoint, "closed", True):
             self.endpoint.close()
         if self._connect is None or self._closed or self._retry_id is not None:
@@ -348,6 +610,18 @@ class ScopeClient:
                 self._control.append(
                     encode_name_def(name_id, name, version=self.wire_version)
                 )
+        # Re-establish every active subscription: the fresh session
+        # recompiles (sharing the same canonical plan server-side) and
+        # resumes the derived stream; each Subscription's monotonic
+        # guard sheds any overlap, so nothing is delivered twice.
+        if self._subs:
+            self._rx_teardown()  # fresh decoder + name table for the new session
+            for sub in self._subs.values():
+                self._control.append(self._query_preamble(sub))
+                self._control.append(
+                    encode_query({"op": "subscribe", "id": sub.qid})
+                )
+            self._ensure_rx_watch()
         # A half-sent head frame restarts from byte 0 — the fresh
         # session never saw its first half, and every fully-sent frame
         # was already popped, so nothing is duplicated.
@@ -420,12 +694,18 @@ class ScopeClient:
         }
 
     def close(self) -> None:
-        """Close for good: stop the watch, cancel any reconnect."""
+        """Close for good: stop the watches, cancel any reconnect."""
         self._closed = True
         if self._watch_id is not None:
             self.loop.remove(self._watch_id)
             self._watch_id = None
+        if self._rx_watch_id is not None:
+            self.loop.remove(self._rx_watch_id)
+            self._rx_watch_id = None
         if self._retry_id is not None:
             self.loop.remove(self._retry_id)
             self._retry_id = None
+        for sub in list(self._subs.values()):
+            sub.active = False
+        self._subs.clear()
         self.endpoint.close()

@@ -17,10 +17,11 @@ Binary frame layout (all integers little-endian)::
     offset  size  field
     0       2     magic     0xA5 0x53
     2       1     version   1 or 2
-    3       1     kind      0=HELLO 1=NAME_DEF 2=SAMPLES 3=DELIVER 4=CONTROL
-    4       4     name_id   uint32 (0 for HELLO/CONTROL)
+    3       1     kind      0=HELLO 1=NAME_DEF 2=SAMPLES 3=DELIVER
+                            4=CONTROL 5=QUERY
+    4       4     name_id   uint32 (0 for HELLO/CONTROL/QUERY)
     8       4     count     uint32: SAMPLES/DELIVER → sample count,
-                            HELLO/NAME_DEF/CONTROL → payload byte length
+                            HELLO/NAME_DEF/CONTROL/QUERY → payload bytes
     12      ...   payload   HELLO:    `count` reserved bytes (now empty)
                             NAME_DEF: `count` bytes of UTF-8 signal name,
                                       binding it to `name_id`
@@ -37,6 +38,11 @@ Binary frame layout (all integers little-endian)::
                                       UTF-8 JSON — the supervision side
                                       channel (heartbeats, stats, snapshot
                                       and shutdown commands)
+                            QUERY:    (version 2 only) `count` bytes of
+                                      UTF-8 JSON — the continuous-query
+                                      channel: query/subscribe/unsubscribe
+                                      requests client→server and their
+                                      ack/error replies server→client
 
 Names are interned once per connection: a ``NAME_DEF`` frame binds a
 small integer id, and every subsequent ``SAMPLES`` frame carries only the
@@ -96,6 +102,7 @@ __all__ = [
     "encode_deliver",
     "encode_hello",
     "encode_name_def",
+    "encode_query",
     "encode_sample",
     "encode_samples",
 ]
@@ -233,6 +240,7 @@ class FrameKind(enum.IntEnum):
     SAMPLES = 2
     DELIVER = 3  # v2: router→worker push carrying the delivery instant
     CONTROL = 4  # v2: JSON supervision side channel
+    QUERY = 5  # v2: JSON continuous-query channel (subscribe plane)
 
 
 @dataclass(frozen=True)
@@ -246,7 +254,7 @@ class Frame:
     times: Optional[np.ndarray] = None  # SAMPLES/DELIVER only, float64
     values: Optional[np.ndarray] = None  # SAMPLES/DELIVER only, float64
     now: Optional[float] = None  # DELIVER only: the delivery instant
-    control: Optional[Dict[str, Any]] = None  # CONTROL only: decoded JSON
+    control: Optional[Dict[str, Any]] = None  # CONTROL/QUERY: decoded JSON
 
     def __len__(self) -> int:
         return 0 if self.times is None else int(self.times.shape[0])
@@ -378,6 +386,26 @@ def encode_control(payload: Dict[str, Any]) -> bytes:
     return FRAME_HEADER.pack(MAGIC, 2, FrameKind.CONTROL, 0, len(raw)) + raw
 
 
+def encode_query(payload: Dict[str, Any]) -> bytes:
+    """Encode one JSON continuous-query message.
+
+    Client→server these carry ``{"op": "query"|"subscribe"|
+    "unsubscribe", "id": qid, ...}``; server→client they carry the
+    ``compiled``/``error``/``end`` replies (see
+    :mod:`repro.net.queryservice`).  The query *results* never travel
+    this way — derived columns flow back as ordinary NAME_DEF + SAMPLES
+    frames, the same bytes a raw signal would use.  QUERY exists only
+    under version 2.
+    """
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_CONTROL_BYTES:
+        raise ProtocolError(
+            f"query payload of {len(raw)} bytes exceeds the "
+            f"{MAX_CONTROL_BYTES}-byte cap"
+        )
+    return FRAME_HEADER.pack(MAGIC, 2, FrameKind.QUERY, 0, len(raw)) + raw
+
+
 class FrameDecoder:
     """Incremental binary frame decoder tolerating any fragmentation.
 
@@ -465,7 +493,10 @@ class FrameDecoder:
             kind = FrameKind(kind_raw)
         except ValueError:
             raise ProtocolError(f"unknown frame kind: {kind_raw}") from None
-        if kind in (FrameKind.DELIVER, FrameKind.CONTROL) and version < 2:
+        if (
+            kind in (FrameKind.DELIVER, FrameKind.CONTROL, FrameKind.QUERY)
+            and version < 2
+        ):
             raise ProtocolError(f"{kind.name} frames require protocol version 2")
         if kind in (FrameKind.SAMPLES, FrameKind.DELIVER):
             if count > MAX_FRAME_SAMPLES:
@@ -478,10 +509,10 @@ class FrameDecoder:
             checksummed = version >= 2
             lead = _DELIVER_NOW.size if kind is FrameKind.DELIVER else 0
             payload_size = lead + 16 * count + (_CRC_TRAILER.size if checksummed else 0)
-        elif kind is FrameKind.CONTROL:
+        elif kind in (FrameKind.CONTROL, FrameKind.QUERY):
             if count > MAX_CONTROL_BYTES:
                 raise ProtocolError(
-                    f"CONTROL payload of {count} bytes exceeds the "
+                    f"{kind.name} payload of {count} bytes exceeds the "
                     f"{MAX_CONTROL_BYTES}-byte cap"
                 )
             payload_size = count
@@ -534,14 +565,17 @@ class FrameDecoder:
                 ),
                 end,
             )
-        if kind is FrameKind.CONTROL:
+        if kind in (FrameKind.CONTROL, FrameKind.QUERY):
             try:
                 control = json.loads(bytes(memoryview(buf)[start:end]).decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ProtocolError(f"CONTROL payload is not JSON: {exc}") from None
+                raise ProtocolError(
+                    f"{kind.name} payload is not JSON: {exc}"
+                ) from None
             if not isinstance(control, dict):
                 raise ProtocolError(
-                    f"CONTROL payload must be a JSON object: {type(control).__name__}"
+                    f"{kind.name} payload must be a JSON object: "
+                    f"{type(control).__name__}"
                 )
             return (
                 Frame(kind=kind, name_id=name_id, version=version, control=control),

@@ -31,6 +31,7 @@ from repro.core.tuples import Tuple3, TupleFormatError
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
 from repro.net.protocol import Frame, FrameKind, ProtocolError, WireDecoder
+from repro.net.queryservice import QueryMultiplexer
 
 #: Counter fields folded into the retained aggregate when a client
 #: disconnects, so :meth:`ScopeServer.totals` stays accurate across
@@ -123,6 +124,9 @@ class ScopeServer:
         # the manager's topology version.
         self._seen_names: set = set()
         self._seen_version: Optional[int] = None
+        #: The continuous-query plane: compiled plans, shared
+        #: evaluations, subscriber fan-out (see repro.net.queryservice).
+        self.queries = QueryMultiplexer(loop, manager)
 
     # ------------------------------------------------------------------
     # Connections
@@ -150,6 +154,9 @@ class ScopeServer:
         if state.watch_id is not None:
             self.loop.remove(state.watch_id)
             state.watch_id = None
+        # Refcounted detach of everything this client subscribed to —
+        # the last subscriber leaving detaches the shared evaluation.
+        self.queries.drop_session(state)
         state.connected = False
         if state.disconnect_reason is None:
             state.disconnect_reason = reason
@@ -237,6 +244,11 @@ class ScopeServer:
             state.names[frame.name_id] = frame.name
         elif frame.kind is FrameKind.HELLO:
             state.peer_version = frame.version
+        elif frame.kind is FrameKind.QUERY:
+            # The continuous-query channel: compile/subscribe requests.
+            # Compile failures reply in-band; malformed payloads raise
+            # ProtocolError through the caller and disconnect.
+            self.queries.handle(state, frame.control)
         else:
             # DELIVER/CONTROL belong to the router↔worker link (see
             # repro.net.worker); a client session sending them is

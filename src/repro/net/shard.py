@@ -177,6 +177,11 @@ class ShardStats:
     dropped_late: int = 0
     tap_bytes: int = 0
     wal_bytes: int = 0
+    #: Continuous queries attached on this shard that died mid-stream
+    #: (operator failure, observer failure, manager push failure).  A
+    #: quarantined query detaches itself; this counter is how the loss
+    #: surfaces in shard/supervisor accounting instead of vanishing.
+    query_quarantines: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Every integer counter, by field name.
@@ -450,6 +455,36 @@ class ShardedScopeManager:
         self._tap_count -= 1
 
     # ------------------------------------------------------------------
+    # Continuous queries
+    # ------------------------------------------------------------------
+    def attach_query(
+        self, query: str, params: Optional[Dict[str, float]] = None
+    ):
+        """Attach a continuous query as a facade-wide tap.
+
+        The query taps every shard (pushes route to one home shard, so
+        each offered batch is consumed once) and its derived outputs are
+        pushed back through the facade, landing on *their* home shards —
+        sources and outputs may therefore live on different shards.
+        Bind-time ``$name`` parameters substitute before compilation.
+        A mid-stream failure quarantines the query and is counted on the
+        first source's home shard (``query_quarantines``).
+        """
+        from repro.query import LiveQuery, bind_params, compile_query
+
+        plan = compile_query(bind_params(query, params))
+        live = LiveQuery(plan, self)
+        home = self.shard_of(sorted(plan.source_names)[0])
+
+        def count_quarantine(_live, _exc, shard_id=home) -> None:
+            stats = self._stats.get(shard_id)
+            if stats is not None:
+                stats.query_quarantines += 1
+
+        live.on_quarantine(count_quarantine)
+        return live
+
+    # ------------------------------------------------------------------
     # Manager protocol (what ScopeServer consumes)
     # ------------------------------------------------------------------
     @property
@@ -597,6 +632,10 @@ class ProcessShardedScopeManager:
         self._stats: Dict[int, ShardStats] = {}
         self._retired = ShardStats()
         self._closed = False
+        # Continuous queries attached through this router: qid → home
+        # shard, so detach_query knows which worker to tell.
+        self._query_homes: Dict[str, int] = {}
+        self._next_qid = 0
         try:
             for shard_id in range(shards):
                 self._handles[shard_id] = WorkerHandle(
@@ -665,6 +704,53 @@ class ProcessShardedScopeManager:
         for handle in self._handles.values():
             handle.advance(now)
 
+    # -- continuous queries ---------------------------------------------
+    def attach_query(
+        self,
+        query: str,
+        params: Optional[Dict[str, float]] = None,
+        timeout_s: float = 10.0,
+    ) -> str:
+        """Compile-and-attach a continuous query on its home worker.
+
+        The query text (with ``$name`` parameters bound router-side) is
+        validated here, then shipped over the control channel to the
+        single worker owning **all** of its source signals — a process
+        shard sees only its own pushes, so a query whose sources hash to
+        different workers would silently starve; that spelling is
+        rejected up front.  Derived outputs are pushed back into that
+        worker's manager and live there.  Returns the query id for
+        :meth:`detach_query`.
+        """
+        from repro.query import QueryCompileError, bind_params, compile_query
+
+        bound = bind_params(query, params)
+        plan = compile_query(bound)
+        homes = {self.shard_of(name) for name in plan.source_names}
+        if len(homes) > 1:
+            raise ValueError(
+                f"query sources {sorted(plan.source_names)} span shards "
+                f"{sorted(homes)}; process-plane queries need a single "
+                f"home worker"
+            )
+        shard_id = homes.pop()
+        qid = f"pq{self._next_qid}"
+        self._next_qid += 1
+        reply = self._handles[shard_id].attach_query(
+            qid, bound, timeout_s=timeout_s
+        )
+        if reply.get("error"):
+            raise QueryCompileError(str(reply["error"]))
+        self._query_homes[qid] = shard_id
+        return qid
+
+    def detach_query(self, qid: str, timeout_s: float = 10.0) -> None:
+        """Detach a continuous query from its home worker (idempotent)."""
+        shard_id = self._query_homes.pop(qid, None)
+        if shard_id is None:
+            return
+        self._handles[shard_id].detach_query(qid, timeout_s=timeout_s)
+
     # -- accounting -----------------------------------------------------
     def refresh_stats(self, timeout_s: float = 10.0) -> None:
         """Pull each worker's ingest ledger into the router-side stats."""
@@ -673,6 +759,7 @@ class ProcessShardedScopeManager:
             stats = self._stats[shard_id]
             stats.accepted = int(remote["accepted"])
             stats.dropped_late = int(remote["dropped_late"])
+            stats.query_quarantines = int(remote.get("query_quarantines", 0))
 
     def drain(self, timeout_s: float = 30.0) -> None:
         """Block until every worker has ingested all queued deliveries.

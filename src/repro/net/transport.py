@@ -26,6 +26,10 @@ class TransportClosed(ConnectionError):
     """Raised when sending on or reading from a closed endpoint."""
 
 
+#: Delivery stamp for zero-delay sends: compares <= any clock reading.
+_NOW = float("-inf")
+
+
 class LatencyLink:
     """Byte conduit that delivers chunks after a fixed delay.
 
@@ -46,11 +50,35 @@ class LatencyLink:
         self._delivered = bytearray()
         self._read_pos = 0
         self.closed = False
+        # Readiness listeners (edge hints for the event loop): fired on
+        # every send and on close, never on delivery — which is why only
+        # zero-delay links are hint-eligible (see MemoryEndpoint).
+        self._listeners: List = []
+
+    def add_listener(self, callback) -> None:
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
 
     def send(self, data: bytes) -> None:
         if self.closed:
             raise TransportClosed("link is closed")
-        self._in_flight.append((self.clock.now() + self.delay_ms, data))
+        # Zero-delay chunks are deliverable immediately; skipping the
+        # clock read matters on the fan-out hot path (one send per
+        # subscriber per batch).
+        self._in_flight.append(
+            (
+                self.clock.now() + self.delay_ms if self.delay_ms else _NOW,
+                data,
+            )
+        )
+        if self._listeners:
+            for callback in self._listeners:
+                callback()
 
     def _settle(self) -> None:
         now = self.clock.now()
@@ -74,6 +102,9 @@ class LatencyLink:
 
     def close(self) -> None:
         self.closed = True
+        if self._listeners:
+            for callback in self._listeners:
+                callback()
 
 
 class MemoryEndpoint:
@@ -98,6 +129,28 @@ class MemoryEndpoint:
 
     def writable(self) -> bool:
         return not self.closed and not self._out.closed
+
+    # Readiness hints ----------------------------------------------------
+    def add_ready_listener(self, callback) -> bool:
+        """Register an edge hint: ``callback()`` fires whenever incoming
+        bytes are sent (or the incoming link closes), i.e. whenever
+        ``readable()`` may have flipped true.
+
+        Returns False when the incoming link cannot promise that edge —
+        a delayed link becomes readable by clock advance, and a
+        fault-injected link applies kills and stall releases lazily
+        inside polled ``readable()``; both must stay level-polled.  The
+        event loop uses the return value to choose between the hinted
+        and the polled partitions.
+        """
+        if type(self._in) is not LatencyLink or self._in.delay_ms != 0.0:
+            return False
+        self._in.add_listener(callback)
+        return True
+
+    def remove_ready_listener(self, callback) -> None:
+        if isinstance(self._in, LatencyLink):
+            self._in.remove_listener(callback)
 
     @property
     def peer_closed(self) -> bool:

@@ -270,6 +270,14 @@ def worker_main(
         )
         names: Dict[int, str] = {}
         decoder = FrameDecoder()
+        # Continuous queries attached over the control channel: qid →
+        # LiveQuery tapping this worker's manager.  A quarantined query
+        # detaches itself; the counter rides the stats reply so the
+        # router-side ledger sees the loss.
+        queries: Dict[str, Any] = {}
+
+        def count_quarantine(_live, _exc) -> None:
+            host.stats.query_quarantines += 1
 
         def stats_payload() -> Dict[str, Any]:
             return {
@@ -278,6 +286,8 @@ def worker_main(
                 "offered": host.stats.offered,
                 "accepted": host.stats.accepted,
                 "dropped_late": host.stats.dropped_late,
+                "query_quarantines": host.stats.query_quarantines,
+                "queries": sorted(queries),
                 "beats": host.beats,
                 "now": host.loop.clock.now(),
                 "replayed": boot["replayed"],
@@ -337,6 +347,55 @@ def worker_main(
                                     "op": "snapshot",
                                     "shard": shard_id,
                                     "blob": base64.b64encode(blob).decode("ascii"),
+                                }
+                            )
+                        )
+                    elif op == "query_attach":
+                        # Compile-and-attach in the child: the query taps
+                        # this shard's manager and pushes derived signals
+                        # back into it (they live on this worker).
+                        # Compile failures reply in-band — a bad query
+                        # must not crash a healthy shard.
+                        from repro.query import LiveQuery, QueryError
+
+                        qid = str(frame.control["id"])
+                        try:
+                            live = LiveQuery(
+                                str(frame.control["text"]), host.manager
+                            )
+                        except QueryError as exc:
+                            sock.sendall(
+                                encode_control(
+                                    {
+                                        "op": "query_attached",
+                                        "id": qid,
+                                        "error": str(exc),
+                                    }
+                                )
+                            )
+                        else:
+                            live.on_quarantine(count_quarantine)
+                            queries[qid] = live
+                            sock.sendall(
+                                encode_control(
+                                    {
+                                        "op": "query_attached",
+                                        "id": qid,
+                                        "outputs": list(live.plan.output_names),
+                                    }
+                                )
+                            )
+                    elif op == "query_detach":
+                        qid = str(frame.control["id"])
+                        live = queries.pop(qid, None)
+                        if live is not None:
+                            live.detach()
+                        sock.sendall(
+                            encode_control(
+                                {
+                                    "op": "query_detached",
+                                    "id": qid,
+                                    "known": live is not None,
                                 }
                             )
                         )
@@ -649,6 +708,28 @@ class WorkerHandle:
                     f"worker {self.shard_id} drain stalled at "
                     f"{remote['offered']}/{target_offered}"
                 )
+
+    def attach_query(
+        self, qid: str, text: str, timeout_s: float = 10.0
+    ) -> Dict[str, Any]:
+        """Compile-and-attach a continuous query in the child.
+
+        ``text`` must be fully bound (no ``$param`` placeholders — the
+        router substitutes before shipping).  Returns the reply payload;
+        a compile failure comes back with an ``error`` key rather than
+        raising here, so callers decide the severity.
+        """
+        return self.request(
+            {"op": "query_attach", "id": str(qid), "text": str(text)},
+            "query_attached",
+            timeout_s,
+        )
+
+    def detach_query(self, qid: str, timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Detach a previously attached continuous query (idempotent)."""
+        return self.request(
+            {"op": "query_detach", "id": str(qid)}, "query_detached", timeout_s
+        )
 
     def snapshot_state(self, timeout_s: float = 30.0) -> Dict[str, Any]:
         """Fetch the child's full data-plane state (pickled blob).

@@ -34,7 +34,13 @@ Typical use::
 """
 
 from repro.query.batch import execute
-from repro.query.compile import Plan, PlanNode, compile_query
+from repro.query.compile import (
+    Plan,
+    PlanNode,
+    bind_params,
+    compile_query,
+    plan_key,
+)
 from repro.query.errors import QueryCompileError, QueryError, QuerySyntaxError
 from repro.query.live import LiveQuery
 from repro.query.ops import Runtime
@@ -49,7 +55,9 @@ __all__ = [
     "QueryError",
     "QuerySyntaxError",
     "Runtime",
+    "bind_params",
     "compile_query",
     "execute",
     "parse",
+    "plan_key",
 ]

@@ -43,8 +43,10 @@ The :class:`Plan` is immutable and stateless; each execution
 
 from __future__ import annotations
 
+import math
+import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -557,3 +559,77 @@ def compile_query(
 
         fuse = native.fusion_enabled()
     return fuse_plan(plan) if fuse else plan
+
+
+# ----------------------------------------------------------------------
+# Bind-time parameters and the canonical plan key (the subscribe plane)
+# ----------------------------------------------------------------------
+
+#: ``$name`` placeholders in query text, bound before compilation.
+_PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def bind_params(
+    text: str, params: Optional[Mapping[str, float]] = None
+) -> str:
+    """Substitute ``$name`` placeholders with numeric literals.
+
+    One query template serves many per-user instantiations:
+    ``"smooth = ewma(load, $alpha)"`` bound with ``{"alpha": 0.9}``
+    becomes ordinary query text.  Values must be finite numbers — they
+    land where the compiler demands constants (operator parameters,
+    thresholds), and constant folding erases any arithmetic around
+    them.  Binding is purely textual and happens *before* the lexer, so
+    an unbound ``$`` can never reach it; a missing or unused parameter
+    is a :class:`~repro.query.errors.QueryCompileError` (catching both
+    typo directions).
+    """
+    supplied = dict(params or {})
+    used = set()
+
+    def _sub(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name not in supplied:
+            raise QueryCompileError(f"unbound query parameter ${name}")
+        used.add(name)
+        try:
+            value = float(supplied[name])
+        except (TypeError, ValueError):
+            raise QueryCompileError(
+                f"query parameter ${name} must be a number: "
+                f"{supplied[name]!r}"
+            ) from None
+        if not math.isfinite(value):
+            raise QueryCompileError(
+                f"query parameter ${name} must be finite: {value!r}"
+            )
+        # Parenthesized so a negative value keeps its sign regardless
+        # of the surrounding expression; folding erases the parens.
+        return f"({value!r})"
+
+    bound = _PARAM_RE.sub(_sub, text)
+    unused = sorted(set(supplied) - used)
+    if unused:
+        raise QueryCompileError(
+            f"unused query parameter(s): {', '.join(unused)}"
+        )
+    return bound
+
+
+def plan_key(plan: Plan) -> Tuple:
+    """Canonical identity of a compiled plan (the dedup key).
+
+    Two queries share a key exactly when they compiled to the same DAG
+    publishing the same outputs from the same sources — whitespace,
+    comments, intermediate naming and parameter spelling differences
+    all vanish in compilation, while different bound parameter values
+    yield different folded constants and therefore different keys.  The
+    subscription plane keys shared evaluations on this, so N
+    subscribers to one derived view cost one
+    :class:`~repro.query.live.LiveQuery`.
+    """
+    return (
+        plan.nodes,
+        tuple(sorted(plan.sources.items())),
+        tuple(sorted(plan.outputs.items())),
+    )

@@ -27,10 +27,10 @@ from typing import Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro.query.compile import Plan, compile_query
-from repro.query.errors import QueryError
 from repro.query.ops import ArrayLike, Runtime
 
 OutputObserver = Callable[[str, np.ndarray, np.ndarray], None]
+QuarantineObserver = Callable[["LiveQuery", BaseException], None]
 
 
 class LiveQuery:
@@ -67,11 +67,12 @@ class LiveQuery:
         self.runtime = Runtime(self.plan)
         self.samples_out: Dict[str, int] = {}
         self._observers: List[OutputObserver] = []
+        self._quarantine_observers: List[QuarantineObserver] = []
         for name in self.plan.output_names:
             self.samples_out[name] = 0
             self.runtime.add_sink(name, self._make_emitter(name))
         self._manager = None
-        self._error: Optional[QueryError] = None
+        self._error: Optional[BaseException] = None
         if manager is not None:
             self.attach(manager)
 
@@ -85,22 +86,35 @@ class LiveQuery:
 
         A tap runs inside the *producer's* push path, so nothing here
         may raise through it: batches arriving after :meth:`finish` are
-        dropped, and a query that fails mid-stream (e.g. ``ewma`` over
-        an Inf produced by a division) quarantines itself — it stops
-        consuming and records the failure in :attr:`error` instead of
-        crashing the application pushing samples.
+        dropped, and a query that fails mid-stream — a
+        :class:`~repro.query.errors.QueryError` from an operator, an
+        observer that raises, a manager push failure, anything —
+        quarantines itself: it detaches, stops consuming and records
+        the failure in :attr:`error` instead of crashing the
+        application pushing samples.
         """
         if self._error is not None or self.runtime.finished:
             return
         try:
             self.runtime.feed(name, times, values)
-        except QueryError as exc:
-            self._error = exc
+        except Exception as exc:
+            self._quarantine(exc)
 
     def attach(self, manager) -> None:
-        """Subscribe to ``manager`` and route emissions back into it."""
+        """Subscribe to ``manager`` and route emissions back into it.
+
+        A finished or quarantined query consumes nothing ever again, so
+        re-attaching one is rejected rather than silently registering a
+        dead tap.
+        """
         if self._manager is not None:
             raise ValueError("query is already attached; detach() first")
+        if self._error is not None:
+            raise ValueError(
+                f"query is quarantined ({self._error!r}); build a new LiveQuery"
+            )
+        if self.runtime.finished:
+            raise ValueError("query is finished; build a new LiveQuery")
         manager.add_tap(self)
         self._manager = manager
 
@@ -121,13 +135,45 @@ class LiveQuery:
         """Also deliver every derived batch to ``observer(name, t, v)``."""
         self._observers.append(observer)
 
+    def on_quarantine(self, observer: QuarantineObserver) -> None:
+        """Call ``observer(self, exc)`` when this query quarantines.
+
+        Fires after the query has detached and recorded :attr:`error`,
+        still inside the producer's push path — observers must not
+        raise (anything they do raise is swallowed, the quarantine
+        already happened).  This is how a subscription service learns
+        that a shared view died and can tell its subscribers.
+        """
+        self._quarantine_observers.append(observer)
+
+    def _quarantine(self, exc: BaseException) -> None:
+        """Record the failure, detach, notify — never raise."""
+        if self._error is not None:
+            return
+        self._error = exc
+        try:
+            self.detach()
+        except Exception:
+            pass  # the manager may itself be mid-teardown
+        for observer in self._quarantine_observers:
+            try:
+                observer(self, exc)
+            except Exception:
+                pass
+
     def _make_emitter(self, name: str):
         def emitter(times: np.ndarray, values: np.ndarray) -> None:
             self.samples_out[name] += times.shape[0]
-            for observer in self._observers:
-                observer(name, times, values)
-            if self._manager is not None:
-                self._manager.push_samples(name, times, values)
+            # Emissions run inside the producer's push path too: a
+            # failing observer or manager push quarantines the query
+            # rather than raising through push_samples.
+            try:
+                for observer in self._observers:
+                    observer(name, times, values)
+                if self._manager is not None:
+                    self._manager.push_samples(name, times, values)
+            except Exception as exc:
+                self._quarantine(exc)
 
         return emitter
 
@@ -142,10 +188,17 @@ class LiveQuery:
         self.detach()
 
     @property
-    def error(self) -> Optional[QueryError]:
+    def error(self) -> Optional[BaseException]:
         """The failure that quarantined this query, if any (see
-        :meth:`__call__`); None while the query is healthy."""
+        :meth:`__call__`); None while the query is healthy.  Usually a
+        :class:`~repro.query.errors.QueryError`, but any exception an
+        operator, output observer or manager push raises quarantines."""
         return self._error
+
+    @property
+    def quarantined(self) -> bool:
+        """True once a failure has permanently stopped this query."""
+        return self._error is not None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -79,3 +79,78 @@ class TestCoordination:
         mgr.start_all()
         mgr.run_for(1000)
         assert a.polls > b.polls > 0
+
+
+class TestTapListSafety:
+    """Taps mutate their own membership from inside the push path.
+
+    A capture writer closing, a LiveQuery quarantining, a subscriber
+    detaching — all remove a tap *while the manager is iterating its tap
+    list*.  The copy-on-write tuple list guarantees the in-flight push
+    still invokes every sibling exactly once.
+    """
+
+    def make_rig(self):
+        manager = ScopeManager()
+        scope = manager.scope_new("rig", delay_ms=1e12)
+        scope.signal_new(buffer_signal("x"))
+        return manager
+
+    def test_tap_removing_itself_mid_push_keeps_siblings(self):
+        manager = self.make_rig()
+        calls = []
+
+        def make_tap(label, self_remove=False):
+            def tap(name, times, values, now_ms):
+                calls.append(label)
+                if self_remove:
+                    manager.remove_tap(tap)
+
+            return tap
+
+        first = make_tap("first", self_remove=True)
+        manager.add_tap(first)
+        manager.add_tap(make_tap("second"))
+        manager.add_tap(make_tap("third"))
+        manager.push_samples("x", [1.0], [1.0])
+        # The removing tap must not skip or double-invoke its siblings.
+        assert calls == ["first", "second", "third"]
+        calls.clear()
+        manager.push_samples("x", [2.0], [2.0])
+        assert calls == ["second", "third"]
+
+    def test_tap_adding_a_tap_mid_push_defers_to_next_push(self):
+        manager = self.make_rig()
+        calls = []
+
+        def late(name, times, values, now_ms):
+            calls.append("late")
+
+        def adder(name, times, values, now_ms):
+            calls.append("adder")
+            if "late" not in calls:
+                manager.add_tap(late)
+
+        manager.add_tap(adder)
+        manager.push_samples("x", [1.0], [1.0])
+        assert calls == ["adder"]  # snapshot: the new tap waits its turn
+        manager.push_samples("x", [2.0], [2.0])
+        assert calls == ["adder", "adder", "late"]
+
+    def test_scope_tap_removing_itself_mid_push_keeps_siblings(self):
+        manager = ScopeManager()
+        scope = manager.scope_new("rig", delay_ms=1e12)
+        scope.signal_new(buffer_signal("x"))
+        calls = []
+
+        def first(name, times, values, now_ms):
+            calls.append("first")
+            scope.remove_tap(first)
+
+        def second(name, times, values, now_ms):
+            calls.append("second")
+
+        scope.add_tap(first)
+        scope.add_tap(second)
+        scope.push_samples("x", [1.0], [1.0])
+        assert calls == ["first", "second"]

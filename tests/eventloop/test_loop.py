@@ -207,3 +207,128 @@ class TestRunControl:
         loop.timeout_add(10, lambda lost: True)
         loop.run(max_iterations=7)
         assert loop.iterations >= 7
+
+
+class TestHintedWatches:
+    """IN watches on edge-notifying channels skip per-iteration polling.
+
+    A channel that can promise "I fire a callback whenever readable()
+    may have flipped true" (the zero-delay in-memory transport) moves
+    to the hinted partition: the loop probes it only after a hint, so a
+    thousand quiet connections cost nothing per tick.  Channels that
+    cannot promise the edge — sockets, delayed links, fault-injected
+    links — stay level-polled.
+    """
+
+    def make_pair(self, loop, latency_ms=0.0):
+        from repro.net.transport import memory_pair
+
+        return memory_pair(loop.clock, latency_ms=latency_ms)
+
+    def test_zero_delay_memory_watch_is_hinted_not_polled(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        wid = loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        assert wid in loop._hint_polled
+        assert wid not in loop._polled
+        assert loop._io_count == 0
+
+    def test_hinted_watch_fires_on_send(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        got = []
+        loop.io_add_watch(
+            far, IOCondition.IN, lambda ch, cond: got.append(ch.recv()) or True
+        )
+        loop.run_for(1)
+        assert got == []  # quiet channel: nothing dispatched
+        near.send(b"ping")
+        loop.run_for(1)
+        assert got == [b"ping"]
+
+    def test_idle_hinted_watch_is_not_probed(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        probes = []
+        original = far.readable
+        far.readable = lambda: probes.append(1) or original()
+        loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        loop.run_for(5)  # attach probe happens once, then silence
+        baseline = len(probes)
+        loop.run_for(50)
+        assert len(probes) == baseline
+
+    def test_hint_stays_armed_while_undrained(self):
+        # Level-triggered: a callback that reads less than what is
+        # queued must fire again without a new send.
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        chunks = []
+        loop.io_add_watch(
+            far, IOCondition.IN, lambda ch, cond: chunks.append(ch.recv(2)) or True
+        )
+        near.send(b"abcd")
+        loop.run_for(5)
+        assert b"".join(chunks) == b"abcd"
+
+    def test_peer_close_wakes_hinted_watch(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        seen = []
+        loop.io_add_watch(
+            far, IOCondition.IN, lambda ch, cond: seen.append(ch.recv()) or False
+        )
+        loop.run_for(1)
+        near.close()  # EOF edge: readable() flips true via the closed link
+        loop.run_for(1)
+        assert seen == [b""]
+
+    def test_delayed_link_stays_polled_and_delivers_on_time(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop, latency_ms=40.0)
+        wid = loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        assert wid in loop._polled  # delay needs clock-driven readiness
+        got = []
+        loop.remove(wid)
+        loop.io_add_watch(
+            far,
+            IOCondition.IN,
+            lambda ch, cond: got.append((loop.clock.now(), ch.recv())) or True,
+        )
+        near.send(b"late")
+        loop.run_for(100)
+        assert got and got[0][1] == b"late"
+        assert got[0][0] >= 40.0
+
+    def test_faulty_link_stays_polled(self):
+        from repro.net.faults import FaultPlan, faulty_pair
+
+        loop = MainLoop()
+        near, far, _, _ = faulty_pair(loop.clock, client_plan=FaultPlan())
+        wid = loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        assert wid in loop._polled
+        assert wid not in loop._hint_polled
+
+    def test_detach_unregisters_listener(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        wid = loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        loop.remove(wid)
+        assert wid not in loop._hint_polled
+        assert not far._in._listeners  # listener gone with the watch
+        near.send(b"x")  # must not resurrect the removed source
+        loop.run_for(1)
+        assert wid not in loop._hinted
+
+    def test_out_condition_watch_stays_polled(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        wid = loop.io_add_watch(far, IOCondition.OUT, lambda ch, cond: False)
+        assert wid in loop._polled
+
+    def test_run_blocks_instead_of_spinning_with_only_hinted_watches(self):
+        loop = MainLoop()
+        near, far = self.make_pair(loop)
+        loop.io_add_watch(far, IOCondition.IN, lambda ch, cond: True)
+        loop.run(max_iterations=5)  # must terminate, not busy-spin
+        assert loop.iterations >= 5

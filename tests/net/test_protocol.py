@@ -323,3 +323,58 @@ class TestWireNegotiation:
         dec = WireDecoder()
         assert dec.feed(b"") == ([], [])
         assert dec.mode is None
+
+
+class TestQueryFrames:
+    """QUERY frames: the JSON continuous-query channel (v2-only)."""
+
+    def test_round_trip(self):
+        from repro.net.protocol import encode_query
+
+        payload = {
+            "op": "query",
+            "id": "q7",
+            "text": "s = ewma(a, $al)",
+            "params": {"al": 0.9},
+        }
+        frames = FrameDecoder().feed(encode_query(payload))
+        assert len(frames) == 1
+        assert frames[0].kind is FrameKind.QUERY
+        assert frames[0].control == payload
+
+    def test_single_byte_fragmentation(self):
+        from repro.net.protocol import encode_query
+
+        wire = encode_query({"op": "subscribe", "id": "q0"}) + encode_query(
+            {"op": "unsubscribe", "id": "q1"}
+        )
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(wire)):
+            collected.extend(decoder.feed(wire[i : i + 1]))
+        assert [f.control["op"] for f in collected] == ["subscribe", "unsubscribe"]
+        assert all(f.kind is FrameKind.QUERY for f in collected)
+
+    def test_v1_query_frame_rejected(self):
+        from repro.net.protocol import encode_query
+
+        frame = bytearray(encode_query({"op": "subscribe", "id": "q0"}))
+        frame[2] = 1  # rewrite the header's version byte to v1
+        with pytest.raises(ProtocolError, match="require protocol version 2"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_non_json_payload_rejected(self):
+        header = FRAME_HEADER.pack(MAGIC, 2, FrameKind.QUERY, 0, 4)
+        with pytest.raises(ProtocolError, match="QUERY"):
+            FrameDecoder().feed(header + b"\xff\xfe\xfd\xfc")
+
+    def test_interleaves_with_sample_frames(self):
+        from repro.net.protocol import encode_query
+
+        wire = (
+            encode_name_def(0, "a")
+            + encode_query({"op": "query", "id": "q0", "text": "s = ewma(a, 0.5)"})
+            + encode_binary_samples(0, [1.0, 2.0], [3.0, 4.0])
+        )
+        kinds = [f.kind for f in FrameDecoder().feed(wire)]
+        assert kinds == [FrameKind.NAME_DEF, FrameKind.QUERY, FrameKind.SAMPLES]

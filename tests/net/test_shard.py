@@ -104,6 +104,7 @@ class TestPushRouting:
             "dropped_late": 1,
             "tap_bytes": 0,
             "wal_bytes": 0,
+            "query_quarantines": 0,
         }
 
     def test_scalar_push_counted_too(self):

@@ -1,0 +1,84 @@
+"""Bind-time parameters and canonical plan keys.
+
+``$name`` placeholders substitute textually before lexing, so one query
+text serves many parameterizations; ``plan_key`` canonicalizes compiled
+plans so the server can share one evaluation across subscribers whose
+spellings (whitespace, comments, parameter names) differ but whose
+compiled DAGs agree.
+"""
+
+import pytest
+
+from repro.query import (
+    QueryCompileError,
+    bind_params,
+    compile_query,
+    plan_key,
+)
+
+
+class TestBindParams:
+    def test_substitutes_values_parenthesized(self):
+        out = bind_params("s = ewma(x, $al); hot = x > $lim", {"al": 0.9, "lim": -5})
+        assert out == "s = ewma(x, (0.9)); hot = x > (-5.0)"
+
+    def test_no_params_passthrough(self):
+        assert bind_params("s = ewma(x, 0.9)") == "s = ewma(x, 0.9)"
+        assert bind_params("s = ewma(x, 0.9)", {}) == "s = ewma(x, 0.9)"
+
+    def test_unbound_placeholder_rejected(self):
+        with pytest.raises(QueryCompileError, match="unbound"):
+            bind_params("s = ewma(x, $al)")
+
+    def test_unused_parameter_rejected(self):
+        with pytest.raises(QueryCompileError, match="unused"):
+            bind_params("s = ewma(x, 0.9)", {"al": 0.9})
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(QueryCompileError, match="finite"):
+            bind_params("s = ewma(x, $al)", {"al": float("nan")})
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(QueryCompileError):
+            bind_params("s = ewma(x, $al)", {"al": "high"})
+
+    def test_bound_text_compiles(self):
+        plan = compile_query(bind_params("s = ewma(x, $al)", {"al": 0.875}))
+        assert plan.output_names == ["s"]
+
+    def test_negative_value_binds_safely_into_expressions(self):
+        # (−5.0) parenthesized: `x - $d` must not become `x - -5.0` with
+        # surprising precedence.
+        plan = compile_query(bind_params("s = x - $d", {"d": -5}))
+        assert plan.output_names == ["s"]
+
+
+class TestPlanKey:
+    def test_spelling_invariant(self):
+        a = compile_query("s = ewma(x, 0.9)")
+        b = compile_query("s   =   ewma( x ,  0.9 )  # comment")
+        assert plan_key(a) == plan_key(b)
+
+    def test_param_spelling_invariant(self):
+        a = compile_query(bind_params("s = ewma(x, $alpha)", {"alpha": 0.9}))
+        b = compile_query("s = ewma(x, 0.9)")
+        assert plan_key(a) == plan_key(b)
+
+    def test_different_param_values_differ(self):
+        a = compile_query(bind_params("s = ewma(x, $al)", {"al": 0.9}))
+        b = compile_query(bind_params("s = ewma(x, $al)", {"al": 0.5}))
+        assert plan_key(a) != plan_key(b)
+
+    def test_different_sources_differ(self):
+        assert plan_key(compile_query("s = ewma(x, 0.9)")) != plan_key(
+            compile_query("s = ewma(y, 0.9)")
+        )
+
+    def test_different_output_names_differ(self):
+        assert plan_key(compile_query("s = ewma(x, 0.9)")) != plan_key(
+            compile_query("t = ewma(x, 0.9)")
+        )
+
+    def test_key_is_hashable(self):
+        plan = compile_query("s = ewma(x, 0.9)")
+        assert {plan_key(plan): 1}[plan_key(plan)] == 1

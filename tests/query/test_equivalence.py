@@ -226,3 +226,90 @@ class TestTapSafety:
         assert live.error is not None
         assert "not finite" in str(live.error)
         manager.push_samples("a", [2.0], [1.0])  # quarantined: ignored
+
+    def make_rig(self):
+        manager = ScopeManager()
+        scope = manager.scope_new("rig", delay_ms=1e12)
+        for name in ("x", "d"):
+            scope.signal_new(buffer_signal(name))
+        return manager
+
+    def test_failing_output_observer_quarantines_not_raises(self):
+        """ANY emission-path failure quarantines — not just QueryError.
+
+        Observers and the manager push-back run inside the producer's
+        push path; a crashing observer must never raise through
+        ``push_samples``.
+        """
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        live.on_output(lambda n, t, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        manager.push_samples("x", [1.0], [1.0])  # must not raise
+        assert isinstance(live.error, RuntimeError)
+        assert live.quarantined
+
+    def test_quarantine_auto_detaches(self):
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        live.on_output(lambda n, t, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert live.attached
+        manager.push_samples("x", [1.0], [1.0])
+        # A quarantined query must not stay attached forever, eating a
+        # tap slot and re-failing on every future push.
+        assert not live.attached
+
+    def test_attach_rejected_on_quarantined_query(self):
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        live.on_output(lambda n, t, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        manager.push_samples("x", [1.0], [1.0])
+        with pytest.raises(ValueError, match="quarantined"):
+            live.attach(manager)
+
+    def test_attach_rejected_on_finished_query(self):
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        live.finish()
+        with pytest.raises(ValueError, match="finished"):
+            live.attach(manager)
+
+    def test_on_quarantine_observer_fires_once_with_the_error(self):
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        seen = []
+        live.on_quarantine(lambda lq, exc: seen.append((lq, exc)))
+        live.on_output(lambda n, t, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        manager.push_samples("x", [1.0], [1.0])
+        manager.push_samples("x", [2.0], [2.0])  # already detached anyway
+        assert len(seen) == 1
+        assert seen[0][0] is live and isinstance(seen[0][1], RuntimeError)
+
+    def test_failing_quarantine_observer_is_swallowed(self):
+        manager = self.make_rig()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        live.on_quarantine(lambda lq, exc: (_ for _ in ()).throw(ValueError("worse")))
+        live.on_output(lambda n, t, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        manager.push_samples("x", [1.0], [1.0])  # must not raise
+        assert isinstance(live.error, RuntimeError)
+
+    def test_manager_push_failure_quarantines(self):
+        class ExplodingManager:
+            def __init__(self):
+                self.taps = []
+
+            def add_tap(self, tap):
+                self.taps.append(tap)
+
+            def remove_tap(self, tap):
+                self.taps.remove(tap)
+
+            def push_samples(self, name, times, values):
+                raise OSError("downstream gone")
+
+        manager = ExplodingManager()
+        live = LiveQuery("d = ewma(x, 0.9)", manager)
+        # Feed directly through the tap interface: the derived push-back
+        # into the exploding manager must quarantine, not raise.
+        live("x", [1.0], [1.0], 1.0)
+        assert isinstance(live.error, OSError)
+        assert not live.attached and manager.taps == []
