@@ -1,0 +1,229 @@
+"""X15 — self-instrumentation overhead: the scope must not perturb itself.
+
+The paper's Section 5 argument — gscope must stay out of the way of the
+software it observes — applies doubly to the scope's *own* telemetry:
+an observability plane that slows the pipeline it measures reports on a
+system that no longer exists.  Three measurements:
+
+* **X15a — ingest overhead**: the X8-style 1M-sample columnar ingest
+  run, fully instrumented (registry mounted, event-loop profiler on,
+  publisher live, tracer installed) versus bare.  Acceptance:
+  instrumented throughput >= 95% of uninstrumented.
+* **X15b — publisher tick cost**: one publish pass over 1k dirty
+  instruments, in instruments/second (the scrape is off the hot path;
+  this bounds how often it can run).
+* **X15c — trace collector throughput**: spans/second through the
+  ring collector (bounds how fine-grained spans can get before the
+  collector itself becomes the workload).
+
+Ratios are best-seconds over best-seconds across attempts: scheduler
+noise only ever *slows* a run, so each side's minimum is its cleanest
+estimate and their quotient is the faithful overhead.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.obs.metrics import MetricsPublisher, MetricsRegistry
+from repro.obs.trace import TraceCollector, install_tracer, uninstall_tracer
+
+N = 1_000_000
+BATCH = 65_536  # the X8 ingest batch size
+PUBLISH_EVERY = 4  # batches between manual publisher passes
+INSTRUMENTS = 1_000
+SPANS = 200_000
+
+pytestmark = [
+    pytest.mark.benchmark,
+    pytest.mark.obs,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_BENCH"),
+        reason="benchmarks are opt-in: set REPRO_BENCH=1",
+    ),
+]
+
+
+def _rig():
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("bench", delay_ms=1e12)
+    scope.signal_new(buffer_signal("pkts"))
+    return loop, manager
+
+
+def _batches(total: int, batch: int):
+    rng = np.random.default_rng(0)
+    out = []
+    t = 0.0
+    for _ in range(total // batch):
+        times = t + np.arange(batch, dtype=np.float64)
+        out.append((times, rng.poisson(8.0, batch).astype(np.float64)))
+        t += batch
+    return out
+
+
+def bench_ingest(instrumented: bool, total: int = N) -> dict:
+    """X15a: tight columnar ingest, with or without the obs plane."""
+    loop, manager = _rig()
+    batches = _batches(total, BATCH)
+    publisher = None
+    if instrumented:
+        registry = MetricsRegistry()
+        assert loop.observe(registry)
+        publisher = MetricsPublisher(loop, manager, registry, period_ms=50.0)
+        assert publisher.active
+        ingested = registry.counter("bench.batches")
+        assert install_tracer(TraceCollector(loop.clock))
+    try:
+        t0 = time.perf_counter()
+        if instrumented:
+            for i, (times, values) in enumerate(batches):
+                manager.push_samples("pkts", times, values)
+                ingested.inc()
+                if i % PUBLISH_EVERY == 0:
+                    publisher.publish(times[-1])
+        else:
+            for times, values in batches:
+                manager.push_samples("pkts", times, values)
+        seconds = time.perf_counter() - t0
+    finally:
+        if instrumented:
+            uninstall_tracer()
+    samples = len(batches) * BATCH
+    return {
+        "samples": samples,
+        "seconds": seconds,
+        "rate_per_sec": samples / seconds,
+    }
+
+
+def ingest_overhead(attempts: int = 7) -> dict:
+    """Best-seconds ratio: instrumented throughput over bare throughput.
+
+    Attempts are interleaved (bare, instrumented, bare, ...) after one
+    untimed warm-up of each, so slow machine-level drift — frequency
+    scaling, cache state, a noisy neighbour — lands on both sides
+    instead of biasing whichever variant ran last.  Each side's minimum
+    is its cleanest estimate (noise only ever slows a run).
+    """
+    bench_ingest(False, total=BATCH * 2)
+    bench_ingest(True, total=BATCH * 2)
+    bare = instr = None
+    for _ in range(attempts):
+        b = bench_ingest(False)
+        i = bench_ingest(True)
+        if bare is None or b["seconds"] < bare["seconds"]:
+            bare = b
+        if instr is None or i["seconds"] < instr["seconds"]:
+            instr = i
+    return {
+        "samples": bare["samples"],
+        "bare": bare,
+        "instrumented": instr,
+        "ratio": bare["seconds"] / instr["seconds"],
+    }
+
+
+def bench_publisher(instruments: int = INSTRUMENTS, passes: int = 50) -> dict:
+    """X15b: publish passes over ``instruments`` all-dirty counters."""
+    loop, manager = _rig()
+    registry = MetricsRegistry()
+    cells = [registry.counter(f"bench.c{i:04d}") for i in range(instruments)]
+    publisher = MetricsPublisher(loop, manager, registry, period_ms=50.0)
+    t0 = time.perf_counter()
+    for p in range(passes):
+        for cell in cells:  # dirty every instrument so nothing suppresses
+            cell.inc()
+        publisher.publish(float(p))
+    seconds = time.perf_counter() - t0
+    return {
+        "instruments": instruments,
+        "passes": passes,
+        "seconds": seconds,
+        "rate_per_sec": instruments * passes / seconds,
+        "tick_ms": seconds / passes * 1e3,
+    }
+
+
+def bench_tracer(spans: int = SPANS) -> dict:
+    """X15c: span open/close throughput through the ring collector."""
+    loop, _ = _rig()
+    collector = TraceCollector(loop.clock, capacity=1 << 12)
+    span = collector.span
+    t0 = time.perf_counter()
+    for _ in range(spans):
+        with span("bench"):
+            pass
+    seconds = time.perf_counter() - t0
+    assert collector.finished == spans
+    return {
+        "spans": spans,
+        "seconds": seconds,
+        "rate_per_sec": spans / seconds,
+    }
+
+
+def test_x15a_ingest_overhead():
+    result = ingest_overhead()
+    report(
+        "X15a self-instrumentation ingest overhead (1M samples)",
+        [
+            ("bare", f"{result['bare']['rate_per_sec']:,.0f} samples/s"),
+            (
+                "instrumented",
+                f"{result['instrumented']['rate_per_sec']:,.0f} samples/s",
+            ),
+            ("ratio", f"{result['ratio']:.3f} (acceptance >= 0.95)"),
+        ],
+    )
+    assert result["ratio"] >= 0.95
+
+
+def test_x15b_publisher_cost():
+    result = bench_publisher()
+    report(
+        "X15b publisher pass at 1k dirty instruments",
+        [
+            ("instruments", f"{result['instruments']:,}"),
+            ("tick", f"{result['tick_ms']:.2f} ms"),
+            ("rate", f"{result['rate_per_sec']:,.0f} instruments/s"),
+        ],
+    )
+    # A scrape pass must be far cheaper than its 50 ms cadence.
+    assert result["tick_ms"] < 50.0
+
+
+def test_x15c_tracer_throughput():
+    result = bench_tracer()
+    report(
+        "X15c trace collector span throughput",
+        [
+            ("spans", f"{result['spans']:,}"),
+            ("rate", f"{result['rate_per_sec']:,.0f} spans/s"),
+        ],
+    )
+    # Well above any realistic span emission rate (one per batch, not
+    # one per sample).
+    assert result["rate_per_sec"] > 100_000
+
+
+def run_suite() -> dict:
+    return {
+        "benchmark": "obs",
+        "ingest_overhead": ingest_overhead(),
+        "publisher": bench_publisher(),
+        "tracer": bench_tracer(),
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_suite(), indent=2))

@@ -13,6 +13,8 @@ stores, and re-running derived-signal queries over them:
     python -m repro capture info run.capture
     python -m repro query "ewma(queue, 0.9)" --capture run.capture
     python -m repro query "ewma(queue, 0.9)" --server --duration 2000
+    python -m repro trace --out trace.json
+    python -m repro top --duration 2000
 """
 
 from __future__ import annotations
@@ -342,12 +344,138 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Deterministic traced demo rig → Chrome ``chrome://tracing`` JSON.
+
+    Runs the full wire pipeline — client, server, server-side continuous
+    query, multiplexed fan-out — on virtual time with the span tracer
+    installed, so the export shows the real nesting
+    (ingest → deliver → derive → fanout) with reproducible timestamps.
+    """
+    import numpy as np
+
+    from repro.core.manager import ScopeManager
+    from repro.core.signal import buffer_signal
+    from repro.net import ScopeClient, ScopeServer, memory_pair
+    from repro.obs import TraceCollector, install_tracer, uninstall_tracer
+
+    loop = MainLoop()
+    collector = TraceCollector(loop.clock, capacity=args.capacity)
+    if not install_tracer(collector):
+        print("tracing is disabled (REPRO_OBS=0)", file=sys.stderr)
+        return 1
+    try:
+        manager = ScopeManager(loop)
+        scope = manager.scope_new("trace-demo", delay_ms=1e12)
+        scope.signal_new(buffer_signal("pkts"))
+        server = ScopeServer(loop, manager)
+        near, far = memory_pair(loop.clock)
+        server.add_client(far)
+        client = ScopeClient(near, loop)
+        client.subscribe("pkt_rate = rate(pkts)")
+
+        rng = np.random.default_rng(args.seed)
+
+        def feed(_lost: int) -> bool:
+            now = loop.clock.now()
+            client.send_samples("pkts", [float(rng.poisson(8.0))], [now])
+            return True
+
+        loop.timeout_add(10.0, feed)
+        loop.run_until(args.duration)
+    finally:
+        uninstall_tracer()
+    payload = collector.chrome_json()
+    spans = len(collector.spans())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        print(
+            f"wrote {args.out} ({spans} spans, {collector.dropped} dropped); "
+            "load it in chrome://tracing or https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Deterministic self-scoped run → text view of every instrument.
+
+    Builds a small virtual-time rig (manager, instrumented event loop,
+    metrics publisher feeding telemetry back into the same manager) and
+    prints the registry snapshot after ``--duration`` virtual ms — the
+    live-metrics table the registry serves at any instant.
+    """
+    import numpy as np
+
+    from repro.core.manager import ScopeManager
+    from repro.core.signal import buffer_signal
+    from repro.obs import OBS_PREFIX, MetricsPublisher, MetricsRegistry
+
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("top-demo", delay_ms=1e12)
+    scope.signal_new(buffer_signal("pkts"))
+    registry = MetricsRegistry()
+    loop.observe(registry)
+    publisher = MetricsPublisher(loop, manager, registry, period_ms=args.period)
+
+    rng = np.random.default_rng(args.seed)
+
+    def feed(_lost: int) -> bool:
+        now = loop.clock.now()
+        manager.push_samples("pkts", [now], [float(rng.poisson(8.0))])
+        return True
+
+    loop.timeout_add(10.0, feed)
+    loop.run_until(args.duration)
+
+    snap = registry.snapshot()
+    if not snap:
+        print("(no instruments mounted)")
+        return 1
+    width = max(len(name) for name in snap)
+    print(f"{'instrument'.ljust(width)}  {'kind'.ljust(9)}  value")
+    for name, entry in snap.items():
+        kind = entry["kind"]
+        if kind == "histogram":
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            value = f"n={entry['count']} mean={mean:.3f}"
+        else:
+            value = f"{entry['value']:g}"
+        wall = "  (wall; never published)" if entry["wall"] else ""
+        print(f"{name.ljust(width)}  {kind.ljust(9)}  {value}{wall}")
+    print(
+        f"# publisher: {publisher.samples_published} samples in "
+        f"{publisher.ticks} ticks under {OBS_PREFIX}*"
+        + ("" if publisher.active else " (inert: REPRO_OBS=0)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argument errors print the full help (not just usage), exit 2.
+
+    An unknown or missing subcommand should show a user everything the
+    tool can do — subparsers inherit this class, so nested errors print
+    their own full help the same way.
+    """
+
+    def error(self, message: str) -> None:  # noqa: D401 - argparse hook
+        self.print_help(sys.stderr)
+        print(f"\nerror: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Offline tools for gscope tuple recordings.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
     p_summary = sub.add_parser("summary", help="per-signal statistics")
     p_summary.add_argument("recording", help="tuple file path")
@@ -417,11 +545,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--miss-threshold", type=int, default=3)
     p_faults.set_defaults(fn=_cmd_faults)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced demo run: export nested spans as Chrome tracing JSON",
+    )
+    p_trace.add_argument("--out", default=None,
+                         help="write the JSON here (default: stdout)")
+    p_trace.add_argument("--duration", type=float, default=1000.0,
+                         help="virtual run length in ms (default 1000)")
+    p_trace.add_argument("--seed", type=int, default=0,
+                         help="workload seed (deterministic)")
+    p_trace.add_argument("--capacity", type=int, default=1 << 14,
+                         help="span ring capacity (oldest drop beyond it)")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="self-scoped demo run: print the live internal-metrics table",
+    )
+    p_top.add_argument("--duration", type=float, default=2000.0,
+                       help="virtual run length in ms (default 2000)")
+    p_top.add_argument("--period", type=float, default=100.0,
+                       help="publisher period in ms (default 100)")
+    p_top.add_argument("--seed", type=int, default=0,
+                       help="workload seed (deterministic)")
+    p_top.set_defaults(fn=_cmd_top)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
     return args.fn(args)
 
 

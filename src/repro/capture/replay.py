@@ -78,6 +78,9 @@ class ReplaySource(Source):
             reader if isinstance(reader, CaptureReader) else CaptureReader(reader)
         )
         self.target = target
+        # Captures can hold recorded `__obs.` telemetry; replaying those
+        # rows needs the sink's trusted entry (when it has one).
+        self._push_obs = getattr(target, "push_obs", None)
         self._rate = float(rate)
         self._start_at = start_at
         # Flat (segment, block) schedule; data stays mmapped until used.
@@ -177,7 +180,14 @@ class ReplaySource(Source):
                 values = values[self._offset :]
             if not self._exact:
                 times = self._anchor_wall + (times - self._anchor_capture) / self._rate
-            self.target.push_samples(block.name, times, values)
+            name = block.name
+            if name.startswith("__obs.") and self._push_obs is not None:
+                # Recorded self-instrumentation replays through the
+                # trusted entry — the manager boundary rejects reserved
+                # names on the ordinary push path.
+                self._push_obs(name, times, values)
+            else:
+                self.target.push_samples(name, times, values)
             self.delivered_samples += times.shape[0]
             self.delivered_blocks += 1
             self._cursor += 1

@@ -22,11 +22,14 @@ mid-segment leaves all previously flushed segments readable.
 from __future__ import annotations
 
 import math
+import time
 import zlib
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.core.cells import Counter, Histogram
 
 from repro.capture.format import (
     HEADER_SIZE,
@@ -44,6 +47,25 @@ ArrayLike = Union[Sequence[float], np.ndarray]
 
 #: name, times, values, push instant — one recorded push.
 _PendingBlock = Tuple[str, np.ndarray, np.ndarray, float]
+
+#: Writer ledger counters, cell-backed so ``register_metrics`` can mount
+#: them; the legacy attributes read the same cells.
+_COUNTER_FIELDS = (
+    "samples_written",
+    "blocks_written",
+    "segments_written",
+    "bytes_written",
+)
+
+
+def _cell_property(field: str) -> property:
+    def _get(self):
+        return self._cells[field].value
+
+    def _set(self, value):
+        self._cells[field].value = value
+
+    return property(_get, _set)
 
 
 class CaptureWriter:
@@ -87,11 +109,28 @@ class CaptureWriter:
         self._next_segment = 0
         self._last_now: Optional[float] = None
         self._closed = False
-        # Stats for tests and benchmarks.
-        self.samples_written = 0
-        self.blocks_written = 0
-        self.segments_written = 0
-        self.bytes_written = 0
+        # Stats for tests and benchmarks — cell-backed, one source of
+        # truth shared with register_metrics.  Flush latency is real
+        # wall time, so its histogram is wall=True: scrape-only, never
+        # published (publishing it would break bit-replay).
+        self._cells = {k: Counter(k) for k in _COUNTER_FIELDS}
+        self._flush_ms = Histogram("flush_ms", wall=True)
+        self._perf = time.perf_counter
+
+    # Legacy counter attributes, now views over the ledger cells.
+    samples_written = _cell_property("samples_written")
+    blocks_written = _cell_property("blocks_written")
+    segments_written = _cell_property("segments_written")
+    bytes_written = _cell_property("bytes_written")
+
+    def register_metrics(self, registry, prefix: str = "capture.") -> None:
+        """Mount the writer ledger plus a pending-backlog gauge."""
+        for key in _COUNTER_FIELDS:
+            registry.mount(prefix + key, self._cells[key])
+        registry.mount(f"{prefix}flush_ms", self._flush_ms)
+        registry.gauge(
+            f"{prefix}pending_samples", fn=lambda: float(self._pending_samples)
+        )
 
     # ------------------------------------------------------------------
     # The tap interface (what managers/scopes call on every push)
@@ -272,13 +311,15 @@ class CaptureWriter:
         # half-decoded one.  (Durability against OS crash would need an
         # fsync here; process death is the failure mode we recover.)
         target = self.path / segment_filename(self._next_segment)
+        t0 = self._perf()
         with open(target, "wb") as fh:
             fh.write(payload)
+        self._flush_ms.observe((self._perf() - t0) * 1000.0)
         self._next_segment += 1
-        self.segments_written += 1
-        self.blocks_written += len(blocks)
-        self.samples_written += int(directory["count"].sum())
-        self.bytes_written += len(payload)
+        self._cells["segments_written"].inc()
+        self._cells["blocks_written"].inc(len(blocks))
+        self._cells["samples_written"].inc(int(directory["count"].sum()))
+        self._cells["bytes_written"].inc(len(payload))
         return target
 
     def close(self) -> None:

@@ -16,6 +16,16 @@ from repro.core.scope import Scope, ScopeError
 from repro.core.signal import SignalSpec, SignalType
 from repro.eventloop.loop import MainLoop
 
+try:  # optional self-instrumentation plane (absence changes no bytes)
+    from repro.obs import trace as _trace
+except ImportError:  # pragma: no cover - obs package absent
+    _trace = None
+
+#: Signal names under this prefix belong to the self-instrumentation
+#: plane.  Kept as a local literal (not imported from ``repro.obs``) so
+#: the reservation holds even when the obs package is never imported.
+RESERVED_PREFIX = "__obs."
+
 
 class ScopeManager:
     """Registry of scopes sharing one :class:`MainLoop`."""
@@ -165,7 +175,18 @@ class ScopeManager:
         Returns the number of scopes that accepted the sample.  This is
         how the server side of the client-server library fans a remote
         signal out to "one or more scopes" (Section 4.4).
+
+        Names under ``__obs.`` are reserved for the self-instrumentation
+        publisher (which enters through :meth:`push_obs`); pushing one
+        here is an error, so user data can never masquerade as — or
+        collide with — internal telemetry.
         """
+        if name.startswith(RESERVED_PREFIX):
+            raise ScopeError(
+                f"signal name {name!r} is reserved: the {RESERVED_PREFIX!r} "
+                "namespace carries self-instrumentation samples "
+                "(published via MetricsPublisher, not user pushes)"
+            )
         # One clock read serves the tap and every scope's late-drop
         # decision, so what the capture records is exactly what the
         # buffers compared against (bit-exact replay under any clock).
@@ -186,9 +207,37 @@ class ScopeManager:
         Late-drop sets nest by display delay (all scopes share the loop
         clock, and a sample late for a long delay is late for every
         shorter one), so that count is exactly the max over scopes.
+
+        ``__obs.``-prefixed names are rejected like :meth:`push_sample`.
         """
+        if name.startswith(RESERVED_PREFIX):
+            raise ScopeError(
+                f"signal name {name!r} is reserved: the {RESERVED_PREFIX!r} "
+                "namespace carries self-instrumentation samples "
+                "(published via MetricsPublisher, not user pushes)"
+            )
+        return self._deliver(name, times, values)
+
+    def push_obs(self, name: str, times, values) -> int:
+        """Trusted entry for reserved-namespace samples.
+
+        Identical delivery semantics to :meth:`push_samples` — taps see
+        the batch, carrying scopes buffer it — but without the
+        reserved-prefix rejection.  Only the self-instrumentation
+        publisher and replay of captured ``__obs.`` columns should call
+        this.
+        """
+        return self._deliver(name, times, values)
+
+    def _deliver(self, name: str, times, values) -> int:
         # Single clock read for tap and fan-out: see push_sample.
         now = self.loop.clock.now()
+        if _trace is not None and _trace._tracer is not None:
+            with _trace.span("deliver", signal=name, n=len(times)):
+                return self._deliver_at(name, times, values, now)
+        return self._deliver_at(name, times, values, now)
+
+    def _deliver_at(self, name: str, times, values, now: float) -> int:
         for tap in self._taps:
             tap(name, times, values, now)
         accepted = 0

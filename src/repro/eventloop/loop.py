@@ -80,6 +80,44 @@ def _dispatch_key(source: Source) -> tuple:
     return (source.priority, source.id)
 
 
+class _LoopObs:
+    """Instrument bundle mounted by :meth:`MainLoop.observe`.
+
+    Holds direct cell references so the per-dispatch cost with
+    observation on is a dict get plus an integer add; with observation
+    off (``loop._obs is None``, the default) the dispatch loop pays a
+    single pointer compare.
+    """
+
+    __slots__ = (
+        "by_priority",
+        "other",
+        "timer_lag",
+        "slow_threshold_ms",
+        "slow_callbacks",
+        "callback_wall_ms",
+        "perf",
+    )
+
+    def __init__(
+        self,
+        by_priority: Dict[int, Any],
+        other: Any,
+        timer_lag: Any,
+        slow_threshold_ms: Optional[float],
+        slow_callbacks: Any,
+        callback_wall_ms: Any,
+        perf: Callable[[], float],
+    ) -> None:
+        self.by_priority = by_priority
+        self.other = other
+        self.timer_lag = timer_lag
+        self.slow_threshold_ms = slow_threshold_ms
+        self.slow_callbacks = slow_callbacks
+        self.callback_wall_ms = callback_wall_ms
+        self.perf = perf
+
+
 class MainLoop:
     """Event loop multiplexing timeouts, idles and I/O watches.
 
@@ -121,6 +159,7 @@ class MainLoop:
         self._running = False
         self.iterations = 0
         self.dispatches = 0
+        self._obs: Optional[_LoopObs] = None  # see observe()
 
     # ------------------------------------------------------------------
     # Source management
@@ -255,6 +294,61 @@ class MainLoop:
         """``g_io_add_watch``: run ``callback(channel, condition)`` on readiness."""
         return self.attach(IOWatch(channel, condition, callback, priority))
 
+    # ------------------------------------------------------------------
+    # Self-instrumentation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        registry,
+        prefix: str = "loop.",
+        slow_callback_ms: Optional[float] = None,
+    ) -> bool:
+        """Mount event-loop instruments into a metrics registry.
+
+        Installs per-priority dispatch counters, a timer-lag histogram
+        (loop-clock milliseconds past the deadline — deterministic, so
+        the publisher may export it) and, when ``slow_callback_ms`` is
+        given, a wall-clock callback profiler: every dispatched
+        callback's real duration feeds ``callback_wall_ms`` and those at
+        or over the threshold bump ``slow_callbacks`` (both ``wall``
+        instruments: scrape-only, never published).
+
+        Returns False — mounting nothing and leaving dispatch untouched
+        — when the obs plane is unavailable or disabled (``REPRO_OBS=0``).
+        """
+        try:
+            from repro.obs import metrics as _metrics
+        except ImportError:  # obs plane absent: stay dark
+            return False
+        if not _metrics.enabled():
+            return False
+        import time as _time
+
+        by_priority = {
+            int(p): registry.counter(f"{prefix}dispatch.{p.name.lower()}")
+            for p in Priority
+        }
+        registry.gauge(f"{prefix}sources", fn=lambda: float(len(self._by_id)))
+        registry.gauge(f"{prefix}timers", fn=lambda: float(len(self._timers)))
+        self._obs = _LoopObs(
+            by_priority=by_priority,
+            other=registry.counter(f"{prefix}dispatch.other"),
+            timer_lag=registry.histogram(f"{prefix}timer_lag_ms"),
+            slow_threshold_ms=(
+                float(slow_callback_ms) if slow_callback_ms is not None else None
+            ),
+            slow_callbacks=registry.counter(f"{prefix}slow_callbacks", wall=True),
+            callback_wall_ms=registry.histogram(
+                f"{prefix}callback_wall_ms", wall=True
+            ),
+            perf=_time.perf_counter,
+        )
+        return True
+
+    def unobserve(self) -> None:
+        """Detach loop instruments; cells stay mounted in the registry."""
+        self._obs = None
+
     @property
     def sources(self) -> List[Source]:
         return list(self._by_id.values())
@@ -331,11 +425,31 @@ class MainLoop:
         entries = self._timer_entry
         heap = self._timer_heap
         push = heapq.heappush
+        obs = self._obs
         try:
             for src in ready:
                 if src.destroyed or not src.attached:
                     continue
-                keep = src.dispatch(now)
+                if obs is not None:
+                    cell = obs.by_priority.get(src.priority, obs.other)
+                    cell.inc()
+                    if src.id in timers:
+                        # Deadline read *before* dispatch advances it:
+                        # lag is pure loop-clock arithmetic, so it stays
+                        # deterministic (and publishable) on a
+                        # VirtualClock.
+                        obs.timer_lag.observe(now - src.deadline)
+                    if obs.slow_threshold_ms is not None:
+                        t0 = obs.perf()
+                        keep = src.dispatch(now)
+                        wall_ms = (obs.perf() - t0) * 1000.0
+                        obs.callback_wall_ms.observe(wall_ms)
+                        if wall_ms >= obs.slow_threshold_ms:
+                            obs.slow_callbacks.inc()
+                    else:
+                        keep = src.dispatch(now)
+                else:
+                    keep = src.dispatch(now)
                 count += 1
                 sid = src.id
                 if not keep or src.destroyed:

@@ -68,6 +68,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.cells import Counter
 from repro.eventloop.clock import Clock
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
@@ -87,6 +88,27 @@ from repro.net.protocol import (
 from repro.net.transport import TransportClosed
 
 ArrayLike = Union[Sequence[float], np.ndarray]
+
+#: Client-side ledger counters, cell-backed so ``register_metrics`` can
+#: mount them; ``totals()`` and the legacy attributes read the same cells.
+_COUNTER_FIELDS = (
+    "sent",
+    "sent_frames",
+    "bytes_sent",
+    "dropped_samples",
+    "dropped_frames",
+    "reconnects",
+)
+
+
+def _cell_property(field: str) -> property:
+    def _get(self):
+        return self._cells[field].value
+
+    def _set(self, value):
+        self._cells[field].value = value
+
+    return property(_get, _set)
 
 
 class Subscription:
@@ -271,11 +293,7 @@ class ScopeClient:
         self._attempts = 0
         self._retry_id: Optional[int] = None
         self._closed = False
-        self.sent = 0
-        self.sent_frames = 0
-        self.dropped_samples = 0
-        self.dropped_frames = 0
-        self.reconnects = 0
+        self._cells: Dict[str, Counter] = {k: Counter(k) for k in _COUNTER_FIELDS}
         # Subscription plane (armed by the first subscribe()): the
         # server→client stream needs its own decoder, name table and IN
         # watch; all three reset on reconnect (new session, new ids).
@@ -284,6 +302,15 @@ class ScopeClient:
         self._rx: Optional[FrameDecoder] = None
         self._rx_names: Dict[int, str] = {}
         self._rx_watch_id: Optional[int] = None
+
+    # Legacy counter attributes, now views over the ledger cells (one
+    # source of truth shared with register_metrics / totals()).
+    sent = _cell_property("sent")
+    sent_frames = _cell_property("sent_frames")
+    bytes_sent = _cell_property("bytes_sent")
+    dropped_samples = _cell_property("dropped_samples")
+    dropped_frames = _cell_property("dropped_frames")
+    reconnects = _cell_property("reconnects")
 
     @property
     def clock(self) -> Clock:
@@ -381,8 +408,8 @@ class ScopeClient:
                 else:
                     _, dropped_count, _ = self._pending[drop_at]
                     del self._pending[drop_at]
-                self.dropped_samples += dropped_count
-                self.dropped_frames += 1
+                self._cells["dropped_samples"].inc(dropped_count)
+                self._cells["dropped_frames"].inc()
             # else: the only queued frame is mid-transmission; overshoot
             # the bound by one frame rather than corrupt the stream.
         self._pending.append([frame, nsamples, 0])
@@ -598,7 +625,7 @@ class ScopeClient:
             self._schedule_retry()
             return False
         self.endpoint = endpoint
-        self.reconnects += 1
+        self._cells["reconnects"].inc()
         self._attempts = 0
         # The new server session has no memory of the old one: replay the
         # session preamble (HELLO + every interned NAME_DEF, in id order)
@@ -648,10 +675,12 @@ class ScopeClient:
         # frame is partially transmitted: its remaining bytes must go
         # out first, or the control bytes would land mid-frame and
         # desynchronise the stream.
+        cells = self._cells
         while self.endpoint.writable():
             if self._control and not self._head_partial:
                 buf = self._control[0]
                 sent = self.endpoint.send(buf)
+                cells["bytes_sent"].inc(sent)
                 if sent < len(buf):
                     self._control[0] = buf[sent:]
                     return
@@ -662,6 +691,7 @@ class ScopeClient:
             head = self._pending[0]
             frame, nsamples, offset = head
             sent = self.endpoint.send(frame[offset:])
+            cells["bytes_sent"].inc(sent)
             offset += sent
             if offset < len(frame):
                 # Partial write: remember how far we got, keep the full
@@ -669,8 +699,8 @@ class ScopeClient:
                 head[2] = offset
                 return
             self._pending.popleft()
-            self.sent += nsamples
-            self.sent_frames += 1
+            cells["sent"].inc(nsamples)
+            cells["sent_frames"].inc()
 
     @property
     def backlog(self) -> int:
@@ -684,14 +714,34 @@ class ScopeClient:
         sample ever offered to :meth:`send_sample`/:meth:`send_samples`.
         """
         return {
-            "sent": self.sent,
-            "sent_frames": self.sent_frames,
-            "dropped_samples": self.dropped_samples,
-            "dropped_frames": self.dropped_frames,
+            "sent": self._cells["sent"].value,
+            "sent_frames": self._cells["sent_frames"].value,
+            "dropped_samples": self._cells["dropped_samples"].value,
+            "dropped_frames": self._cells["dropped_frames"].value,
             "backlog_frames": len(self._pending),
             "backlog_samples": sum(entry[1] for entry in self._pending),
-            "reconnects": self.reconnects,
+            "reconnects": self._cells["reconnects"].value,
         }
+
+    def register_metrics(self, registry, prefix: str = "client.") -> None:
+        """Mount the ledger cells plus queue-depth gauges.
+
+        The mounted cells ARE the ones behind :meth:`totals` and the
+        legacy counter attributes — published ``__obs.`` samples can
+        never disagree with the public accessors.
+        """
+        for key in _COUNTER_FIELDS:
+            registry.mount(prefix + key, self._cells[key])
+        registry.gauge(
+            f"{prefix}backlog_frames", fn=lambda: float(len(self._pending))
+        )
+        registry.gauge(
+            f"{prefix}backlog_samples",
+            fn=lambda: float(sum(entry[1] for entry in self._pending)),
+        )
+        registry.gauge(
+            f"{prefix}subscriptions", fn=lambda: float(len(self._subs))
+        )
 
     def close(self) -> None:
         """Close for good: stop the watches, cancel any reconnect."""

@@ -51,6 +51,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.core.cells import NULL, Counter
 from repro.eventloop.sources import IOCondition
 from repro.net.protocol import (
     ProtocolError,
@@ -68,7 +69,22 @@ from repro.query import (
     plan_key,
 )
 
+try:  # the obs plane is optional; fan-out must work without it
+    from repro.obs import trace as _trace
+except ImportError:  # pragma: no cover - obs package absent
+    _trace = None
+
 __all__ = ["QueryMultiplexer", "SharedQuery"]
+
+#: Query-plane ledger counters, cell-backed so ``register_metrics`` can
+#: publish them; ``stats()`` reads the same cells.
+_COUNTER_FIELDS = (
+    "queries_compiled",
+    "compile_errors",
+    "quarantined",
+    "samples_fanned",
+    "encode_bytes_saved",
+)
 
 
 class _SessionTx:
@@ -194,7 +210,7 @@ class _Session:
 class SharedQuery:
     """One live evaluation serving every subscriber of a derived view."""
 
-    def __init__(self, key: Tuple, live: LiveQuery) -> None:
+    def __init__(self, key: Tuple, live: LiveQuery, fanned=NULL, bytes_saved=NULL) -> None:
         self.key = key
         self.live = live
         #: Subscribers as (session, qid) — one session may subscribe the
@@ -203,6 +219,10 @@ class SharedQuery:
         #: frames are shared per session-direction interning.
         self.subscribers: List[Tuple[_Session, str]] = []
         self.samples_fanned = 0
+        # Multiplexer-level ledger cells (NULL when standalone): every
+        # fanned sample and every encode skipped by frame sharing.
+        self._fanned_cell = fanned
+        self._saved_cell = bytes_saved
         # Unique transmit queues, derived from `subscribers`; rebuilt
         # lazily after membership changes so the fan-out hot loop walks
         # a flat list instead of re-deduplicating sessions every batch.
@@ -246,6 +266,13 @@ class SharedQuery:
             self._targets = targets
         if not targets:
             return
+        if _trace is not None and _trace._tracer is not None:
+            with _trace.span("fanout", signal=name, n=int(times.shape[0]), targets=len(targets)):
+                self._fan_out(name, times, values, targets)
+        else:
+            self._fan_out(name, times, values, targets)
+
+    def _fan_out(self, name: str, times, values, targets: List[_SessionTx]) -> None:
         frames_by_id: Dict[int, bytes] = {}
         for tx in targets:
             name_id = tx.name_ids.get(name)
@@ -255,8 +282,14 @@ class SharedQuery:
             if frame is None:
                 frame = encode_binary_samples(name_id, times, values)
                 frames_by_id[name_id] = frame
+            else:
+                # Encode-once dividend: this subscriber reuses an
+                # already-encoded frame instead of paying its own encode.
+                self._saved_cell.inc(len(frame))
             tx.send(frame)
-        self.samples_fanned += times.shape[0] * len(targets)
+        fanned = times.shape[0] * len(targets)
+        self.samples_fanned += fanned
+        self._fanned_cell.inc(fanned)
 
 
 class QueryMultiplexer:
@@ -273,10 +306,22 @@ class QueryMultiplexer:
         self.manager = manager
         self._shared: Dict[Tuple, SharedQuery] = {}
         self._sessions: Dict[int, _Session] = {}  # id(ClientState) → session
-        self.queries_compiled = 0
-        self.compile_errors = 0
-        self.quarantined = 0
-        self._retired_fanned = 0  # samples fanned by since-dropped views
+        # Ledger cells: cumulative across dropped views (a retired
+        # SharedQuery's fanned samples stay counted), so stats() needs no
+        # retired/active split.
+        self._cells: Dict[str, Counter] = {k: Counter(k) for k in _COUNTER_FIELDS}
+
+    @property
+    def queries_compiled(self) -> int:
+        return self._cells["queries_compiled"].value
+
+    @property
+    def compile_errors(self) -> int:
+        return self._cells["compile_errors"].value
+
+    @property
+    def quarantined(self) -> int:
+        return self._cells["quarantined"].value
 
     # -- session plumbing ----------------------------------------------
     def _session(self, state) -> _Session:
@@ -329,11 +374,11 @@ class QueryMultiplexer:
         try:
             plan = compile_query(bind_params(text, params))
         except QueryError as exc:
-            self.compile_errors += 1
+            self._cells["compile_errors"].inc()
             session.reply({"op": "error", "id": qid, "error": str(exc)})
             return
         session.compiled[qid] = plan
-        self.queries_compiled += 1
+        self._cells["queries_compiled"].inc()
         session.reply(
             {
                 "op": "compiled",
@@ -361,7 +406,12 @@ class QueryMultiplexer:
             except (QueryError, ValueError) as exc:
                 session.reply({"op": "error", "id": qid, "error": str(exc)})
                 return
-            shared = SharedQuery(key, live)
+            shared = SharedQuery(
+                key,
+                live,
+                fanned=self._cells["samples_fanned"],
+                bytes_saved=self._cells["encode_bytes_saved"],
+            )
             live.on_output(shared.fan_out)
             live.on_quarantine(
                 lambda _live, exc, s=shared: self._on_quarantine(s, exc)
@@ -386,14 +436,12 @@ class QueryMultiplexer:
             # the live stream, like any newly attached tap.
             shared.live.detach()
             self._shared.pop(shared.key, None)
-            self._retired_fanned += shared.samples_fanned
 
     # -- failure surface -----------------------------------------------
     def _on_quarantine(self, shared: SharedQuery, exc: BaseException) -> None:
         """A shared evaluation died: tell every subscriber, drop it."""
-        self.quarantined += 1
+        self._cells["quarantined"].inc()
         self._shared.pop(shared.key, None)
-        self._retired_fanned += shared.samples_fanned
         for session, qid in shared.subscribers:
             session.subscribed.pop(qid, None)
             session.reply(
@@ -407,16 +455,30 @@ class QueryMultiplexer:
 
     # -- introspection ---------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """The query-plane ledger (shared views, subscribers, failures)."""
+        """The query-plane ledger (shared views, subscribers, failures).
+
+        A view over the same cells :meth:`register_metrics` mounts —
+        bridged accessors and published ``__obs.`` samples can never
+        disagree.
+        """
         return {
             "active_queries": len(self._shared),
             "subscribers": sum(s.refcount for s in self._shared.values()),
-            "queries_compiled": self.queries_compiled,
-            "compile_errors": self.compile_errors,
-            "quarantined": self.quarantined,
-            "samples_fanned": self._retired_fanned
-            + sum(s.samples_fanned for s in self._shared.values()),
+            "queries_compiled": self._cells["queries_compiled"].value,
+            "compile_errors": self._cells["compile_errors"].value,
+            "quarantined": self._cells["quarantined"].value,
+            "samples_fanned": self._cells["samples_fanned"].value,
         }
+
+    def register_metrics(self, registry, prefix: str = "queries.") -> None:
+        """Mount the ledger cells plus live membership gauges."""
+        for key in _COUNTER_FIELDS:
+            registry.mount(prefix + key, self._cells[key])
+        registry.gauge(f"{prefix}active", fn=lambda: float(len(self._shared)))
+        registry.gauge(
+            f"{prefix}subscribers",
+            fn=lambda: float(sum(s.refcount for s in self._shared.values())),
+        )
 
     def shared_queries(self) -> List[SharedQuery]:
         """Live shared evaluations (test/diagnostic surface)."""

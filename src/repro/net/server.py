@@ -27,11 +27,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.cells import Counter
+from repro.core.manager import RESERVED_PREFIX
 from repro.core.tuples import Tuple3, TupleFormatError
 from repro.eventloop.loop import MainLoop
 from repro.eventloop.sources import IOCondition
 from repro.net.protocol import Frame, FrameKind, ProtocolError, WireDecoder
 from repro.net.queryservice import QueryMultiplexer
+
+try:  # optional self-instrumentation plane (absence changes no bytes)
+    from repro.obs import trace as _trace
+except ImportError:  # pragma: no cover - obs package absent
+    _trace = None
+
+#: Session disconnect reasons get one counter cell each, pre-created so
+#: the instrument catalog is stable across runs.
+_DISCONNECT_REASONS = ("eof", "protocol", "transport", "server")
 
 #: Counter fields folded into the retained aggregate when a client
 #: disconnects, so :meth:`ScopeServer.totals` stays accurate across
@@ -114,6 +125,15 @@ class ScopeServer:
         self._clients: List[ClientState] = []
         # Aggregate counters of departed clients (see disconnect()).
         self._retired: Dict[str, int] = {k: 0 for k in _COUNTER_FIELDS}
+        # Live aggregate cells: incremented at the same ingest sites as
+        # the per-session ints, so cell value == live sum + retired at
+        # every instant.  totals() is a view over these, and
+        # register_metrics() mounts the very same cells — one source of
+        # truth for accessors and the ``__obs.`` publisher alike.
+        self._cells: Dict[str, Counter] = {k: Counter(k) for k in _COUNTER_FIELDS}
+        self._reason_cells: Dict[str, Counter] = {
+            r: Counter(f"disconnects.{r}") for r in _DISCONNECT_REASONS
+        }
         self.retired_clients = 0
         #: Departed sessions bucketed by disconnect reason — the fault
         #: post-mortem ledger ("how many clients did we lose to torn
@@ -172,6 +192,11 @@ class ScopeServer:
         self.disconnect_reasons[state.disconnect_reason] = (
             self.disconnect_reasons.get(state.disconnect_reason, 0) + 1
         )
+        reason_cell = self._reason_cells.get(state.disconnect_reason)
+        if reason_cell is None:
+            reason_cell = Counter(f"disconnects.{state.disconnect_reason}")
+            self._reason_cells[state.disconnect_reason] = reason_cell
+        reason_cell.inc()
 
     @property
     def clients(self) -> List[ClientState]:
@@ -196,8 +221,10 @@ class ScopeServer:
             self.disconnect(state, reason="eof")
             return False
         budget = self.max_drain_bytes
+        cells = self._cells
         while True:
             state.bytes_received += len(chunk)
+            cells["bytes_received"].inc(len(chunk))
             budget -= len(chunk)
             try:
                 self._ingest_chunk(state, chunk)
@@ -205,6 +232,7 @@ class ScopeServer:
                 # A malformed stream is a protocol violation: disconnect
                 # rather than guess at framing.
                 state.protocol_errors += 1
+                cells["protocol_errors"].inc()
                 self.disconnect(state, reason="protocol")
                 return False
             # Drain what is already buffered before yielding the loop:
@@ -228,18 +256,38 @@ class ScopeServer:
     def _ingest_frame(self, state: ClientState, frame: Frame) -> None:
         """Binary hot path: decoded columns go straight to the manager."""
         state.frames += 1
+        cells = self._cells
+        cells["frames"].inc()
         if frame.kind is FrameKind.SAMPLES:
             name = state.names.get(frame.name_id)
             if name is None:
                 raise ProtocolError(
                     f"SAMPLES frame references undefined name id {frame.name_id}"
                 )
+            if name.startswith(RESERVED_PREFIX):
+                # Remote peers never publish internal telemetry; letting
+                # the manager's ScopeError escape here would tear down
+                # the loop dispatch, so the violation is classified at
+                # the wire boundary and disconnects just this session.
+                raise ProtocolError(
+                    f"signal name {name!r} is reserved for server-side "
+                    "self-instrumentation"
+                )
             n = len(frame)
             state.received += n
+            cells["received"].inc(n)
             self._ensure_signal(name)
-            accepted = self.manager.push_samples(name, frame.times, frame.values)
+            if _trace is not None and _trace._tracer is not None:
+                with _trace.span("ingest", signal=name, n=n):
+                    accepted = self.manager.push_samples(
+                        name, frame.times, frame.values
+                    )
+            else:
+                accepted = self.manager.push_samples(name, frame.times, frame.values)
             state.accepted += accepted
             state.dropped_late += n - accepted
+            cells["accepted"].inc(accepted)
+            cells["dropped_late"].inc(n - accepted)
         elif frame.kind is FrameKind.NAME_DEF:
             state.names[frame.name_id] = frame.name
         elif frame.kind is FrameKind.HELLO:
@@ -263,6 +311,8 @@ class ScopeServer:
         # (one columnar buffer append) carries a whole run — a batched
         # client frame of N samples costs one push, not N.
         state.received += len(tuples)
+        cells = self._cells
+        cells["received"].inc(len(tuples))
         i = 0
         total = len(tuples)
         while i < total:
@@ -272,12 +322,19 @@ class ScopeServer:
                 tuples[j].name if tuples[j].name is not None else "signal"
             ) == name:
                 j += 1
+            if name.startswith(RESERVED_PREFIX):
+                raise ProtocolError(
+                    f"signal name {name!r} is reserved for server-side "
+                    "self-instrumentation"
+                )
             self._ensure_signal(name)
             times = [t.time_ms for t in tuples[i:j]]
             values = [t.value for t in tuples[i:j]]
             accepted = self.manager.push_samples(name, times, values)
             state.accepted += accepted
             state.dropped_late += (j - i) - accepted
+            cells["accepted"].inc(accepted)
+            cells["dropped_late"].inc((j - i) - accepted)
             i = j
 
     def _ensure_signal(self, name: str) -> None:
@@ -305,9 +362,29 @@ class ScopeServer:
     # Statistics
     # ------------------------------------------------------------------
     def totals(self) -> Dict[str, int]:
-        """Aggregate receive/accept/drop counters, live and departed."""
-        out = dict(self._retired)
-        for c in self._clients:
-            for key in _COUNTER_FIELDS:
-                out[key] += getattr(c, key)
-        return out
+        """Aggregate receive/accept/drop counters, live and departed.
+
+        A view over the aggregate counter cells — the same cells
+        :meth:`register_metrics` mounts — which the ingest path keeps
+        equal to (live session sums + retired fold) at every instant.
+        """
+        return {key: self._cells[key].value for key in _COUNTER_FIELDS}
+
+    def register_metrics(self, registry, prefix: str = "server.") -> None:
+        """Mount the server's session/ingest counters into ``registry``.
+
+        Cells: the six :meth:`totals` counters, one disconnect counter
+        per reason (``<prefix>disconnects.<reason>``), and gauges for
+        live/departed session counts.
+        """
+        for key in _COUNTER_FIELDS:
+            registry.mount(prefix + key, self._cells[key])
+        for reason in sorted(self._reason_cells):
+            registry.mount(
+                f"{prefix}disconnects.{reason}", self._reason_cells[reason]
+            )
+        registry.gauge(f"{prefix}sessions", fn=lambda: float(len(self._clients)))
+        registry.gauge(
+            f"{prefix}retired_sessions", fn=lambda: float(self.retired_clients)
+        )
+        self.queries.register_metrics(registry, prefix=f"{prefix}queries.")

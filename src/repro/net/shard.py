@@ -52,17 +52,21 @@ is re-registered on its new home by ``auto_create`` (or explicitly).
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
-from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.manager import ScopeManager
+from repro.core.cells import Counter
+from repro.core.manager import RESERVED_PREFIX, ScopeManager
 from repro.core.scope import Scope, ScopeError
 from repro.eventloop.loop import MainLoop
+
+try:  # optional self-instrumentation plane (absence changes no bytes)
+    from repro.obs import trace as _trace
+except ImportError:  # pragma: no cover - obs package absent
+    _trace = None
 
 __all__ = [
     "HashRing",
@@ -160,7 +164,18 @@ def shard_of(name: str, n_shards: int) -> int:
     return _default_ring(n_shards).locate(name)
 
 
-@dataclass
+def _cell_property(field: str) -> property:
+    """Attribute façade over a named :class:`Counter` cell."""
+
+    def fget(self) -> int:
+        return self._cells[field].value
+
+    def fset(self, value: int) -> None:
+        self._cells[field].value = value
+
+    return property(fget, fset, doc=f"counter cell {field!r}")
+
+
 class ShardStats:
     """Per-shard ingest accounting (the backpressure counters).
 
@@ -170,45 +185,109 @@ class ShardStats:
     — two float64 columns).  They ride the same ledger discipline as
     the sample counters: conserved across shard retirement/migration via
     :meth:`fold`.
+
+    Each field is a façade over a :class:`~repro.core.cells.Counter`
+    cell, so the same integers the public accessors expose can be
+    mounted into a :class:`~repro.obs.metrics.MetricsRegistry`
+    (:meth:`register_metrics`) and published as ``__obs.`` samples —
+    one source of truth, zero double counting.  Field access semantics
+    are dataclass-like: keyword construction, plain attribute
+    read/increment/assign.
     """
 
-    offered: int = 0
-    accepted: int = 0
-    dropped_late: int = 0
-    tap_bytes: int = 0
-    wal_bytes: int = 0
-    #: Continuous queries attached on this shard that died mid-stream
-    #: (operator failure, observer failure, manager push failure).  A
-    #: quarantined query detaches itself; this counter is how the loss
-    #: surfaces in shard/supervisor accounting instead of vanishing.
-    query_quarantines: int = 0
+    #: Integer counter fields, in declaration order.  ``query_quarantines``
+    #: counts continuous queries attached on this shard that died
+    #: mid-stream (operator failure, observer failure, manager push
+    #: failure): a quarantined query detaches itself, and this counter
+    #: is how the loss surfaces in shard/supervisor accounting instead
+    #: of vanishing.
+    COUNTER_FIELDS: Tuple[str, ...] = (
+        "offered",
+        "accepted",
+        "dropped_late",
+        "tap_bytes",
+        "wal_bytes",
+        "query_quarantines",
+    )
+    #: Non-counter fields (timestamps and the like): plain attributes,
+    #: default ``None``, excluded from :meth:`as_dict`/:meth:`fold`.
+    SCALAR_FIELDS: Tuple[str, ...] = ()
+
+    def __init__(self, **fields) -> None:
+        self._cells: Dict[str, Counter] = {
+            name: Counter(name) for name in self.COUNTER_FIELDS
+        }
+        for name in self.SCALAR_FIELDS:
+            setattr(self, name, None)
+        for name, value in fields.items():
+            if name not in self.COUNTER_FIELDS and name not in self.SCALAR_FIELDS:
+                raise TypeError(
+                    f"{type(self).__name__} has no field {name!r}"
+                )
+            setattr(self, name, value)
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._install_cell_properties()
+
+    @classmethod
+    def _install_cell_properties(cls) -> None:
+        for field in cls.COUNTER_FIELDS:
+            if not isinstance(getattr(cls, field, None), property):
+                setattr(cls, field, _cell_property(field))
+
+    def cell(self, field: str) -> Counter:
+        """The live counter cell behind ``field`` (for direct bridging)."""
+        return self._cells[field]
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Mount every counter cell into ``registry`` under ``prefix``.
+
+        The mounted cells *are* the accounting cells — a publisher
+        walking the registry sees exactly what :meth:`as_dict` reports.
+        """
+        for field in self.COUNTER_FIELDS:
+            registry.mount(prefix + field, self._cells[field])
 
     def as_dict(self) -> Dict[str, int]:
         """Every integer counter, by field name.
 
-        Generic over ``dataclasses.fields`` so subclasses adding
+        Generic over :attr:`COUNTER_FIELDS` so subclasses adding
         counters (:class:`~repro.net.supervisor.SupervisionStats`) are
-        covered without overriding; non-integer fields (timestamps) are
-        not counters and are skipped.
+        covered without overriding; non-counter fields (timestamps) are
+        skipped.
         """
-        return {
-            f.name: value
-            for f in dataclasses.fields(self)
-            if isinstance(value := getattr(self, f.name), int)
-        }
+        return {name: self._cells[name].value for name in self.COUNTER_FIELDS}
 
     def fold(self, other: "ShardStats") -> None:
         """Fold another ledger's counters into this one (retirement).
 
-        Iterates the *shared* integer fields generically, so a counter
+        Iterates the *shared* counter fields generically, so a counter
         added to any stats class is conserved by every fold site — a
         hardcoded field list here silently dropped new counters from
         retired totals.
         """
-        mine = {f.name for f in dataclasses.fields(self)}
+        mine = self._cells
         for name, value in other.as_dict().items():
-            if name in mine:
-                setattr(self, name, getattr(self, name) + value)
+            cell = mine.get(name)
+            if cell is not None:
+                cell.value += value
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self.as_dict() == other.as_dict() and all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.SCALAR_FIELDS
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"{name}={self._cells[name].value}" for name in self.COUNTER_FIELDS]
+        parts.extend(f"{name}={getattr(self, name)!r}" for name in self.SCALAR_FIELDS)
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+ShardStats._install_cell_properties()
 
 
 class ShardedScopeManager:
@@ -262,6 +341,8 @@ class ShardedScopeManager:
         self._next_id = shards
         # Taps attached through this facade (for tap_bytes accounting).
         self._tap_count = 0
+        self._metrics_registry = None
+        self._metrics_prefix = "shard"
 
     # ------------------------------------------------------------------
     # Routing
@@ -348,6 +429,7 @@ class ShardedScopeManager:
         self._ring.add(shard_id)
         self._bump_ring()
         self._migrate_scopes()
+        self._remount_metrics()
         return shard_id
 
     def remove_shard(self, shard_id: int) -> None:
@@ -372,6 +454,7 @@ class ShardedScopeManager:
         del self._managers[shard_id]
         self._retired.fold(self._stats.pop(shard_id))
         self._migrate_scopes()
+        self._remount_metrics()
 
     def replace_manager(self, shard_id: int, manager: ScopeManager) -> ScopeManager:
         """Swap in a fresh manager for ``shard_id`` (the failover seam).
@@ -528,9 +611,30 @@ class ShardedScopeManager:
         counted as that shard's late drops — the slow-consumer signal
         (a shard whose display loop lags sees samples arrive past their
         slot and sheds them, per Section 4.4).
+
+        Reserved ``__obs.`` names are rejected by the home manager;
+        internal telemetry enters through :meth:`push_obs`.
         """
+        if _trace is not None and _trace._tracer is not None:
+            with _trace.span("route", signal=name, n=len(times)):
+                return self._route(name, times, values, trusted=False)
+        return self._route(name, times, values, trusted=False)
+
+    def push_obs(self, name: str, times, values) -> int:
+        """Trusted reserved-namespace entry: identical routing/accounting.
+
+        This is what lets a :class:`~repro.obs.metrics.MetricsPublisher`
+        sink straight into the sharded facade — ``__obs.`` samples ride
+        the same ring, the same shard ledgers, the same taps.
+        """
+        return self._route(name, times, values, trusted=True)
+
+    def _route(self, name: str, times, values, trusted: bool) -> int:
         shard_id = self.shard_of(name)
-        accepted = self._managers[shard_id].push_samples(name, times, values)
+        manager = self._managers[shard_id]
+        accepted = (manager.push_obs if trusted else manager.push_samples)(
+            name, times, values
+        )
         stats = self._stats[shard_id]
         offered = len(times)
         stats.offered += offered
@@ -561,6 +665,32 @@ class ShardedScopeManager:
         """
         for loop in self.loops:
             loop.run_for(duration_ms)
+
+    def register_metrics(self, registry, prefix: str = "shard") -> None:
+        """Mount per-shard ledgers as ``<prefix><id>.<field>`` cells.
+
+        ``__obs.shard0.dropped_late`` — the issue's canonical derived-
+        query source — is exactly shard 0's live ``dropped_late`` cell
+        published by a :class:`~repro.obs.metrics.MetricsPublisher`
+        walking this registry.  Membership changes re-mount: the
+        retired ledger is mounted under ``<prefix>retired.`` so folded
+        history stays visible.
+        """
+        self._metrics_registry = registry
+        self._metrics_prefix = prefix
+        for shard_id in sorted(self._stats):
+            self._stats[shard_id].register_metrics(registry, f"{prefix}{shard_id}.")
+        # Underscore, not a dot or dash: the query lexer's NAME token
+        # accepts [A-Za-z0-9_.] so the retired ledger stays queryable.
+        self._retired.register_metrics(registry, f"{prefix}_retired.")
+
+    def _remount_metrics(self) -> None:
+        registry = getattr(self, "_metrics_registry", None)
+        if registry is None:
+            return
+        prefix = self._metrics_prefix
+        registry.unmount_prefix(prefix)
+        self.register_metrics(registry, prefix)
 
     def shard_stats(self) -> List[ShardStats]:
         """Per-shard ingest counters, in shard-id order (live references)."""
@@ -685,7 +815,22 @@ class ProcessShardedScopeManager:
         instant (the DELIVER frame carries ``now``), so acceptance
         accounting catches up asynchronously — read it after
         :meth:`drain` / :meth:`refresh_stats`.
+
+        Reserved ``__obs.`` names are rejected *here*, on the router
+        side: the child's delivery edge is trusted (it accepts whatever
+        the router validated), so an unchecked reserved push would
+        poison a worker instead of erroring at the caller.
         """
+        if name.startswith(RESERVED_PREFIX):
+            raise ScopeError(
+                f"signal name {name!r} is reserved: the {RESERVED_PREFIX!r} "
+                "namespace carries self-instrumentation samples "
+                "(published via MetricsPublisher, not user pushes)"
+            )
+        return self.push_obs(name, times, values)
+
+    def push_obs(self, name: str, times, values) -> int:
+        """Trusted reserved-namespace entry: same queueing/accounting."""
         shard_id = self.shard_of(name)
         now = self.loop.clock.now()
         offered = self._handles[shard_id].deliver(now, name, times, values)
@@ -770,6 +915,12 @@ class ProcessShardedScopeManager:
         for shard_id, handle in self._handles.items():
             handle.drain(self._stats[shard_id].offered, timeout_s=timeout_s)
         self.refresh_stats(timeout_s=timeout_s)
+
+    def register_metrics(self, registry, prefix: str = "shard") -> None:
+        """Mount router-side shard ledgers (see ShardedScopeManager)."""
+        for shard_id in sorted(self._stats):
+            self._stats[shard_id].register_metrics(registry, f"{prefix}{shard_id}.")
+        self._retired.register_metrics(registry, f"{prefix}_retired.")
 
     def shard_stats(self) -> List[ShardStats]:
         return [self._stats[i] for i in sorted(self._stats)]

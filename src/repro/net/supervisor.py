@@ -67,7 +67,8 @@ import numpy as np
 from repro.capture.reader import CaptureReader
 from repro.capture.replay import ReplaySource
 from repro.capture.writer import CaptureWriter
-from repro.core.manager import ScopeManager
+from repro.core.manager import RESERVED_PREFIX, ScopeManager
+from repro.core.scope import ScopeError
 from repro.eventloop.loop import MainLoop
 from repro.net.shard import DEFAULT_REPLICAS, HashRing, ShardStats
 
@@ -97,15 +98,22 @@ class ShardDown(RuntimeError):
     """Raised when delivering to a crashed shard host."""
 
 
-@dataclass
 class SupervisionStats(ShardStats):
-    """:class:`~repro.net.shard.ShardStats` plus failover counters."""
+    """:class:`~repro.net.shard.ShardStats` plus failover counters.
 
-    restarts: int = 0
-    missed_beats: int = 0
-    lost_deliveries: int = 0  # pushes that hit a crashed host (WAL-covered)
-    replayed_samples: int = 0  # samples re-driven by restart catch-up
-    last_restart_at: Optional[float] = None
+    ``lost_deliveries`` counts pushes that hit a crashed host
+    (WAL-covered); ``replayed_samples`` counts samples re-driven by
+    restart catch-up.  ``last_restart_at`` is a timestamp, not a
+    counter (excluded from ``as_dict``/``fold``).
+    """
+
+    COUNTER_FIELDS = ShardStats.COUNTER_FIELDS + (
+        "restarts",
+        "missed_beats",
+        "lost_deliveries",
+        "replayed_samples",
+    )
+    SCALAR_FIELDS = ("last_restart_at",)
 
 
 @dataclass
@@ -184,9 +192,18 @@ class ShardHost:
         poisoned batch must not wedge the router loop, and the WAL-based
         restart gets a chance to re-run history without it being
         re-offered live.
+
+        Ingest is a *trusted* delivery edge (everything reaching it was
+        validated at the router/server boundary): reserved ``__obs.``
+        columns — live from a publisher upstream, or re-driven from the
+        WAL during restart catch-up — enter through ``push_obs`` and
+        deliver like any other signal.
         """
         try:
-            accepted = self.manager.push_samples(name, times, values)
+            if name.startswith(RESERVED_PREFIX):
+                accepted = self.manager.push_obs(name, times, values)
+            else:
+                accepted = self.manager.push_samples(name, times, values)
         except Exception as exc:
             self.crash(exc)
             raise ShardDown(
@@ -348,8 +365,28 @@ class ShardSupervisor:
         self._restart_epoch = 0  # bumps topology_version on every restart
         #: Replaced hosts, retained for post-mortem (crash_error, stats).
         self.quarantined: List[ShardHost] = []
+        self._metrics_registry = None
+        self._metrics_prefix = "shard"
         if auto_start:
             self.start()
+
+    # ------------------------------------------------------------------
+    # Self-instrumentation
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: str = "shard") -> None:
+        """Mount every host's supervision counters into ``registry``.
+
+        Cells land as ``<prefix><shard_id>.<field>`` (e.g.
+        ``shard0.dropped_late``).  A restart replaces the host — and with
+        it the stats cells — so the supervisor remembers the registry
+        and re-mounts the fresh cells in :meth:`restart_shard`.
+        """
+        self._metrics_registry = registry
+        self._metrics_prefix = prefix
+        for shard_id in sorted(self._hosts):
+            self._hosts[shard_id].stats.register_metrics(
+                registry, f"{prefix}{shard_id}."
+            )
 
     # ------------------------------------------------------------------
     # Monitor lifecycle
@@ -445,6 +482,12 @@ class ShardSupervisor:
         self._frozen_ticks[shard_id] = 0
         self._restart_epoch += 1
         self.quarantined.append(old)
+        if self._metrics_registry is not None:
+            # The fresh host carries fresh cells; swap them in under the
+            # same names so the registry keeps reading live truth.
+            mount_prefix = f"{self._metrics_prefix}{shard_id}."
+            self._metrics_registry.unmount_prefix(mount_prefix)
+            host.stats.register_metrics(self._metrics_registry, mount_prefix)
         if self.rotate_on_restart:
             # The fresh host embodies the full WAL history; snapshot it
             # and retire the replayed segments immediately.
@@ -575,7 +618,21 @@ class ShardSupervisor:
         A push that lands on a crashed host returns 0 to the caller, but
         the WAL already holds it: the restart replays it into the fresh
         host at this exact instant, so nothing is lost end to end.
+
+        ``__obs.``-reserved names are rejected here, *before* the WAL
+        write — a reserved push must never become durable history.  The
+        self-instrumentation publisher enters through :meth:`push_obs`.
         """
+        if name.startswith(RESERVED_PREFIX):
+            raise ScopeError(
+                f"signal name {name!r} is reserved: the {RESERVED_PREFIX!r} "
+                "namespace carries self-instrumentation samples "
+                "(published via MetricsPublisher, not user pushes)"
+            )
+        return self.push_obs(name, times, values)
+
+    def push_obs(self, name: str, times, values) -> int:
+        """Trusted reserved-namespace entry: same WAL-first delivery."""
         shard_id = self.shard_of(name)
         now = self.loop.clock.now()
         self._wals[shard_id].on_push(name, times, values, now)
@@ -794,6 +851,47 @@ class ProcessShardSupervisor:
         self._handles[shard_id].kill()
 
     # ------------------------------------------------------------------
+    # Self-instrumentation
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: str = "shard") -> None:
+        """Mount router-side supervision counters into ``registry``.
+
+        The router's stats objects persist across worker respawns (the
+        ledger outlives the process), so one mount stays live forever.
+        Worker-queue and shm-ring gauges look the *current* handle up by
+        shard id, so they track respawns too; they reflect kernel/socket
+        timing, hence ``wall=True`` (scrape-only, never published).
+        """
+        for shard_id in sorted(self._stats):
+            shard_prefix = f"{prefix}{shard_id}."
+            self._stats[shard_id].register_metrics(registry, shard_prefix)
+            registry.gauge(
+                f"{shard_prefix}worker_pending_bytes",
+                fn=lambda sid=shard_id: float(
+                    self._handles[sid].pending_bytes if sid in self._handles else 0
+                ),
+                wall=True,
+            )
+            registry.gauge(
+                f"{shard_prefix}ring_occupancy",
+                fn=lambda sid=shard_id: (
+                    self._handles[sid].ring.occupancy()
+                    if sid in self._handles and self._handles[sid].ring is not None
+                    else 0.0
+                ),
+                wall=True,
+            )
+            registry.gauge(
+                f"{shard_prefix}ring_fallbacks",
+                fn=lambda sid=shard_id: float(
+                    self._handles[sid].ring.fallbacks
+                    if sid in self._handles and self._handles[sid].ring is not None
+                    else 0
+                ),
+                wall=True,
+            )
+
+    # ------------------------------------------------------------------
     # Routing + push
     # ------------------------------------------------------------------
     @property
@@ -827,7 +925,21 @@ class ProcessShardSupervisor:
         link — the WAL already holds it; the respawn replays it at this
         exact instant) and returns 0, exactly like the in-process
         supervisor's crashed-host path.
+
+        Reserved ``__obs.`` names are rejected before the WAL write,
+        mirroring :class:`ShardSupervisor`; the publisher enters via
+        :meth:`push_obs`.
         """
+        if name.startswith(RESERVED_PREFIX):
+            raise ScopeError(
+                f"signal name {name!r} is reserved: the {RESERVED_PREFIX!r} "
+                "namespace carries self-instrumentation samples "
+                "(published via MetricsPublisher, not user pushes)"
+            )
+        return self.push_obs(name, times, values)
+
+    def push_obs(self, name: str, times, values) -> int:
+        """Trusted reserved-namespace entry: same WAL-first queueing."""
         n = len(times)
         if n == 0:
             return 0

@@ -135,6 +135,15 @@ class ShmRing:
     def _cursors(self) -> tuple:
         return _CURSORS.unpack_from(self.shm.buf, 0)
 
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by written-but-unconsumed records."""
+        tail, head = self._cursors()
+        return (tail - head) % self.cap
+
+    def occupancy(self) -> float:
+        """Ring fullness in ``[0, 1]`` (the backpressure signal)."""
+        return self.used_bytes() / self.cap
+
     def try_push(self, name_id: int, now: float, tb: bytes, vb: bytes) -> bool:
         """Write one record; False (caller falls back to DELIVER) if full."""
         rec = _REC_HEADER.size + len(tb) + len(vb)
@@ -514,6 +523,11 @@ class WorkerHandle:
     def beat_age_s(self) -> float:
         """Real seconds since the last sign of life on the control channel."""
         return time.monotonic() - self.last_beat_monotonic
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes queued router-side, waiting for the worker socket."""
+        return len(self._pending) - self._pending_pos
 
     # -- outbound -------------------------------------------------------
     def _queue(self, data: bytes) -> None:

@@ -222,6 +222,18 @@ class _Compiler:
                         "name the others (e.g. 'load = ewma(cpu, 0.9)')"
                     )
                 name = self.default_name
+            if name.startswith("__obs."):
+                # Reading `__obs.*` sources is the point of the obs
+                # plane; *defining* into it is forbidden — a definition
+                # resolves def-first, shadowing the live telemetry
+                # signal, and a published output would feed derived
+                # values back into the reserved namespace the publisher
+                # owns (a self-loop).
+                raise QueryCompileError(
+                    f"derived signal {name!r} lands in the reserved '__obs.' "
+                    "namespace; queries may read __obs.* signals but never "
+                    "define them"
+                )
             if name in self._defs:
                 raise QueryCompileError(f"duplicate definition of {name!r}")
             self._defs[name] = stmt.expr

@@ -29,6 +29,11 @@ import numpy as np
 from repro.query.compile import Plan, compile_query
 from repro.query.ops import ArrayLike, Runtime
 
+try:  # the obs plane is optional; live evaluation must work without it
+    from repro.obs import trace as _trace
+except ImportError:  # pragma: no cover - obs package absent
+    _trace = None
+
 OutputObserver = Callable[[str, np.ndarray, np.ndarray], None]
 QuarantineObserver = Callable[["LiveQuery", BaseException], None]
 
@@ -96,7 +101,11 @@ class LiveQuery:
         if self._error is not None or self.runtime.finished:
             return
         try:
-            self.runtime.feed(name, times, values)
+            if _trace is not None and _trace._tracer is not None:
+                with _trace.span("derive", signal=name, n=len(times)):
+                    self.runtime.feed(name, times, values)
+            else:
+                self.runtime.feed(name, times, values)
         except Exception as exc:
             self._quarantine(exc)
 

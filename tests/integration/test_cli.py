@@ -153,3 +153,55 @@ class TestFaults:
              "--victim", "1", "--duration", "1500", "--at", "600"]
         ) == 0
         assert "byte-identical" in capsys.readouterr().out
+
+
+class TestHelpBehaviour:
+    def test_no_subcommand_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().err
+        for command in (
+            "summary", "print", "spectrum", "capture", "query",
+            "faults", "trace", "top",
+        ):
+            assert command in out
+
+    def test_unknown_subcommand_prints_help_and_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-command"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "trace" in err and "summary" in err  # full help, not one line
+
+
+class TestTrace:
+    def test_exports_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out), "--duration", "300"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert {"ingest", "deliver", "derive", "fanout"} <= names
+
+    def test_stdout_when_no_out(self, capsys):
+        import json
+
+        assert main(["trace", "--duration", "200"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traceEvents"]
+
+    def test_disabled_obs_refused(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert main(["trace", "--duration", "100"]) == 1
+        assert "REPRO_OBS" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_prints_instrument_table(self, capsys):
+        assert main(["top", "--duration", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "loop.dispatch.default" in out
+        assert "__obs." not in out  # registry names are unprefixed

@@ -1,0 +1,300 @@
+"""Unit tests for the obs metric cells, registry and publisher."""
+
+import numpy as np
+import pytest
+
+from repro.core.cells import NULL, Counter, Gauge, Histogram
+from repro.core.manager import ScopeManager
+from repro.core.signal import buffer_signal
+from repro.eventloop.loop import MainLoop
+from repro.obs import metrics
+from repro.obs.metrics import (
+    OBS_PREFIX,
+    MetricsPublisher,
+    MetricsRegistry,
+    enabled,
+    is_reserved,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCells:
+    def test_counter_inc(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.read() == 6.0
+        assert c.kind == "counter"
+
+    def test_gauge_set_and_callback(self):
+        g = Gauge("depth")
+        g.set(3.5)
+        assert g.read() == 3.5
+        g = Gauge("depth", fn=lambda: 42.0)
+        assert g.read() == 42.0
+
+    def test_histogram_buckets(self):
+        h = Histogram("lag", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.2):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.7)
+        assert h.buckets.tolist() == [2, 1, 1]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("bad", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("bad", bounds=())
+
+    def test_null_instrument_is_inert(self):
+        NULL.inc()
+        NULL.inc(10)
+        NULL.set(5.0)
+        NULL.observe(1.0)
+        assert NULL.read() == 0.0
+
+
+class TestEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "no"])
+    def test_opt_out(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_OBS", value)
+        assert not enabled()
+
+    def test_is_reserved(self):
+        assert is_reserved("__obs.shard0.offered")
+        assert not is_reserved("pkts")
+        assert not is_reserved("_intermediate")
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a")
+        c2 = reg.counter("a")
+        assert c1 is c2
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already mounted as Counter"):
+            reg.gauge("a")
+
+    def test_mount_existing_cell(self):
+        reg = MetricsRegistry()
+        cell = Counter()
+        reg.mount("x.hits", cell)
+        assert reg.get("x.hits") is cell
+        assert cell.name == "x.hits"  # name backfilled on mount
+        reg.mount("x.hits", cell)  # same cell: no-op
+        with pytest.raises(ValueError, match="already mounted"):
+            reg.mount("x.hits", Counter())
+
+    def test_mount_rejects_reserved_prefix(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="publisher adds it"):
+            reg.mount(OBS_PREFIX + "x", Counter())
+
+    def test_unmount_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("shard0.offered")
+        reg.counter("shard0.accepted")
+        reg.counter("shard1.offered")
+        reg.unmount_prefix("shard0.")
+        assert reg.names() == ["shard1.offered"]
+
+    def test_snapshot_includes_histogram_detail(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lag", bounds=(1.0, 2.0))
+        h.observe(1.5)
+        snap = reg.snapshot()
+        assert snap["lag"]["kind"] == "histogram"
+        assert snap["lag"]["count"] == 1
+        assert snap["lag"]["buckets"] == [0, 1, 0]
+
+
+def _rig():
+    loop = MainLoop()
+    manager = ScopeManager(loop)
+    scope = manager.scope_new("s", delay_ms=1e12)
+    scope.signal_new(buffer_signal("pkts"))
+    return loop, manager
+
+
+class _RecordingSink:
+    """Sink capturing push calls; exposes push_obs to prove preference."""
+
+    def __init__(self):
+        self.pushes = []
+
+    def push_obs(self, name, times, values):
+        self.pushes.append((name, list(times), list(values)))
+        return len(times)
+
+    def push_samples(self, name, times, values):  # pragma: no cover
+        raise AssertionError("publisher must prefer push_obs")
+
+
+class TestPublisher:
+    def test_counter_publishes_deltas(self):
+        loop, _ = _rig()
+        sink = _RecordingSink()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, sink, reg, period_ms=10.0)
+        c = reg.counter("hits")
+        c.inc(3)
+        assert pub.publish(100.0) == 1
+        c.inc(2)
+        assert pub.publish(200.0) == 1
+        assert sink.pushes == [
+            (OBS_PREFIX + "hits", [100.0], [3.0]),
+            (OBS_PREFIX + "hits", [200.0], [2.0]),
+        ]
+
+    def test_unchanged_instruments_suppressed(self):
+        loop, _ = _rig()
+        sink = _RecordingSink()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, sink, reg, period_ms=10.0)
+        reg.counter("hits")  # never incremented
+        g = reg.gauge("depth")
+        g.set(5.0)
+        assert pub.publish(100.0) == 1  # first gauge reading always emits
+        assert pub.publish(200.0) == 0  # nothing changed
+        g.set(5.0)  # same value: still suppressed
+        assert pub.publish(300.0) == 0
+        g.set(6.0)
+        assert pub.publish(400.0) == 1
+
+    def test_histogram_publishes_count_and_sum_deltas(self):
+        loop, _ = _rig()
+        sink = _RecordingSink()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, sink, reg, period_ms=10.0)
+        h = reg.histogram("lag", bounds=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        assert pub.publish(100.0) == 2
+        names = [name for name, _, _ in sink.pushes]
+        assert names == [OBS_PREFIX + "lag.count", OBS_PREFIX + "lag.sum"]
+        assert sink.pushes[0][2] == [2.0]
+        assert sink.pushes[1][2] == [2.5]
+
+    def test_wall_instruments_never_published(self):
+        loop, _ = _rig()
+        sink = _RecordingSink()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, sink, reg, period_ms=10.0)
+        reg.counter("slow", wall=True).inc(5)
+        reg.histogram("flush", wall=True).observe(1.0)
+        assert pub.publish(100.0) == 0
+        assert sink.pushes == []
+
+    def test_sorted_name_order(self):
+        loop, _ = _rig()
+        sink = _RecordingSink()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, sink, reg, period_ms=10.0)
+        reg.counter("zebra").inc()
+        reg.counter("alpha").inc()
+        pub.publish(100.0)
+        assert [n for n, _, _ in sink.pushes] == [
+            OBS_PREFIX + "alpha",
+            OBS_PREFIX + "zebra",
+        ]
+
+    def test_timer_driven_publishing_into_manager(self):
+        loop, manager = _rig()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, manager, reg, period_ms=50.0)
+        assert pub.active
+        c = reg.counter("hits")
+
+        def feed(_lost):
+            c.inc()
+            return True
+
+        loop.timeout_add(10.0, feed)
+        seen = []
+        manager.add_tap(lambda name, t, v, now: seen.append(name))
+        loop.run_until(500.0)
+        assert OBS_PREFIX + "hits" in seen
+        assert pub.ticks >= 5
+        assert pub.samples_published >= 5
+
+    def test_inert_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        loop, manager = _rig()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, manager, reg, period_ms=50.0)
+        assert not pub.active
+
+    def test_rejects_bad_period(self):
+        loop, manager = _rig()
+        with pytest.raises(ValueError, match="period_ms"):
+            MetricsPublisher(loop, manager, MetricsRegistry(), period_ms=0.0)
+
+    def test_close_disarms_timer(self):
+        loop, manager = _rig()
+        reg = MetricsRegistry()
+        pub = MetricsPublisher(loop, manager, reg, period_ms=50.0)
+        pub.close()
+        assert not pub.active
+        # still scrapeable after close
+        reg.counter("hits").inc()
+        sink = _RecordingSink()
+        pub2 = MetricsPublisher(loop, sink, reg, period_ms=50.0)
+        assert pub2.publish(10.0) == 1
+
+
+class TestLoopProfiler:
+    def test_dispatch_counts_and_timer_lag(self):
+        loop = MainLoop()
+        reg = MetricsRegistry()
+        assert loop.observe(reg)
+        fired = []
+        loop.timeout_add(10.0, lambda _lost: (fired.append(1), len(fired) < 5)[1])
+        loop.run_until(200.0)
+        snap = reg.snapshot()
+        assert snap["loop.dispatch.default"]["value"] >= 5
+        assert snap["loop.timer_lag_ms"]["count"] >= 5
+        # virtual clock fires timers exactly on deadline: zero lag
+        assert snap["loop.timer_lag_ms"]["sum"] == 0.0
+
+    def test_observe_respects_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        loop = MainLoop()
+        assert not loop.observe(MetricsRegistry())
+
+    def test_slow_callback_detection(self):
+        import time as _time
+
+        loop = MainLoop()
+        reg = MetricsRegistry()
+        assert loop.observe(reg, slow_callback_ms=5.0)
+
+        def slow(_lost):
+            _time.sleep(0.02)
+            return False
+
+        loop.timeout_add(10.0, slow)
+        loop.run_until(50.0)
+        snap = reg.snapshot()
+        assert snap["loop.slow_callbacks"]["value"] >= 1
+        assert snap["loop.slow_callbacks"]["wall"] is True
+
+    def test_unobserve(self):
+        loop = MainLoop()
+        reg = MetricsRegistry()
+        loop.observe(reg)
+        loop.unobserve()
+        loop.timeout_add(10.0, lambda _lost: False)
+        loop.run_until(50.0)
+        assert reg.snapshot()["loop.dispatch.default"]["value"] == 0
